@@ -1,0 +1,347 @@
+//! # adaptive
+//!
+//! The adaptive quotient filter (tutorial §2.3), in the lineage of
+//! the broom filter \[Bender et al., FOCS 2018\] and its practical
+//! incarnation \[Wen et al., SIGMOD 2025\].
+//!
+//! An adaptive filter guarantees `O(ε·n)` false positives over *any*
+//! sequence of `n` negative queries — even an adversarial one that
+//! replays discovered false positives — by **extending** the
+//! fingerprint of the colliding stored key whenever the caller
+//! reports a false positive. Extension bits are taken from the
+//! stored key's own hash, so genuinely present keys keep matching
+//! (no false negatives, i.e. the filter is *monotonically* adaptive).
+//!
+//! Recomputing a stored key's longer fingerprint requires its
+//! original key — the *remote representation*. This crate models it
+//! as an explicit per-quotient key table standing in for the backing
+//! dictionary (e.g. the on-disk B-tree) the literature assumes; its
+//! space is excluded from [`Filter::size_in_bytes`], matching the
+//! papers' accounting.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use filter_core::{
+    AdaptiveFilter, DynamicFilter, Filter, FilterError, Hasher, InsertFilter, Result,
+};
+use quotient::SlotTable;
+use std::collections::HashMap;
+
+/// Maximum extension length in bits.
+const EXT_MAX: u32 = 7;
+/// Bits encoding the extension length.
+const EXT_LEN_BITS: u32 = 3;
+
+/// An adaptive quotient filter with a remote representation.
+#[derive(Debug, Clone)]
+pub struct AdaptiveQuotientFilter {
+    table: SlotTable,
+    /// Remote representation: keys per quotient (simulates the
+    /// backing dictionary).
+    remote: HashMap<u64, Vec<u64>>,
+    hasher: Hasher,
+    r: u32,
+    items: usize,
+    adaptations: u64,
+    max_load: f64,
+}
+
+impl AdaptiveQuotientFilter {
+    /// Create with `2^q` slots and `r`-bit base remainders.
+    ///
+    /// Slot payload layout (low → high):
+    /// `[remainder: r][ext_len: 3][ext: EXT_MAX]`.
+    pub fn new(q: u32, r: u32) -> Self {
+        Self::with_seed(q, r, 0)
+    }
+
+    /// As [`AdaptiveQuotientFilter::new`] with an explicit seed.
+    pub fn with_seed(q: u32, r: u32, seed: u64) -> Self {
+        assert!((2..=32).contains(&r));
+        assert!(q + r + EXT_MAX <= 60, "hash budget exceeded");
+        AdaptiveQuotientFilter {
+            table: SlotTable::new(q, r + EXT_LEN_BITS + EXT_MAX),
+            remote: HashMap::new(),
+            hasher: Hasher::with_seed(seed),
+            r,
+            items: 0,
+            adaptations: 0,
+            max_load: 0.9,
+        }
+    }
+
+    /// Number of fingerprint extensions performed so far.
+    pub fn adaptations(&self) -> u64 {
+        self.adaptations
+    }
+
+    /// Quotient and the full extended-fingerprint source bits of a
+    /// key's hash.
+    #[inline]
+    fn parts(&self, hash: u64) -> (u64, u64, u64) {
+        let q = self.table.q();
+        let quot = hash & filter_core::rem_mask(q);
+        let rem = (hash >> q) & filter_core::rem_mask(self.r);
+        let ext_src = (hash >> (q + self.r)) & filter_core::rem_mask(EXT_MAX);
+        (quot, rem, ext_src)
+    }
+
+    #[inline]
+    fn encode(&self, rem: u64, ext_len: u32, ext: u64) -> u64 {
+        debug_assert!(ext_len <= EXT_MAX);
+        rem | ((ext_len as u64) << self.r) | (ext << (self.r + EXT_LEN_BITS))
+    }
+
+    #[inline]
+    fn decode(&self, payload: u64) -> (u64, u32, u64) {
+        let rem = payload & filter_core::rem_mask(self.r);
+        let ext_len = ((payload >> self.r) & filter_core::rem_mask(EXT_LEN_BITS)) as u32;
+        let ext = payload >> (self.r + EXT_LEN_BITS);
+        (rem, ext_len, ext)
+    }
+
+    /// Does this payload match a query hash?
+    #[inline]
+    fn payload_matches(&self, payload: u64, rem: u64, ext_src: u64) -> bool {
+        let (prem, elen, ext) = self.decode(payload);
+        prem == rem && ext == (ext_src & filter_core::rem_mask(elen))
+    }
+
+    /// The stored payload a key *should* currently have, given its
+    /// extension length.
+    fn payload_for(&self, key: u64, ext_len: u32) -> u64 {
+        let (_, rem, ext_src) = self.parts(self.hasher.hash(&key));
+        self.encode(rem, ext_len, ext_src & filter_core::rem_mask(ext_len))
+    }
+}
+
+impl Filter for AdaptiveQuotientFilter {
+    fn contains(&self, key: u64) -> bool {
+        let h = self.hasher.hash(&key);
+        let (quot, rem, ext_src) = self.parts(h);
+        let mut found = false;
+        self.table.scan_run(quot, |p| {
+            if self.payload_matches(p, rem, ext_src) {
+                found = true;
+                false
+            } else {
+                true
+            }
+        });
+        found
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        // Filter proper only; the remote rep is the backing store.
+        self.table.size_in_bytes()
+    }
+}
+
+impl InsertFilter for AdaptiveQuotientFilter {
+    fn insert(&mut self, key: u64) -> Result<()> {
+        if self.table.used_slots() + 1 > (self.max_load * self.table.capacity() as f64) as usize {
+            return Err(FilterError::CapacityExceeded);
+        }
+        let h = self.hasher.hash(&key);
+        let (quot, rem, _) = self.parts(h);
+        let enc = self.encode(rem, 0, 0);
+        self.table.modify_run(quot, |p| p.push(enc))?;
+        self.remote.entry(quot).or_default().push(key);
+        self.items += 1;
+        Ok(())
+    }
+}
+
+impl DynamicFilter for AdaptiveQuotientFilter {
+    fn remove(&mut self, key: u64) -> Result<bool> {
+        let h = self.hasher.hash(&key);
+        let (quot, _, _) = self.parts(h);
+        let Some(keys) = self.remote.get_mut(&quot) else {
+            return Ok(false);
+        };
+        let Some(ki) = keys.iter().position(|&k| k == key) else {
+            return Ok(false);
+        };
+        keys.swap_remove(ki);
+        if keys.is_empty() {
+            self.remote.remove(&quot);
+        }
+        // Remove the payload that belongs to this key (match against
+        // every possible extension the key could carry).
+        let candidates: Vec<u64> = (0..=EXT_MAX).map(|e| self.payload_for(key, e)).collect();
+        let mut removed = false;
+        self.table.modify_run(quot, |p| {
+            if let Some(i) = p.iter().position(|v| candidates.contains(v)) {
+                p.remove(i);
+                removed = true;
+            }
+        })?;
+        debug_assert!(removed, "remote and table out of sync");
+        if removed {
+            self.items -= 1;
+        }
+        Ok(removed)
+    }
+}
+
+impl AdaptiveFilter for AdaptiveQuotientFilter {
+    fn adapt(&mut self, key: u64) {
+        // The caller observed a false positive for `key`: every stored
+        // key in this quotient whose current fingerprint matches the
+        // query gets its extension lengthened until it differs from
+        // the query's bits (or EXT_MAX is reached).
+        let h = self.hasher.hash(&key);
+        let (quot, rem, ext_src) = self.parts(h);
+        let Some(stored_keys) = self.remote.get(&quot) else {
+            return;
+        };
+        let mut rewrites: Vec<(u64, u64)> = Vec::new(); // (old payload, new payload)
+        for &sk in stored_keys {
+            if sk == key {
+                continue; // present key: not a false positive source
+            }
+            let sh = self.hasher.hash(&sk);
+            let (_, srem, sext_src) = self.parts(sh);
+            if srem != rem {
+                continue;
+            }
+            // Find the stored key's current extension length: its
+            // payload is determined by (srem, elen, sext bits).
+            for elen in 0..=EXT_MAX {
+                let old = self.encode(srem, elen, sext_src & filter_core::rem_mask(elen));
+                if !self.payload_matches(old, rem, ext_src) {
+                    continue; // this ext level doesn't collide
+                }
+                // Extend until the stored key's bits diverge from the
+                // query's.
+                let mut new_len = elen;
+                while new_len < EXT_MAX {
+                    new_len += 1;
+                    let smask = sext_src & filter_core::rem_mask(new_len);
+                    let qmask = ext_src & filter_core::rem_mask(new_len);
+                    if smask != qmask {
+                        break;
+                    }
+                }
+                let new = self.encode(srem, new_len, sext_src & filter_core::rem_mask(new_len));
+                if new != old {
+                    rewrites.push((old, new));
+                }
+            }
+        }
+        if rewrites.is_empty() {
+            return;
+        }
+        let adapted = &mut self.adaptations;
+        self.table
+            .modify_run(quot, |p| {
+                for (old, new) in rewrites {
+                    if let Some(i) = p.iter().position(|&v| v == old) {
+                        p[i] = new;
+                        *adapted += 1;
+                    }
+                }
+            })
+            .expect("rewrite never changes run length");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{disjoint_keys, unique_keys};
+
+    #[test]
+    fn basic_roundtrip() {
+        let keys = unique_keys(160, 20_000);
+        let mut f = AdaptiveQuotientFilter::new(15, 8);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        assert!(keys.iter().all(|&k| f.contains(k)));
+    }
+
+    #[test]
+    fn adapt_fixes_false_positives_without_false_negatives() {
+        let keys = unique_keys(161, 20_000);
+        let mut f = AdaptiveQuotientFilter::new(15, 6); // high base FPR
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        let neg = disjoint_keys(162, 50_000, &keys);
+        let fps: Vec<u64> = neg.iter().copied().filter(|&k| f.contains(k)).collect();
+        assert!(fps.len() > 50, "want plenty of FPs, got {}", fps.len());
+        for &k in &fps {
+            f.adapt(k);
+        }
+        let survivors = fps.iter().filter(|&&k| f.contains(k)).count();
+        assert!(
+            survivors * 50 < fps.len(),
+            "{survivors}/{} FPs survived",
+            fps.len()
+        );
+        assert!(keys.iter().all(|&k| f.contains(k)), "adapt broke a member");
+    }
+
+    #[test]
+    fn adversarial_replay_is_bounded() {
+        // Replay each discovered FP 200×: an adaptive filter pays
+        // roughly once per distinct FP.
+        let keys = unique_keys(163, 10_000);
+        let mut f = AdaptiveQuotientFilter::new(14, 6);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        let neg = disjoint_keys(164, 5_000, &keys);
+        let mut total_fps = 0u64;
+        for &k in &neg {
+            for _ in 0..200 {
+                if f.contains(k) {
+                    total_fps += 1;
+                    f.adapt(k);
+                }
+            }
+        }
+        let base_fpr = 2f64.powi(-6);
+        let non_adaptive = (5_000.0 * 200.0 * base_fpr) as u64;
+        assert!(
+            total_fps < non_adaptive / 10,
+            "{total_fps} FPs vs non-adaptive {non_adaptive}"
+        );
+    }
+
+    #[test]
+    fn deletes_keep_remote_in_sync() {
+        let keys = unique_keys(165, 5_000);
+        let mut f = AdaptiveQuotientFilter::new(13, 8);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        // Adapt a few, then delete everything.
+        let neg = disjoint_keys(166, 2_000, &keys);
+        for &k in &neg {
+            if f.contains(k) {
+                f.adapt(k);
+            }
+        }
+        for &k in &keys {
+            assert!(f.remove(k).unwrap(), "delete lost key");
+        }
+        assert_eq!(f.len(), 0);
+        let residue = keys.iter().filter(|&&k| f.contains(k)).count();
+        assert_eq!(residue, 0);
+    }
+
+    #[test]
+    fn remove_absent_returns_false() {
+        let mut f = AdaptiveQuotientFilter::new(10, 8);
+        f.insert(1).unwrap();
+        assert!(!f.remove(2).unwrap());
+        assert!(f.remove(1).unwrap());
+    }
+}

@@ -1,0 +1,123 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! cuckoo bucket size, ribbon overhead factor, quotient-filter load
+//! factor, and stacked-filter depth.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use filter_core::{Filter, InsertFilter};
+
+/// Cuckoo bucket size 2/4/8: achievable load and insert cost.
+fn ablate_cuckoo_bucket(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_cuckoo_bucket");
+    g.sample_size(10);
+    for bucket in [2usize, 4, 8] {
+        // Report achievable load once (printed, not timed).
+        let mut f = cuckoo::CuckooFilter::with_params(20_000, 16, bucket, 0);
+        for k in workloads::KeyStream::new(7) {
+            if f.insert(k).is_err() {
+                break;
+            }
+        }
+        println!(
+            "cuckoo bucket={bucket}: max load {:.3}, kicks {}",
+            f.load(),
+            f.kicks_performed()
+        );
+        let keys = workloads::unique_keys(8, 50_000);
+        g.bench_with_input(BenchmarkId::new("insert_50k", bucket), &bucket, |b, &bu| {
+            b.iter(|| {
+                let mut f = cuckoo::CuckooFilter::with_params(60_000, 16, bu, 0);
+                for &k in &keys {
+                    f.insert(black_box(k)).unwrap();
+                }
+                f
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ribbon overhead factor: construction time vs space.
+fn ablate_ribbon_eps(c: &mut Criterion) {
+    let keys = workloads::unique_keys(9, 100_000);
+    let mut g = c.benchmark_group("ablate_ribbon_overhead");
+    g.sample_size(10);
+    for overhead in [1.02f64, 1.05, 1.10, 1.25] {
+        let f = ribbon::RibbonFilter::build_with_overhead(&keys, 8, overhead, 0).unwrap();
+        println!(
+            "ribbon overhead={overhead}: {:.2} bits/key",
+            f.bits_per_key()
+        );
+        g.bench_with_input(
+            BenchmarkId::new("build_100k", format!("{overhead}")),
+            &overhead,
+            |b, &ov| b.iter(|| ribbon::RibbonFilter::build_with_overhead(&keys, 8, ov, 0).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+/// Quotient-filter load factor: cluster growth makes ops slower as
+/// the table fills (the cost of Robin Hood displacement).
+fn ablate_qf_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_qf_load");
+    g.sample_size(20);
+    let keys = workloads::unique_keys(10, 1 << 16);
+    let probes = workloads::disjoint_keys(11, 10_000, &keys);
+    for load in [0.5f64, 0.75, 0.9, 0.95] {
+        let n = ((1 << 16) as f64 * load) as usize;
+        let mut f = quotient::QuotientFilter::new(16, 10);
+        for &k in &keys[..n] {
+            f.insert(k).unwrap();
+        }
+        g.bench_with_input(
+            BenchmarkId::new("neg_query_10k", format!("{load}")),
+            &load,
+            |b, _| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for &k in &probes {
+                        hits += f.contains(black_box(k)) as usize;
+                    }
+                    hits
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Stacked-filter depth: hot-negative FPR vs query cost.
+fn ablate_stacked_depth(c: &mut Criterion) {
+    let pos = workloads::unique_keys(12, 50_000);
+    let hot = workloads::disjoint_keys(13, 10_000, &pos);
+    let mut g = c.benchmark_group("ablate_stacked_depth");
+    g.sample_size(20);
+    for depth in [1usize, 3, 5] {
+        let f = stacked::StackedFilter::build(&pos, &hot, depth, 0.05);
+        let fpr = hot.iter().filter(|&&k| f.contains(k)).count() as f64 / hot.len() as f64;
+        println!("stacked depth={depth}: hot-negative fpr {fpr:.5}");
+        g.bench_with_input(
+            BenchmarkId::new("hot_neg_query_10k", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for &k in &hot {
+                        hits += f.contains(black_box(k)) as usize;
+                    }
+                    hits
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_cuckoo_bucket,
+    ablate_ribbon_eps,
+    ablate_qf_load,
+    ablate_stacked_depth
+);
+criterion_main!(benches);

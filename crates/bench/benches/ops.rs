@@ -1,0 +1,225 @@
+//! Criterion micro-benchmarks: insert and query throughput per
+//! filter (the E3 companion; `cargo bench -p bench --bench ops`).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use filter_core::{Filter, InsertFilter};
+
+const N: usize = 100_000;
+
+fn setup() -> (Vec<u64>, Vec<u64>) {
+    let keys = workloads::unique_keys(1, N);
+    let probes = workloads::disjoint_keys(2, N, &keys);
+    (keys, probes)
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let (keys, _) = setup();
+    let mut g = c.benchmark_group("insert_100k");
+    g.sample_size(10);
+    g.bench_function("bloom", |b| {
+        b.iter_batched(
+            || bloom::BloomFilter::new(N, 0.01),
+            |mut f| {
+                for &k in &keys {
+                    f.insert(k).unwrap();
+                }
+                f
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("blocked_bloom", |b| {
+        b.iter_batched(
+            || bloom::BlockedBloomFilter::new(N, 0.01),
+            |mut f| {
+                for &k in &keys {
+                    f.insert(k).unwrap();
+                }
+                f
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("quotient", |b| {
+        b.iter_batched(
+            || quotient::QuotientFilter::for_capacity(N, 0.01),
+            |mut f| {
+                for &k in &keys {
+                    f.insert(k).unwrap();
+                }
+                f
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("cuckoo", |b| {
+        b.iter_batched(
+            || cuckoo::CuckooFilter::new(N, 12),
+            |mut f| {
+                for &k in &keys {
+                    f.insert(k).unwrap();
+                }
+                f
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("prefix", |b| {
+        b.iter_batched(
+            || prefix_filter::PrefixFilter::new(N, 12),
+            |mut f| {
+                for &k in &keys {
+                    f.insert(k).unwrap();
+                }
+                f
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("vqf", |b| {
+        b.iter_batched(
+            || quotient::VectorQuotientFilter::new(N),
+            |mut f| {
+                for &k in &keys {
+                    f.insert(k).unwrap();
+                }
+                f
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("morton", |b| {
+        b.iter_batched(
+            || cuckoo::MortonFilter::new(N),
+            |mut f| {
+                for &k in &keys {
+                    f.insert(k).unwrap();
+                }
+                f
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("taffy", |b| {
+        b.iter_batched(
+            || infini::TaffyCuckooFilter::new(13, 12),
+            |mut f| {
+                for &k in &keys {
+                    f.insert(k).unwrap();
+                }
+                f
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("cqf", |b| {
+        b.iter_batched(
+            || quotient::CountingQuotientFilter::for_capacity(N, 0.01),
+            |mut f| {
+                for &k in &keys {
+                    f.insert(k).unwrap();
+                }
+                f
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+
+    // Static builds (whole-set construction).
+    let mut g = c.benchmark_group("static_build_100k");
+    g.sample_size(10);
+    g.bench_function("xor", |b| {
+        b.iter(|| xorf::XorFilter::build(black_box(&keys), 8).unwrap())
+    });
+    g.bench_function("ribbon", |b| {
+        b.iter(|| ribbon::RibbonFilter::build(black_box(&keys), 8).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let (keys, probes) = setup();
+    let mut bloomf = bloom::BloomFilter::new(N, 0.01);
+    let mut blocked = bloom::BlockedBloomFilter::new(N, 0.01);
+    let mut qf = quotient::QuotientFilter::for_capacity(N, 0.01);
+    let mut cf = cuckoo::CuckooFilter::new(N, 12);
+    let mut pf = prefix_filter::PrefixFilter::new(N, 12);
+    let mut vqf = quotient::VectorQuotientFilter::new(N);
+    let mut morton = cuckoo::MortonFilter::new(N);
+    for &k in &keys {
+        bloomf.insert(k).unwrap();
+        blocked.insert(k).unwrap();
+        qf.insert(k).unwrap();
+        cf.insert(k).unwrap();
+        pf.insert(k).unwrap();
+        vqf.insert(k).unwrap();
+        morton.insert(k).unwrap();
+    }
+    let xf = xorf::XorFilter::build(&keys, 8).unwrap();
+    let rf = ribbon::RibbonFilter::build(&keys, 8).unwrap();
+
+    let mut g = c.benchmark_group("negative_query_100k");
+    g.sample_size(20);
+    macro_rules! q {
+        ($name:literal, $f:expr) => {
+            g.bench_function($name, |b| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for &k in &probes {
+                        hits += $f.contains(black_box(k)) as usize;
+                    }
+                    hits
+                })
+            });
+        };
+    }
+    q!("bloom", bloomf);
+    q!("blocked_bloom", blocked);
+    q!("quotient", qf);
+    q!("cuckoo", cf);
+    q!("prefix", pf);
+    q!("vqf", vqf);
+    q!("morton", morton);
+    q!("xor", xf);
+    q!("ribbon", rf);
+    g.finish();
+
+    // Range filters.
+    let w = workloads::CorrelatedRangeWorkload::uniform(3, N, u64::MAX - 1);
+    let surf = rangefilter::Surf::build(&w.keys, 8);
+    let grafite = rangefilter::Grafite::build(&w.keys, 16, 0.01);
+    let snarf = rangefilter::Snarf::build(&w.keys, 12.0);
+    let mut rosetta = rangefilter::Rosetta::new(N, 0.02, 17);
+    for &k in &w.keys {
+        rosetta.insert(k);
+    }
+    let qs = w.empty_queries(4, 10_000, 256, 0.0);
+    let mut g = c.benchmark_group("range_query_10k");
+    g.sample_size(10);
+    macro_rules! rq {
+        ($name:literal, $f:expr) => {
+            g.bench_function($name, |b| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for q in &qs {
+                        hits += filter_core::RangeFilter::may_contain_range(
+                            &$f,
+                            black_box(q.lo),
+                            black_box(q.hi),
+                        ) as usize;
+                    }
+                    hits
+                })
+            });
+        };
+    }
+    rq!("surf", surf);
+    rq!("grafite", grafite);
+    rq!("snarf", snarf);
+    rq!("rosetta", rosetta);
+    g.finish();
+}
+
+criterion_group!(benches, bench_inserts, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! `experiments` — regenerate the tutorial's quantitative claims.
+//!
+//! ```text
+//! cargo run --release -p bench --bin experiments -- all
+//! cargo run --release -p bench --bin experiments -- e10-range
+//! ```
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    if !bench::run(&arg) {
+        eprintln!("unknown experiment '{arg}'; use e1..e14 (e.g. e10-range) or 'all'");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,354 @@
+//! Filter-backed de Bruijn graphs.
+//!
+//! Pell et al. (PNAS 2012) represent the k-mer set of a de Bruijn
+//! graph in a Bloom filter; false positives add spurious edges.
+//! Chikhi & Rizk (2013) make the representation *exact for
+//! navigation* by additionally storing the **critical false
+//! positives** — the (few) FP k-mers adjacent to true k-mers — in an
+//! exact table: walks that only move between filter-positive
+//! neighbours, minus the critical FPs, see precisely the true graph.
+
+use bloom::BloomFilter;
+use filter_core::{Filter, InsertFilter};
+use std::collections::HashSet;
+use workloads::dna;
+
+/// A navigational de Bruijn graph over canonical k-mers.
+#[derive(Debug, Clone)]
+pub struct DeBruijnGraph {
+    bloom: BloomFilter,
+    /// Critical false positives: filter-positive non-k-mers adjacent
+    /// to a true k-mer.
+    critical: HashSet<u64>,
+    k: usize,
+    items: usize,
+}
+
+impl DeBruijnGraph {
+    /// Build from the exact k-mer set of the sample (available at
+    /// construction time, exactly as in Chikhi–Rizk).
+    pub fn build(kmers: &HashSet<u64>, k: usize, eps: f64) -> Self {
+        let mut bloom = BloomFilter::new(kmers.len().max(8), eps);
+        for &km in kmers {
+            bloom.insert(km).expect("bloom insert");
+        }
+        // Critical FP detection: probe every neighbour of every true
+        // k-mer; positives that aren't true k-mers are critical.
+        let mut critical = HashSet::new();
+        for &km in kmers {
+            for n in Self::neighbour_candidates(km, k) {
+                let canon = dna::canonical(n, k);
+                if bloom.contains(canon) && !kmers.contains(&canon) {
+                    critical.insert(canon);
+                }
+            }
+        }
+        DeBruijnGraph {
+            bloom,
+            critical,
+            k,
+            items: kmers.len(),
+        }
+    }
+
+    /// Build from a raw sequence set.
+    pub fn from_sequences(seqs: &[Vec<u8>], k: usize, eps: f64) -> Self {
+        let mut kmers = HashSet::new();
+        for s in seqs {
+            kmers.extend(dna::kmers(s, k));
+        }
+        Self::build(&kmers, k, eps)
+    }
+
+    /// All 8 potential neighbours (4 successors + 4 predecessors) in
+    /// non-canonical orientation.
+    pub(crate) fn neighbour_candidates(kmer: u64, k: usize) -> Vec<u64> {
+        let mask = if k == 32 {
+            u64::MAX
+        } else {
+            (1u64 << (2 * k)) - 1
+        };
+        let mut out = Vec::with_capacity(8);
+        for c in 0..4u64 {
+            out.push(((kmer << 2) | c) & mask); // successor
+            out.push((kmer >> 2) | (c << (2 * (k - 1)))); // predecessor
+        }
+        out
+    }
+
+    /// Is this (canonical) k-mer a node of the navigational graph?
+    pub fn contains(&self, kmer: u64) -> bool {
+        let c = dna::canonical(kmer, self.k);
+        self.bloom.contains(c) && !self.critical.contains(&c)
+    }
+
+    /// Neighbours of a node that the navigational representation
+    /// reports (canonical form).
+    pub fn neighbours(&self, kmer: u64) -> Vec<u64> {
+        let mut out: Vec<u64> = Self::neighbour_candidates(kmer, self.k)
+            .into_iter()
+            .map(|n| dna::canonical(n, self.k))
+            .filter(|&n| self.contains(n))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Number of critical false positives recorded.
+    pub fn critical_false_positives(&self) -> usize {
+        self.critical.len()
+    }
+
+    /// True k-mer count.
+    pub fn len(&self) -> usize {
+        self.items
+    }
+
+    /// True when the graph holds no k-mers.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Heap bytes: Bloom filter + 8 bytes per critical FP.
+    pub fn size_in_bytes(&self) -> usize {
+        self.bloom.size_in_bytes() + self.critical.len() * 8
+    }
+}
+
+/// A *weighted* de Bruijn graph in the spirit of deBGR (Pandey et
+/// al., Bioinformatics 2017): node multiplicities live in a counting
+/// quotient filter, and the small set of nodes whose approximate
+/// counts disagree with the abundance invariants of an exact weighted
+/// de Bruijn graph carries exact corrections — so navigation *and*
+/// abundance queries are exact while working memory stays close to
+/// the CQF alone.
+#[derive(Debug, Clone)]
+pub struct WeightedDeBruijnGraph {
+    counts: quotient::CountingQuotientFilter,
+    /// Exact corrections for k-mers whose CQF count is inflated by a
+    /// fingerprint collision, plus critical FPs (stored with count 0).
+    corrections: std::collections::HashMap<u64, u32>,
+    k: usize,
+    items: usize,
+}
+
+impl WeightedDeBruijnGraph {
+    /// Build from exact k-mer multiplicities (available during
+    /// construction, as in deBGR's streaming pass).
+    pub fn build(multiplicities: &std::collections::HashMap<u64, u32>, k: usize, eps: f64) -> Self {
+        use filter_core::CountingFilter;
+        let mut counts =
+            quotient::CountingQuotientFilter::for_capacity(multiplicities.len().max(16) * 2, eps);
+        counts.set_auto_expand(true);
+        for (&km, &c) in multiplicities {
+            counts.insert_count(km, c as u64).expect("cqf insert");
+        }
+        // Self-correction pass: walk the neighbourhood of every true
+        // k-mer; record (a) true k-mers whose approximate count is
+        // inflated and (b) filter-positive neighbours that are not
+        // true k-mers (critical FPs, correction to zero).
+        let mut corrections = std::collections::HashMap::new();
+        for (&km, &true_count) in multiplicities {
+            if counts.count(km) != true_count as u64 {
+                corrections.insert(km, true_count);
+            }
+            for n in DeBruijnGraph::neighbour_candidates(km, k) {
+                let canon = dna::canonical(n, k);
+                if counts.count(canon) > 0 && !multiplicities.contains_key(&canon) {
+                    corrections.insert(canon, 0);
+                }
+            }
+        }
+        WeightedDeBruijnGraph {
+            counts,
+            corrections,
+            k,
+            items: multiplicities.len(),
+        }
+    }
+
+    /// Build by counting k-mers of the given reads.
+    pub fn from_reads(reads: &[Vec<u8>], k: usize, eps: f64) -> Self {
+        let mut mult = std::collections::HashMap::new();
+        for r in reads {
+            for km in dna::kmers(r, k) {
+                *mult.entry(km).or_insert(0u32) += 1;
+            }
+        }
+        Self::build(&mult, k, eps)
+    }
+
+    /// Exact multiplicity of a (canonicalised) k-mer adjacent to the
+    /// true graph; arbitrary ε-noise only for k-mers far from it.
+    pub fn count(&self, kmer: u64) -> u64 {
+        use filter_core::CountingFilter;
+        let c = dna::canonical(kmer, self.k);
+        match self.corrections.get(&c) {
+            Some(&exact) => exact as u64,
+            None => self.counts.count(c),
+        }
+    }
+
+    /// Weighted neighbours: (canonical successor/predecessor, count)
+    /// pairs with nonzero corrected counts.
+    pub fn neighbours(&self, kmer: u64) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = DeBruijnGraph::neighbour_candidates(kmer, self.k)
+            .into_iter()
+            .map(|n| dna::canonical(n, self.k))
+            .map(|n| (n, self.count(n)))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Number of exact corrections stored (the deBGR space epsilon).
+    pub fn corrections(&self) -> usize {
+        self.corrections.len()
+    }
+
+    /// Distinct true k-mers.
+    pub fn len(&self) -> usize {
+        self.items
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Heap bytes: CQF + 12 bytes per correction.
+    pub fn size_in_bytes(&self) -> usize {
+        use filter_core::Filter;
+        self.counts.size_in_bytes() + self.corrections.len() * 12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth_set(seq: &[u8], k: usize) -> HashSet<u64> {
+        dna::kmers(seq, k).into_iter().collect()
+    }
+
+    #[test]
+    fn navigation_is_exact_from_true_kmers() {
+        // Chikhi–Rizk's theorem: starting from a true k-mer and moving
+        // only through reported neighbours, the walk sees exactly the
+        // true graph.
+        let genome = dna::random_sequence(800, 5_000);
+        let k = 21;
+        let truth = truth_set(&genome, k);
+        let g = DeBruijnGraph::build(&truth, k, 0.05);
+        for &km in truth.iter().take(500) {
+            for n in g.neighbours(km) {
+                assert!(truth.contains(&n), "spurious neighbour {n:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn critical_fps_are_few() {
+        // At ε = 0.05 with ~5k k-mers, candidates = 8·n probes →
+        // expected criticals ≈ 0.05·8·n·(1 - dup-rate); the point is
+        // they're a tiny *exact* table, far smaller than the graph.
+        let genome = dna::random_sequence(801, 5_000);
+        let truth = truth_set(&genome, 21);
+        let g = DeBruijnGraph::build(&truth, 21, 0.05);
+        let ratio = g.critical_false_positives() as f64 / truth.len() as f64;
+        assert!(ratio < 0.6, "critical FP ratio {ratio}");
+        assert!(
+            g.critical_false_positives() > 0,
+            "expected some criticals at ε=0.05"
+        );
+    }
+
+    #[test]
+    fn path_reconstruction_follows_genome() {
+        // Walk the graph along the genome: every consecutive k-mer
+        // must be reachable.
+        let genome = dna::random_sequence(802, 2_000);
+        let k = 21;
+        let truth = truth_set(&genome, k);
+        let g = DeBruijnGraph::build(&truth, k, 0.01);
+        let path = dna::kmers(&genome, k);
+        for w in path.windows(2) {
+            assert!(g.contains(w[0]));
+            assert!(
+                g.neighbours(w[0]).contains(&w[1]) || w[0] == w[1],
+                "genome step not navigable"
+            );
+        }
+    }
+
+    #[test]
+    fn no_false_negatives_ever() {
+        let genome = dna::random_sequence(803, 3_000);
+        let truth = truth_set(&genome, 21);
+        let g = DeBruijnGraph::build(&truth, 21, 0.05);
+        assert!(truth.iter().all(|&km| g.contains(km)));
+    }
+
+    fn multiplicities(reads: &[Vec<u8>], k: usize) -> std::collections::HashMap<u64, u32> {
+        let mut m = std::collections::HashMap::new();
+        for r in reads {
+            for km in dna::kmers(r, k) {
+                *m.entry(km).or_insert(0u32) += 1;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn weighted_counts_are_exact_on_and_near_graph() {
+        let genome = dna::random_sequence(810, 4_000);
+        let reads = dna::reads_from(&genome, 811, 400, 120, 0.0);
+        let truth = multiplicities(&reads, 21);
+        let g = WeightedDeBruijnGraph::from_reads(&reads, 21, 1.0 / 64.0);
+        // Exact on every true k-mer despite the coarse eps.
+        for (&km, &c) in &truth {
+            assert_eq!(g.count(km), c as u64, "wrong count");
+        }
+        // Exact zero on neighbours of true k-mers (critical region).
+        let mut checked = 0;
+        for &km in truth.keys().take(1_000) {
+            for n in DeBruijnGraph::neighbour_candidates(km, 21) {
+                let canon = dna::canonical(n, 21);
+                if !truth.contains_key(&canon) {
+                    assert_eq!(g.count(canon), 0, "phantom neighbour");
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn weighted_neighbours_carry_multiplicities() {
+        let genome = dna::random_sequence(812, 2_000);
+        let reads = dna::reads_from(&genome, 813, 300, 100, 0.0);
+        let truth = multiplicities(&reads, 21);
+        let g = WeightedDeBruijnGraph::from_reads(&reads, 21, 1.0 / 256.0);
+        let path = dna::kmers(&genome, 21);
+        for w in path.windows(2).take(500) {
+            if let Some(&(_, c)) = g.neighbours(w[0]).iter().find(|&&(n, _)| n == w[1]) {
+                assert_eq!(c, truth[&w[1]] as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn corrections_are_a_small_fraction() {
+        let genome = dna::random_sequence(814, 10_000);
+        let reads = dna::reads_from(&genome, 815, 500, 150, 0.0);
+        let g = WeightedDeBruijnGraph::from_reads(&reads, 21, 1.0 / 256.0);
+        let frac = g.corrections() as f64 / g.len() as f64;
+        assert!(frac < 0.25, "corrections fraction {frac}");
+        // And far smaller than storing everything exactly.
+        let exact_bytes = g.len() * 12;
+        assert!(g.corrections() * 12 < exact_bytes / 3);
+    }
+}

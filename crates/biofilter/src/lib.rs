@@ -1,0 +1,26 @@
+//! # biofilter
+//!
+//! The computational-biology application layer (tutorial §3.2),
+//! built over the workspace's filters and the `workloads::dna`
+//! substrate (synthetic genomes standing in for SRA data):
+//!
+//! - [`KmerCounter`] — Squeakr-style CQF k-mer counting.
+//! - [`SequenceBloomTree`] — SBT experiment discovery.
+//! - [`MantisIndex`] — inverted colour-class index (smaller, faster,
+//!   exact versus the approximate SBT — the tutorial's comparison).
+//! - [`DeBruijnGraph`] — Bloom-backed de Bruijn graph made exact for
+//!   navigation via critical-false-positive correction
+//!   (Chikhi–Rizk).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod debruijn;
+pub mod mantis;
+pub mod sbt;
+pub mod squeakr;
+
+pub use debruijn::{DeBruijnGraph, WeightedDeBruijnGraph};
+pub use mantis::{IncrementalMantis, MantisIndex};
+pub use sbt::SequenceBloomTree;
+pub use squeakr::KmerCounter;

@@ -1,0 +1,303 @@
+//! Mantis-style inverted k-mer index (Pandey et al., Cell Systems
+//! 2018): a quotient-filter maplet maps each k-mer to a *colour
+//! class* — the set of experiments containing it. Unlike the SBT it
+//! is an inverted index: one probe per query k-mer, and (with wide
+//! enough fingerprints) effectively exact results.
+
+use filter_core::Maplet;
+use maplet::QuotientMaplet;
+use std::collections::HashMap;
+use workloads::dna;
+
+/// A colour class: which experiments contain a k-mer.
+pub type Colour = Vec<bool>;
+
+/// Mantis-style colour-class index.
+#[derive(Debug, Clone)]
+pub struct MantisIndex {
+    /// k-mer → colour-class id.
+    maplet: QuotientMaplet,
+    /// Distinct colour classes (deduplicated bit vectors).
+    colours: Vec<Colour>,
+    k: usize,
+    experiments: usize,
+}
+
+impl MantisIndex {
+    /// Build from per-experiment sequences.
+    pub fn build(seqs: &[Vec<u8>], k: usize, eps: f64) -> Self {
+        let experiments = seqs.len();
+        // k-mer → experiment set.
+        let mut membership: HashMap<u64, Vec<bool>> = HashMap::new();
+        for (e, s) in seqs.iter().enumerate() {
+            for km in dna::kmers(s, k) {
+                membership
+                    .entry(km)
+                    .or_insert_with(|| vec![false; experiments])[e] = true;
+            }
+        }
+        // Deduplicate colour classes (Mantis's core space saving: few
+        // distinct classes exist relative to distinct k-mers).
+        let mut colour_ids: HashMap<Vec<bool>, u64> = HashMap::new();
+        let mut colours: Vec<Colour> = Vec::new();
+        let mut maplet = QuotientMaplet::for_capacity(membership.len().max(16), eps, 20);
+        for (km, colour) in membership {
+            let id = *colour_ids.entry(colour.clone()).or_insert_with(|| {
+                colours.push(colour);
+                (colours.len() - 1) as u64
+            });
+            maplet.insert(km, id).expect("maplet insert");
+        }
+        MantisIndex {
+            maplet,
+            colours,
+            k,
+            experiments,
+        }
+    }
+
+    /// Number of distinct colour classes.
+    pub fn colour_classes(&self) -> usize {
+        self.colours.len()
+    }
+
+    /// Experiments containing ≥ `theta` of the query's k-mers.
+    pub fn query_seq(&self, seq: &[u8], theta: f64) -> Vec<usize> {
+        let kmers = dna::kmers(seq, self.k);
+        if kmers.is_empty() {
+            return Vec::new();
+        }
+        let mut per_exp = vec![0usize; self.experiments];
+        let mut vals = Vec::new();
+        for &km in &kmers {
+            vals.clear();
+            self.maplet.get(km, &mut vals);
+            // Union of candidate colours (aliases are rare at low ε).
+            for &cid in &vals {
+                if let Some(colour) = self.colours.get(cid as usize) {
+                    for (e, &m) in colour.iter().enumerate() {
+                        if m {
+                            per_exp[e] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let need = ((kmers.len() as f64) * theta).ceil() as usize;
+        per_exp
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c >= need.max(1))
+            .map(|(e, _)| e)
+            .collect()
+    }
+
+    /// Heap bytes (maplet plus colour table).
+    pub fn size_in_bytes(&self) -> usize {
+        self.maplet.size_in_bytes() + self.colours.len() * self.experiments.div_ceil(8)
+    }
+}
+
+/// One Bentley–Saxe level: an immutable Mantis index over a batch of
+/// experiments plus the mapping from its local ids to global ids.
+#[derive(Debug, Clone)]
+struct BsLevel {
+    index: MantisIndex,
+    global_ids: Vec<usize>,
+    seqs: Vec<Vec<u8>>,
+}
+
+/// An *incrementally updatable* Mantis (Almodaresi et al.,
+/// Bioinformatics 2022): new experiments are added one at a time and
+/// absorbed through the Bentley–Saxe transformation — level `i`
+/// holds an immutable index over `2^i` experiments, and a carry
+/// chain of merges keeps at most `⌈lg n⌉` live indexes. Queries fan
+/// out over the levels and union the results, so each experiment is
+/// rebuilt only `O(lg n)` times over its lifetime.
+#[derive(Debug, Clone)]
+pub struct IncrementalMantis {
+    levels: Vec<Option<BsLevel>>,
+    k: usize,
+    eps: f64,
+    experiments: usize,
+    rebuilds: u64,
+}
+
+impl IncrementalMantis {
+    /// Create an empty incremental index.
+    pub fn new(k: usize, eps: f64) -> Self {
+        IncrementalMantis {
+            levels: Vec::new(),
+            k,
+            eps,
+            experiments: 0,
+            rebuilds: 0,
+        }
+    }
+
+    /// Add one experiment; merges cascade Bentley–Saxe style.
+    pub fn add_experiment(&mut self, seq: Vec<u8>) {
+        let gid = self.experiments;
+        self.experiments += 1;
+        let mut carry_seqs = vec![seq];
+        let mut carry_ids = vec![gid];
+        let mut level = 0usize;
+        loop {
+            if level == self.levels.len() {
+                self.levels.push(None);
+            }
+            match self.levels[level].take() {
+                None => {
+                    let index = MantisIndex::build(&carry_seqs, self.k, self.eps);
+                    self.rebuilds += carry_seqs.len() as u64;
+                    self.levels[level] = Some(BsLevel {
+                        index,
+                        global_ids: carry_ids,
+                        seqs: carry_seqs,
+                    });
+                    return;
+                }
+                Some(existing) => {
+                    // Merge: rebuild one level up over the union.
+                    carry_seqs.extend(existing.seqs);
+                    carry_ids.extend(existing.global_ids);
+                    level += 1;
+                }
+            }
+        }
+    }
+
+    /// Experiments indexed so far.
+    pub fn experiments(&self) -> usize {
+        self.experiments
+    }
+
+    /// Live (non-empty) levels.
+    pub fn live_levels(&self) -> usize {
+        self.levels.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Total per-experiment (re)builds performed — the Bentley–Saxe
+    /// amortization metric (`O(n lg n)` overall).
+    pub fn rebuild_work(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Global experiment ids containing ≥ `theta` of the query's
+    /// k-mers.
+    pub fn query_seq(&self, seq: &[u8], theta: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        for level in self.levels.iter().flatten() {
+            for local in level.index.query_seq(seq, theta) {
+                out.push(level.global_ids[local]);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Heap bytes across all live level indexes.
+    pub fn size_in_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .flatten()
+            .map(|l| l.index.size_in_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(n: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| dna::random_sequence(500 + i as u64, len))
+            .collect()
+    }
+
+    #[test]
+    fn exact_experiment_recovery() {
+        let seqs = corpus(12, 3_000);
+        let idx = MantisIndex::build(&seqs, 21, 1.0 / 4096.0);
+        for (i, s) in seqs.iter().enumerate() {
+            let hits = idx.query_seq(&s[1000..1300], 0.9);
+            assert_eq!(hits, vec![i], "experiment {i}: hits {hits:?}");
+        }
+    }
+
+    #[test]
+    fn shared_kmers_collapse_to_one_colour_class() {
+        let mut seqs = corpus(6, 1_500);
+        let shared = dna::random_sequence(600, 500);
+        for s in seqs.iter_mut() {
+            s.extend_from_slice(&shared);
+        }
+        let idx = MantisIndex::build(&seqs, 21, 1.0 / 4096.0);
+        // Colour classes ≪ distinct k-mers: the all-experiments class
+        // plus one per experiment (±noise).
+        assert!(
+            idx.colour_classes() <= 10,
+            "{} colour classes",
+            idx.colour_classes()
+        );
+        let hits = idx.query_seq(&shared[100..300], 0.9);
+        assert_eq!(hits, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn foreign_query_matches_nothing() {
+        let seqs = corpus(6, 2_000);
+        let idx = MantisIndex::build(&seqs, 21, 1.0 / 4096.0);
+        let foreign = dna::random_sequence(700, 300);
+        assert!(idx.query_seq(&foreign, 0.3).is_empty());
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let seqs = corpus(13, 2_000); // non-power-of-two count
+        let batch = MantisIndex::build(&seqs, 21, 1.0 / 4096.0);
+        let mut inc = IncrementalMantis::new(21, 1.0 / 4096.0);
+        for s in &seqs {
+            inc.add_experiment(s.clone());
+        }
+        assert_eq!(inc.experiments(), 13);
+        for (i, s) in seqs.iter().enumerate() {
+            let frag = &s[500..750];
+            let b: Vec<usize> = batch.query_seq(frag, 0.9);
+            let q = inc.query_seq(frag, 0.9);
+            assert_eq!(q, b, "experiment {i}");
+            assert!(q.contains(&i));
+        }
+    }
+
+    #[test]
+    fn bentley_saxe_levels_are_logarithmic() {
+        let seqs = corpus(16, 300);
+        let mut inc = IncrementalMantis::new(15, 1.0 / 1024.0);
+        for s in &seqs {
+            inc.add_experiment(s.clone());
+        }
+        // 16 experiments: exactly one live level (2^4).
+        assert_eq!(inc.live_levels(), 1);
+        inc.add_experiment(dna::random_sequence(9999, 300));
+        assert_eq!(inc.live_levels(), 2);
+        // Amortized rebuild work ≈ n·lg n, far below n²/2 (naive
+        // rebuild-everything-per-insert).
+        assert!(inc.rebuild_work() <= 17 * 6, "work {}", inc.rebuild_work());
+    }
+
+    #[test]
+    fn incremental_queries_span_levels() {
+        // Experiments at different levels must all be findable.
+        let seqs = corpus(7, 1_500); // levels 0,1,2 all live
+        let mut inc = IncrementalMantis::new(21, 1.0 / 4096.0);
+        for s in &seqs {
+            inc.add_experiment(s.clone());
+        }
+        assert_eq!(inc.live_levels(), 3);
+        for (i, s) in seqs.iter().enumerate() {
+            assert_eq!(inc.query_seq(&s[200..450], 0.9), vec![i]);
+        }
+    }
+}

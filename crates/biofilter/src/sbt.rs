@@ -1,0 +1,192 @@
+//! Sequence Bloom Tree (Solomon & Kingsford, Nature Biotech 2016):
+//! a binary tree of Bloom filters for the *experiment discovery*
+//! problem — which sequencing experiments contain at least a fraction
+//! θ of a query's k-mers?
+
+use bloom::BloomFilter;
+use filter_core::{Filter, InsertFilter};
+use workloads::dna;
+
+/// One node of the SBT.
+#[derive(Debug, Clone)]
+struct Node {
+    bloom: BloomFilter,
+    /// Leaf: the experiment id. Internal: child indexes.
+    kind: NodeKind,
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Leaf { experiment: usize },
+    Internal { left: usize, right: usize },
+}
+
+/// A sequence Bloom tree over a set of experiments.
+#[derive(Debug, Clone)]
+pub struct SequenceBloomTree {
+    nodes: Vec<Node>,
+    root: usize,
+    k: usize,
+    experiments: usize,
+}
+
+impl SequenceBloomTree {
+    /// Build from per-experiment k-mer sets. `capacity` sizes every
+    /// Bloom filter (the classic SBT uses one fixed geometry so
+    /// parent filters are bitwise unions).
+    pub fn build(experiment_kmers: &[Vec<u64>], k: usize, capacity: usize, eps: f64) -> Self {
+        assert!(!experiment_kmers.is_empty());
+        let mut nodes: Vec<Node> = Vec::new();
+        // Leaves.
+        let mut frontier: Vec<usize> = experiment_kmers
+            .iter()
+            .enumerate()
+            .map(|(i, kmers)| {
+                let mut b = BloomFilter::new(capacity, eps);
+                for &km in kmers {
+                    b.insert(km).expect("bloom insert");
+                }
+                nodes.push(Node {
+                    bloom: b,
+                    kind: NodeKind::Leaf { experiment: i },
+                });
+                nodes.len() - 1
+            })
+            .collect();
+        // Pairwise merge until one root remains.
+        while frontier.len() > 1 {
+            let mut next = Vec::with_capacity(frontier.len().div_ceil(2));
+            for pair in frontier.chunks(2) {
+                if pair.len() == 1 {
+                    next.push(pair[0]);
+                    continue;
+                }
+                let (l, r) = (pair[0], pair[1]);
+                let mut union = nodes[l].bloom.clone();
+                union.union_with(&nodes[r].bloom);
+                nodes.push(Node {
+                    bloom: union,
+                    kind: NodeKind::Internal { left: l, right: r },
+                });
+                next.push(nodes.len() - 1);
+            }
+            frontier = next;
+        }
+        SequenceBloomTree {
+            root: frontier[0],
+            nodes,
+            k,
+            experiments: experiment_kmers.len(),
+        }
+    }
+
+    /// Build directly from raw sequences (one per experiment).
+    ///
+    /// Every node shares one Bloom geometry (unions must stay
+    /// bitwise), so capacity is sized for the *root's* union — the
+    /// classic SBT space penalty that Mantis's inverted index avoids
+    /// (tutorial §3.2). Sizing at leaf capacity instead would
+    /// saturate internal filters and destroy subtree pruning.
+    pub fn from_sequences(seqs: &[Vec<u8>], k: usize, eps: f64) -> Self {
+        let kmer_sets: Vec<Vec<u64>> = seqs.iter().map(|s| dna::kmers(s, k)).collect();
+        let cap = kmer_sets.iter().map(|s| s.len()).sum::<usize>().max(1);
+        Self::build(&kmer_sets, k, cap, eps)
+    }
+
+    /// Experiments containing ≥ `theta` fraction of the query k-mers
+    /// (approximate: Bloom false positives can inflate hits).
+    pub fn query(&self, query_kmers: &[u64], theta: f64) -> Vec<usize> {
+        let need = ((query_kmers.len() as f64) * theta).ceil() as usize;
+        let mut hits = Vec::new();
+        self.search(self.root, query_kmers, need.max(1), &mut hits);
+        hits.sort_unstable();
+        hits
+    }
+
+    /// Query with a raw sequence.
+    pub fn query_seq(&self, seq: &[u8], theta: f64) -> Vec<usize> {
+        self.query(&dna::kmers(seq, self.k), theta)
+    }
+
+    fn search(&self, node: usize, kmers: &[u64], need: usize, out: &mut Vec<usize>) {
+        let present = kmers
+            .iter()
+            .filter(|&&km| self.nodes[node].bloom.contains(km))
+            .count();
+        if present < need {
+            return; // prune the whole subtree
+        }
+        match self.nodes[node].kind {
+            NodeKind::Leaf { experiment } => out.push(experiment),
+            NodeKind::Internal { left, right } => {
+                self.search(left, kmers, need, out);
+                self.search(right, kmers, need, out);
+            }
+        }
+    }
+
+    /// Number of indexed experiments.
+    pub fn experiments(&self) -> usize {
+        self.experiments
+    }
+
+    /// Heap bytes across all node filters.
+    pub fn size_in_bytes(&self) -> usize {
+        self.nodes.iter().map(|n| n.bloom.size_in_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(n: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| dna::random_sequence(400 + i as u64, len))
+            .collect()
+    }
+
+    #[test]
+    fn finds_source_experiment() {
+        let seqs = corpus(16, 3_000);
+        let sbt = SequenceBloomTree::from_sequences(&seqs, 21, 0.01);
+        for (i, s) in seqs.iter().enumerate() {
+            let query = &s[500..700];
+            let hits = sbt.query_seq(query, 0.9);
+            assert!(hits.contains(&i), "experiment {i} not found");
+            assert!(hits.len() <= 3, "too many spurious hits: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn absent_query_finds_nothing() {
+        let seqs = corpus(8, 2_000);
+        let sbt = SequenceBloomTree::from_sequences(&seqs, 21, 0.01);
+        let foreign = dna::random_sequence(999, 300);
+        assert!(sbt.query_seq(&foreign, 0.5).is_empty());
+    }
+
+    #[test]
+    fn shared_content_found_in_both() {
+        let mut seqs = corpus(4, 2_000);
+        let shared = dna::random_sequence(777, 400);
+        seqs[1].extend_from_slice(&shared);
+        seqs[3].extend_from_slice(&shared);
+        let sbt = SequenceBloomTree::from_sequences(&seqs, 21, 0.01);
+        let hits = sbt.query_seq(&shared[50..250], 0.9);
+        assert!(hits.contains(&1) && hits.contains(&3), "hits {hits:?}");
+    }
+
+    #[test]
+    fn theta_controls_sensitivity() {
+        let seqs = corpus(8, 2_000);
+        let sbt = SequenceBloomTree::from_sequences(&seqs, 21, 0.01);
+        // Chimera: half from experiment 0, half foreign.
+        let mut chimera = seqs[0][0..150].to_vec();
+        chimera.extend_from_slice(&dna::random_sequence(888, 150));
+        let strict = sbt.query_seq(&chimera, 0.95);
+        let loose = sbt.query_seq(&chimera, 0.3);
+        assert!(strict.is_empty(), "strict θ matched {strict:?}");
+        assert!(loose.contains(&0), "loose θ missed the source");
+    }
+}

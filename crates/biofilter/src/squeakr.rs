@@ -1,0 +1,130 @@
+//! Squeakr-style k-mer counting (Pandey et al., Bioinformatics 2017):
+//! a counting quotient filter over canonical k-mers.
+
+use filter_core::CountingFilter;
+use quotient::CountingQuotientFilter;
+use workloads::dna;
+
+/// An approximate k-mer counter backed by a CQF.
+#[derive(Debug, Clone)]
+pub struct KmerCounter {
+    cqf: CountingQuotientFilter,
+    k: usize,
+    total_kmers: u64,
+}
+
+impl KmerCounter {
+    /// Create for k-mers of length `k` with capacity for
+    /// `distinct_capacity` distinct k-mers at FPR `eps`.
+    pub fn new(k: usize, distinct_capacity: usize, eps: f64) -> Self {
+        assert!((1..=32).contains(&k));
+        let mut cqf = CountingQuotientFilter::for_capacity(distinct_capacity, eps);
+        cqf.set_auto_expand(true);
+        KmerCounter {
+            cqf,
+            k,
+            total_kmers: 0,
+        }
+    }
+
+    /// k-mer length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Count all canonical k-mers of a read.
+    pub fn ingest(&mut self, read: &[u8]) {
+        for km in dna::kmers(read, self.k) {
+            self.cqf.insert_count(km, 1).expect("cqf auto-expands");
+            self.total_kmers += 1;
+        }
+    }
+
+    /// Ingest many reads.
+    pub fn ingest_all<'a>(&mut self, reads: impl IntoIterator<Item = &'a [u8]>) {
+        for r in reads {
+            self.ingest(r);
+        }
+    }
+
+    /// Estimated multiplicity of a (canonicalised) packed k-mer.
+    pub fn count_kmer(&self, kmer: u64) -> u64 {
+        self.cqf.count(dna::canonical(kmer, self.k))
+    }
+
+    /// Estimated multiplicity of a k-mer given as bases.
+    pub fn count_seq(&self, seq: &[u8]) -> u64 {
+        assert_eq!(seq.len(), self.k);
+        let kms = dna::kmers(seq, self.k);
+        kms.first().map_or(0, |&km| self.cqf.count(km))
+    }
+
+    /// Total k-mer instances ingested.
+    pub fn total_kmers(&self) -> u64 {
+        self.total_kmers
+    }
+
+    /// Distinct k-mers (approximate: fingerprint-collision inflated).
+    pub fn distinct_kmers(&self) -> usize {
+        filter_core::Filter::len(&self.cqf)
+    }
+
+    /// Heap bytes.
+    pub fn size_in_bytes(&self) -> usize {
+        filter_core::Filter::size_in_bytes(&self.cqf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_lower_bounded_by_truth() {
+        let genome = dna::random_sequence(300, 5_000);
+        let reads = dna::reads_from(&genome, 301, 200, 150, 0.0);
+        let mut counter = KmerCounter::new(21, 10_000, 1.0 / 1024.0);
+        let mut truth = std::collections::HashMap::new();
+        for r in &reads {
+            for km in dna::kmers(r, 21) {
+                *truth.entry(km).or_insert(0u64) += 1;
+            }
+            counter.ingest(r);
+        }
+        for (&km, &t) in &truth {
+            assert!(counter.count_kmer(km) >= t, "undercount");
+        }
+        assert_eq!(counter.total_kmers(), truth.values().sum::<u64>());
+    }
+
+    #[test]
+    fn coverage_matches_read_depth() {
+        // 100 error-free reads of length 150 over a 3k genome give
+        // ~5x coverage: average k-mer count should be near that.
+        let genome = dna::random_sequence(302, 3_000);
+        let reads = dna::reads_from(&genome, 303, 100, 150, 0.0);
+        let mut counter = KmerCounter::new(21, 5_000, 1.0 / 1024.0);
+        counter.ingest_all(reads.iter().map(|r| r.as_slice()));
+        let genome_kmers = dna::kmers(&genome, 21);
+        let avg: f64 = genome_kmers
+            .iter()
+            .map(|&km| counter.count_kmer(km) as f64)
+            .sum::<f64>()
+            / genome_kmers.len() as f64;
+        assert!((2.0..8.0).contains(&avg), "avg coverage {avg}");
+    }
+
+    #[test]
+    fn absent_kmers_mostly_zero() {
+        let genome = dna::random_sequence(304, 2_000);
+        let mut counter = KmerCounter::new(21, 4_000, 1.0 / 1024.0);
+        counter.ingest(&genome);
+        let other = dna::random_sequence(305, 2_000);
+        let zero = dna::kmers(&other, 21)
+            .iter()
+            .filter(|&&km| counter.count_kmer(km) == 0)
+            .count();
+        let total = 2_000 - 21 + 1;
+        assert!(zero as f64 / total as f64 > 0.98, "{zero}/{total} zeros");
+    }
+}

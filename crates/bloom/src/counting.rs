@@ -1,0 +1,202 @@
+//! Counting Bloom filter (CBF) — the tutorial's §2.6 baseline.
+//!
+//! Replaces each bit with a fixed-width counter. Counters can
+//! *saturate*: once a counter hits its maximum it sticks (is never
+//! incremented or decremented again), which preserves the one-sided
+//! error guarantee (counts are never under-reported) but means that
+//! after many deletes the filter may permanently over-count — exactly
+//! the failure mode the tutorial describes, fixable only by rebuilding
+//! with wider counters. [`CountingBloomFilter::saturations`] exposes
+//! when a rebuild is needed.
+
+use filter_core::{CountingFilter, Filter, FilterError, Hasher, InsertFilter, PackedArray, Result};
+
+/// A counting Bloom filter with `counter_bits`-wide counters.
+#[derive(Debug, Clone)]
+pub struct CountingBloomFilter {
+    counters: PackedArray,
+    k: u32,
+    hasher: Hasher,
+    items: usize,
+    max: u64,
+    saturations: u64,
+}
+
+impl CountingBloomFilter {
+    /// Create for `capacity` distinct keys at FPR `eps` with
+    /// `counter_bits`-wide counters (the classic choice is 4).
+    pub fn new(capacity: usize, eps: f64, counter_bits: u32) -> Self {
+        Self::with_seed(capacity, eps, counter_bits, 0)
+    }
+
+    /// As [`CountingBloomFilter::new`] with an explicit seed.
+    pub fn with_seed(capacity: usize, eps: f64, counter_bits: u32, seed: u64) -> Self {
+        assert!(capacity > 0);
+        assert!(eps > 0.0 && eps < 1.0);
+        assert!((1..=32).contains(&counter_bits));
+        let slots = crate::plain::optimal_bits(capacity, eps);
+        CountingBloomFilter {
+            counters: PackedArray::new(slots, counter_bits),
+            k: crate::plain::optimal_k(eps),
+            hasher: Hasher::with_seed(seed),
+            items: 0,
+            max: (1u64 << counter_bits) - 1,
+            saturations: 0,
+        }
+    }
+
+    #[inline]
+    fn slots(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
+        let (h1, h2) = self.hasher.hash_pair(&key);
+        let m = self.counters.len() as u64;
+        (0..self.k as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
+    }
+
+    /// Number of counter-saturation events so far. Nonzero means
+    /// deletes may no longer fully take effect and the structure
+    /// should be rebuilt with wider counters.
+    pub fn saturations(&self) -> u64 {
+        self.saturations
+    }
+
+    /// Width of each counter in bits.
+    pub fn counter_bits(&self) -> u32 {
+        self.counters.width()
+    }
+}
+
+impl Filter for CountingBloomFilter {
+    fn contains(&self, key: u64) -> bool {
+        self.count(key) > 0
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.counters.size_in_bytes()
+    }
+}
+
+impl InsertFilter for CountingBloomFilter {
+    fn insert(&mut self, key: u64) -> Result<()> {
+        self.insert_count(key, 1)
+    }
+}
+
+impl CountingFilter for CountingBloomFilter {
+    fn insert_count(&mut self, key: u64, count: u64) -> Result<()> {
+        let slots: Vec<usize> = self.slots(key).collect();
+        for i in slots {
+            let c = self.counters.get(i);
+            let next = c.saturating_add(count).min(self.max);
+            if next == self.max && c != self.max {
+                self.saturations += 1;
+            }
+            if c != self.max {
+                self.counters.set(i, next);
+            }
+        }
+        self.items += 1;
+        Ok(())
+    }
+
+    fn count(&self, key: u64) -> u64 {
+        // Count estimate = min over the k counters; one-sided error.
+        self.slots(key)
+            .map(|i| self.counters.get(i))
+            .min()
+            .unwrap_or(0)
+    }
+
+    fn remove_count(&mut self, key: u64, count: u64) -> Result<()> {
+        if self.count(key) < count {
+            return Err(FilterError::NotFound);
+        }
+        let slots: Vec<usize> = self.slots(key).collect();
+        for i in slots {
+            let c = self.counters.get(i);
+            // Saturated counters stick: decrementing one could make a
+            // different key's count drop below truth (false negative).
+            if c != self.max {
+                self.counters.set(i, c - count);
+            }
+        }
+        self.items = self.items.saturating_sub(1);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{disjoint_keys, unique_keys};
+
+    #[test]
+    fn counts_are_upper_bounds() {
+        let keys = unique_keys(20, 5_000);
+        let mut f = CountingBloomFilter::new(5_000, 0.01, 8);
+        for (i, &k) in keys.iter().enumerate() {
+            f.insert_count(k, (i % 5 + 1) as u64).unwrap();
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            let truth = (i % 5 + 1) as u64;
+            assert!(f.count(k) >= truth, "undercount for key {i}");
+        }
+    }
+
+    #[test]
+    fn delete_restores_absence() {
+        let keys = unique_keys(21, 2_000);
+        let mut f = CountingBloomFilter::new(2_000, 0.001, 8);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        for &k in &keys[..1000] {
+            f.remove_count(k, 1).unwrap();
+        }
+        // Deleted keys mostly gone (ε false positives allowed).
+        let still = keys[..1000].iter().filter(|&&k| f.contains(k)).count();
+        assert!(still < 20, "{still} deleted keys still present");
+        // Remaining keys all present.
+        assert!(keys[1000..].iter().all(|&k| f.contains(k)));
+    }
+
+    #[test]
+    fn saturation_sticks_and_is_reported() {
+        let mut f = CountingBloomFilter::new(100, 0.01, 2); // max = 3
+        f.insert_count(42, 10).unwrap();
+        assert!(f.saturations() > 0);
+        assert_eq!(f.count(42), 3); // clamped
+                                    // Delete cannot reduce a saturated counter.
+        f.remove_count(42, 3).unwrap();
+        assert_eq!(f.count(42), 3);
+    }
+
+    #[test]
+    fn remove_absent_errors() {
+        let mut f = CountingBloomFilter::new(100, 0.001, 4);
+        assert_eq!(f.remove_count(7, 1), Err(FilterError::NotFound));
+    }
+
+    #[test]
+    fn fpr_reasonable() {
+        let keys = unique_keys(22, 10_000);
+        let mut f = CountingBloomFilter::new(10_000, 0.01, 4);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        let neg = disjoint_keys(23, 20_000, &keys);
+        let fpr = neg.iter().filter(|&&k| f.contains(k)).count() as f64 / 20_000.0;
+        assert!(fpr < 0.02, "fpr {fpr}");
+    }
+
+    #[test]
+    fn cbf_is_counter_bits_times_bloom_space() {
+        let b = crate::plain::BloomFilter::new(1000, 0.01);
+        let c = CountingBloomFilter::new(1000, 0.01, 4);
+        let ratio = c.size_in_bytes() as f64 / b.size_in_bytes() as f64;
+        assert!((3.5..4.5).contains(&ratio), "ratio {ratio}");
+    }
+}

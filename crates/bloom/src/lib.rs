@@ -1,0 +1,32 @@
+//! # bloom
+//!
+//! The Bloom-filter family from the tutorial's taxonomy:
+//!
+//! | Type | Tutorial § | Role |
+//! |------|-----------|------|
+//! | [`BloomFilter`] | §1, §2 | the 1970 baseline, `1.44·n·lg(1/ε)` bits |
+//! | [`BlockedBloomFilter`] | §2 | cache-local variant, one line per op |
+//! | [`CountingBloomFilter`] | §2.6 | multiset counts, saturating counters |
+//! | [`DLeftCountingFilter`] | §2.6 | d-left hashing, ~2× smaller than CBF |
+//! | [`SpectralBloomFilter`] | §2.6 | variable counters for skewed input |
+//! | [`ScalableBloomFilter`] | §2.2 | chained expansion baseline |
+//! | [`PrefixBloomFilter`] | §2.5 | prefix index used by Proteus |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod blocked;
+pub mod counting;
+pub mod dleft;
+pub mod plain;
+pub mod prefix_bloom;
+pub mod scalable;
+pub mod spectral;
+
+pub use blocked::BlockedBloomFilter;
+pub use counting::CountingBloomFilter;
+pub use dleft::DLeftCountingFilter;
+pub use plain::{optimal_bits, optimal_k, BloomFilter};
+pub use prefix_bloom::PrefixBloomFilter;
+pub use scalable::ScalableBloomFilter;
+pub use spectral::SpectralBloomFilter;

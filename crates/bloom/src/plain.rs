@@ -1,0 +1,247 @@
+//! The classic Bloom filter (Bloom, 1970) — the tutorial's baseline.
+//!
+//! Space is `1.44·n·lg(1/ε)` bits at the optimal number of hash
+//! functions `k = lg(1/ε)·ln 2⁻¹ ≈ 1.44·lg(1/ε)·ln 2`; the 44%
+//! overhead versus the information-theoretic bound is exactly the gap
+//! the tutorial's modern filters close (§2).
+
+use filter_core::{BitVec, Filter, Hasher, InsertFilter, Result};
+
+/// # Examples
+///
+/// ```
+/// use bloom::BloomFilter;
+/// use filter_core::{Filter, InsertFilter};
+///
+/// let mut f = BloomFilter::new(1_000, 0.01);
+/// f.insert(42).unwrap();
+/// assert!(f.contains(42));
+/// ```
+/// A semi-dynamic Bloom filter sized for `capacity` keys at
+/// false-positive rate `eps`.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: BitVec,
+    k: u32,
+    hasher: Hasher,
+    items: usize,
+    capacity: usize,
+}
+
+/// Optimal bits for a Bloom filter: `m = n·lg(1/ε)/ln 2`.
+pub fn optimal_bits(capacity: usize, eps: f64) -> usize {
+    let m = capacity as f64 * (1.0 / eps).log2() / std::f64::consts::LN_2;
+    (m.ceil() as usize).max(64)
+}
+
+/// Optimal hash count: `k = lg(1/ε)`, at least 1.
+pub fn optimal_k(eps: f64) -> u32 {
+    ((1.0 / eps).log2().round() as u32).max(1)
+}
+
+impl BloomFilter {
+    /// Create a filter for `capacity` keys at target FPR `eps`.
+    pub fn new(capacity: usize, eps: f64) -> Self {
+        Self::with_seed(capacity, eps, 0)
+    }
+
+    /// As [`BloomFilter::new`] with an explicit hash seed.
+    pub fn with_seed(capacity: usize, eps: f64, seed: u64) -> Self {
+        assert!(capacity > 0);
+        assert!(eps > 0.0 && eps < 1.0);
+        BloomFilter {
+            bits: BitVec::new(optimal_bits(capacity, eps)),
+            k: optimal_k(eps),
+            hasher: Hasher::with_seed(seed),
+            items: 0,
+            capacity,
+        }
+    }
+
+    /// Create with explicit geometry: `bits` total, `k` probes.
+    pub fn with_geometry(bits: usize, k: u32, seed: u64) -> Self {
+        assert!(bits >= 64 && k >= 1);
+        BloomFilter {
+            bits: BitVec::new(bits),
+            k,
+            hasher: Hasher::with_seed(seed),
+            items: 0,
+            capacity: usize::MAX,
+        }
+    }
+
+    /// Number of hash probes per operation.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Capacity this filter was sized for.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Expected FPR at the current fill: `(1 - e^{-kn/m})^k`.
+    pub fn expected_fpr(&self) -> f64 {
+        let m = self.bits.len() as f64;
+        let n = self.items as f64;
+        (1.0 - (-(self.k as f64) * n / m).exp()).powi(self.k as i32)
+    }
+
+    /// Kirsch–Mitzenmacher double hashing: probe i uses `h1 + i·h2`.
+    #[inline]
+    fn probes(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
+        let (h1, h2) = self.hasher.hash_pair(&key);
+        let m = self.bits.len() as u64;
+        (0..self.k as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
+    }
+
+    /// Fraction of bits set (diagnostic).
+    pub fn fill_ratio(&self) -> f64 {
+        self.bits.count_ones() as f64 / self.bits.len() as f64
+    }
+
+    /// Bitwise union with a filter of identical geometry and seed
+    /// (the sequence-Bloom-tree merge operation).
+    ///
+    /// # Panics
+    /// Panics if the two filters differ in size, hash count, or seed.
+    pub fn union_with(&mut self, other: &BloomFilter) {
+        assert_eq!(self.k, other.k, "union of mismatched k");
+        assert_eq!(self.hasher, other.hasher, "union of mismatched seeds");
+        self.bits.union_with(&other.bits);
+        self.items += other.items;
+    }
+
+    /// Serialize for persistence alongside an immutable run.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = filter_core::ByteWriter::new();
+        w.put_u32(0xb100_f117); // magic
+        w.put_u32(self.k);
+        w.put_u64(self.hasher.seed());
+        w.put_u64(self.items as u64);
+        w.put_u64(self.capacity as u64);
+        self.bits.serialize(&mut w);
+        w.into_bytes()
+    }
+
+    /// Deserialize a filter previously written by
+    /// [`BloomFilter::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> std::result::Result<Self, filter_core::SerialError> {
+        let mut r = filter_core::ByteReader::new(bytes);
+        if r.take_u32()? != 0xb100_f117 {
+            return Err(filter_core::SerialError::Corrupt("bloom magic"));
+        }
+        let k = r.take_u32()?;
+        if !(1..=64).contains(&k) {
+            return Err(filter_core::SerialError::Corrupt("bloom k"));
+        }
+        let seed = r.take_u64()?;
+        let items = r.take_u64()? as usize;
+        let capacity = r.take_u64()? as usize;
+        let bits = filter_core::BitVec::deserialize(&mut r)?;
+        if bits.is_empty() {
+            return Err(filter_core::SerialError::Corrupt("empty bloom"));
+        }
+        Ok(BloomFilter {
+            bits,
+            k,
+            hasher: Hasher::with_seed(seed),
+            items,
+            capacity,
+        })
+    }
+}
+
+impl Filter for BloomFilter {
+    fn contains(&self, key: u64) -> bool {
+        self.probes(key).all(|i| self.bits.get(i))
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.bits.size_in_bytes()
+    }
+}
+
+impl InsertFilter for BloomFilter {
+    fn insert(&mut self, key: u64) -> Result<()> {
+        // Bloom filters have no hard capacity; they degrade. We count
+        // items so callers can observe overload via expected_fpr().
+        let (h1, h2) = self.hasher.hash_pair(&key);
+        let m = self.bits.len() as u64;
+        for i in 0..self.k as u64 {
+            self.bits
+                .set((h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize);
+        }
+        self.items += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{disjoint_keys, unique_keys};
+
+    #[test]
+    fn no_false_negatives() {
+        let keys = unique_keys(1, 10_000);
+        let mut f = BloomFilter::new(10_000, 0.01);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        assert!(keys.iter().all(|&k| f.contains(k)));
+        assert_eq!(f.len(), 10_000);
+    }
+
+    #[test]
+    fn fpr_near_configured() {
+        let keys = unique_keys(2, 20_000);
+        let mut f = BloomFilter::new(20_000, 0.01);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        let probes = disjoint_keys(3, 50_000, &keys);
+        let fp = probes.iter().filter(|&&k| f.contains(k)).count();
+        let fpr = fp as f64 / 50_000.0;
+        assert!(fpr < 0.02, "fpr {fpr} too high");
+        assert!(fpr > 0.003, "fpr {fpr} suspiciously low");
+    }
+
+    #[test]
+    fn space_is_1_44x_lower_bound() {
+        let f = BloomFilter::new(100_000, 1.0 / 256.0);
+        let bits = f.size_in_bytes() as f64 * 8.0;
+        let bound = filter_core::info_lower_bound_bits(100_000, 1.0 / 256.0);
+        let ratio = bits / bound;
+        assert!((1.40..1.50).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn expected_fpr_tracks_fill() {
+        let mut f = BloomFilter::new(1000, 0.01);
+        assert_eq!(f.expected_fpr(), 0.0);
+        for k in 0..1000u64 {
+            f.insert(k).unwrap();
+        }
+        let e = f.expected_fpr();
+        assert!((0.001..0.05).contains(&e), "expected fpr {e}");
+    }
+
+    #[test]
+    fn optimal_k_values() {
+        assert_eq!(optimal_k(1.0 / 256.0), 8);
+        assert_eq!(optimal_k(1.0 / 65536.0), 16);
+        assert_eq!(optimal_k(0.5), 1);
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything_probabilistically() {
+        let f = BloomFilter::new(100, 0.01);
+        assert!((0..1000u64).all(|k| !f.contains(k)));
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Prefix Bloom filter over fixed-length key prefixes.
+//!
+//! The building block Proteus (§2.5) combines with its trie: a Bloom
+//! filter storing every key's `prefix_bits`-length prefix. Point
+//! queries probe the full prefix; range queries succeed if any prefix
+//! covering the range is present. Effective for short ranges that fit
+//! in few prefix blocks; degrades (returns maybe) for wide ranges —
+//! exactly the trade-off Proteus tunes with its sample-driven cutoff.
+
+use crate::plain::BloomFilter;
+use filter_core::{Filter, InsertFilter, RangeFilter, Result};
+
+/// Bloom filter over the top `prefix_bits` of each `u64` key.
+#[derive(Debug, Clone)]
+pub struct PrefixBloomFilter {
+    bloom: BloomFilter,
+    prefix_bits: u32,
+    items: usize,
+    /// Max prefix blocks a range probe may enumerate before giving up
+    /// and answering "maybe".
+    max_probes: usize,
+}
+
+impl PrefixBloomFilter {
+    /// Create for `capacity` keys at FPR `eps`, indexing the top
+    /// `prefix_bits` bits of each key (1 ≤ prefix_bits ≤ 64).
+    pub fn new(capacity: usize, eps: f64, prefix_bits: u32) -> Self {
+        Self::with_seed(capacity, eps, prefix_bits, 0)
+    }
+
+    /// As [`PrefixBloomFilter::new`] with an explicit seed.
+    pub fn with_seed(capacity: usize, eps: f64, prefix_bits: u32, seed: u64) -> Self {
+        assert!((1..=64).contains(&prefix_bits));
+        PrefixBloomFilter {
+            bloom: BloomFilter::with_seed(capacity, eps, seed),
+            prefix_bits,
+            items: 0,
+            max_probes: 64,
+        }
+    }
+
+    /// The indexed prefix length in bits.
+    pub fn prefix_bits(&self) -> u32 {
+        self.prefix_bits
+    }
+
+    #[inline]
+    fn prefix(&self, key: u64) -> u64 {
+        if self.prefix_bits == 64 {
+            key
+        } else {
+            key >> (64 - self.prefix_bits)
+        }
+    }
+
+    /// Insert a key (indexes its prefix).
+    pub fn insert(&mut self, key: u64) -> Result<()> {
+        let p = self.prefix(key);
+        self.bloom.insert(p)?;
+        self.items += 1;
+        Ok(())
+    }
+}
+
+impl RangeFilter for PrefixBloomFilter {
+    fn may_contain_range(&self, lo: u64, hi: u64) -> bool {
+        debug_assert!(lo <= hi);
+        let plo = self.prefix(lo);
+        let phi = self.prefix(hi);
+        let span = phi - plo + 1;
+        if span as u128 > self.max_probes as u128 {
+            // Too many prefix blocks to enumerate: no filtering power.
+            return true;
+        }
+        (plo..=phi).any(|p| self.bloom.contains(p))
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.bloom.size_in_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::CorrelatedRangeWorkload;
+
+    #[test]
+    fn point_queries_work() {
+        let mut f = PrefixBloomFilter::new(1000, 0.01, 32);
+        for k in (0..1000u64).map(|i| i << 32) {
+            f.insert(k).unwrap();
+        }
+        // Same prefix → present.
+        assert!(f.may_contain(5 << 32));
+        assert!(f.may_contain((5 << 32) | 0xffff)); // same 32-bit prefix
+    }
+
+    #[test]
+    fn no_false_negatives_on_ranges() {
+        let w = CorrelatedRangeWorkload::uniform(60, 2000, 1 << 40);
+        let mut f = PrefixBloomFilter::new(2000, 0.01, 30);
+        for &k in &w.keys {
+            f.insert(k).unwrap();
+        }
+        for q in w.nonempty_queries(61, 500, 64) {
+            assert!(f.may_contain_range(q.lo, q.hi));
+        }
+    }
+
+    #[test]
+    fn filters_short_empty_ranges() {
+        // Keys live in [0, 2^40); with 58-bit prefixes each block
+        // covers 64 consecutive keys, so width-4 empty ranges span at
+        // most two blocks and are almost always filtered.
+        let w = CorrelatedRangeWorkload::uniform(62, 2000, 1 << 40);
+        let mut f = PrefixBloomFilter::new(2000, 0.01, 58);
+        for &k in &w.keys {
+            f.insert(k).unwrap();
+        }
+        let qs = w.empty_queries(63, 500, 4, 0.0);
+        let fp = qs
+            .iter()
+            .filter(|q| f.may_contain_range(q.lo, q.hi))
+            .count();
+        // At 34-bit prefixes over a 2^40 universe, a width-4 range
+        // spans ≤ 2 prefix blocks; most empty ranges filter out.
+        assert!(fp < 100, "{fp}/500 empty ranges passed");
+    }
+
+    #[test]
+    fn wide_ranges_lose_filtering() {
+        let mut f = PrefixBloomFilter::new(100, 0.01, 60);
+        f.insert(0).unwrap();
+        // Width 2^20 range spans far more than max_probes prefix
+        // blocks at 60-bit prefixes → must answer maybe.
+        assert!(f.may_contain_range(1 << 30, (1 << 30) + (1 << 20)));
+    }
+}

@@ -1,0 +1,222 @@
+//! Spectral Bloom filter (Cohen & Matias, SIGMOD 2003).
+//!
+//! A counting Bloom filter specialised for *skewed* multisets: instead
+//! of provisioning every counter wide enough for the largest count, it
+//! keeps narrow base counters and spills the few hot keys' counts into
+//! a compact escape structure — the "variable-sized counters" idea.
+//! Combined with the *minimum increase* heuristic (only the minimal
+//! counters of a key are incremented), this yields significant space
+//! savings over a plain CBF on Zipfian data (experiment E9).
+
+use filter_core::{CountingFilter, Filter, FilterError, Hasher, InsertFilter, PackedArray, Result};
+use std::collections::HashMap;
+
+/// Spectral Bloom filter with `base_bits`-wide primary counters and a
+/// secondary exact table for overflowing (hot) slots.
+#[derive(Debug, Clone)]
+pub struct SpectralBloomFilter {
+    base: PackedArray,
+    /// Exact counts for slots whose value exceeds the base range.
+    /// Keyed by slot index; stores the full count.
+    overflow: HashMap<usize, u64>,
+    k: u32,
+    hasher: Hasher,
+    items: usize,
+    escape: u64, // base value meaning "see overflow table"
+}
+
+impl SpectralBloomFilter {
+    /// Create for `capacity` distinct keys at FPR `eps` with
+    /// `base_bits`-wide primary counters (2–4 suit skewed data).
+    pub fn new(capacity: usize, eps: f64, base_bits: u32) -> Self {
+        Self::with_seed(capacity, eps, base_bits, 0)
+    }
+
+    /// As [`SpectralBloomFilter::new`] with an explicit seed.
+    pub fn with_seed(capacity: usize, eps: f64, base_bits: u32, seed: u64) -> Self {
+        assert!((2..=16).contains(&base_bits));
+        let slots = crate::plain::optimal_bits(capacity, eps);
+        SpectralBloomFilter {
+            base: PackedArray::new(slots, base_bits),
+            overflow: HashMap::new(),
+            k: crate::plain::optimal_k(eps),
+            hasher: Hasher::with_seed(seed),
+            items: 0,
+            escape: (1u64 << base_bits) - 1,
+        }
+    }
+
+    #[inline]
+    fn slots(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
+        let (h1, h2) = self.hasher.hash_pair(&key);
+        let m = self.base.len() as u64;
+        (0..self.k as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
+    }
+
+    #[inline]
+    fn slot_value(&self, i: usize) -> u64 {
+        let b = self.base.get(i);
+        if b == self.escape {
+            *self.overflow.get(&i).unwrap_or(&self.escape)
+        } else {
+            b
+        }
+    }
+
+    fn set_slot(&mut self, i: usize, v: u64) {
+        if v >= self.escape {
+            self.base.set(i, self.escape);
+            self.overflow.insert(i, v);
+        } else {
+            self.base.set(i, v);
+            self.overflow.remove(&i);
+        }
+    }
+
+    /// Number of slots escalated to the overflow table.
+    pub fn overflowed_slots(&self) -> usize {
+        self.overflow.len()
+    }
+}
+
+impl Filter for SpectralBloomFilter {
+    fn contains(&self, key: u64) -> bool {
+        self.count(key) > 0
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        // Overflow entries are modelled at 8 bytes each (u32 slot
+        // index + u32 count), approximating the paper's packed
+        // variable-length counter stream plus its offset index; the
+        // in-memory HashMap here trades that compactness for
+        // simplicity but is accounted at the published rate.
+        self.base.size_in_bytes() + self.overflow.len() * 8
+    }
+}
+
+impl InsertFilter for SpectralBloomFilter {
+    fn insert(&mut self, key: u64) -> Result<()> {
+        self.insert_count(key, 1)
+    }
+}
+
+impl CountingFilter for SpectralBloomFilter {
+    fn insert_count(&mut self, key: u64, count: u64) -> Result<()> {
+        // Minimum-increase: only counters equal to the key's current
+        // minimum are bumped, keeping non-minimal (shared) counters
+        // from inflating. Preserves the no-undercount invariant for
+        // *insert-only* workloads (deletes disable it, see below).
+        let slots: Vec<usize> = self.slots(key).collect();
+        let min = slots.iter().map(|&i| self.slot_value(i)).min().unwrap();
+        for &i in &slots {
+            if self.slot_value(i) == min {
+                self.set_slot(i, min + count);
+            }
+        }
+        self.items += 1;
+        Ok(())
+    }
+
+    fn count(&self, key: u64) -> u64 {
+        self.slots(key)
+            .map(|i| self.slot_value(i))
+            .min()
+            .unwrap_or(0)
+    }
+
+    fn remove_count(&mut self, key: u64, count: u64) -> Result<()> {
+        // With minimum-increase, safe deletion requires decrementing
+        // *all* the key's counters; we follow the paper's recurring
+        //-minimum scheme conservatively: refuse when it would
+        // underflow.
+        if self.count(key) < count {
+            return Err(FilterError::NotFound);
+        }
+        let slots: Vec<usize> = self.slots(key).collect();
+        for i in slots {
+            let v = self.slot_value(i);
+            self.set_slot(i, v.saturating_sub(count));
+        }
+        self.items = self.items.saturating_sub(1);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::zipf::{rank_to_key, Zipf};
+    use workloads::{disjoint_keys, unique_keys};
+
+    #[test]
+    fn counts_upper_bound_truth_insert_only() {
+        let mut f = SpectralBloomFilter::new(5_000, 0.01, 3);
+        let z = Zipf::new(5_000, 1.2);
+        let mut rng = workloads::rng(40);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..50_000 {
+            let key = rank_to_key(z.sample(&mut rng), 7);
+            *truth.entry(key).or_insert(0) += 1;
+            f.insert(key).unwrap();
+        }
+        for (&k, &t) in &truth {
+            assert!(f.count(k) >= t, "undercount: {} < {t}", f.count(k));
+        }
+    }
+
+    #[test]
+    fn beats_cbf_space_on_skew() {
+        // To hold max count ~20k a CBF needs 16-bit counters
+        // everywhere; spectral needs 3-bit counters + a few overflows.
+        let z = Zipf::new(10_000, 1.5);
+        let mut rng = workloads::rng(41);
+        let draws: Vec<u64> = (0..100_000)
+            .map(|_| rank_to_key(z.sample(&mut rng), 9))
+            .collect();
+        let mut sp = SpectralBloomFilter::new(10_000, 0.01, 3);
+        let mut cbf = crate::counting::CountingBloomFilter::new(10_000, 0.01, 16);
+        for &k in &draws {
+            sp.insert(k).unwrap();
+            cbf.insert(k).unwrap();
+        }
+        assert!(
+            sp.size_in_bytes() * 2 < cbf.size_in_bytes(),
+            "spectral {} vs cbf {}",
+            sp.size_in_bytes(),
+            cbf.size_in_bytes()
+        );
+        assert!(sp.overflowed_slots() > 0);
+    }
+
+    #[test]
+    fn fpr_reasonable() {
+        let keys = unique_keys(42, 10_000);
+        let mut f = SpectralBloomFilter::new(10_000, 0.01, 4);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        let neg = disjoint_keys(43, 20_000, &keys);
+        let fpr = neg.iter().filter(|&&k| f.contains(k)).count() as f64 / 20_000.0;
+        assert!(fpr < 0.025, "fpr {fpr}");
+    }
+
+    #[test]
+    fn overflow_roundtrip() {
+        let mut f = SpectralBloomFilter::new(100, 0.01, 2); // escape = 3
+        f.insert_count(1, 1000).unwrap();
+        assert!(f.count(1) >= 1000);
+        assert!(f.overflowed_slots() > 0);
+        f.remove_count(1, 999).unwrap();
+        assert!(f.count(1) >= 1);
+    }
+
+    #[test]
+    fn remove_absent_errors() {
+        let mut f = SpectralBloomFilter::new(100, 0.01, 4);
+        assert!(f.remove_count(5, 1).is_err());
+    }
+}

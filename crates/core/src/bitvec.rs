@@ -1,0 +1,373 @@
+//! A compact bit vector with word-level field accessors.
+//!
+//! This is the storage substrate for every table-based filter in the
+//! workspace: Bloom bit arrays, quotient-filter remainder tables,
+//! ribbon solution matrices, and SNARF's sparse bit array all sit on
+//! top of [`BitVec`].
+
+/// Fixed-capacity bit vector backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// All-zero bit vector of `len` bits.
+    pub fn new(len: usize) -> Self {
+        BitVec {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector holds zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Heap bytes used by the backing store.
+    #[inline]
+    pub fn size_in_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i >> 6] >> (i & 63)) & 1 == 1
+    }
+
+    /// Set bit `i` to 1.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] |= 1 << (i & 63);
+    }
+
+    /// Clear bit `i` to 0.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] &= !(1 << (i & 63));
+    }
+
+    /// Write bit `i`.
+    #[inline]
+    pub fn assign(&mut self, i: usize, v: bool) {
+        if v {
+            self.set(i)
+        } else {
+            self.clear(i)
+        }
+    }
+
+    /// Set bit `i`, returning its previous value.
+    #[inline]
+    pub fn test_and_set(&mut self, i: usize) -> bool {
+        let was = self.get(i);
+        self.set(i);
+        was
+    }
+
+    /// Number of set bits in the whole vector.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Read `width` bits (≤ 64) starting at bit offset `pos`, across a
+    /// word boundary if needed.
+    #[inline]
+    pub fn get_bits(&self, pos: usize, width: u32) -> u64 {
+        debug_assert!(width <= 64);
+        debug_assert!(pos + width as usize <= self.len);
+        if width == 0 {
+            return 0;
+        }
+        let wi = pos >> 6;
+        let off = (pos & 63) as u32;
+        let lo = self.words[wi] >> off;
+        let val = if off + width <= 64 {
+            lo
+        } else {
+            lo | (self.words[wi + 1] << (64 - off))
+        };
+        val & crate::hash::rem_mask(width)
+    }
+
+    /// Write `width` bits (≤ 64) of `value` at bit offset `pos`.
+    #[inline]
+    pub fn set_bits(&mut self, pos: usize, width: u32, value: u64) {
+        debug_assert!(width <= 64);
+        debug_assert!(pos + width as usize <= self.len);
+        if width == 0 {
+            return;
+        }
+        let mask = crate::hash::rem_mask(width);
+        let value = value & mask;
+        let wi = pos >> 6;
+        let off = (pos & 63) as u32;
+        self.words[wi] &= !(mask << off);
+        self.words[wi] |= value << off;
+        if off + width > 64 {
+            let hi_bits = off + width - 64;
+            let hi_mask = crate::hash::rem_mask(hi_bits);
+            self.words[wi + 1] &= !hi_mask;
+            self.words[wi + 1] |= value >> (64 - off);
+        }
+    }
+
+    /// Zero the whole vector, keeping capacity.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Backing words (read-only).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild from backing words and a bit length (serialization).
+    pub fn from_parts(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(words.len(), len.div_ceil(64));
+        BitVec { words, len }
+    }
+
+    /// Bitwise-OR another vector of identical length into this one.
+    pub fn union_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "union of mismatched lengths");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Index of the first set bit at or after `from`, if any.
+    pub fn next_one(&self, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut wi = from >> 6;
+        let mut word = self.words[wi] & (u64::MAX << (from & 63));
+        loop {
+            if word != 0 {
+                let i = (wi << 6) + word.trailing_zeros() as usize;
+                return (i < self.len).then_some(i);
+            }
+            wi += 1;
+            if wi >= self.words.len() {
+                return None;
+            }
+            word = self.words[wi];
+        }
+    }
+
+    /// Index of the first zero bit at or after `from`, if any.
+    pub fn next_zero(&self, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut wi = from >> 6;
+        let mut word = !self.words[wi] & (u64::MAX << (from & 63));
+        loop {
+            if word != 0 {
+                let i = (wi << 6) + word.trailing_zeros() as usize;
+                return (i < self.len).then_some(i);
+            }
+            wi += 1;
+            if wi >= self.words.len() {
+                return None;
+            }
+            word = !self.words[wi];
+        }
+    }
+}
+
+/// A packed array of fixed-width integer fields over a [`BitVec`].
+///
+/// Quotient-filter remainder tables and maplet value columns use this
+/// to store `n` fields of `width` bits each with no per-field padding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedArray {
+    bits: BitVec,
+    width: u32,
+    len: usize,
+}
+
+impl PackedArray {
+    /// `len` zeroed fields of `width` bits each (`width` ≤ 64).
+    pub fn new(len: usize, width: u32) -> Self {
+        assert!(width <= 64, "field width > 64");
+        PackedArray {
+            bits: BitVec::new(len * width as usize),
+            width,
+            len,
+        }
+    }
+
+    /// Number of fields.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the array holds zero fields.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Field width in bits.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Heap bytes used.
+    #[inline]
+    pub fn size_in_bytes(&self) -> usize {
+        self.bits.size_in_bytes()
+    }
+
+    /// The backing bit vector (serialization).
+    #[inline]
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// Rebuild from a backing bit vector (serialization).
+    pub fn from_parts(bits: BitVec, width: u32, len: usize) -> Self {
+        assert_eq!(bits.len(), len * width as usize);
+        PackedArray { bits, width, len }
+    }
+
+    /// Read field `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len);
+        self.bits.get_bits(i * self.width as usize, self.width)
+    }
+
+    /// Write field `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: u64) {
+        debug_assert!(i < self.len);
+        self.bits
+            .set_bits(i * self.width as usize, self.width, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut bv = BitVec::new(200);
+        assert!(!bv.get(150));
+        bv.set(150);
+        assert!(bv.get(150));
+        assert!(!bv.get(149));
+        assert!(!bv.get(151));
+        bv.clear(150);
+        assert!(!bv.get(150));
+    }
+
+    #[test]
+    fn test_and_set_reports_previous() {
+        let mut bv = BitVec::new(10);
+        assert!(!bv.test_and_set(3));
+        assert!(bv.test_and_set(3));
+    }
+
+    #[test]
+    fn cross_word_fields() {
+        let mut bv = BitVec::new(256);
+        // A 17-bit field straddling the word boundary at bit 64.
+        bv.set_bits(55, 17, 0x1_5a5a);
+        assert_eq!(bv.get_bits(55, 17), 0x1_5a5a);
+        // Neighbours untouched.
+        assert_eq!(bv.get_bits(0, 55), 0);
+        assert_eq!(bv.get_bits(72, 64), 0);
+    }
+
+    #[test]
+    fn set_bits_full_word() {
+        let mut bv = BitVec::new(128);
+        bv.set_bits(64, 64, u64::MAX);
+        assert_eq!(bv.get_bits(64, 64), u64::MAX);
+        assert_eq!(bv.get_bits(0, 64), 0);
+        bv.set_bits(64, 64, 0x1234_5678_9abc_def0);
+        assert_eq!(bv.get_bits(64, 64), 0x1234_5678_9abc_def0);
+    }
+
+    #[test]
+    fn set_bits_overwrites() {
+        let mut bv = BitVec::new(64);
+        bv.set_bits(10, 8, 0xff);
+        bv.set_bits(10, 8, 0x0f);
+        assert_eq!(bv.get_bits(10, 8), 0x0f);
+        assert_eq!(bv.get_bits(0, 10), 0);
+        assert_eq!(bv.get_bits(18, 8), 0);
+    }
+
+    #[test]
+    fn count_ones_counts() {
+        let mut bv = BitVec::new(130);
+        for i in [0, 63, 64, 65, 129] {
+            bv.set(i);
+        }
+        assert_eq!(bv.count_ones(), 5);
+    }
+
+    #[test]
+    fn next_one_and_zero() {
+        let mut bv = BitVec::new(300);
+        bv.set(5);
+        bv.set(200);
+        assert_eq!(bv.next_one(0), Some(5));
+        assert_eq!(bv.next_one(5), Some(5));
+        assert_eq!(bv.next_one(6), Some(200));
+        assert_eq!(bv.next_one(201), None);
+        assert_eq!(bv.next_zero(5), Some(6));
+        let mut full = BitVec::new(70);
+        for i in 0..70 {
+            full.set(i);
+        }
+        assert_eq!(full.next_zero(0), None);
+    }
+
+    #[test]
+    fn packed_array_roundtrip() {
+        let mut pa = PackedArray::new(100, 13);
+        for i in 0..100 {
+            pa.set(i, (i as u64 * 37) & 0x1fff);
+        }
+        for i in 0..100 {
+            assert_eq!(pa.get(i), (i as u64 * 37) & 0x1fff, "field {i}");
+        }
+    }
+
+    #[test]
+    fn packed_array_width_masks_value() {
+        let mut pa = PackedArray::new(4, 4);
+        pa.set(2, 0xfff);
+        assert_eq!(pa.get(2), 0xf);
+        assert_eq!(pa.get(1), 0);
+        assert_eq!(pa.get(3), 0);
+    }
+
+    #[test]
+    fn zero_width_get_bits() {
+        let bv = BitVec::new(64);
+        assert_eq!(bv.get_bits(10, 0), 0);
+    }
+}

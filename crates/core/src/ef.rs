@@ -1,0 +1,218 @@
+//! Elias–Fano encoding of monotone integer sequences.
+//!
+//! Grafite stores sorted, locality-preserving hash codes in Elias–Fano
+//! form; SNARF compresses the gaps of its sparse bit array the same
+//! way. The encoding stores n values from a universe `u` in
+//! `n·(2 + ⌈lg(u/n)⌉)` bits and supports O(1)-ish access plus
+//! predecessor/successor by binary search over the high-bits unary
+//! stream.
+
+use crate::bitvec::{BitVec, PackedArray};
+use crate::rank_select::RankSelectVec;
+
+/// Elias–Fano encoded non-decreasing sequence of `u64`.
+#[derive(Debug, Clone)]
+pub struct EliasFano {
+    high: RankSelectVec,
+    low: PackedArray,
+    low_bits: u32,
+    len: usize,
+    universe: u64,
+}
+
+impl EliasFano {
+    /// Encode a non-decreasing sequence whose values are ≤ `universe`.
+    ///
+    /// # Panics
+    /// Panics if the input is not sorted or exceeds the universe.
+    pub fn new(values: &[u64], universe: u64) -> Self {
+        let n = values.len();
+        let low_bits = if n == 0 {
+            0
+        } else {
+            // ⌈lg(u / n)⌉, clamped to [0, 63]
+            let ratio = (universe + 1).div_ceil(n as u64).max(1);
+            (64 - ratio.leading_zeros()).saturating_sub(1).min(63)
+        };
+        let mut low = PackedArray::new(n, low_bits.max(1));
+        // high stream: n ones among n + (universe >> low_bits) + 1 slots
+        let high_len = n + ((universe >> low_bits) as usize) + 2;
+        let mut high = BitVec::new(high_len);
+        let mut prev = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            assert!(v >= prev, "EliasFano input not sorted at {i}");
+            assert!(v <= universe, "value {v} exceeds universe {universe}");
+            prev = v;
+            if low_bits > 0 {
+                low.set(i, v & crate::hash::rem_mask(low_bits));
+            }
+            let bucket = (v >> low_bits) as usize;
+            high.set(bucket + i);
+        }
+        EliasFano {
+            high: RankSelectVec::new(high),
+            low,
+            low_bits,
+            len: n,
+            universe,
+        }
+    }
+
+    /// Number of encoded values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no values are encoded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Heap bytes used.
+    pub fn size_in_bytes(&self) -> usize {
+        self.high.size_in_bytes() + self.low.size_in_bytes()
+    }
+
+    /// The `i`-th value.
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len);
+        let pos = self.high.select1(i as u64).expect("index in range");
+        let hi = (pos - i) as u64;
+        let lo = if self.low_bits > 0 {
+            self.low.get(i)
+        } else {
+            0
+        };
+        (hi << self.low_bits) | lo
+    }
+
+    /// Index of the first value ≥ `x` (lower bound), or `len` if all
+    /// values are < `x`.
+    pub fn successor_index(&self, x: u64) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
+        if x > self.universe {
+            return self.len;
+        }
+        let bucket = (x >> self.low_bits) as usize;
+        // Values with high part < bucket all precede; count them:
+        // rank of ones before select0(bucket-1)… simpler: the first
+        // element of bucket b is at one-rank = rank1(select0(b)), i.e.
+        // number of ones before the b-th zero.
+        let start = if bucket == 0 {
+            0
+        } else {
+            match self.high.select0(bucket as u64 - 1) {
+                Some(p) => self.high.rank1(p) as usize,
+                None => return self.len,
+            }
+        };
+        // Linear scan within the bucket (buckets hold ~1 value on avg).
+        let mut i = start;
+        while i < self.len {
+            let v = self.get(i);
+            if v >= x {
+                return i;
+            }
+            if (v >> self.low_bits) as usize > bucket {
+                return i;
+            }
+            i += 1;
+        }
+        self.len
+    }
+
+    /// Does any encoded value fall inside `[lo, hi]` (inclusive)?
+    pub fn contains_in_range(&self, lo: u64, hi: u64) -> bool {
+        debug_assert!(lo <= hi);
+        let i = self.successor_index(lo);
+        i < self.len && self.get(i) <= hi
+    }
+
+    /// Iterate over all values in order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[u64], universe: u64) {
+        let ef = EliasFano::new(values, universe);
+        assert_eq!(ef.len(), values.len());
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(ef.get(i), v, "index {i}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        roundtrip(&[2, 3, 5, 7, 11, 13, 24], 24);
+        roundtrip(&[0, 0, 0, 1, 1, 100], 100);
+        roundtrip(&[], 0);
+        roundtrip(&[0], 0);
+        roundtrip(&[u64::MAX / 2], u64::MAX / 2);
+    }
+
+    #[test]
+    fn roundtrip_dense_and_sparse() {
+        let dense: Vec<u64> = (0..1000).collect();
+        roundtrip(&dense, 999);
+        let sparse: Vec<u64> = (0..100).map(|i| i * 1_000_003).collect();
+        roundtrip(&sparse, 99 * 1_000_003);
+    }
+
+    #[test]
+    fn successor_matches_binary_search() {
+        let vals: Vec<u64> = (0..500).map(|i| i * 7 + (i % 3)).collect();
+        let ef = EliasFano::new(&vals, *vals.last().unwrap());
+        for x in 0..vals.last().unwrap() + 5 {
+            let naive = vals.partition_point(|&v| v < x);
+            assert_eq!(ef.successor_index(x), naive, "x={x}");
+        }
+    }
+
+    #[test]
+    fn successor_with_duplicates() {
+        let vals = [5u64, 5, 5, 9, 9, 20];
+        let ef = EliasFano::new(&vals, 20);
+        assert_eq!(ef.successor_index(0), 0);
+        assert_eq!(ef.successor_index(5), 0);
+        assert_eq!(ef.successor_index(6), 3);
+        assert_eq!(ef.successor_index(9), 3);
+        assert_eq!(ef.successor_index(10), 5);
+        assert_eq!(ef.successor_index(21), 6);
+    }
+
+    #[test]
+    fn range_emptiness() {
+        let vals = [10u64, 20, 30];
+        let ef = EliasFano::new(&vals, 30);
+        assert!(ef.contains_in_range(10, 10));
+        assert!(ef.contains_in_range(5, 12));
+        assert!(!ef.contains_in_range(11, 19));
+        assert!(ef.contains_in_range(25, 35));
+        assert!(!ef.contains_in_range(31, 100));
+        assert!(!ef.contains_in_range(0, 9));
+    }
+
+    #[test]
+    fn space_is_near_information_bound() {
+        // 10k values in a 2^30 universe: ~2 + lg(u/n) ≈ 19 bits/value.
+        let vals: Vec<u64> = (0..10_000u64).map(|i| i * 107_374).collect();
+        let ef = EliasFano::new(&vals, *vals.last().unwrap());
+        let bits_per = ef.size_in_bytes() as f64 * 8.0 / 10_000.0;
+        assert!(bits_per < 24.0, "EF too large: {bits_per} bits/value");
+    }
+
+    #[test]
+    #[should_panic(expected = "not sorted")]
+    fn rejects_unsorted() {
+        EliasFano::new(&[3, 1], 10);
+    }
+}

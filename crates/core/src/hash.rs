@@ -1,0 +1,299 @@
+//! Seeded 64-bit hashing and fingerprint derivation.
+//!
+//! Every filter in this workspace consumes keys as a 64-bit hash
+//! produced by a wyhash-style mixer implemented here from scratch. Keeping the hash pipeline in-tree makes fingerprint layouts
+//! fully deterministic across platforms and lets expandable filters
+//! reason about individual fingerprint bits (see `crates/infini`).
+
+/// Multiplication constants from the wyhash family (public domain).
+const P0: u64 = 0xa076_1d64_78bd_642f;
+const P1: u64 = 0xe703_7ed1_a0b4_28db;
+const P2: u64 = 0x8ebc_6af0_9c88_c6e3;
+const P3: u64 = 0x5899_65cc_7537_4cc3;
+
+/// 128-bit multiply-fold: the core wyhash mixing primitive.
+#[inline]
+fn mum(a: u64, b: u64) -> u64 {
+    let r = (a as u128).wrapping_mul(b as u128);
+    (r >> 64) as u64 ^ r as u64
+}
+
+/// Finalizing mixer with full avalanche; suitable for hashing a `u64`
+/// directly. Passes the strict avalanche criterion empirically (see
+/// `tests::avalanche`).
+#[inline]
+pub fn mix64(x: u64) -> u64 {
+    let mut h = x ^ P0;
+    h = mum(h, P1);
+    h = mum(h ^ P2, h | 1);
+    h
+}
+
+/// Hash a byte slice with a seed. Short-input-optimized wyhash-style
+/// construction: reads up to 16 bytes per round and folds with `mum`.
+#[inline]
+pub fn hash_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    let mut seed = seed ^ P0;
+    let len = bytes.len();
+    let mut chunks = bytes.chunks_exact(16);
+    for c in &mut chunks {
+        let a = u64::from_le_bytes(c[..8].try_into().unwrap());
+        let b = u64::from_le_bytes(c[8..].try_into().unwrap());
+        seed = mum(a ^ P1, b ^ seed);
+    }
+    let rest = chunks.remainder();
+    let (a, b) = match rest.len() {
+        0 => (0, 0),
+        1..=3 => {
+            // Fold 1-3 bytes into one word without branching per byte.
+            let f = rest[0] as u64;
+            let m = rest[rest.len() / 2] as u64;
+            let l = rest[rest.len() - 1] as u64;
+            ((f << 16) | (m << 8) | l, 0)
+        }
+        4..=7 => {
+            let hi = u32::from_le_bytes(rest[..4].try_into().unwrap()) as u64;
+            let lo = u32::from_le_bytes(rest[rest.len() - 4..].try_into().unwrap()) as u64;
+            ((hi << 32) | lo, 0)
+        }
+        _ => {
+            let a = u64::from_le_bytes(rest[..8].try_into().unwrap());
+            let b = u64::from_le_bytes(rest[rest.len() - 8..].try_into().unwrap());
+            (a, b)
+        }
+    };
+    seed = mum(a ^ P2, b ^ seed);
+    mum(seed ^ (len as u64), P3)
+}
+
+/// Hash a `u64` key with a seed.
+#[inline]
+pub fn hash_u64(seed: u64, x: u64) -> u64 {
+    mix64(x ^ mix64(seed))
+}
+
+/// A key that can be fed to any filter in this workspace.
+///
+/// Implementations must be *stable*: the same logical key must hash to
+/// the same 64 bits in every process, since filters are serialized and
+/// compared across runs in the experiment harness.
+pub trait FilterKey {
+    /// Hash `self` with the given seed into 64 uniformly mixed bits.
+    fn hash_with_seed(&self, seed: u64) -> u64;
+}
+
+impl FilterKey for u64 {
+    #[inline]
+    fn hash_with_seed(&self, seed: u64) -> u64 {
+        hash_u64(seed, *self)
+    }
+}
+
+impl FilterKey for u32 {
+    #[inline]
+    fn hash_with_seed(&self, seed: u64) -> u64 {
+        hash_u64(seed, *self as u64)
+    }
+}
+
+impl FilterKey for [u8] {
+    #[inline]
+    fn hash_with_seed(&self, seed: u64) -> u64 {
+        hash_bytes(seed, self)
+    }
+}
+
+impl FilterKey for &[u8] {
+    #[inline]
+    fn hash_with_seed(&self, seed: u64) -> u64 {
+        hash_bytes(seed, self)
+    }
+}
+
+impl FilterKey for str {
+    #[inline]
+    fn hash_with_seed(&self, seed: u64) -> u64 {
+        hash_bytes(seed, self.as_bytes())
+    }
+}
+
+impl FilterKey for &str {
+    #[inline]
+    fn hash_with_seed(&self, seed: u64) -> u64 {
+        hash_bytes(seed, self.as_bytes())
+    }
+}
+
+impl FilterKey for String {
+    #[inline]
+    fn hash_with_seed(&self, seed: u64) -> u64 {
+        hash_bytes(seed, self.as_bytes())
+    }
+}
+
+impl FilterKey for Vec<u8> {
+    #[inline]
+    fn hash_with_seed(&self, seed: u64) -> u64 {
+        hash_bytes(seed, self)
+    }
+}
+
+/// A seeded hasher bound to one filter instance.
+///
+/// Filters store a `Hasher` rather than a bare seed so the derivation
+/// of double-hashing probe sequences and fingerprints is uniform across
+/// crates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hasher {
+    seed: u64,
+}
+
+impl Hasher {
+    /// Create a hasher with an explicit seed (deterministic filters).
+    #[inline]
+    pub fn with_seed(seed: u64) -> Self {
+        Hasher { seed }
+    }
+
+    /// The seed this hasher was built with.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// 64-bit hash of a key.
+    #[inline]
+    pub fn hash<K: FilterKey + ?Sized>(&self, key: &K) -> u64 {
+        key.hash_with_seed(self.seed)
+    }
+
+    /// Two independent 64-bit hashes (for Kirsch–Mitzenmacher double
+    /// hashing in Bloom variants).
+    #[inline]
+    pub fn hash_pair<K: FilterKey + ?Sized>(&self, key: &K) -> (u64, u64) {
+        let h = key.hash_with_seed(self.seed);
+        (h, mix64(h ^ P3))
+    }
+
+    /// A derived hasher for the i-th sub-structure (e.g. per-level
+    /// Bloom filters in Rosetta, chained scalable-Bloom stages).
+    #[inline]
+    pub fn derive(&self, i: u64) -> Hasher {
+        Hasher {
+            seed: mix64(self.seed ^ mix64(i.wrapping_add(P2))),
+        }
+    }
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Hasher::with_seed(0x5147_4653_4d4f_4421) // arbitrary fixed seed
+    }
+}
+
+/// Split a 64-bit hash into a `(quotient, remainder)` fingerprint pair.
+///
+/// The fingerprint is the low `q + r` bits of the hash: the low `q`
+/// bits address a slot (the *quotient*, stored implicitly) and the next
+/// `r` bits are the *remainder*, stored explicitly. This is the
+/// quotienting technique of Pagh–Pagh–Rao that all fingerprint filters
+/// in the workspace share (tutorial §2.1).
+#[inline]
+pub fn quotienting(hash: u64, q: u32, r: u32) -> (u64, u64) {
+    debug_assert!(q + r <= 64, "fingerprint wider than hash");
+    let quot = hash & ((1u64 << q) - 1);
+    let rem = (hash >> q) & rem_mask(r);
+    (quot, rem)
+}
+
+/// Mask selecting the low `r` bits (handles `r == 64`).
+#[inline]
+pub fn rem_mask(r: u32) -> u64 {
+    if r >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << r) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_bijective_on_samples() {
+        // Distinct inputs must produce distinct outputs (mix64 is a
+        // permutation; collisions on a sample would indicate a bug).
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(mix64(i)));
+        }
+    }
+
+    #[test]
+    fn avalanche() {
+        // Flipping any single input bit should flip ~32 of 64 output
+        // bits on average. Accept [24, 40] averaged over many inputs.
+        for bit in 0..64 {
+            let mut total = 0u32;
+            for x in 0..256u64 {
+                let a = mix64(x.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                let b = mix64(x.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (1 << bit));
+                total += (a ^ b).count_ones();
+            }
+            let avg = total as f64 / 256.0;
+            assert!(
+                (24.0..=40.0).contains(&avg),
+                "bit {bit}: poor avalanche {avg}"
+            );
+        }
+    }
+
+    #[test]
+    fn bytes_hash_depends_on_length_and_content() {
+        let h = Hasher::default();
+        assert_ne!(h.hash("a"), h.hash("b"));
+        assert_ne!(h.hash(""), h.hash("\0"));
+        assert_ne!(h.hash("ab"), h.hash("ba"));
+        // Cross-boundary lengths exercise every tail branch.
+        for len in 0..64usize {
+            let v1 = vec![0xabu8; len];
+            let mut v2 = v1.clone();
+            if len > 0 {
+                v2[len / 2] ^= 1;
+                assert_ne!(h.hash(&v1[..]), h.hash(&v2[..]), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_give_independent_hashes() {
+        let a = Hasher::with_seed(1);
+        let b = Hasher::with_seed(2);
+        let same = (0..1000u64).filter(|&x| a.hash(&x) == b.hash(&x)).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn quotienting_roundtrip() {
+        let (q, r) = quotienting(0xdead_beef_cafe_f00d, 20, 9);
+        assert_eq!(q, 0xdead_beef_cafe_f00d & 0xf_ffff);
+        assert_eq!(r, (0xdead_beef_cafe_f00d >> 20) & 0x1ff);
+    }
+
+    #[test]
+    fn hash_pair_components_differ() {
+        let h = Hasher::default();
+        for x in 0..100u64 {
+            let (a, b) = h.hash_pair(&x);
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn derive_changes_seed() {
+        let h = Hasher::default();
+        assert_ne!(h.derive(0).seed(), h.derive(1).seed());
+        assert_ne!(h.derive(0).seed(), h.seed());
+    }
+}

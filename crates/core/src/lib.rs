@@ -1,0 +1,54 @@
+//! # filter-core
+//!
+//! Shared kernel for the `beyond-bloom` workspace — a comprehensive
+//! Rust implementation of the filter landscape surveyed in *Beyond
+//! Bloom: A Tutorial on Future Feature-Rich Filters* (SIGMOD 2024).
+//!
+//! This crate provides the pieces every filter shares:
+//!
+//! - [`hash`] — seeded wyhash-style 64-bit hashing, fingerprint
+//!   derivation, and the quotienting split used by all
+//!   fingerprint-based filters (tutorial §2.1).
+//! - [`bitvec`] — compact bit vectors and packed fixed-width arrays.
+//! - [`rank_select`] — word-level rank/select and a sampled directory,
+//!   the navigation machinery of the RSQF and succinct tries.
+//! - [`ef`] — Elias–Fano monotone-sequence coding (Grafite, SNARF).
+//! - [`traits`] — the filter trait hierarchy mirroring the tutorial's
+//!   taxonomy: static / semi-dynamic / dynamic filters plus counting,
+//!   maplet, range, expandable, and adaptive extensions.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bitvec;
+pub mod ef;
+pub mod hash;
+pub mod rank_select;
+pub mod serial;
+pub mod traits;
+
+pub use bitvec::{BitVec, PackedArray};
+pub use ef::EliasFano;
+pub use hash::{quotienting, rem_mask, FilterKey, Hasher};
+pub use rank_select::{rank_word, select_word, RankSelectVec};
+pub use serial::{ByteReader, ByteWriter, SerialError};
+pub use traits::{
+    AdaptiveFilter, CountingFilter, DynamicFilter, Expandable, Filter, FilterError, InsertFilter,
+    Maplet, RangeFilter, Result,
+};
+
+/// Ideal information-theoretic space for a membership filter:
+/// `n · log2(1/eps)` bits (tutorial §2).
+pub fn info_lower_bound_bits(n: usize, eps: f64) -> f64 {
+    n as f64 * (1.0 / eps).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn lower_bound_formula() {
+        // ε = 2⁻⁸ → exactly 8 bits/key.
+        let b = super::info_lower_bound_bits(1000, 1.0 / 256.0);
+        assert!((b - 8000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,304 @@
+//! Adaptive cuckoo filter (Mitzenmacher, Pontarelli, Reviriego 2020).
+//!
+//! Fixes false positives as they are found (tutorial §2.3): each slot
+//! carries a small *selector* alongside its fingerprint; when a query
+//! is revealed to be a false positive, the colliding slot's selector
+//! is bumped and its fingerprint recomputed with the newly selected
+//! hash function, so the same query key no longer collides (with high
+//! probability). Recomputing requires the victim's original key,
+//! which the ACF fetches from the backing dictionary — modelled here
+//! as an explicit remote key table, standing in for the on-disk store
+//! the paper assumes.
+
+use filter_core::{
+    AdaptiveFilter, DynamicFilter, Filter, FilterError, Hasher, InsertFilter, Result,
+};
+
+/// Slots per bucket.
+const BUCKET_SIZE: usize = 4;
+/// Maximum kicks before insert failure.
+const MAX_KICKS: usize = 500;
+/// Selector values per slot (2 bits).
+const SELECTORS: u8 = 4;
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Slot {
+    /// Fingerprint under hash function `selector`; 0 = empty.
+    fp: u32,
+    selector: u8,
+}
+
+/// An adaptive cuckoo filter with a remote key store.
+#[derive(Debug, Clone)]
+pub struct AdaptiveCuckooFilter {
+    slots: Vec<Slot>,
+    /// Remote representation: the original key per occupied slot
+    /// (simulates the backing dictionary; not counted as filter
+    /// space, mirroring the paper's accounting).
+    remote: Vec<u64>,
+    n_buckets: usize,
+    fp_bits: u32,
+    hasher: Hasher,
+    items: usize,
+    adaptations: u64,
+}
+
+impl AdaptiveCuckooFilter {
+    /// Create for `capacity` keys with `fp_bits`-bit fingerprints.
+    pub fn new(capacity: usize, fp_bits: u32) -> Self {
+        Self::with_seed(capacity, fp_bits, 0)
+    }
+
+    /// As [`AdaptiveCuckooFilter::new`] with an explicit seed.
+    pub fn with_seed(capacity: usize, fp_bits: u32, seed: u64) -> Self {
+        assert!((4..=32).contains(&fp_bits));
+        let n_buckets = ((capacity as f64 / 0.95 / BUCKET_SIZE as f64).ceil() as usize)
+            .next_power_of_two()
+            .max(2);
+        AdaptiveCuckooFilter {
+            slots: vec![Slot::default(); n_buckets * BUCKET_SIZE],
+            remote: vec![0; n_buckets * BUCKET_SIZE],
+            n_buckets,
+            fp_bits,
+            hasher: Hasher::with_seed(seed),
+            items: 0,
+            adaptations: 0,
+        }
+    }
+
+    /// How many false positives have been repaired.
+    pub fn adaptations(&self) -> u64 {
+        self.adaptations
+    }
+
+    /// Fingerprint of `key` under selector `s` (nonzero).
+    #[inline]
+    fn fingerprint(&self, key: u64, s: u8) -> u32 {
+        let h = self.hasher.derive(16 + s as u64).hash(&key);
+        let fp = (h as u32) & (filter_core::rem_mask(self.fp_bits) as u32);
+        if fp == 0 {
+            1
+        } else {
+            fp
+        }
+    }
+
+    /// Primary bucket of a key (selector-independent so adaptation
+    /// never moves entries).
+    #[inline]
+    fn primary_bucket(&self, key: u64) -> usize {
+        (self.hasher.hash(&key) as usize) & (self.n_buckets - 1)
+    }
+
+    /// Alternate bucket derived from the primary via the *key* hash
+    /// rather than the fingerprint, so both homes survive selector
+    /// changes. (The published ACF uses the same trick.)
+    #[inline]
+    fn alt_bucket(&self, key: u64) -> usize {
+        (self.primary_bucket(key) ^ (self.hasher.derive(7).hash(&key) as usize).max(1))
+            & (self.n_buckets - 1)
+    }
+
+    fn buckets_of(&self, key: u64) -> [usize; 2] {
+        [self.primary_bucket(key), self.alt_bucket(key)]
+    }
+
+    fn try_place(&mut self, bucket: usize, key: u64) -> bool {
+        for s in 0..BUCKET_SIZE {
+            let idx = bucket * BUCKET_SIZE + s;
+            if self.slots[idx].fp == 0 {
+                self.slots[idx] = Slot {
+                    fp: self.fingerprint(key, 0),
+                    selector: 0,
+                };
+                self.remote[idx] = key;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Filter for AdaptiveCuckooFilter {
+    fn contains(&self, key: u64) -> bool {
+        self.buckets_of(key).iter().any(|&b| {
+            (0..BUCKET_SIZE).any(|s| {
+                let slot = self.slots[b * BUCKET_SIZE + s];
+                slot.fp != 0 && slot.fp == self.fingerprint(key, slot.selector)
+            })
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        // Filter proper: fingerprints + selectors. The remote table is
+        // the backing dictionary and excluded, as in the paper.
+        self.slots.len() * ((self.fp_bits as usize + 2) / 8 + 1)
+    }
+}
+
+impl InsertFilter for AdaptiveCuckooFilter {
+    fn insert(&mut self, key: u64) -> Result<()> {
+        let [i1, i2] = self.buckets_of(key);
+        if self.try_place(i1, key) || self.try_place(i2, key) {
+            self.items += 1;
+            return Ok(());
+        }
+        // Kick resident *keys* (the remote table makes this possible
+        // without fingerprint-derived alternates).
+        let mut key = key;
+        let mut bucket = i2;
+        for kick in 0..MAX_KICKS {
+            let vs = (self.hasher.derive(3).hash(&(key ^ kick as u64)) as usize) % BUCKET_SIZE;
+            let idx = bucket * BUCKET_SIZE + vs;
+            let victim_key = self.remote[idx];
+            self.slots[idx] = Slot {
+                fp: self.fingerprint(key, 0),
+                selector: 0,
+            };
+            self.remote[idx] = key;
+            key = victim_key;
+            let [v1, v2] = self.buckets_of(key);
+            bucket = if bucket == v1 { v2 } else { v1 };
+            if self.try_place(bucket, key) {
+                self.items += 1;
+                return Ok(());
+            }
+        }
+        Err(FilterError::EvictionLimit)
+    }
+}
+
+impl DynamicFilter for AdaptiveCuckooFilter {
+    fn remove(&mut self, key: u64) -> Result<bool> {
+        for b in self.buckets_of(key) {
+            for s in 0..BUCKET_SIZE {
+                let idx = b * BUCKET_SIZE + s;
+                if self.slots[idx].fp != 0 && self.remote[idx] == key {
+                    self.slots[idx] = Slot::default();
+                    self.remote[idx] = 0;
+                    self.items -= 1;
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+}
+
+impl AdaptiveFilter for AdaptiveCuckooFilter {
+    fn adapt(&mut self, key: u64) {
+        // The caller observed `contains(key) == true` but the backing
+        // store lacks the key: rotate the selector of every colliding
+        // slot (recomputing its fingerprint from the remote key).
+        for b in self.buckets_of(key) {
+            for s in 0..BUCKET_SIZE {
+                let idx = b * BUCKET_SIZE + s;
+                let slot = self.slots[idx];
+                if slot.fp != 0
+                    && slot.fp == self.fingerprint(key, slot.selector)
+                    && self.remote[idx] != key
+                {
+                    let next = (slot.selector + 1) % SELECTORS;
+                    self.slots[idx] = Slot {
+                        fp: self.fingerprint(self.remote[idx], next),
+                        selector: next,
+                    };
+                    self.adaptations += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{disjoint_keys, unique_keys};
+
+    #[test]
+    fn basic_roundtrip() {
+        let keys = unique_keys(100, 20_000);
+        let mut f = AdaptiveCuckooFilter::new(25_000, 12);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        assert!(keys.iter().all(|&k| f.contains(k)));
+        for &k in &keys[..5_000] {
+            assert!(f.remove(k).unwrap());
+        }
+        assert!(keys[5_000..].iter().all(|&k| f.contains(k)));
+    }
+
+    #[test]
+    fn adapt_fixes_repeated_false_positive() {
+        let keys = unique_keys(101, 10_000);
+        let mut f = AdaptiveCuckooFilter::new(12_000, 10);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        let neg = disjoint_keys(102, 50_000, &keys);
+        let fps: Vec<u64> = neg.iter().copied().filter(|&k| f.contains(k)).collect();
+        assert!(
+            !fps.is_empty(),
+            "expected some false positives at 10-bit fp"
+        );
+        for &k in &fps {
+            f.adapt(k);
+        }
+        let survivors = fps.iter().filter(|&&k| f.contains(k)).count();
+        assert!(
+            survivors * 20 < fps.len().max(20),
+            "{survivors}/{} false positives survived adaptation",
+            fps.len()
+        );
+        // Adaptation must not create false negatives.
+        assert!(keys.iter().all(|&k| f.contains(k)));
+    }
+
+    #[test]
+    fn adversarial_repeat_queries_bounded() {
+        // An adversary replays each discovered FP 100×; an adaptive
+        // filter pays once per FP, not per repeat.
+        let keys = unique_keys(103, 5_000);
+        let mut f = AdaptiveCuckooFilter::new(6_000, 10);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        let neg = disjoint_keys(104, 10_000, &keys);
+        let mut false_positives = 0u64;
+        for &k in &neg {
+            for _ in 0..100 {
+                if f.contains(k) {
+                    false_positives += 1;
+                    f.adapt(k);
+                }
+            }
+        }
+        // Non-adaptive would see ~100× the base FP count.
+        let base_fpr = 2.0 * 4.0 / 1024.0; // 2b/2^f
+        let non_adaptive_expectation = (10_000.0 * 100.0 * base_fpr) as u64;
+        assert!(
+            false_positives < non_adaptive_expectation / 10,
+            "saw {false_positives} FPs, non-adaptive baseline {non_adaptive_expectation}"
+        );
+    }
+
+    #[test]
+    fn kicked_entries_stay_queryable() {
+        // Force heavy kicking by overfilling.
+        let keys = unique_keys(105, 15_000);
+        let mut f = AdaptiveCuckooFilter::new(15_000, 12);
+        let mut inserted = Vec::new();
+        for &k in &keys {
+            if f.insert(k).is_ok() {
+                inserted.push(k);
+            }
+        }
+        assert!(inserted.len() > 14_000);
+        assert!(inserted.iter().all(|&k| f.contains(k)));
+    }
+}

@@ -1,0 +1,24 @@
+//! # cuckoo
+//!
+//! The cuckoo-filter family (tutorial §2.1, §2.3):
+//!
+//! - [`CuckooFilter`] — 4-way associative fingerprint table with
+//!   partial-key kicking; dynamic inserts and deletes at
+//!   `n·(lg(1/ε) + 3)` bits.
+//! - [`AdaptiveCuckooFilter`] — per-slot hash selectors repair false
+//!   positives reported by the backing dictionary.
+//! - [`MortonFilter`] — cache-line blocks with compressed sparse
+//!   logical buckets, biased insertion, and overflow tracking
+//!   (Breslow & Jayasena's "biasing, compression, and decoupled
+//!   logical sparsity").
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adaptive;
+pub mod filter;
+pub mod morton;
+
+pub use adaptive::AdaptiveCuckooFilter;
+pub use filter::CuckooFilter;
+pub use morton::MortonFilter;

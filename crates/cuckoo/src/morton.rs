@@ -1,0 +1,427 @@
+//! Morton filter (Breslow & Jayasena, VLDB 2018): a cuckoo filter
+//! reorganised around cache lines via "biasing, compression, and
+//! decoupled logical sparsity" (tutorial §2.1).
+//!
+//! Each 512-bit block packs three arrays:
+//!
+//! - **FCA** — 64 × 2-bit fullness counters: 64 *logical* buckets of
+//!   capacity ≤ 3, far sparser than the physical storage;
+//! - **FSA** — 40 × 8-bit fingerprints stored densely in logical
+//!   bucket order (the compression: empty logical slots cost nothing);
+//! - **OTA** — 64 overflow bits: set when a bucket ever overflowed to
+//!   its alternate, so negative queries usually stop after one block.
+//!
+//! Insertion is *biased*: the primary bucket is always tried first,
+//! so most lookups touch a single cache line; only overflows consult
+//! the alternate bucket (partial-key XOR mapping, kicking on
+//! conflict).
+
+use filter_core::{DynamicFilter, Filter, FilterError, Hasher, InsertFilter, Result};
+
+/// Logical buckets per block.
+const BUCKETS: usize = 64;
+/// Physical fingerprint slots per block.
+const SLOTS: usize = 40;
+/// Max fingerprints per logical bucket.
+const BUCKET_CAP: u8 = 3;
+/// Kick limit.
+const MAX_KICKS: usize = 500;
+
+#[derive(Debug, Clone)]
+struct Block {
+    /// 2-bit fullness counters.
+    fca: u128,
+    /// Overflow-tracking bits.
+    ota: u64,
+    /// Dense fingerprint storage.
+    fsa: [u8; SLOTS],
+    filled: u8,
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Block {
+            fca: 0,
+            ota: 0,
+            fsa: [0; SLOTS],
+            filled: 0,
+        }
+    }
+}
+
+impl Block {
+    #[inline]
+    fn count(&self, bucket: usize) -> u8 {
+        ((self.fca >> (2 * bucket)) & 3) as u8
+    }
+
+    #[inline]
+    fn set_count(&mut self, bucket: usize, c: u8) {
+        debug_assert!(c <= BUCKET_CAP);
+        self.fca = (self.fca & !(3u128 << (2 * bucket))) | ((c as u128) << (2 * bucket));
+    }
+
+    /// FSA offset of `bucket` = sum of counters below it.
+    #[inline]
+    fn offset(&self, bucket: usize) -> usize {
+        let mut sum = 0usize;
+        // Sum 2-bit fields below `bucket` two at a time.
+        let mask = if bucket == 0 {
+            0
+        } else {
+            self.fca & ((1u128 << (2 * bucket)) - 1)
+        };
+        let mut m = mask;
+        while m != 0 {
+            sum += (m & 3) as usize;
+            m >>= 2;
+        }
+        sum
+    }
+
+    fn bucket_contains(&self, bucket: usize, fp: u8) -> bool {
+        let off = self.offset(bucket);
+        let c = self.count(bucket) as usize;
+        self.fsa[off..off + c].contains(&fp)
+    }
+
+    /// Insert into `bucket` if it and the FSA have room.
+    fn try_insert(&mut self, bucket: usize, fp: u8) -> bool {
+        if self.count(bucket) >= BUCKET_CAP || (self.filled as usize) >= SLOTS {
+            return false;
+        }
+        let off = self.offset(bucket);
+        let filled = self.filled as usize;
+        self.fsa.copy_within(off..filled, off + 1);
+        self.fsa[off] = fp;
+        self.set_count(bucket, self.count(bucket) + 1);
+        self.filled += 1;
+        true
+    }
+
+    /// Remove one `fp` from `bucket`; true on success.
+    fn remove(&mut self, bucket: usize, fp: u8) -> bool {
+        let off = self.offset(bucket);
+        let c = self.count(bucket) as usize;
+        let Some(i) = self.fsa[off..off + c].iter().position(|&x| x == fp) else {
+            return false;
+        };
+        let filled = self.filled as usize;
+        self.fsa.copy_within(off + i + 1..filled, off + i);
+        self.fsa[filled - 1] = 0;
+        self.set_count(bucket, (c - 1) as u8);
+        self.filled -= 1;
+        true
+    }
+
+    /// Replace one (pseudo-randomly chosen) resident of `bucket`.
+    fn swap(&mut self, bucket: usize, fp: u8, salt: u64) -> u8 {
+        let off = self.offset(bucket);
+        let c = self.count(bucket) as usize;
+        debug_assert!(c > 0);
+        let i = (salt as usize) % c;
+        std::mem::replace(&mut self.fsa[off + i], fp)
+    }
+
+    /// Remove and return one pseudo-random resident of `bucket`.
+    fn remove_any(&mut self, bucket: usize, salt: u64) -> u8 {
+        let off = self.offset(bucket);
+        let c = self.count(bucket) as usize;
+        debug_assert!(c > 0);
+        let i = (salt as usize) % c;
+        let victim = self.fsa[off + i];
+        let filled = self.filled as usize;
+        self.fsa.copy_within(off + i + 1..filled, off + i);
+        self.fsa[filled - 1] = 0;
+        self.set_count(bucket, (c - 1) as u8);
+        self.filled -= 1;
+        victim
+    }
+}
+
+/// A Morton filter with 8-bit fingerprints.
+#[derive(Debug, Clone)]
+pub struct MortonFilter {
+    blocks: Vec<Block>,
+    /// Total logical buckets (power of two).
+    n_buckets: usize,
+    hasher: Hasher,
+    items: usize,
+    /// Lookups resolved without touching the alternate block.
+    single_block_hits: std::cell::Cell<u64>,
+    lookups: std::cell::Cell<u64>,
+}
+
+impl MortonFilter {
+    /// Create for `capacity` keys at ~85% physical load.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_seed(capacity, 0)
+    }
+
+    /// As [`MortonFilter::new`] with an explicit seed.
+    pub fn with_seed(capacity: usize, seed: u64) -> Self {
+        let n_blocks = ((capacity as f64 / 0.85 / SLOTS as f64).ceil() as usize)
+            .next_power_of_two()
+            .max(2);
+        MortonFilter {
+            blocks: vec![Block::default(); n_blocks],
+            n_buckets: n_blocks * BUCKETS,
+            hasher: Hasher::with_seed(seed),
+            items: 0,
+            single_block_hits: std::cell::Cell::new(0),
+            lookups: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Nonzero fingerprint and primary global bucket.
+    #[inline]
+    fn fp_and_bucket(&self, key: u64) -> (u8, usize) {
+        let h = self.hasher.hash(&key);
+        let fp = (h >> 56) as u8;
+        let fp = if fp == 0 { 1 } else { fp };
+        (fp, (h as usize) & (self.n_buckets - 1))
+    }
+
+    /// Partial-key alternate bucket (involutive XOR).
+    #[inline]
+    fn alt_bucket(&self, g: usize, fp: u8) -> usize {
+        (g ^ (self.hasher.derive(1).hash(&(fp as u64)) as usize | 1)) & (self.n_buckets - 1)
+    }
+
+    #[inline]
+    fn split(g: usize) -> (usize, usize) {
+        (g / BUCKETS, g % BUCKETS)
+    }
+
+    /// Fraction of lookups served from a single block (the Morton
+    /// cache-efficiency headline).
+    pub fn single_block_rate(&self) -> f64 {
+        self.single_block_hits.get() as f64 / self.lookups.get().max(1) as f64
+    }
+
+    /// Physical load factor.
+    pub fn load(&self) -> f64 {
+        self.items as f64 / (self.blocks.len() * SLOTS) as f64
+    }
+
+    fn insert_at(&mut self, g: usize, fp: u8) -> bool {
+        let (blk, bucket) = Self::split(g);
+        self.blocks[blk].try_insert(bucket, fp)
+    }
+}
+
+impl Filter for MortonFilter {
+    fn contains(&self, key: u64) -> bool {
+        let (fp, g1) = self.fp_and_bucket(key);
+        let (blk, bucket) = Self::split(g1);
+        self.lookups.set(self.lookups.get() + 1);
+        if self.blocks[blk].bucket_contains(bucket, fp) {
+            self.single_block_hits.set(self.single_block_hits.get() + 1);
+            return true;
+        }
+        if self.blocks[blk].ota >> bucket & 1 == 0 {
+            // Never overflowed: the alternate cannot hold it.
+            self.single_block_hits.set(self.single_block_hits.get() + 1);
+            return false;
+        }
+        let (blk2, bucket2) = Self::split(self.alt_bucket(g1, fp));
+        self.blocks[blk2].bucket_contains(bucket2, fp)
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        // 512 bits of payload per block (fca 128 + ota 64 + fsa 320);
+        // `filled` is a cached sum.
+        self.blocks.len() * 64
+    }
+}
+
+impl InsertFilter for MortonFilter {
+    fn insert(&mut self, key: u64) -> Result<()> {
+        let (fp, g1) = self.fp_and_bucket(key);
+        // Biased: primary first, always.
+        if self.insert_at(g1, fp) {
+            self.items += 1;
+            return Ok(());
+        }
+        // Overflow: mark and go to the alternate.
+        {
+            let (blk, bucket) = Self::split(g1);
+            self.blocks[blk].ota |= 1 << bucket;
+        }
+        let mut g = self.alt_bucket(g1, fp);
+        let mut fp = fp;
+        for kick in 0..MAX_KICKS {
+            if self.insert_at(g, fp) {
+                self.items += 1;
+                return Ok(());
+            }
+            let (blk, bucket) = Self::split(g);
+            let salt = self.hasher.derive(3).hash(&((g as u64) ^ kick as u64));
+            // Two distinct overflow causes:
+            let (victim, victim_bucket) = if self.blocks[blk].count(bucket) >= BUCKET_CAP {
+                // (a) the target logical bucket is at capacity: swap
+                // the incoming fp with one of its residents.
+                (self.blocks[blk].swap(bucket, fp, salt), bucket)
+            } else {
+                // (b) the block's FSA is full: free a slot by evicting
+                // from the block's fullest bucket, then the incoming
+                // fp fits in its own bucket.
+                let donor = (0..BUCKETS)
+                    .max_by_key(|&b| self.blocks[blk].count(b))
+                    .expect("block is full, some bucket is nonempty");
+                let v = self.blocks[blk].remove_any(donor, salt);
+                let placed = self.blocks[blk].try_insert(bucket, fp);
+                debug_assert!(placed, "slot was just freed");
+                (v, donor)
+            };
+            // The victim's source bucket has now overflowed.
+            self.blocks[blk].ota |= 1 << victim_bucket;
+            fp = victim;
+            g = self.alt_bucket(blk * BUCKETS + victim_bucket, fp);
+        }
+        Err(FilterError::EvictionLimit)
+    }
+}
+
+impl DynamicFilter for MortonFilter {
+    fn remove(&mut self, key: u64) -> Result<bool> {
+        let (fp, g1) = self.fp_and_bucket(key);
+        let (blk, bucket) = Self::split(g1);
+        if self.blocks[blk].remove(bucket, fp) {
+            self.items -= 1;
+            return Ok(true);
+        }
+        if self.blocks[blk].ota >> bucket & 1 == 1 {
+            let (blk2, bucket2) = Self::split(self.alt_bucket(g1, fp));
+            if self.blocks[blk2].remove(bucket2, fp) {
+                self.items -= 1;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{disjoint_keys, unique_keys};
+
+    #[test]
+    fn block_bucket_mechanics() {
+        let mut b = Block::default();
+        assert!(b.try_insert(5, 0xaa));
+        assert!(b.try_insert(5, 0xbb));
+        assert!(b.try_insert(63, 0xcc));
+        assert!(b.try_insert(0, 0xdd));
+        assert!(b.bucket_contains(5, 0xaa));
+        assert!(b.bucket_contains(5, 0xbb));
+        assert!(b.bucket_contains(63, 0xcc));
+        assert!(b.bucket_contains(0, 0xdd));
+        assert!(!b.bucket_contains(5, 0xcc));
+        assert!(b.try_insert(5, 0xee));
+        assert!(!b.try_insert(5, 0xff), "bucket cap is 3");
+        assert!(b.remove(5, 0xbb));
+        assert!(b.bucket_contains(5, 0xaa) && b.bucket_contains(5, 0xee));
+        assert_eq!(b.filled, 4);
+    }
+
+    #[test]
+    fn block_fsa_capacity() {
+        let mut b = Block::default();
+        for i in 0..SLOTS {
+            assert!(b.try_insert((i * 2) % BUCKETS, (i + 1) as u8), "slot {i}");
+        }
+        assert!(!b.try_insert(1, 0x99), "FSA is full");
+    }
+
+    #[test]
+    fn insert_query_roundtrip() {
+        let keys = unique_keys(510, 50_000);
+        let mut f = MortonFilter::new(50_000);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        assert!(keys.iter().all(|&k| f.contains(k)));
+    }
+
+    #[test]
+    fn fpr_near_cuckoo_8bit() {
+        let keys = unique_keys(511, 50_000);
+        let mut f = MortonFilter::new(50_000);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        let neg = disjoint_keys(512, 100_000, &keys);
+        let fpr = neg.iter().filter(|&&k| f.contains(k)).count() as f64 / 100_000.0;
+        // ~(3 + ota·3)·2^-8 ≈ 1.5-2.5%
+        assert!(fpr < 0.03, "fpr {fpr}");
+    }
+
+    #[test]
+    fn most_lookups_touch_one_block() {
+        // The Morton headline: biasing + OTA keep most probes to a
+        // single cache line.
+        let keys = unique_keys(513, 50_000);
+        let mut f = MortonFilter::new(50_000);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        let neg = disjoint_keys(514, 50_000, &keys);
+        for &k in keys.iter().chain(&neg) {
+            f.contains(k);
+        }
+        assert!(
+            f.single_block_rate() > 0.75,
+            "single-block rate {}",
+            f.single_block_rate()
+        );
+    }
+
+    #[test]
+    fn delete_works() {
+        let keys = unique_keys(515, 20_000);
+        let mut f = MortonFilter::new(25_000);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        for &k in &keys[..10_000] {
+            assert!(f.remove(k).unwrap(), "remove failed");
+        }
+        let still = keys[..10_000].iter().filter(|&&k| f.contains(k)).count();
+        assert!(still < 300, "{still} deleted keys remain");
+        let missing = keys[10_000..].iter().filter(|&&k| !f.contains(k)).count();
+        assert!(missing < 50, "{missing} live keys lost");
+    }
+
+    #[test]
+    fn reaches_80_percent_load() {
+        let mut f = MortonFilter::new(20_000);
+        for k in workloads::KeyStream::new(516) {
+            if f.insert(k).is_err() {
+                break;
+            }
+        }
+        assert!(f.load() > 0.8, "stalled at {}", f.load());
+    }
+
+    #[test]
+    fn space_is_64_bytes_per_block() {
+        let mut f = MortonFilter::new(100_000);
+        assert_eq!(f.size_in_bytes() % 64, 0);
+        // Fill to the design load before measuring (power-of-two
+        // block counts over-provision under-full filters).
+        for k in workloads::KeyStream::new(517) {
+            if f.insert(k).is_err() {
+                break;
+            }
+        }
+        let bpk = f.bits_per_key();
+        // 512 bits / 40 slots / load ≈ 15 at 85%.
+        assert!(bpk < 16.5, "bits/key {bpk} at load {}", f.load());
+    }
+}

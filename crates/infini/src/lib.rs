@@ -1,0 +1,388 @@
+//! # infini
+//!
+//! InfiniFilter (Dayan, Bercea, Reviriego, Pagh — SIGMOD 2023): the
+//! tutorial's §2.2 answer to the expansion problem. A quotient filter
+//! whose slots carry **variable-length fingerprints** delimited by a
+//! unary *age* prefix:
+//!
+//! ```text
+//! slot (r+1 bits) = [a ones, one zero] ++ [r − a remainder bits]
+//! ```
+//!
+//! An entry of age `a` was inserted `a` doublings ago. Expansion
+//! moves one remainder bit into the quotient (exactly the plain-QF
+//! doubling trick) but *records* the loss in the age prefix, so
+//! fresh inserts keep full-length remainders — unlike the plain
+//! doubling quotient filter, whose every fingerprint shrinks
+//! together and whose FPR therefore doubles per expansion (E4 vs E6).
+//!
+//! Entries whose remainder is exhausted become *void*. A void entry
+//! at the next expansion can no longer derive its new quotient bit
+//! and is moved to a small exact side list of known-prefix entries —
+//! the role the InfiniFilter paper assigns its secondary structure
+//! (and Aleph Filter streamlines further).
+//!
+//! Deletes are supported (remove the longest-matching fingerprint in
+//! the run; void side-list entries are matched by prefix).
+//!
+//! The [`taffy`] module implements the Taffy cuckoo filter — the same
+//! variable-length-fingerprint idea on a cuckoo table, expanding up
+//! to a known universe without deletes. The [`ring`] module
+//! implements §2.2's third strategy, the hash-ring elastic filter,
+//! whose smooth growth costs logarithmic-time operations.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ring;
+pub mod taffy;
+pub use ring::RingFilter;
+pub use taffy::TaffyCuckooFilter;
+
+use filter_core::{DynamicFilter, Expandable, Filter, FilterError, Hasher, InsertFilter, Result};
+use quotient::SlotTable;
+
+/// Maximum load factor before insert triggers expansion.
+const MAX_LOAD: f64 = 0.9;
+
+/// A fingerprint that has outlived all of its remainder bits: only
+/// its first `len` hash bits are known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct VoidEntry {
+    len: u32,
+    bits: u64,
+}
+
+/// # Examples
+///
+/// ```
+/// use infini::InfiniFilter;
+/// use filter_core::{Expandable, Filter, InsertFilter};
+///
+/// let mut f = InfiniFilter::new(6, 12); // 64 slots to start
+/// for k in 0..10_000u64 {
+///     f.insert(k).unwrap(); // expands automatically
+/// }
+/// assert!(f.expansions() > 5);
+/// assert!(f.contains(9_999));
+/// ```
+///
+/// An indefinitely expandable dynamic filter.
+#[derive(Debug, Clone)]
+pub struct InfiniFilter {
+    table: SlotTable,
+    hasher: Hasher,
+    /// Fresh-insert remainder length.
+    r: u32,
+    items: usize,
+    expansions: u32,
+    voids: Vec<VoidEntry>,
+}
+
+impl InfiniFilter {
+    /// Create with `2^q` initial slots and `r`-bit fresh remainders.
+    pub fn new(q: u32, r: u32) -> Self {
+        Self::with_seed(q, r, 0)
+    }
+
+    /// As [`InfiniFilter::new`] with an explicit seed.
+    pub fn with_seed(q: u32, r: u32, seed: u64) -> Self {
+        assert!((2..=32).contains(&r));
+        assert!(q + r <= 56, "fingerprint budget exceeds hash width");
+        InfiniFilter {
+            table: SlotTable::new(q, r + 1),
+            hasher: Hasher::with_seed(seed),
+            r,
+            items: 0,
+            expansions: 0,
+            voids: Vec::new(),
+        }
+    }
+
+    /// Decode a slot payload into (age, remainder).
+    #[inline]
+    fn decode(&self, payload: u64) -> (u32, u64) {
+        let a = payload.trailing_ones().min(self.r);
+        (a, payload >> (a + 1))
+    }
+
+    /// Encode (age, remainder) into a slot payload.
+    #[inline]
+    fn encode(&self, age: u32, rem: u64) -> u64 {
+        debug_assert!(age <= self.r);
+        (rem << (age + 1)) | filter_core::rem_mask(age)
+    }
+
+    /// Number of entries demoted to the void side list.
+    pub fn void_entries(&self) -> usize {
+        self.voids.len()
+    }
+
+    /// Fresh-insert remainder width.
+    pub fn remainder_bits(&self) -> u32 {
+        self.r
+    }
+
+    /// Current load factor.
+    pub fn load(&self) -> f64 {
+        self.table.load()
+    }
+
+    #[inline]
+    fn split(&self, hash: u64) -> (u64, u64) {
+        let q = self.table.q();
+        (
+            hash & filter_core::rem_mask(q),
+            (hash >> q) & filter_core::rem_mask(self.r),
+        )
+    }
+
+    fn matches(&self, payload: u64, hash: u64) -> bool {
+        let (age, stored) = self.decode(payload);
+        let keep = self.r - age;
+        let observed = (hash >> self.table.q()) & filter_core::rem_mask(keep);
+        stored == observed
+    }
+
+    fn expand_once(&mut self) -> Result<()> {
+        let old_q = self.table.q();
+        let new_q = old_q + 1;
+        let mut new_table = SlotTable::new(new_q, self.r + 1);
+        let mut new_voids = std::mem::take(&mut self.voids);
+        for run in self.table.iter_runs() {
+            for payload in run.payloads {
+                let (age, rem) = self.decode(payload);
+                let keep = self.r - age;
+                if keep == 0 {
+                    // Void at expansion time: its quotient bit is
+                    // unknowable; demote to the exact side list with
+                    // the bits we do know (the old quotient).
+                    new_voids.push(VoidEntry {
+                        len: old_q,
+                        bits: run.quotient,
+                    });
+                    continue;
+                }
+                let new_quot = run.quotient | ((rem & 1) << old_q);
+                let new_rem = rem >> 1;
+                let enc = self.encode(age + 1, new_rem);
+                new_table.modify_run(new_quot, |p| p.push(enc))?;
+            }
+        }
+        self.table = new_table;
+        self.voids = new_voids;
+        self.expansions += 1;
+        Ok(())
+    }
+}
+
+impl Filter for InfiniFilter {
+    fn contains(&self, key: u64) -> bool {
+        let h = self.hasher.hash(&key);
+        let (quot, _) = self.split(h);
+        let mut found = false;
+        self.table.scan_run(quot, |p| {
+            if self.matches(p, h) {
+                found = true;
+                false
+            } else {
+                true
+            }
+        });
+        if found {
+            return true;
+        }
+        self.voids
+            .iter()
+            .any(|v| h & filter_core::rem_mask(v.len) == v.bits)
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.table.size_in_bytes() + self.voids.len() * std::mem::size_of::<VoidEntry>()
+    }
+}
+
+impl InsertFilter for InfiniFilter {
+    fn insert(&mut self, key: u64) -> Result<()> {
+        if self.table.used_slots() + 1 > (MAX_LOAD * self.table.capacity() as f64) as usize {
+            self.expand()?;
+        }
+        let h = self.hasher.hash(&key);
+        let (quot, rem) = self.split(h);
+        let enc = self.encode(0, rem);
+        self.table.modify_run(quot, |p| p.push(enc))?;
+        self.items += 1;
+        Ok(())
+    }
+}
+
+impl DynamicFilter for InfiniFilter {
+    fn remove(&mut self, key: u64) -> Result<bool> {
+        let h = self.hasher.hash(&key);
+        let (quot, _) = self.split(h);
+        // Remove the longest-matching (i.e. youngest matching)
+        // fingerprint so the most specific evidence is consumed first.
+        let mut removed = false;
+        let this = &*self;
+        let mut best: Option<(usize, u32)> = None;
+        {
+            let payloads = self.table.run_payloads(quot);
+            for (i, &p) in payloads.iter().enumerate() {
+                if this.matches(p, h) {
+                    let (age, _) = this.decode(p);
+                    if best.is_none_or(|(_, ba)| age < ba) {
+                        best = Some((i, age));
+                    }
+                }
+            }
+        }
+        if let Some((idx, _)) = best {
+            self.table.modify_run(quot, |p| {
+                p.remove(idx);
+            })?;
+            self.items -= 1;
+            removed = true;
+        } else if let Some(vi) = self
+            .voids
+            .iter()
+            .position(|v| h & filter_core::rem_mask(v.len) == v.bits)
+        {
+            self.voids.swap_remove(vi);
+            self.items -= 1;
+            removed = true;
+        }
+        Ok(removed)
+    }
+}
+
+impl Expandable for InfiniFilter {
+    fn expand(&mut self) -> Result<()> {
+        if self.table.q() + self.r >= 56 {
+            return Err(FilterError::ExpansionExhausted);
+        }
+        self.expand_once()
+    }
+
+    fn expansions(&self) -> u32 {
+        self.expansions
+    }
+
+    fn capacity(&self) -> usize {
+        self.table.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{disjoint_keys, unique_keys};
+
+    #[test]
+    fn codec_roundtrip() {
+        let f = InfiniFilter::new(8, 12);
+        for age in 0..=12u32 {
+            let rem_bits = 12 - age;
+            for rem in [0u64, 1, filter_core::rem_mask(rem_bits)] {
+                let enc = f.encode(age, rem);
+                assert_eq!(f.decode(enc), (age, rem), "age {age} rem {rem}");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_query_roundtrip() {
+        let keys = unique_keys(150, 5_000);
+        let mut f = InfiniFilter::new(13, 12);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        assert!(keys.iter().all(|&k| f.contains(k)));
+    }
+
+    #[test]
+    fn grows_through_many_expansions_without_false_negatives() {
+        let keys = unique_keys(151, 60_000);
+        let mut f = InfiniFilter::new(8, 14); // starts at 256 slots
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        assert!(f.expansions() >= 8, "{} expansions", f.expansions());
+        assert!(keys.iter().all(|&k| f.contains(k)));
+    }
+
+    #[test]
+    fn fpr_stays_stable_across_expansions() {
+        // The InfiniFilter claim (E6): FPR after many expansions stays
+        // within a small factor of the configured rate, unlike the
+        // plain doubling QF whose FPR doubles per expansion.
+        let keys = unique_keys(152, 60_000);
+        let mut f = InfiniFilter::new(8, 14);
+        let mut fprs = Vec::new();
+        let neg = disjoint_keys(153, 30_000, &keys);
+        for chunk in keys.chunks(10_000) {
+            for &k in chunk {
+                f.insert(k).unwrap();
+            }
+            let fp = neg.iter().filter(|&&k| f.contains(k)).count() as f64 / 30_000.0;
+            fprs.push(fp);
+        }
+        let max = fprs.iter().cloned().fold(0.0, f64::max);
+        // Base rate 2^-14 ≈ 6e-5; allow the documented logarithmic
+        // drift but nothing like the 2^expansions blow-up of E4.
+        assert!(max < 40.0 * 2f64.powi(-14), "max fpr {max}");
+    }
+
+    #[test]
+    fn deletes_work_across_generations() {
+        let keys = unique_keys(154, 20_000);
+        let mut f = InfiniFilter::new(8, 14);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        for &k in &keys[..10_000] {
+            assert!(f.remove(k).unwrap(), "delete failed");
+        }
+        let still = keys[..10_000].iter().filter(|&&k| f.contains(k)).count();
+        assert!(still < 100, "{still} deleted keys still positive");
+        assert!(keys[10_000..].iter().all(|&k| f.contains(k)));
+    }
+
+    #[test]
+    fn void_entries_appear_when_remainders_exhaust() {
+        let mut f = InfiniFilter::new(4, 3); // r = 3: voids after ~4 doublings
+        for k in 0..2_000u64 {
+            f.insert(k).unwrap();
+        }
+        assert!(f.void_entries() > 0, "expected void demotions");
+        // All keys still present (voids match by prefix).
+        assert!((0..2_000u64).all(|k| f.contains(k)));
+    }
+
+    #[test]
+    fn age_distribution_is_geometric() {
+        // Half the entries should be age 0, a quarter age 1, ...
+        let keys = unique_keys(155, 40_000);
+        let mut f = InfiniFilter::new(8, 14);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        let mut ages = std::collections::HashMap::new();
+        for run in f.table.iter_runs() {
+            for p in run.payloads {
+                *ages.entry(f.decode(p).0).or_insert(0usize) += 1;
+            }
+        }
+        // Right after an expansion the age-0 cohort is still filling,
+        // so compare from age 1 onward: each older generation is half
+        // the size of the previous.
+        let a1 = *ages.get(&1).unwrap_or(&0) as f64;
+        let a2 = *ages.get(&2).unwrap_or(&0) as f64;
+        let a3 = *ages.get(&3).unwrap_or(&0) as f64;
+        assert!(a1 > a2 && a2 > a3, "ages not geometric: {a1} {a2} {a3}");
+        assert!((a1 / a2 - 2.0).abs() < 0.8, "a1/a2 = {}", a1 / a2);
+    }
+}

@@ -1,0 +1,275 @@
+//! A consistent-hashing ("hash ring") elastic filter, after the
+//! Consistent Cuckoo filter (Luo et al., INFOCOM 2019) and
+//! capacity-adjustable quotient filters (Xie et al. 2022).
+//!
+//! §2.2's third expansion strategy: buckets are arranged on a hash
+//! ring and capacity grows *elastically* — one bucket at a time, each
+//! split relocating only one arc's entries (no global rehash, no
+//! doubling spikes). The tutorial's criticism is the price: finding a
+//! key's bucket means searching the ring order, so **queries,
+//! inserts, and deletes all become logarithmic** — this
+//! implementation keeps the ring in a `BTreeMap` precisely so the
+//! `O(log n)` successor search the tutorial describes is the real
+//! cost (measured against InfiniFilter in E6's companion test).
+//!
+//! Entries keep their full ring position alongside the fingerprint so
+//! arcs can split without the original keys; that positional overhead
+//! is part of why ring filters are not the space winner either.
+
+use filter_core::{DynamicFilter, Filter, FilterError, Hasher, InsertFilter, Result};
+use std::collections::BTreeMap;
+
+/// Split a bucket once it holds this many entries.
+const SPLIT_THRESHOLD: usize = 32;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    /// Full ring position (needed to relocate on splits).
+    pos: u64,
+    fp: u32,
+}
+
+/// An elastically expandable fingerprint filter on a hash ring.
+#[derive(Debug, Clone)]
+pub struct RingFilter {
+    /// Bucket position → entries of the arc *ending* at that position
+    /// (owner = successor on the ring).
+    ring: BTreeMap<u64, Vec<Entry>>,
+    fp_bits: u32,
+    hasher: Hasher,
+    items: usize,
+    splits: u64,
+}
+
+impl RingFilter {
+    /// Create with `initial_buckets` evenly spread ring buckets and
+    /// `fp_bits`-bit fingerprints.
+    pub fn new(initial_buckets: usize, fp_bits: u32) -> Self {
+        Self::with_seed(initial_buckets, fp_bits, 0)
+    }
+
+    /// As [`RingFilter::new`] with an explicit seed.
+    pub fn with_seed(initial_buckets: usize, fp_bits: u32, seed: u64) -> Self {
+        assert!(initial_buckets >= 1);
+        assert!((4..=32).contains(&fp_bits));
+        let mut ring = BTreeMap::new();
+        let stride = u64::MAX / initial_buckets as u64;
+        for i in 0..initial_buckets {
+            ring.insert(stride.wrapping_mul(i as u64), Vec::new());
+        }
+        RingFilter {
+            ring,
+            fp_bits,
+            hasher: Hasher::with_seed(seed),
+            items: 0,
+            splits: 0,
+        }
+    }
+
+    #[inline]
+    fn place(&self, key: u64) -> Entry {
+        let h = self.hasher.hash(&key);
+        let fp = ((h >> 32) as u32) & (filter_core::rem_mask(self.fp_bits) as u32);
+        Entry {
+            pos: h,
+            fp: fp.max(1),
+        }
+    }
+
+    /// The bucket owning ring position `pos`: the first bucket at or
+    /// after it, wrapping — the `O(log n)` successor search.
+    fn owner(&self, pos: u64) -> u64 {
+        match self.ring.range(pos..).next() {
+            Some((&p, _)) => p,
+            None => *self.ring.keys().next().expect("ring nonempty"),
+        }
+    }
+
+    /// Elastic split: insert a new bucket inside an overfull arc and
+    /// hand it the entries whose positions it now owns.
+    fn split(&mut self, bucket_pos: u64) {
+        let entries = self.ring.get(&bucket_pos).expect("bucket exists");
+        if entries.len() < 2 {
+            return;
+        }
+        // Use the median entry position as the new bucket point so the
+        // split is balanced even for skewed arcs.
+        let mut positions: Vec<u64> = entries.iter().map(|e| e.pos).collect();
+        positions.sort_unstable();
+        let mid = positions[positions.len() / 2 - 1];
+        if mid == bucket_pos || self.ring.contains_key(&mid) {
+            return;
+        }
+        let entries = self.ring.get_mut(&bucket_pos).expect("bucket exists");
+        // New owner takes everything with pos ≤ mid *in this arc*.
+        // Ring-order comparison: positions in the arc are those whose
+        // owner was bucket_pos, so a plain wrapping comparison against
+        // mid relative to the arc works via owner() reuse after
+        // insertion; simplest correct approach: re-derive owners.
+        let moved: Vec<Entry>;
+        {
+            let taken = std::mem::take(entries);
+            let (go, stay): (Vec<Entry>, Vec<Entry>) = taken.into_iter().partition(|e| {
+                e.pos.wrapping_sub(mid.wrapping_add(1))
+                    > bucket_pos.wrapping_sub(mid.wrapping_add(1))
+            });
+            *entries = stay;
+            moved = go;
+        }
+        self.ring.insert(mid, moved);
+        self.splits += 1;
+        debug_assert!(self.check_owners(mid));
+        debug_assert!(self.check_owners(bucket_pos));
+    }
+
+    #[cfg(debug_assertions)]
+    fn check_owners(&self, bucket: u64) -> bool {
+        self.ring[&bucket]
+            .iter()
+            .all(|e| self.owner(e.pos) == bucket)
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn check_owners(&self, _bucket: u64) -> bool {
+        true
+    }
+
+    /// Number of elastic splits performed.
+    pub fn splits(&self) -> u64 {
+        self.splits
+    }
+
+    /// Current bucket count.
+    pub fn buckets(&self) -> usize {
+        self.ring.len()
+    }
+}
+
+impl Filter for RingFilter {
+    fn contains(&self, key: u64) -> bool {
+        let e = self.place(key);
+        let owner = self.owner(e.pos);
+        self.ring[&owner].iter().any(|s| s.fp == e.fp)
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        // Bucket keys + 12 bytes per entry (position + fingerprint).
+        self.ring.len() * 8 + self.items * 12
+    }
+}
+
+impl InsertFilter for RingFilter {
+    fn insert(&mut self, key: u64) -> Result<()> {
+        let e = self.place(key);
+        let owner = self.owner(e.pos);
+        let bucket = self.ring.get_mut(&owner).expect("owner exists");
+        bucket.push(e);
+        self.items += 1;
+        if self.ring[&owner].len() >= SPLIT_THRESHOLD {
+            self.split(owner);
+        }
+        Ok(())
+    }
+}
+
+impl DynamicFilter for RingFilter {
+    fn remove(&mut self, key: u64) -> Result<bool> {
+        let e = self.place(key);
+        let owner = self.owner(e.pos);
+        let bucket = self.ring.get_mut(&owner).ok_or(FilterError::NotFound)?;
+        if let Some(i) = bucket.iter().position(|s| s.fp == e.fp) {
+            bucket.swap_remove(i);
+            self.items -= 1;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{disjoint_keys, unique_keys};
+
+    #[test]
+    fn insert_query_roundtrip_across_splits() {
+        let keys = unique_keys(700, 30_000);
+        let mut f = RingFilter::new(4, 24);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        assert!(f.splits() > 500, "{} splits", f.splits());
+        assert!(keys.iter().all(|&k| f.contains(k)));
+    }
+
+    #[test]
+    fn elastic_growth_is_gradual() {
+        // Bucket count tracks n/threshold smoothly — no doubling
+        // spikes.
+        let mut f = RingFilter::new(4, 24);
+        let mut counts = Vec::new();
+        for (i, k) in workloads::KeyStream::new(701).take(20_000).enumerate() {
+            f.insert(k).unwrap();
+            if (i + 1) % 4_000 == 0 {
+                counts.push(f.buckets());
+            }
+        }
+        // Equal insert batches should add roughly equal bucket counts
+        // (no doubling spikes): compare per-window increments.
+        let diffs: Vec<usize> = std::iter::once(counts[0])
+            .chain(counts.windows(2).map(|w| w[1] - w[0]))
+            .collect();
+        let max = *diffs.iter().max().unwrap() as f64;
+        let min = *diffs.iter().min().unwrap() as f64;
+        assert!(max / min < 1.6, "spiky growth {counts:?} -> {diffs:?}");
+    }
+
+    #[test]
+    fn fpr_reasonable() {
+        let keys = unique_keys(702, 30_000);
+        let mut f = RingFilter::new(4, 20);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        let neg = disjoint_keys(703, 30_000, &keys);
+        let fpr = neg.iter().filter(|&&k| f.contains(k)).count() as f64 / 30_000.0;
+        // ≈ bucket_len · 2^-20 ≈ 3e-5.
+        assert!(fpr < 0.005, "fpr {fpr}");
+    }
+
+    #[test]
+    fn deletes_work() {
+        let keys = unique_keys(704, 10_000);
+        let mut f = RingFilter::new(4, 24);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        for &k in &keys[..5_000] {
+            assert!(f.remove(k).unwrap());
+        }
+        let still = keys[..5_000].iter().filter(|&&k| f.contains(k)).count();
+        assert!(still < 30, "{still} remain");
+        assert!(keys[5_000..].iter().all(|&k| f.contains(k)));
+    }
+
+    #[test]
+    fn ops_scale_logarithmically_not_constant() {
+        // The tutorial's criticism, measured: query latency grows
+        // with ring size (BTreeMap successor search) while
+        // InfiniFilter's stays flat. We assert the structural proxy:
+        // ring depth (log2 of buckets) grows with n.
+        let mut f = RingFilter::new(4, 24);
+        for k in workloads::KeyStream::new(705).take(50_000) {
+            f.insert(k).unwrap();
+        }
+        assert!(
+            f.buckets() > 1_000,
+            "{} buckets to search among",
+            f.buckets()
+        );
+    }
+}

@@ -1,0 +1,440 @@
+//! Taffy cuckoo filter (Apple, SPE 2022) — the §2.2 predecessor of
+//! InfiniFilter: a *cuckoo* table whose slots carry variable-length
+//! fingerprints delimited by unary age prefixes.
+//!
+//! Keys live in one of two sub-tables. Table 0 stores an entry at the
+//! bucket given by the low `q` bits of its canonical value `c` (the
+//! low known bits of the key's hash); table 1 stores it at the bucket
+//! of `P(c)`, where `P` is an **invertible** odd-multiplier
+//! permutation over the entry's known bits. Invertibility is what
+//! makes kicking possible without the original key: an entry's
+//! canonical value is reconstructible from (table, bucket,
+//! fingerprint, age), so its home in the *other* table can always be
+//! computed.
+//!
+//! Expansion doubles the buckets, moving one fingerprint bit into the
+//! bucket index and incrementing the entry's age — fresh inserts keep
+//! full-length fingerprints, so the FPR stays stable (the same
+//! geometric-age argument as [`crate::InfiniFilter`]). The filter
+//! expands until the oldest fingerprints are exhausted — "up to a
+//! known universe size" in the paper's phrasing — and does **not**
+//! support deletes.
+
+use filter_core::{Expandable, Filter, FilterError, Hasher, InsertFilter, Result};
+
+/// Slots per bucket.
+const BUCKET_SIZE: usize = 4;
+/// Maximum kicks per insert.
+const MAX_KICKS: usize = 500;
+
+/// One stored entry: unary age + fingerprint + which table it is in
+/// (implicit). `raw == 0` means empty (encode guarantees nonzero).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Slot {
+    /// `[unary age ones, 0, fingerprint bits, sentinel 1]` — the top
+    /// sentinel makes every occupied slot nonzero and self-delimits
+    /// the fingerprint length.
+    raw: u64,
+}
+
+/// An expandable cuckoo filter with stable FPR and no deletes.
+#[derive(Debug, Clone)]
+pub struct TaffyCuckooFilter {
+    /// Two sub-tables, each `n_buckets × BUCKET_SIZE` slots.
+    tables: [Vec<Slot>; 2],
+    q: u32,
+    /// Fresh-insert fingerprint length.
+    r: u32,
+    hasher: Hasher,
+    items: usize,
+    expansions: u32,
+}
+
+impl TaffyCuckooFilter {
+    /// Create with `2^q` buckets per table and `r`-bit fresh
+    /// fingerprints.
+    pub fn new(q: u32, r: u32) -> Self {
+        Self::with_seed(q, r, 0)
+    }
+
+    /// As [`TaffyCuckooFilter::new`] with an explicit seed.
+    pub fn with_seed(q: u32, r: u32, seed: u64) -> Self {
+        assert!((2..=24).contains(&r));
+        assert!(q >= 2 && q + r <= 56);
+        TaffyCuckooFilter {
+            tables: [
+                vec![Slot::default(); (1usize << q) * BUCKET_SIZE],
+                vec![Slot::default(); (1usize << q) * BUCKET_SIZE],
+            ],
+            q,
+            r,
+            hasher: Hasher::with_seed(seed),
+            items: 0,
+            expansions: 0,
+        }
+    }
+
+    /// Encode (age, fingerprint of `r - age` bits).
+    #[inline]
+    fn encode(&self, age: u32, fp: u64) -> Slot {
+        let fp_len = self.r - age;
+        // ones(age), zero, fp, top sentinel bit.
+        let body = (fp << (age + 1)) | filter_core::rem_mask(age);
+        Slot {
+            raw: body | (1u64 << (age + 1 + fp_len)),
+        }
+    }
+
+    /// Decode a nonempty slot into (age, fingerprint).
+    #[inline]
+    fn decode(&self, s: Slot) -> (u32, u64) {
+        debug_assert!(s.raw != 0);
+        let age = s.raw.trailing_ones().min(self.r);
+        let body = s.raw >> (age + 1);
+        // Strip the sentinel: it is the highest set bit.
+        let sentinel = 63 - body.leading_zeros();
+        (age, body & filter_core::rem_mask(sentinel))
+    }
+
+    /// The invertible permutation over `len` bits (odd multiply).
+    #[inline]
+    fn perm(&self, x: u64, len: u32) -> u64 {
+        let m = self.hasher.derive(len as u64).seed() | 1;
+        x.wrapping_mul(m) & filter_core::rem_mask(len)
+    }
+
+    /// Inverse permutation over `len` bits.
+    #[inline]
+    fn perm_inv(&self, y: u64, len: u32) -> u64 {
+        let m = self.hasher.derive(len as u64).seed() | 1;
+        y.wrapping_mul(mod_inverse_pow2(m, len)) & filter_core::rem_mask(len)
+    }
+
+    /// Canonical value of an entry stored in `table` at `bucket` with
+    /// decoded (age, fp): the low `q + r - age` bits of its hash.
+    ///
+    /// The bucket is the **top** `q` bits of the (permuted) local
+    /// value: an odd multiply mod `2^len` mixes every input bit into
+    /// the high output bits but leaves the low bits a function of the
+    /// low input bits alone — deriving buckets from the low bits
+    /// would lock the two tables' buckets into fixed pairs and
+    /// destroy the cuckoo choice power.
+    fn canonical(&self, table: usize, bucket: u64, age: u32, fp: u64) -> u64 {
+        let len = self.q + (self.r - age);
+        let local = (bucket << (len - self.q)) | fp;
+        if table == 0 {
+            local
+        } else {
+            self.perm_inv(local, len)
+        }
+    }
+
+    /// (bucket, fp) of canonical value `c` with `len` known bits in
+    /// `table`.
+    fn locate(&self, table: usize, c: u64, len: u32) -> (u64, u64) {
+        let local = if table == 0 { c } else { self.perm(c, len) };
+        (
+            local >> (len - self.q),
+            local & filter_core::rem_mask(len - self.q),
+        )
+    }
+
+    fn slot_at(&self, table: usize, bucket: u64, i: usize) -> Slot {
+        self.tables[table][bucket as usize * BUCKET_SIZE + i]
+    }
+
+    fn set_slot(&mut self, table: usize, bucket: u64, i: usize, s: Slot) {
+        self.tables[table][bucket as usize * BUCKET_SIZE + i] = s;
+    }
+
+    fn try_place(&mut self, table: usize, c: u64, age: u32) -> bool {
+        let len = self.q + (self.r - age);
+        let (bucket, fp) = self.locate(table, c, len);
+        for i in 0..BUCKET_SIZE {
+            if self.slot_at(table, bucket, i).raw == 0 {
+                let enc = self.encode(age, fp);
+                self.set_slot(table, bucket, i, enc);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Load factor over all slots.
+    pub fn load(&self) -> f64 {
+        self.items as f64 / (2.0 * (1u64 << self.q) as f64 * BUCKET_SIZE as f64)
+    }
+
+    /// Fresh-insert fingerprint length.
+    pub fn fingerprint_bits(&self) -> u32 {
+        self.r
+    }
+
+    /// Place an entry, kicking as needed. On eviction-limit failure
+    /// the entry left without a home is returned so the caller can
+    /// expand and re-insert it — dropping it would be a false
+    /// negative.
+    fn insert_canonical(&mut self, c: u64, age: u32) -> std::result::Result<(), (u64, u32)> {
+        if self.try_place(0, c, age) || self.try_place(1, c, age) {
+            return Ok(());
+        }
+        // Kick: evict a pseudo-random victim and move it to its other
+        // table (reconstructing its canonical value from stored bits).
+        let mut table = 1usize;
+        let mut c = c;
+        let mut age = age;
+        for kick in 0..MAX_KICKS {
+            let len = self.q + (self.r - age);
+            let (bucket, fp) = self.locate(table, c, len);
+            let vi = (self.hasher.derive(7).hash(&(c ^ kick as u64)) as usize) % BUCKET_SIZE;
+            let victim = self.slot_at(table, bucket, vi);
+            self.set_slot(table, bucket, vi, self.encode(age, fp));
+            let (v_age, v_fp) = self.decode(victim);
+            let v_c = self.canonical(table, bucket, v_age, v_fp);
+            table ^= 1;
+            c = v_c;
+            age = v_age;
+            if self.try_place(table, c, age) {
+                return Ok(());
+            }
+        }
+        Err((c, age))
+    }
+}
+
+/// Multiplicative inverse of odd `m` modulo `2^len` (Newton's method).
+fn mod_inverse_pow2(m: u64, len: u32) -> u64 {
+    debug_assert!(m & 1 == 1);
+    let mut inv = m; // correct mod 2^3
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(m.wrapping_mul(inv)));
+    }
+    inv & filter_core::rem_mask(len)
+}
+
+impl Filter for TaffyCuckooFilter {
+    fn contains(&self, key: u64) -> bool {
+        let h = self.hasher.hash(&key);
+        // An entry of age a has q + r - a known bits; probe both
+        // tables at every live age.
+        for age in 0..=self.expansions.min(self.r - 1) {
+            let len = self.q + (self.r - age);
+            let c = h & filter_core::rem_mask(len);
+            for table in 0..2 {
+                let (bucket, fp) = self.locate(table, c, len);
+                let want = self.encode(age, fp);
+                for i in 0..BUCKET_SIZE {
+                    if self.slot_at(table, bucket, i) == want {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        // Slots need r + 2 bits (unary + sentinel); the Vec<Slot>
+        // backing store is u64 for simplicity, but space is accounted
+        // at the packed width the format requires.
+        let slots = self.tables[0].len() + self.tables[1].len();
+        slots * (self.r as usize + 2) / 8 + 1
+    }
+}
+
+impl InsertFilter for TaffyCuckooFilter {
+    fn insert(&mut self, key: u64) -> Result<()> {
+        if self.load() > 0.9 {
+            self.expand()?;
+        }
+        let h = self.hasher.hash(&key);
+        let len = self.q + self.r;
+        let mut pending = (h & filter_core::rem_mask(len), 0u32);
+        // Cuckoo overload before the load trigger: expand and retry
+        // the homeless entry (which may be a kicked-out resident, not
+        // the new key). Expansion doubles capacity, so two rounds are
+        // ample; more indicates exhaustion.
+        for _ in 0..4 {
+            match self.insert_canonical(pending.0, pending.1) {
+                Ok(()) => {
+                    self.items += 1;
+                    return Ok(());
+                }
+                Err(orphan) => {
+                    self.expand()?;
+                    // The orphan's known bits are unchanged; one more
+                    // of them now addresses the bucket.
+                    pending = (orphan.0, orphan.1 + 1);
+                    if pending.1 >= self.r {
+                        return Err(FilterError::ExpansionExhausted);
+                    }
+                }
+            }
+        }
+        Err(FilterError::EvictionLimit)
+    }
+}
+
+impl Expandable for TaffyCuckooFilter {
+    fn expand(&mut self) -> Result<()> {
+        if self.expansions + 2 >= self.r {
+            // The oldest generation would lose its last fingerprint
+            // bit: the known-universe budget is exhausted.
+            return Err(FilterError::ExpansionExhausted);
+        }
+        let old_q = self.q;
+        let old_tables = std::mem::replace(
+            &mut self.tables,
+            [
+                vec![Slot::default(); (1usize << (old_q + 1)) * BUCKET_SIZE],
+                vec![Slot::default(); (1usize << (old_q + 1)) * BUCKET_SIZE],
+            ],
+        );
+        self.q = old_q + 1;
+        self.expansions += 1;
+        for (table, slots) in old_tables.iter().enumerate() {
+            for (idx, s) in slots.iter().enumerate() {
+                if s.raw == 0 {
+                    continue;
+                }
+                let bucket = (idx / BUCKET_SIZE) as u64;
+                // Decode with the OLD geometry (q changed, r didn't).
+                let (age, fp) = {
+                    let age = s.raw.trailing_ones().min(self.r);
+                    let body = s.raw >> (age + 1);
+                    let sentinel = 63 - body.leading_zeros();
+                    (age, body & filter_core::rem_mask(sentinel))
+                };
+                let len = old_q + (self.r - age);
+                let local = (bucket << (len - old_q)) | fp;
+                let c = if table == 0 {
+                    local
+                } else {
+                    self.perm_inv(local, len)
+                };
+                // Same canonical bits, one more of them spent on the
+                // bucket: age increases, len is unchanged. Rebuild
+                // runs at ≤ 45% load, where 500-kick failure is
+                // practically impossible; treat it as exhaustion.
+                self.insert_canonical(c, age + 1)
+                    .map_err(|_| FilterError::CapacityExceeded)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn expansions(&self) -> u32 {
+        self.expansions
+    }
+
+    fn capacity(&self) -> usize {
+        2 * (1usize << self.q) * BUCKET_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{disjoint_keys, unique_keys};
+
+    #[test]
+    fn mod_inverse_is_inverse() {
+        for m in [1u64, 3, 0xdead_beef | 1, u64::MAX] {
+            for len in [8u32, 16, 33, 64] {
+                let inv = mod_inverse_pow2(m, len);
+                assert_eq!(
+                    m.wrapping_mul(inv) & filter_core::rem_mask(len),
+                    1,
+                    "m={m} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let f = TaffyCuckooFilter::new(4, 12);
+        for age in 0..12u32 {
+            let fp_len = 12 - age;
+            for fp in [0u64, 1, filter_core::rem_mask(fp_len)] {
+                let enc = f.encode(age, fp);
+                assert_ne!(enc.raw, 0);
+                assert_eq!(f.decode(enc), (age, fp), "age {age} fp {fp:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_locate_roundtrip() {
+        let f = TaffyCuckooFilter::new(8, 12);
+        for c in [0u64, 1, 0xabcde, filter_core::rem_mask(20)] {
+            for table in 0..2 {
+                let (bucket, fp) = f.locate(table, c, 20);
+                assert_eq!(f.canonical(table, bucket, 0, fp), c, "table {table}");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_query_roundtrip() {
+        let keys = unique_keys(300, 5_000);
+        let mut f = TaffyCuckooFilter::new(10, 12);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        assert!(keys.iter().all(|&k| f.contains(k)));
+    }
+
+    #[test]
+    fn expands_with_stable_fpr() {
+        let keys = unique_keys(301, 120_000);
+        let probes = disjoint_keys(302, 30_000, &keys);
+        let mut f = TaffyCuckooFilter::new(8, 14);
+        let mut fprs = Vec::new();
+        for chunk in keys.chunks(30_000) {
+            for &k in chunk {
+                f.insert(k).unwrap();
+            }
+            fprs.push(
+                probes.iter().filter(|&&k| f.contains(k)).count() as f64 / probes.len() as f64,
+            );
+        }
+        assert!(f.expansions() >= 5, "{} expansions", f.expansions());
+        assert!(keys.iter().all(|&k| f.contains(k)), "lost keys");
+        let max = fprs.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max < 60.0 * 2f64.powi(-14), "fpr drifted to {max}");
+    }
+
+    #[test]
+    fn expansion_exhausts_at_known_universe() {
+        let mut f = TaffyCuckooFilter::new(4, 4);
+        let mut exhausted = false;
+        for k in 0..100_000u64 {
+            match f.insert(k) {
+                Ok(()) => {}
+                Err(FilterError::ExpansionExhausted) => {
+                    exhausted = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(exhausted, "taffy should hit its universe bound");
+    }
+
+    #[test]
+    fn kicked_entries_remain_queryable_across_expansion() {
+        let keys = unique_keys(303, 40_000);
+        let mut f = TaffyCuckooFilter::new(8, 16);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        assert!(f.expansions() >= 3);
+        let missing = keys.iter().filter(|&&k| !f.contains(k)).count();
+        assert_eq!(missing, 0);
+    }
+}

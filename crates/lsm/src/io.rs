@@ -1,0 +1,69 @@
+//! Simulated storage-I/O accounting.
+//!
+//! The paper's LSM claims are statements about *numbers of I/Os*
+//! (filters skip runs; Monkey bounds the expected probes; range
+//! filters avoid empty-range seeks), not device latencies — so the
+//! storage layer here is in-memory and every would-be block access
+//! increments a counter. This is the measured quantity in E11.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Shared I/O counter threaded through runs and the tree.
+#[derive(Debug, Clone, Default)]
+pub struct IoCounter {
+    reads: Rc<Cell<u64>>,
+    writes: Rc<Cell<u64>>,
+}
+
+impl IoCounter {
+    /// Fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` block reads.
+    #[inline]
+    pub fn read(&self, n: u64) {
+        self.reads.set(self.reads.get() + n);
+    }
+
+    /// Record `n` block writes.
+    #[inline]
+    pub fn write(&self, n: u64) {
+        self.writes.set(self.writes.get() + n);
+    }
+
+    /// Total block reads so far.
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Total block writes so far.
+    pub fn writes(&self) -> u64 {
+        self.writes.get()
+    }
+
+    /// Reset both counters.
+    pub fn reset(&self) {
+        self.reads.set(0);
+        self.writes.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = IoCounter::new();
+        let b = a.clone();
+        a.read(3);
+        b.write(2);
+        assert_eq!(b.reads(), 3);
+        assert_eq!(a.writes(), 2);
+        a.reset();
+        assert_eq!(b.reads(), 0);
+    }
+}

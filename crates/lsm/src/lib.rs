@@ -1,0 +1,33 @@
+//! # lsm
+//!
+//! A mini LSM-tree storage engine reproducing the tutorial's §3.1
+//! case studies with **simulated I/O accounting** (the paper's claims
+//! are about I/O counts, not device latency — see DESIGN.md):
+//!
+//! - pluggable per-run point filters ([`FilterKind`]): Bloom, XOR,
+//!   ribbon, quotient, cuckoo — immutable runs make static filters
+//!   applicable, the tutorial's §2.7 observation;
+//! - [`FprAllocation::Monkey`]: exponentially tightened FPRs for
+//!   smaller levels (Dayan et al.), dropping lookup cost from
+//!   `O(ε·lg N)` to `O(ε)` I/Os;
+//! - [`IndexMode::GlobalMaplet`]: one Chucky/SlimDB-style maplet
+//!   mapping keys to runs instead of per-run filters;
+//! - [`RangeFilterKind::Grafite`]: per-run range filters that prove
+//!   range emptiness without I/O.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cascade;
+pub mod io;
+pub mod join;
+pub mod policy;
+pub mod run;
+pub mod tree;
+
+pub use cascade::CascadeFilter;
+pub use io::IoCounter;
+pub use join::{bloom_join, filtered_join, JoinStats};
+pub use policy::{FilterKind, FprAllocation};
+pub use run::{RangeFilterKind, SortedRun, BLOCK_ENTRIES};
+pub use tree::{CompactionPolicy, GlobalRangeConfig, IndexMode, LsmConfig, LsmTree, TOMBSTONE};

@@ -1,0 +1,264 @@
+//! Immutable sorted runs with fence pointers, per-run point filters,
+//! and optional per-run range filters.
+
+use crate::io::IoCounter;
+use crate::policy::{build_filter, FilterKind};
+use filter_core::{Filter, RangeFilter};
+use rangefilter::Grafite;
+
+/// Entries per storage block (one simulated I/O reads one block).
+pub const BLOCK_ENTRIES: usize = 64;
+
+/// The range-filter family attached to runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RangeFilterKind {
+    /// No range filter: a range scan probes every overlapping run.
+    None,
+    /// Grafite per run (robust choice per §2.5).
+    Grafite {
+        /// lg of the longest supported range.
+        l_bits: u32,
+        /// Target range FPR.
+        eps: f64,
+    },
+}
+
+/// An immutable sorted run of `(key, value)` entries.
+pub struct SortedRun {
+    entries: Vec<(u64, u64)>,
+    /// Fence pointers: first key of each block (kept in memory; no
+    /// I/O to consult).
+    fences: Vec<u64>,
+    filter: Option<Box<dyn Filter>>,
+    range_filter: Option<Grafite>,
+    io: IoCounter,
+}
+
+impl std::fmt::Debug for SortedRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SortedRun")
+            .field("entries", &self.entries.len())
+            .field("filtered", &self.filter.is_some())
+            .finish()
+    }
+}
+
+impl SortedRun {
+    /// Build a run from sorted, key-distinct entries; writing it to
+    /// storage costs `blocks` write I/Os.
+    pub fn build(
+        entries: Vec<(u64, u64)>,
+        filter_kind: FilterKind,
+        eps: f64,
+        range_kind: RangeFilterKind,
+        io: IoCounter,
+    ) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        let keys: Vec<u64> = entries.iter().map(|e| e.0).collect();
+        let filter = build_filter(filter_kind, &keys, eps);
+        let range_filter = match range_kind {
+            RangeFilterKind::None => None,
+            RangeFilterKind::Grafite { l_bits, eps } => Some(Grafite::build(&keys, l_bits, eps)),
+        };
+        let fences = entries
+            .chunks(BLOCK_ENTRIES)
+            .map(|b| b[0].0)
+            .collect::<Vec<_>>();
+        io.write(entries.len().div_ceil(BLOCK_ENTRIES) as u64);
+        SortedRun {
+            entries,
+            fences,
+            filter,
+            range_filter,
+            io,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the run holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Smallest and largest key.
+    pub fn key_range(&self) -> (u64, u64) {
+        (
+            self.entries.first().map(|e| e.0).unwrap_or(u64::MAX),
+            self.entries.last().map(|e| e.0).unwrap_or(0),
+        )
+    }
+
+    /// Filter memory attributable to this run.
+    pub fn filter_bytes(&self) -> usize {
+        self.filter.as_ref().map_or(0, |f| f.size_in_bytes())
+            + self
+                .range_filter
+                .as_ref()
+                .map_or(0, RangeFilter::size_in_bytes)
+    }
+
+    /// Point lookup. Consults the in-memory filter first; a filter
+    /// negative costs zero I/O, otherwise one block read.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        if let Some(f) = &self.filter {
+            if !f.contains(key) {
+                return None;
+            }
+        }
+        self.probe_storage(key)
+    }
+
+    /// Probe storage directly (bypassing the filter), costing one
+    /// block I/O via the fence pointers.
+    pub fn probe_storage(&self, key: u64) -> Option<u64> {
+        let (lo, hi) = self.key_range();
+        if key < lo || key > hi {
+            return None; // fence pointers rule it out for free
+        }
+        self.io.read(1);
+        let block = self.fences.partition_point(|&f| f <= key) - 1;
+        let start = block * BLOCK_ENTRIES;
+        let end = (start + BLOCK_ENTRIES).min(self.entries.len());
+        self.entries[start..end]
+            .binary_search_by_key(&key, |e| e.0)
+            .ok()
+            .map(|i| self.entries[start + i].1)
+    }
+
+    /// Range scan over `[lo, hi]`, appending hits to `out`. The range
+    /// filter (if any) can prove emptiness for zero I/O; otherwise
+    /// each block overlapping the range costs one read.
+    pub fn scan(&self, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>) {
+        let (klo, khi) = self.key_range();
+        if hi < klo || lo > khi {
+            return;
+        }
+        if let Some(rf) = &self.range_filter {
+            if !rf.may_contain_range(lo, hi) {
+                return;
+            }
+        }
+        let start_block = self.fences.partition_point(|&f| f <= lo).saturating_sub(1);
+        let mut touched = 0u64;
+        let mut found_any = false;
+        for b in start_block..self.fences.len() {
+            let s = b * BLOCK_ENTRIES;
+            let e = (s + BLOCK_ENTRIES).min(self.entries.len());
+            if self.entries[s].0 > hi {
+                break;
+            }
+            if self.entries[e - 1].0 < lo {
+                continue;
+            }
+            touched += 1;
+            for &(k, v) in &self.entries[s..e] {
+                if k >= lo && k <= hi {
+                    out.push((k, v));
+                    found_any = true;
+                }
+            }
+        }
+        // Even a fruitless seek into the run costs at least one I/O
+        // once the range filter has passed it.
+        self.io.read(touched.max(u64::from(!found_any)));
+    }
+
+    /// Entries for index (re)builds that piggyback on writes the
+    /// engine is doing anyway (filters are built while the run's data
+    /// is still in memory, so no storage reads are charged).
+    pub(crate) fn entries_for_index_build(&self) -> &[(u64, u64)] {
+        &self.entries
+    }
+
+    /// Iterate all entries (used by compaction; costs block reads).
+    pub fn drain_for_compaction(&self) -> &[(u64, u64)] {
+        self.io
+            .read(self.entries.len().div_ceil(BLOCK_ENTRIES) as u64);
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(n: usize) -> Vec<(u64, u64)> {
+        (0..n as u64).map(|i| (i * 10, i)).collect()
+    }
+
+    #[test]
+    fn get_finds_and_counts_io() {
+        let io = IoCounter::new();
+        let r = SortedRun::build(
+            entries(1000),
+            FilterKind::Bloom,
+            0.01,
+            RangeFilterKind::None,
+            io.clone(),
+        );
+        io.reset();
+        assert_eq!(r.get(500), Some(50));
+        assert_eq!(io.reads(), 1, "one block read per positive lookup");
+        assert_eq!(r.get(505), None);
+        // Filter negative: no extra read (with high probability).
+        assert!(io.reads() <= 2);
+    }
+
+    #[test]
+    fn filterless_run_pays_io_on_miss() {
+        let io = IoCounter::new();
+        let r = SortedRun::build(
+            entries(1000),
+            FilterKind::None,
+            0.01,
+            RangeFilterKind::None,
+            io.clone(),
+        );
+        io.reset();
+        assert_eq!(r.get(505), None);
+        assert_eq!(io.reads(), 1, "miss without filter must cost a read");
+    }
+
+    #[test]
+    fn scan_respects_range_filter() {
+        let io = IoCounter::new();
+        let r = SortedRun::build(
+            entries(1000),
+            FilterKind::None,
+            0.01,
+            RangeFilterKind::Grafite {
+                l_bits: 8,
+                eps: 0.01,
+            },
+            io.clone(),
+        );
+        io.reset();
+        let mut out = Vec::new();
+        // Empty gap between consecutive keys.
+        r.scan(501, 505, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(io.reads(), 0, "range filter should prove emptiness");
+        r.scan(500, 520, &mut out);
+        assert_eq!(out, vec![(500, 50), (510, 51), (520, 52)]);
+        assert!(io.reads() >= 1);
+    }
+
+    #[test]
+    fn fences_rule_out_out_of_range_keys_free() {
+        let io = IoCounter::new();
+        let r = SortedRun::build(
+            entries(100),
+            FilterKind::None,
+            0.01,
+            RangeFilterKind::None,
+            io.clone(),
+        );
+        io.reset();
+        assert_eq!(r.get(1_000_000), None);
+        assert_eq!(io.reads(), 0);
+    }
+}

@@ -1,0 +1,759 @@
+//! The leveled LSM-tree.
+//!
+//! A write-optimized engine in the mould the tutorial describes
+//! (§3.1): a memtable flushes as immutable sorted runs into level 0;
+//! when a level holds `size_ratio` runs they are merged into the next
+//! level. Point lookups consult the per-run filters newest-first;
+//! range scans consult per-run range filters. An optional **global
+//! maplet index** (Chucky/SlimDB style) replaces all per-run point
+//! filters with a single maplet mapping each key to the run that
+//! holds it.
+
+use crate::io::IoCounter;
+use crate::policy::{FilterKind, FprAllocation};
+use crate::run::{RangeFilterKind, SortedRun};
+use filter_core::Maplet;
+use maplet::QuotientMaplet;
+use std::collections::BTreeMap;
+
+/// How runs are merged down the tree — the §3.1 design axis
+/// Dostoevsky/LSM-Bush explore.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CompactionPolicy {
+    /// Accumulate `size_ratio` runs per level, then merge them into
+    /// one run in the next level. Cheapest writes, most runs to probe.
+    Tiered,
+    /// At most one run per level; every merge rewrites the next
+    /// level's run. Most expensive writes, fewest runs.
+    Leveled,
+    /// Dostoevsky's lazy leveling: tiered everywhere *except* the
+    /// largest level, which stays a single run — write cost close to
+    /// tiering, point/long-range cost close to leveling (given
+    /// filters absorb the extra small runs).
+    LazyLeveled,
+}
+
+/// Index mode for point lookups.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IndexMode {
+    /// One point filter per run (the traditional design).
+    PerRunFilters,
+    /// One global maplet keyed by key fingerprint, valued with a run
+    /// id: a point lookup probes only the maplet's candidate runs.
+    GlobalMaplet,
+}
+
+/// Tree configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LsmConfig {
+    /// Memtable capacity in entries before flushing.
+    pub memtable_capacity: usize,
+    /// Runs per level before compaction into the next level.
+    pub size_ratio: usize,
+    /// Which point filter guards each run.
+    pub filter_kind: FilterKind,
+    /// How FPR is allocated across levels.
+    pub allocation: FprAllocation,
+    /// Range filter per run.
+    pub range_filter: RangeFilterKind,
+    /// Per-run filters vs global maplet.
+    pub index_mode: IndexMode,
+    /// Merge policy.
+    pub compaction: CompactionPolicy,
+    /// Maintain one tree-wide range filter (the GRF idea: a single
+    /// *global* structure answers range emptiness for the whole tree
+    /// in one probe, instead of one probe per run).
+    pub global_range_filter: Option<GlobalRangeConfig>,
+}
+
+/// Parameters of the global range filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalRangeConfig {
+    /// lg of the longest supported range.
+    pub l_bits: u32,
+    /// Target range FPR.
+    pub eps: f64,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        LsmConfig {
+            memtable_capacity: 4096,
+            size_ratio: 4,
+            filter_kind: FilterKind::Bloom,
+            allocation: FprAllocation::Uniform(0.01),
+            range_filter: RangeFilterKind::None,
+            index_mode: IndexMode::PerRunFilters,
+            compaction: CompactionPolicy::Tiered,
+            global_range_filter: None,
+        }
+    }
+}
+
+/// A monotonically increasing id per run, used as maplet values.
+type RunId = u64;
+
+/// Reserved value marking a deleted key (the classic LSM tombstone).
+/// User values must stay below it.
+pub const TOMBSTONE: u64 = u64::MAX;
+
+/// The LSM tree.
+pub struct LsmTree {
+    config: LsmConfig,
+    memtable: BTreeMap<u64, u64>,
+    /// `levels[0]` is the newest; each level holds runs newest-first.
+    levels: Vec<Vec<(RunId, SortedRun)>>,
+    io: IoCounter,
+    next_run_id: RunId,
+    /// Global maplet: key fingerprint → run id (GlobalMaplet mode).
+    maplet: Option<QuotientMaplet>,
+    /// GRF-style tree-wide range filter, rebuilt on flush/compaction.
+    global_range: Option<rangefilter::Grafite>,
+    maplet_capacity: usize,
+}
+
+impl LsmTree {
+    /// Create a tree with the given configuration.
+    pub fn new(config: LsmConfig) -> Self {
+        let maplet = match config.index_mode {
+            IndexMode::PerRunFilters => None,
+            IndexMode::GlobalMaplet => Some(QuotientMaplet::for_capacity(1 << 16, 0.001, 16)),
+        };
+        LsmTree {
+            config,
+            memtable: BTreeMap::new(),
+            levels: Vec::new(),
+            io: IoCounter::new(),
+            next_run_id: 0,
+            maplet,
+            global_range: None,
+            maplet_capacity: 1 << 16,
+        }
+    }
+
+    /// The shared I/O counter.
+    pub fn io(&self) -> &IoCounter {
+        &self.io
+    }
+
+    /// Insert or update a key.
+    ///
+    /// # Panics
+    /// Panics if `value` is the reserved [`TOMBSTONE`].
+    pub fn put(&mut self, key: u64, value: u64) {
+        assert_ne!(value, TOMBSTONE, "TOMBSTONE is reserved");
+        self.memtable.insert(key, value);
+        if self.memtable.len() >= self.config.memtable_capacity {
+            self.flush();
+        }
+    }
+
+    /// Delete a key by writing a tombstone; the tombstone shadows
+    /// older versions until bottom-level compaction drops it.
+    pub fn delete(&mut self, key: u64) {
+        self.memtable.insert(key, TOMBSTONE);
+        if self.memtable.len() >= self.config.memtable_capacity {
+            self.flush();
+        }
+    }
+
+    /// Flush the memtable into a level-0 run.
+    pub fn flush(&mut self) {
+        if self.memtable.is_empty() {
+            return;
+        }
+        let entries: Vec<(u64, u64)> = std::mem::take(&mut self.memtable).into_iter().collect();
+        self.push_run(0, entries);
+        self.maybe_compact();
+    }
+
+    fn push_run(&mut self, level: usize, entries: Vec<(u64, u64)>) {
+        while self.levels.len() <= level {
+            self.levels.push(Vec::new());
+        }
+        let total = self.stored_entries() + entries.len();
+        let eps = self.config.allocation.eps_for_run(entries.len(), total);
+        let filter_kind = match self.config.index_mode {
+            IndexMode::PerRunFilters => self.config.filter_kind,
+            IndexMode::GlobalMaplet => FilterKind::None,
+        };
+        let id = self.next_run_id;
+        self.next_run_id += 1;
+        if let Some(m) = &mut self.maplet {
+            // (Re)register each key under its new run id. Old run-id
+            // entries for the same fingerprint are removed lazily via
+            // rebuild during compaction (see `rebuild_maplet`).
+            for &(k, _) in &entries {
+                if m.len() + 1 >= self.maplet_capacity {
+                    self.maplet_capacity *= 2;
+                    let mut bigger = QuotientMaplet::for_capacity(self.maplet_capacity, 0.001, 16);
+                    for run_level in &self.levels {
+                        for (rid, run) in run_level {
+                            for &(key, _) in run.drain_for_compaction() {
+                                bigger.insert(key, *rid).expect("maplet insert");
+                            }
+                        }
+                    }
+                    *m = bigger;
+                }
+                m.insert(k, id).expect("maplet insert");
+            }
+        }
+        let run = SortedRun::build(
+            entries,
+            filter_kind,
+            eps,
+            self.config.range_filter,
+            self.io.clone(),
+        );
+        self.levels[level].insert(0, (id, run));
+    }
+
+    fn maybe_compact(&mut self) {
+        let mut level = 0;
+        while level < self.levels.len() {
+            let trigger = match self.config.compaction {
+                // Tiered: a level holding `size_ratio` runs spills
+                // into the next one.
+                CompactionPolicy::Tiered => self.levels[level].len() >= self.config.size_ratio,
+                // Lazy leveling: tiered triggers above, plus a *size*
+                // trigger on the single-run bottom level so it moves
+                // down (gaining a level) instead of being rewritten
+                // indefinitely.
+                CompactionPolicy::LazyLeveled => {
+                    let cap = self.config.memtable_capacity
+                        * self.config.size_ratio.pow(level as u32 + 1);
+                    self.levels[level].len() >= self.config.size_ratio
+                        || (level + 1 == self.levels.len()
+                            && self.levels[level]
+                                .iter()
+                                .map(|(_, r)| r.len())
+                                .sum::<usize>()
+                                > cap)
+                }
+                // Leveled: one run per level, capped at
+                // memtable · ratio^(level+1) entries.
+                CompactionPolicy::Leveled => {
+                    let cap = self.config.memtable_capacity
+                        * self.config.size_ratio.pow(level as u32 + 1);
+                    self.levels[level].len() > 1
+                        || self.levels[level]
+                            .iter()
+                            .map(|(_, r)| r.len())
+                            .sum::<usize>()
+                            > cap
+                }
+            };
+            if trigger {
+                self.compact_level(level);
+            }
+            level += 1;
+        }
+        if self.maplet.is_some() {
+            self.rebuild_maplet();
+        }
+        self.rebuild_global_range();
+    }
+
+    /// Rebuild the GRF-style global range filter over every live key
+    /// (an O(n) pass piggybacking on compaction, like GRF's build).
+    fn rebuild_global_range(&mut self) {
+        let Some(cfg) = self.config.global_range_filter else {
+            return;
+        };
+        let mut keys: Vec<u64> = self
+            .levels
+            .iter()
+            .flatten()
+            .flat_map(|(_, run)| {
+                run.entries_for_index_build().iter().map(|&(k, _)| k)
+            })
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        self.global_range = Some(rangefilter::Grafite::build(&keys, cfg.l_bits, cfg.eps));
+    }
+
+    /// Whether a merge arriving at `level` must absorb that level's
+    /// resident run(s) (a *leveling* merge) rather than stack a new
+    /// run beside them (a *tiering* merge).
+    fn merge_absorbs(&self, level: usize) -> bool {
+        match self.config.compaction {
+            CompactionPolicy::Tiered => false,
+            CompactionPolicy::Leveled => true,
+            // Lazy leveling keeps only the largest level as one run:
+            // absorb when the destination is (or becomes) the bottom.
+            CompactionPolicy::LazyLeveled => level + 2 >= self.levels.len(),
+        }
+    }
+
+    /// Merge every run of `level` into the next level, absorbing the
+    /// destination's runs when the policy says so.
+    fn compact_level(&mut self, level: usize) {
+        let mut runs = std::mem::take(&mut self.levels[level]);
+        if self.merge_absorbs(level) && self.levels.len() > level + 1 {
+            // The destination's runs are older than everything in
+            // `level`; append them so the newest-first merge below
+            // still resolves duplicates correctly.
+            runs.extend(std::mem::take(&mut self.levels[level + 1]));
+        }
+        // Newest-first merge: for duplicate keys the newest run wins.
+        let mut merged: BTreeMap<u64, u64> = BTreeMap::new();
+        for (_, run) in runs.iter().rev() {
+            for &(k, v) in run.drain_for_compaction() {
+                merged.insert(k, v); // older first, newer overwrites
+            }
+        }
+        // Tombstones can be dropped once nothing older can exist
+        // below the merge output (it becomes the bottom of the tree).
+        let nothing_below = self
+            .levels
+            .get(level + 1)
+            .is_none_or(|l| l.is_empty())
+            && self.levels.iter().skip(level + 2).all(|l| l.is_empty());
+        let entries: Vec<(u64, u64)> = merged
+            .into_iter()
+            .filter(|&(_, v)| !(nothing_below && v == TOMBSTONE))
+            .collect();
+        if entries.is_empty() {
+            return;
+        }
+        self.push_run(level + 1, entries);
+    }
+
+    /// Rebuild the global maplet from live runs (removes stale run
+    /// ids left by compaction).
+    fn rebuild_maplet(&mut self) {
+        let Some(m) = &mut self.maplet else { return };
+        let mut fresh = QuotientMaplet::for_capacity(self.maplet_capacity, 0.001, 16);
+        for level in &self.levels {
+            for (rid, run) in level {
+                for &(k, _) in run.drain_for_compaction() {
+                    fresh.insert(k, *rid).expect("maplet insert");
+                }
+            }
+        }
+        *m = fresh;
+    }
+
+    /// Point lookup (tombstoned keys read as absent).
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.get_versioned(key).filter(|&v| v != TOMBSTONE)
+    }
+
+    /// Newest stored version of a key, tombstones included.
+    fn get_versioned(&self, key: u64) -> Option<u64> {
+        if let Some(&v) = self.memtable.get(&key) {
+            return Some(v);
+        }
+        match &self.maplet {
+            Some(m) => {
+                let mut candidates = Vec::new();
+                m.get(key, &mut candidates);
+                // Newest candidate run id wins; probe in descending id
+                // order.
+                candidates.sort_unstable_by(|a, b| b.cmp(a));
+                candidates.dedup();
+                for rid in candidates {
+                    if let Some(run) = self.run_by_id(rid) {
+                        if let Some(v) = run.probe_storage(key) {
+                            return Some(v);
+                        }
+                    }
+                }
+                None
+            }
+            None => {
+                for level in &self.levels {
+                    for (_, run) in level {
+                        if let Some(v) = run.get(key) {
+                            return Some(v);
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn run_by_id(&self, id: RunId) -> Option<&SortedRun> {
+        self.levels
+            .iter()
+            .flatten()
+            .find(|(rid, _)| *rid == id)
+            .map(|(_, r)| r)
+    }
+
+    /// Range scan over `[lo, hi]`, returning `(key, value)` pairs in
+    /// key order (newest value per key).
+    pub fn scan(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let mut acc: BTreeMap<u64, u64> = BTreeMap::new();
+        // One global probe can prove the storage side empty (the GRF
+        // saving: CPU cost independent of run count).
+        let storage_empty = match &self.global_range {
+            Some(g) => {
+                use filter_core::RangeFilter;
+                !g.may_contain_range(lo, hi)
+            }
+            None => false,
+        };
+        if storage_empty {
+            for (&k, &v) in self.memtable.range(lo..=hi) {
+                acc.insert(k, v);
+            }
+            return acc
+                .into_iter()
+                .filter(|&(_, v)| v != TOMBSTONE)
+                .collect();
+        }
+        // Oldest level first so newer writes overwrite.
+        let mut buf = Vec::new();
+        for level in self.levels.iter().rev() {
+            for (_, run) in level.iter().rev() {
+                buf.clear();
+                run.scan(lo, hi, &mut buf);
+                for &(k, v) in &buf {
+                    acc.insert(k, v);
+                }
+            }
+        }
+        for (&k, &v) in self.memtable.range(lo..=hi) {
+            acc.insert(k, v);
+        }
+        acc.into_iter().filter(|&(_, v)| v != TOMBSTONE).collect()
+    }
+
+    /// Total runs across all levels.
+    pub fn run_count(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
+
+    /// Number of levels.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total filter memory (per-run filters plus maplet).
+    pub fn filter_bytes(&self) -> usize {
+        let runs: usize = self
+            .levels
+            .iter()
+            .flatten()
+            .map(|(_, r)| r.filter_bytes())
+            .sum();
+        runs + self.maplet.as_ref().map_or(0, |m| m.size_in_bytes())
+    }
+
+    /// Write amplification so far: blocks written / blocks of logical
+    /// data ingested (the §3.1 Dostoevsky metric).
+    pub fn write_amplification(&self, logical_entries: u64) -> f64 {
+        let logical_blocks = logical_entries
+            .div_ceil(crate::run::BLOCK_ENTRIES as u64)
+            .max(1);
+        self.io.writes() as f64 / logical_blocks as f64
+    }
+
+    /// Total entries in all runs (pre-dedup).
+    pub fn stored_entries(&self) -> usize {
+        self.levels
+            .iter()
+            .flatten()
+            .map(|(_, r)| r.len())
+            .sum::<usize>()
+            + self.memtable.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_with(config: LsmConfig, n: u64) -> LsmTree {
+        let mut t = LsmTree::new(config);
+        for i in 0..n {
+            t.put(filter_core::hash::mix64(i), i);
+        }
+        t.flush();
+        t
+    }
+
+    #[test]
+    fn get_returns_latest_value() {
+        let mut t = LsmTree::new(LsmConfig {
+            memtable_capacity: 128,
+            ..Default::default()
+        });
+        for i in 0..5_000u64 {
+            t.put(i % 100, i);
+        }
+        t.flush();
+        for k in 0..100u64 {
+            let v = t.get(k).expect("key present");
+            assert_eq!(v % 100, k, "stale value for {k}");
+            assert!(v >= 4_900, "not the latest write: {v}");
+        }
+    }
+
+    #[test]
+    fn all_inserted_keys_retrievable() {
+        let t = tree_with(
+            LsmConfig {
+                memtable_capacity: 512,
+                ..Default::default()
+            },
+            20_000,
+        );
+        for i in (0..20_000u64).step_by(97) {
+            assert_eq!(t.get(filter_core::hash::mix64(i)), Some(i));
+        }
+        assert!(t.level_count() >= 2, "compaction never ran");
+    }
+
+    #[test]
+    fn filters_save_negative_io() {
+        let mk = |kind| {
+            let t = tree_with(
+                LsmConfig {
+                    memtable_capacity: 512,
+                    filter_kind: kind,
+                    ..Default::default()
+                },
+                20_000,
+            );
+            t.io().reset();
+            for i in 20_000..25_000u64 {
+                assert_eq!(t.get(filter_core::hash::mix64(i)), None);
+            }
+            t.io().reads()
+        };
+        let without = mk(FilterKind::None);
+        let with = mk(FilterKind::Bloom);
+        assert!(
+            with * 10 < without,
+            "bloom {with} reads vs none {without} reads"
+        );
+    }
+
+    #[test]
+    fn maplet_mode_probes_at_most_candidates() {
+        let t = tree_with(
+            LsmConfig {
+                memtable_capacity: 512,
+                index_mode: IndexMode::GlobalMaplet,
+                ..Default::default()
+            },
+            20_000,
+        );
+        // Positive lookups still work.
+        for i in (0..20_000u64).step_by(101) {
+            assert_eq!(t.get(filter_core::hash::mix64(i)), Some(i));
+        }
+        // Negative lookups are nearly free.
+        t.io().reset();
+        for i in 20_000..24_000u64 {
+            assert_eq!(t.get(filter_core::hash::mix64(i)), None);
+        }
+        let neg_reads = t.io().reads();
+        assert!(neg_reads < 100, "maplet negatives cost {neg_reads} reads");
+    }
+
+    #[test]
+    fn scan_returns_sorted_latest() {
+        let mut t = LsmTree::new(LsmConfig {
+            memtable_capacity: 256,
+            range_filter: RangeFilterKind::Grafite {
+                l_bits: 16,
+                eps: 0.01,
+            },
+            ..Default::default()
+        });
+        for i in 0..5_000u64 {
+            t.put(i * 3, i);
+        }
+        t.flush();
+        let hits = t.scan(300, 330);
+        assert_eq!(
+            hits,
+            vec![
+                (300, 100),
+                (303, 101),
+                (306, 102),
+                (309, 103),
+                (312, 104),
+                (315, 105),
+                (318, 106),
+                (321, 107),
+                (324, 108),
+                (327, 109),
+                (330, 110)
+            ]
+        );
+    }
+
+    #[test]
+    fn compaction_policies_trade_writes_for_runs() {
+        let build = |compaction| {
+            let mut t = LsmTree::new(LsmConfig {
+                memtable_capacity: 256,
+                size_ratio: 4,
+                compaction,
+                ..Default::default()
+            });
+            for i in 0..40_000u64 {
+                t.put(filter_core::hash::mix64(i), i);
+            }
+            t.flush();
+            // Correctness across all policies.
+            for i in (0..40_000u64).step_by(503) {
+                assert_eq!(t.get(filter_core::hash::mix64(i)), Some(i));
+            }
+            (t.write_amplification(40_000), t.run_count())
+        };
+        let (wa_t, runs_t) = build(CompactionPolicy::Tiered);
+        let (wa_l, runs_l) = build(CompactionPolicy::Leveled);
+        let (wa_z, runs_z) = build(CompactionPolicy::LazyLeveled);
+        // Leveling pays the most writes and keeps the fewest runs.
+        assert!(wa_l > wa_t, "leveled WA {wa_l} <= tiered {wa_t}");
+        assert!(runs_l < runs_t, "leveled runs {runs_l} >= tiered {runs_t}");
+        // Lazy leveling: write cost near tiering, bottom level single.
+        assert!(wa_z < wa_l, "lazy WA {wa_z} >= leveled {wa_l}");
+        assert!(runs_z <= runs_t, "lazy runs {runs_z} > tiered {runs_t}");
+    }
+
+    #[test]
+    fn global_range_filter_skips_empty_scans_with_one_probe() {
+        let mut t = LsmTree::new(LsmConfig {
+            memtable_capacity: 512,
+            global_range_filter: Some(GlobalRangeConfig {
+                l_bits: 8,
+                eps: 0.01,
+            }),
+            ..Default::default()
+        });
+        for i in 0..20_000u64 {
+            t.put(i * 1_000, i);
+        }
+        t.flush();
+        t.io().reset();
+        for i in 0..2_000u64 {
+            let lo = i * 1_000 + 1;
+            assert!(t.scan(lo, lo + 50).is_empty());
+        }
+        // The global filter proves emptiness without touching storage.
+        assert!(
+            t.io().reads() < 60,
+            "{} reads for 2k empty scans",
+            t.io().reads()
+        );
+        // Correctness: non-empty scans still return everything.
+        assert_eq!(t.scan(0, 5_000).len(), 6);
+        // Memtable-only data is visible even when storage is empty in
+        // the range.
+        t.put(123_456_789, 7);
+        assert_eq!(t.scan(123_456_700, 123_456_800), vec![(123_456_789, 7)]);
+    }
+
+    #[test]
+    fn tombstones_hide_and_eventually_vanish() {
+        let mut t = LsmTree::new(LsmConfig {
+            memtable_capacity: 128,
+            size_ratio: 3,
+            ..Default::default()
+        });
+        for i in 0..5_000u64 {
+            t.put(i, i * 2);
+        }
+        for i in (0..5_000u64).step_by(2) {
+            t.delete(i);
+        }
+        t.flush();
+        // Deleted keys read as absent, survivors intact, scans clean.
+        for i in 0..5_000u64 {
+            if i % 2 == 0 {
+                assert_eq!(t.get(i), None, "tombstoned {i} visible");
+            } else {
+                assert_eq!(t.get(i), Some(i * 2));
+            }
+        }
+        let scanned = t.scan(0, 99);
+        assert_eq!(scanned.len(), 50);
+        assert!(scanned.iter().all(|&(k, _)| k % 2 == 1));
+        // Deleting everything then churning compacts tombstones away
+        // without resurrecting anything.
+        for i in 0..5_000u64 {
+            t.delete(i);
+        }
+        for i in 10_000..40_000u64 {
+            t.put(i, i);
+        }
+        t.flush();
+        for i in (0..5_000u64).step_by(97) {
+            assert_eq!(t.get(i), None);
+        }
+    }
+
+    #[test]
+    fn delete_then_reinsert_reads_new_value() {
+        let mut t = LsmTree::new(LsmConfig {
+            memtable_capacity: 64,
+            ..Default::default()
+        });
+        t.put(5, 50);
+        t.delete(5);
+        for i in 100..400u64 {
+            t.put(i, i); // push everything through flushes
+        }
+        assert_eq!(t.get(5), None);
+        t.put(5, 51);
+        t.flush();
+        assert_eq!(t.get(5), Some(51));
+    }
+
+    #[test]
+    fn leveled_keeps_one_run_per_level() {
+        let mut t = LsmTree::new(LsmConfig {
+            memtable_capacity: 128,
+            size_ratio: 3,
+            compaction: CompactionPolicy::Leveled,
+            ..Default::default()
+        });
+        for i in 0..10_000u64 {
+            t.put(filter_core::hash::mix64(i), i);
+        }
+        t.flush();
+        for level in &t.levels {
+            assert!(level.len() <= 1, "level holds {} runs", level.len());
+        }
+    }
+
+    #[test]
+    fn range_filters_skip_empty_scans() {
+        let build = |range_filter| {
+            let mut t = LsmTree::new(LsmConfig {
+                memtable_capacity: 512,
+                range_filter,
+                ..Default::default()
+            });
+            // Sparse keys: multiples of 1000.
+            for i in 0..20_000u64 {
+                t.put(i * 1000, i);
+            }
+            t.flush();
+            t.io().reset();
+            for i in 0..2_000u64 {
+                let lo = i * 1000 + 1;
+                assert!(t.scan(lo, lo + 50).is_empty());
+            }
+            t.io().reads()
+        };
+        let without = build(RangeFilterKind::None);
+        let with = build(RangeFilterKind::Grafite {
+            l_bits: 8,
+            eps: 0.01,
+        });
+        assert!(
+            with * 5 < without,
+            "grafite {with} reads vs none {without} reads"
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Cuckoo-filter maplet: each slot stores `(fingerprint, value)`
+//! (the Chucky layout the tutorial cites for LSM-tree maplets).
+
+use filter_core::{FilterError, Hasher, Maplet, PackedArray, Result};
+
+const BUCKET_SIZE: usize = 4;
+const MAX_KICKS: usize = 500;
+
+/// A dynamic maplet over a cuckoo table.
+#[derive(Debug, Clone)]
+pub struct CuckooMaplet {
+    /// `[value: value_bits][fp: fp_bits]`, 0 = empty (fp forced ≥ 1).
+    slots: PackedArray,
+    n_buckets: usize,
+    fp_bits: u32,
+    value_bits: u32,
+    hasher: Hasher,
+    items: usize,
+}
+
+impl CuckooMaplet {
+    /// Create for `capacity` keys with `fp_bits`-bit fingerprints and
+    /// `value_bits`-bit values.
+    pub fn new(capacity: usize, fp_bits: u32, value_bits: u32) -> Self {
+        Self::with_seed(capacity, fp_bits, value_bits, 0)
+    }
+
+    /// As [`CuckooMaplet::new`] with an explicit seed.
+    pub fn with_seed(capacity: usize, fp_bits: u32, value_bits: u32, seed: u64) -> Self {
+        assert!((4..=32).contains(&fp_bits));
+        assert!((1..=30).contains(&value_bits));
+        let n_buckets = ((capacity as f64 / 0.95 / BUCKET_SIZE as f64).ceil() as usize)
+            .next_power_of_two()
+            .max(2);
+        CuckooMaplet {
+            slots: PackedArray::new(n_buckets * BUCKET_SIZE, fp_bits + value_bits),
+            n_buckets,
+            fp_bits,
+            value_bits,
+            hasher: Hasher::with_seed(seed),
+            items: 0,
+        }
+    }
+
+    #[inline]
+    fn fp_and_bucket(&self, key: u64) -> (u64, usize) {
+        let h = self.hasher.hash(&key);
+        let fp = (h >> 32) & filter_core::rem_mask(self.fp_bits);
+        let fp = if fp == 0 { 1 } else { fp };
+        (fp, (h as usize) & (self.n_buckets - 1))
+    }
+
+    #[inline]
+    fn alt_bucket(&self, i: usize, fp: u64) -> usize {
+        (i ^ self.hasher.derive(1).hash(&fp) as usize) & (self.n_buckets - 1)
+    }
+
+    #[inline]
+    fn fp_of(&self, cell: u64) -> u64 {
+        cell & filter_core::rem_mask(self.fp_bits)
+    }
+
+    #[inline]
+    fn value_of(&self, cell: u64) -> u64 {
+        cell >> self.fp_bits
+    }
+
+    fn try_place(&mut self, bucket: usize, cell: u64) -> bool {
+        for s in 0..BUCKET_SIZE {
+            let idx = bucket * BUCKET_SIZE + s;
+            if self.slots.get(idx) == 0 {
+                self.slots.set(idx, cell);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Remove one entry matching `key`; returns its value.
+    pub fn remove(&mut self, key: u64) -> Result<Option<u64>> {
+        let (fp, i1) = self.fp_and_bucket(key);
+        for b in [i1, self.alt_bucket(i1, fp)] {
+            for s in 0..BUCKET_SIZE {
+                let idx = b * BUCKET_SIZE + s;
+                let cell = self.slots.get(idx);
+                if cell != 0 && self.fp_of(cell) == fp {
+                    self.slots.set(idx, 0);
+                    self.items -= 1;
+                    return Ok(Some(self.value_of(cell)));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Load factor.
+    pub fn load(&self) -> f64 {
+        self.items as f64 / (self.n_buckets * BUCKET_SIZE) as f64
+    }
+}
+
+impl Maplet for CuckooMaplet {
+    fn insert(&mut self, key: u64, value: u64) -> Result<()> {
+        assert!(value <= filter_core::rem_mask(self.value_bits));
+        let (fp, i1) = self.fp_and_bucket(key);
+        let cell = fp | (value << self.fp_bits);
+        let i2 = self.alt_bucket(i1, fp);
+        if self.try_place(i1, cell) || self.try_place(i2, cell) {
+            self.items += 1;
+            return Ok(());
+        }
+        let mut bucket = i2;
+        let mut cell = cell;
+        for kick in 0..MAX_KICKS {
+            let vs = (self.hasher.derive(2).hash(&(cell ^ kick as u64)) as usize) % BUCKET_SIZE;
+            let idx = bucket * BUCKET_SIZE + vs;
+            let victim = self.slots.get(idx);
+            self.slots.set(idx, cell);
+            cell = victim;
+            bucket = self.alt_bucket(bucket, self.fp_of(cell));
+            if self.try_place(bucket, cell) {
+                self.items += 1;
+                return Ok(());
+            }
+        }
+        Err(FilterError::EvictionLimit)
+    }
+
+    fn get(&self, key: u64, out: &mut Vec<u64>) -> usize {
+        let (fp, i1) = self.fp_and_bucket(key);
+        let before = out.len();
+        for b in [i1, self.alt_bucket(i1, fp)] {
+            for s in 0..BUCKET_SIZE {
+                let cell = self.slots.get(b * BUCKET_SIZE + s);
+                if cell != 0 && self.fp_of(cell) == fp {
+                    out.push(self.value_of(cell));
+                }
+            }
+        }
+        out.len() - before
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.slots.size_in_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{disjoint_keys, unique_keys};
+
+    #[test]
+    fn get_returns_true_value() {
+        let keys = unique_keys(180, 20_000);
+        let mut m = CuckooMaplet::new(25_000, 14, 16);
+        for (i, &k) in keys.iter().enumerate() {
+            m.insert(k, (i as u64) & 0xffff).unwrap();
+        }
+        let mut out = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            out.clear();
+            m.get(k, &mut out);
+            assert!(out.contains(&((i as u64) & 0xffff)), "missing value {i}");
+        }
+    }
+
+    #[test]
+    fn prs_and_nrs() {
+        let keys = unique_keys(181, 20_000);
+        let mut m = CuckooMaplet::new(25_000, 14, 16);
+        for (i, &k) in keys.iter().enumerate() {
+            m.insert(k, (i as u64) & 0xffff).unwrap();
+        }
+        let mut out = Vec::new();
+        let mut pos_total = 0usize;
+        for &k in &keys {
+            out.clear();
+            pos_total += m.get(k, &mut out);
+        }
+        let prs = pos_total as f64 / keys.len() as f64;
+        assert!((1.0..1.05).contains(&prs), "PRS {prs}");
+
+        let neg = disjoint_keys(182, 50_000, &keys);
+        let mut neg_total = 0usize;
+        for &k in &neg {
+            out.clear();
+            neg_total += m.get(k, &mut out);
+        }
+        let nrs = neg_total as f64 / neg.len() as f64;
+        assert!(nrs < 0.01, "NRS {nrs}");
+    }
+
+    #[test]
+    fn remove_returns_value() {
+        let mut m = CuckooMaplet::new(1000, 16, 8);
+        m.insert(42, 99).unwrap();
+        assert_eq!(m.remove(42).unwrap(), Some(99));
+        assert_eq!(m.remove(42).unwrap(), None);
+    }
+
+    #[test]
+    fn survives_kicking() {
+        let keys = unique_keys(183, 30_000);
+        let mut m = CuckooMaplet::new(30_000, 14, 8);
+        let mut stored = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            if m.insert(k, (i as u64) & 0xff).is_ok() {
+                stored.push((k, (i as u64) & 0xff));
+            }
+        }
+        assert!(stored.len() > 29_000);
+        let mut out = Vec::new();
+        for &(k, v) in &stored {
+            out.clear();
+            m.get(k, &mut out);
+            assert!(out.contains(&v));
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # maplet
+//!
+//! Key→value filters — *maplets* (tutorial §2.4). A maplet query for
+//! a present key returns the true value plus possibly a few aliases
+//! (expected positive result size, PRS); a query for an absent key
+//! returns noise values with expected size NRS.
+//!
+//! | Implementation | PRS | NRS | dynamic? |
+//! |---|---|---|---|
+//! | [`QuotientMaplet`] | 1 + ε | ε | insert + delete |
+//! | [`CuckooMaplet`] | 1 + ε | ε | insert + delete |
+//! | [`CollisionFreeMaplet`] | exactly 1 | ε | insert + delete |
+//! | [`xorf::BloomierFilter`] | 1 | ε·1 | static, value updates |
+//!
+//! The collision-free maplet resolves fingerprint collisions on the
+//! insert path with an auxiliary exact dictionary, the SlimDB
+//! technique the tutorial credits with bounding tail latency.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cuckoo_maplet;
+pub mod quotient_maplet;
+
+pub use cuckoo_maplet::CuckooMaplet;
+pub use quotient_maplet::{CollisionFreeMaplet, QuotientMaplet};
+pub use xorf::BloomierFilter;

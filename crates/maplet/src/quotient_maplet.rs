@@ -1,0 +1,320 @@
+//! Quotient-filter maplets: values stored alongside remainders in the
+//! slot payload (the SplinterDB / Chucky layout the tutorial cites),
+//! plus the SlimDB-style collision-free refinement.
+
+use filter_core::{quotienting, FilterError, Hasher, Maplet, Result};
+use quotient::SlotTable;
+use std::collections::HashMap;
+
+/// # Examples
+///
+/// ```
+/// use maplet::QuotientMaplet;
+/// use filter_core::Maplet;
+///
+/// let mut m = QuotientMaplet::for_capacity(1_000, 0.001, 16);
+/// m.insert(1234, 0xbeef).unwrap();
+/// let mut values = Vec::new();
+/// m.get(1234, &mut values);
+/// assert!(values.contains(&0xbeef));
+/// ```
+///
+/// A dynamic maplet over a quotient table: slot payload is
+/// `[value: value_bits][remainder: r]` (remainder in the low bits so
+/// runs stay sorted by remainder).
+#[derive(Debug, Clone)]
+pub struct QuotientMaplet {
+    table: SlotTable,
+    hasher: Hasher,
+    r: u32,
+    value_bits: u32,
+    items: usize,
+    max_load: f64,
+}
+
+impl QuotientMaplet {
+    /// Create with `2^q` slots, `r`-bit remainders and
+    /// `value_bits`-bit values.
+    pub fn new(q: u32, r: u32, value_bits: u32) -> Self {
+        Self::with_seed(q, r, value_bits, 0)
+    }
+
+    /// As [`QuotientMaplet::new`] with an explicit seed.
+    pub fn with_seed(q: u32, r: u32, value_bits: u32, seed: u64) -> Self {
+        assert!((2..=32).contains(&r));
+        assert!((1..=32).contains(&value_bits));
+        assert!(q + r <= 56);
+        QuotientMaplet {
+            table: SlotTable::new(q, r + value_bits),
+            hasher: Hasher::with_seed(seed),
+            r,
+            value_bits,
+            items: 0,
+            max_load: 0.95,
+        }
+    }
+
+    /// Size for `capacity` keys at fingerprint FPR `eps`.
+    pub fn for_capacity(capacity: usize, eps: f64, value_bits: u32) -> Self {
+        let slots = (capacity as f64 / 0.95).ceil() as usize;
+        let q = slots.next_power_of_two().trailing_zeros().max(4);
+        let r = ((1.0 / eps).log2().ceil() as u32).clamp(2, 32);
+        Self::new(q, r, value_bits)
+    }
+
+    #[inline]
+    fn parts(&self, key: u64) -> (u64, u64) {
+        quotienting(self.hasher.hash(&key), self.table.q(), self.r)
+    }
+
+    #[inline]
+    fn rem_of(&self, payload: u64) -> u64 {
+        payload & filter_core::rem_mask(self.r)
+    }
+
+    #[inline]
+    fn value_of(&self, payload: u64) -> u64 {
+        payload >> self.r
+    }
+
+    /// Does any stored fingerprint equal this key's fingerprint?
+    pub fn fingerprint_present(&self, key: u64) -> bool {
+        let (quot, rem) = self.parts(key);
+        let mut found = false;
+        self.table.scan_run(quot, |p| {
+            if self.rem_of(p) == rem {
+                found = true;
+                false
+            } else {
+                true
+            }
+        });
+        found
+    }
+
+    /// Remove one entry matching `key` (any associated value).
+    /// Returns the removed value, if any.
+    pub fn remove(&mut self, key: u64) -> Result<Option<u64>> {
+        let (quot, rem) = self.parts(key);
+        let r = self.r;
+        let mut removed = None;
+        self.table.modify_run(quot, |p| {
+            if let Some(i) = p.iter().position(|&v| v & filter_core::rem_mask(r) == rem) {
+                removed = Some(p.remove(i));
+            }
+        })?;
+        if removed.is_some() {
+            self.items -= 1;
+        }
+        Ok(removed.map(|p| self.value_of(p)))
+    }
+
+    /// Current load factor.
+    pub fn load(&self) -> f64 {
+        self.table.load()
+    }
+}
+
+impl Maplet for QuotientMaplet {
+    fn insert(&mut self, key: u64, value: u64) -> Result<()> {
+        assert!(value <= filter_core::rem_mask(self.value_bits));
+        if self.table.used_slots() + 1 > (self.max_load * self.table.capacity() as f64) as usize {
+            return Err(FilterError::CapacityExceeded);
+        }
+        let (quot, rem) = self.parts(key);
+        let payload = rem | (value << self.r);
+        let r = self.r;
+        self.table.modify_run(quot, |p| {
+            let i = p.partition_point(|&v| (v & filter_core::rem_mask(r)) < rem);
+            p.insert(i, payload);
+        })?;
+        self.items += 1;
+        Ok(())
+    }
+
+    fn get(&self, key: u64, out: &mut Vec<u64>) -> usize {
+        let (quot, rem) = self.parts(key);
+        let before = out.len();
+        self.table.scan_run(quot, |p| {
+            let prem = self.rem_of(p);
+            if prem == rem {
+                out.push(self.value_of(p));
+            }
+            prem <= rem // sorted by remainder: stop past it
+        });
+        out.len() - before
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.table.size_in_bytes()
+    }
+}
+
+/// A maplet with **PRS exactly 1**: fingerprint collisions are
+/// detected at insert time and routed to an exact auxiliary
+/// dictionary (SlimDB's technique).
+#[derive(Debug, Clone)]
+pub struct CollisionFreeMaplet {
+    inner: QuotientMaplet,
+    /// Exact overflow dictionary for keys whose fingerprint collided.
+    aux: HashMap<u64, u64>,
+}
+
+impl CollisionFreeMaplet {
+    /// Size for `capacity` keys at fingerprint FPR `eps`.
+    pub fn for_capacity(capacity: usize, eps: f64, value_bits: u32) -> Self {
+        CollisionFreeMaplet {
+            inner: QuotientMaplet::for_capacity(capacity, eps, value_bits),
+            aux: HashMap::new(),
+        }
+    }
+
+    /// Number of keys diverted to the auxiliary dictionary.
+    pub fn aux_len(&self) -> usize {
+        self.aux.len()
+    }
+
+    /// Remove `key` from whichever structure holds it.
+    pub fn remove(&mut self, key: u64) -> Result<Option<u64>> {
+        if let Some(v) = self.aux.remove(&key) {
+            return Ok(Some(v));
+        }
+        self.inner.remove(key)
+    }
+}
+
+impl Maplet for CollisionFreeMaplet {
+    fn insert(&mut self, key: u64, value: u64) -> Result<()> {
+        if self.inner.fingerprint_present(key) {
+            // Collision: resolve exactly, keeping PRS at 1.
+            self.aux.insert(key, value);
+            return Ok(());
+        }
+        self.inner.insert(key, value)
+    }
+
+    fn get(&self, key: u64, out: &mut Vec<u64>) -> usize {
+        if let Some(&v) = self.aux.get(&key) {
+            out.push(v);
+            return 1;
+        }
+        self.inner.get(key, out)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len() + self.aux.len()
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        // Aux entries cost 16 bytes each — honest accounting for the
+        // PRS = 1 trade-off.
+        self.inner.size_in_bytes() + self.aux.len() * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{disjoint_keys, unique_keys};
+
+    #[test]
+    fn get_returns_true_value() {
+        let keys = unique_keys(170, 20_000);
+        let mut m = QuotientMaplet::for_capacity(20_000, 1.0 / 256.0, 16);
+        for (i, &k) in keys.iter().enumerate() {
+            m.insert(k, (i as u64) & 0xffff).unwrap();
+        }
+        let mut out = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            out.clear();
+            m.get(k, &mut out);
+            assert!(
+                out.contains(&((i as u64) & 0xffff)),
+                "true value missing for key {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn prs_is_one_plus_eps() {
+        let keys = unique_keys(171, 20_000);
+        let mut m = QuotientMaplet::for_capacity(20_000, 1.0 / 256.0, 16);
+        for (i, &k) in keys.iter().enumerate() {
+            m.insert(k, (i as u64) & 0xffff).unwrap();
+        }
+        let mut total = 0usize;
+        let mut out = Vec::new();
+        for &k in &keys {
+            out.clear();
+            total += m.get(k, &mut out);
+        }
+        let prs = total as f64 / keys.len() as f64;
+        assert!((1.0..1.05).contains(&prs), "PRS {prs}");
+    }
+
+    #[test]
+    fn nrs_is_eps() {
+        let keys = unique_keys(172, 20_000);
+        let mut m = QuotientMaplet::for_capacity(20_000, 1.0 / 256.0, 16);
+        for (i, &k) in keys.iter().enumerate() {
+            m.insert(k, i as u64 & 0xffff).unwrap();
+        }
+        let neg = disjoint_keys(173, 50_000, &keys);
+        let mut total = 0usize;
+        let mut out = Vec::new();
+        for &k in &neg {
+            out.clear();
+            total += m.get(k, &mut out);
+        }
+        let nrs = total as f64 / neg.len() as f64;
+        assert!(nrs < 0.02, "NRS {nrs}");
+    }
+
+    #[test]
+    fn remove_roundtrip() {
+        let mut m = QuotientMaplet::new(10, 10, 8);
+        m.insert(5, 77).unwrap();
+        assert_eq!(m.remove(5).unwrap(), Some(77));
+        assert_eq!(m.remove(5).unwrap(), None);
+        let mut out = Vec::new();
+        assert_eq!(m.get(5, &mut out), 0);
+    }
+
+    #[test]
+    fn collision_free_prs_exactly_one() {
+        let keys = unique_keys(174, 30_000);
+        // Small remainders force plenty of collisions.
+        let mut m = CollisionFreeMaplet::for_capacity(30_000, 1.0 / 16.0, 16);
+        for (i, &k) in keys.iter().enumerate() {
+            m.insert(k, (i as u64) & 0xffff).unwrap();
+        }
+        assert!(
+            m.aux_len() > 100,
+            "expected collisions, aux={}",
+            m.aux_len()
+        );
+        let mut out = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            out.clear();
+            let n = m.get(k, &mut out);
+            assert_eq!(n, 1, "PRS must be exactly 1");
+            assert_eq!(out[0], (i as u64) & 0xffff, "wrong value for key {i}");
+        }
+    }
+
+    #[test]
+    fn collision_free_remove_finds_aux_entries() {
+        let mut m = CollisionFreeMaplet::for_capacity(100, 0.25, 8);
+        // Insert duplicates of the same key: second goes to aux.
+        m.insert(7, 1).unwrap();
+        m.insert(7, 2).unwrap();
+        assert_eq!(m.aux_len(), 1);
+        assert_eq!(m.remove(7).unwrap(), Some(2));
+        assert_eq!(m.remove(7).unwrap(), Some(1));
+        assert_eq!(m.remove(7).unwrap(), None);
+    }
+}

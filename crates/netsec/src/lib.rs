@@ -1,0 +1,522 @@
+//! # netsec
+//!
+//! The malicious-URL blocking case study (tutorial §3.3).
+//!
+//! A router holds a filter over the *yes list* (malicious URLs).
+//! Every filter positive triggers an expensive verification against
+//! the full blocklist; benign URLs that repeatedly false-positive
+//! (hot vulnerable negatives) pay that penalty over and over unless
+//! they are protected by a *no list*. This crate provides:
+//!
+//! - [`PlainBloomBlocker`] — the traditional design: hot negatives
+//!   pay the verification penalty on every visit.
+//! - [`CascadingBloomBlocker`] — a static no list trained ahead of
+//!   time (Salikhov-style cascade); cannot protect negatives that
+//!   become hot *after* deployment.
+//! - [`AdaptiveBlocker`] — an adaptive quotient filter fixes each
+//!   false positive on first contact (Wen et al.'s observation that
+//!   adaptive filters solve both the static and dynamic yes/no-list
+//!   problems).
+//!
+//! All blockers never block a benign URL (verification gates every
+//! block) and never miss a malicious one; the measured quantity is
+//! the number of expensive verifications (E14).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use adaptive::AdaptiveQuotientFilter;
+use bloom::BloomFilter;
+use filter_core::{AdaptiveFilter, Filter, Hasher, InsertFilter};
+use std::collections::HashSet;
+
+/// Outcome of checking one URL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// URL allowed without any expensive check.
+    AllowedFast,
+    /// URL allowed after an expensive verification (a false positive
+    /// paid the penalty).
+    AllowedVerified,
+    /// URL blocked (verified malicious).
+    Blocked,
+}
+
+/// Common behaviour of the three blockers.
+pub trait UrlBlocker {
+    /// Check a URL, consulting the exact blocklist only on filter
+    /// positives.
+    fn check(&mut self, url: &str) -> Verdict;
+
+    /// Expensive verifications performed so far.
+    fn verifications(&self) -> u64;
+
+    /// Filter memory in bytes (excludes the exact blocklist, which
+    /// lives on slow storage in the scenario).
+    fn filter_bytes(&self) -> usize;
+}
+
+/// Shared exact blocklist (the "slow path").
+#[derive(Debug, Clone)]
+pub struct Blocklist {
+    urls: HashSet<String>,
+    hasher: Hasher,
+}
+
+impl Blocklist {
+    /// Build from malicious URLs.
+    pub fn new(malicious: &[String]) -> Self {
+        Blocklist {
+            urls: malicious.iter().cloned().collect(),
+            hasher: Hasher::default(),
+        }
+    }
+
+    /// Exact membership (the expensive check).
+    pub fn verify(&self, url: &str) -> bool {
+        self.urls.contains(url)
+    }
+
+    /// The 64-bit key under which filters index a URL.
+    pub fn key(&self, url: &str) -> u64 {
+        self.hasher.hash(&url)
+    }
+
+    /// Number of listed URLs.
+    pub fn len(&self) -> usize {
+        self.urls.len()
+    }
+
+    /// True when the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.urls.is_empty()
+    }
+}
+
+/// Traditional design: one Bloom filter over the yes list.
+#[derive(Debug, Clone)]
+pub struct PlainBloomBlocker {
+    filter: BloomFilter,
+    blocklist: Blocklist,
+    verifications: u64,
+}
+
+impl PlainBloomBlocker {
+    /// Build over the blocklist at FPR `eps`.
+    pub fn new(malicious: &[String], eps: f64) -> Self {
+        let blocklist = Blocklist::new(malicious);
+        let mut filter = BloomFilter::new(malicious.len().max(8), eps);
+        for u in malicious {
+            filter.insert(blocklist.key(u)).expect("bloom insert");
+        }
+        PlainBloomBlocker {
+            filter,
+            blocklist,
+            verifications: 0,
+        }
+    }
+}
+
+impl UrlBlocker for PlainBloomBlocker {
+    fn check(&mut self, url: &str) -> Verdict {
+        if !self.filter.contains(self.blocklist.key(url)) {
+            return Verdict::AllowedFast;
+        }
+        self.verifications += 1;
+        if self.blocklist.verify(url) {
+            Verdict::Blocked
+        } else {
+            Verdict::AllowedVerified
+        }
+    }
+
+    fn verifications(&self) -> u64 {
+        self.verifications
+    }
+
+    fn filter_bytes(&self) -> usize {
+        self.filter.size_in_bytes()
+    }
+}
+
+/// Static cascade: a second Bloom filter of *known* false positives
+/// (the no list), and a third over the malicious URLs that hit the
+/// second, terminated by the exact check.
+#[derive(Debug, Clone)]
+pub struct CascadingBloomBlocker {
+    yes1: BloomFilter,
+    no2: BloomFilter,
+    yes3: BloomFilter,
+    blocklist: Blocklist,
+    verifications: u64,
+}
+
+impl CascadingBloomBlocker {
+    /// Build with a training sample of benign URLs expected to be
+    /// queried often (the static no list).
+    pub fn new(malicious: &[String], benign_sample: &[String], eps: f64) -> Self {
+        let blocklist = Blocklist::new(malicious);
+        let mut yes1 = BloomFilter::new(malicious.len().max(8), eps);
+        for u in malicious {
+            yes1.insert(blocklist.key(u)).expect("insert");
+        }
+        // No list: training benigns that false-positive on level 1.
+        let fps: Vec<&String> = benign_sample
+            .iter()
+            .filter(|u| yes1.contains(blocklist.key(u)))
+            .collect();
+        let mut no2 = BloomFilter::new(fps.len().max(8), eps);
+        for u in &fps {
+            no2.insert(blocklist.key(u)).expect("insert");
+        }
+        // Level 3: malicious URLs shadowed by the no list.
+        let shadowed: Vec<&String> = malicious
+            .iter()
+            .filter(|u| no2.contains(blocklist.key(u)))
+            .collect();
+        let mut yes3 = BloomFilter::new(shadowed.len().max(8), eps);
+        for u in &shadowed {
+            yes3.insert(blocklist.key(u)).expect("insert");
+        }
+        CascadingBloomBlocker {
+            yes1,
+            no2,
+            yes3,
+            blocklist,
+            verifications: 0,
+        }
+    }
+}
+
+impl UrlBlocker for CascadingBloomBlocker {
+    fn check(&mut self, url: &str) -> Verdict {
+        let k = self.blocklist.key(url);
+        if !self.yes1.contains(k) {
+            return Verdict::AllowedFast;
+        }
+        if self.no2.contains(k) && !self.yes3.contains(k) {
+            // Protected by the static no list: allowed for free.
+            return Verdict::AllowedFast;
+        }
+        self.verifications += 1;
+        if self.blocklist.verify(url) {
+            Verdict::Blocked
+        } else {
+            Verdict::AllowedVerified
+        }
+    }
+
+    fn verifications(&self) -> u64 {
+        self.verifications
+    }
+
+    fn filter_bytes(&self) -> usize {
+        self.yes1.size_in_bytes() + self.no2.size_in_bytes() + self.yes3.size_in_bytes()
+    }
+}
+
+/// Bloomier-filter design (Chazelle et al., the tutorial's original
+/// yes/no-list solution): a static maplet stores value 1 for every
+/// malicious URL and value 0 for every *known* no-list URL, so both
+/// lists are answered exactly; unknown URLs read an arbitrary value
+/// and are verified only when it says "malicious". Static: neither
+/// list can grow after construction.
+#[derive(Debug, Clone)]
+pub struct BloomierBlocker {
+    maplet: xorf::BloomierFilter,
+    blocklist: Blocklist,
+    verifications: u64,
+}
+
+impl BloomierBlocker {
+    /// Build from the malicious yes list and the benign no list.
+    pub fn new(malicious: &[String], no_list: &[String]) -> Self {
+        let blocklist = Blocklist::new(malicious);
+        let pairs: Vec<(u64, u64)> = malicious
+            .iter()
+            .map(|u| (blocklist.key(u), 1))
+            .chain(no_list.iter().map(|u| (blocklist.key(u), 0)))
+            .collect();
+        let maplet = xorf::BloomierFilter::build(&pairs, 8, 1).expect("bloomier build");
+        BloomierBlocker {
+            maplet,
+            blocklist,
+            verifications: 0,
+        }
+    }
+}
+
+impl UrlBlocker for BloomierBlocker {
+    fn check(&mut self, url: &str) -> Verdict {
+        match self.maplet.get(self.blocklist.key(url)) {
+            // Fingerprint miss or stored no-list zero: allowed free.
+            None | Some(0) => Verdict::AllowedFast,
+            _ => {
+                self.verifications += 1;
+                if self.blocklist.verify(url) {
+                    Verdict::Blocked
+                } else {
+                    Verdict::AllowedVerified
+                }
+            }
+        }
+    }
+
+    fn verifications(&self) -> u64 {
+        self.verifications
+    }
+
+    fn filter_bytes(&self) -> usize {
+        self.maplet.size_in_bytes()
+    }
+}
+
+/// Integrated-filter design (Reviriego et al.): a static membership
+/// filter *rebuilt until it is false-positive-free over the known no
+/// list* — per-segment seed retry makes that cheap. The no list then
+/// never pays verification; like the cascade, it protects only
+/// negatives known at build time.
+#[derive(Debug, Clone)]
+pub struct FpFreeBlocker {
+    /// One XOR filter per shard, each retried until its no-list
+    /// members pass clean.
+    shards: Vec<xorf::XorFilter>,
+    n_shards: usize,
+    blocklist: Blocklist,
+    verifications: u64,
+}
+
+impl FpFreeBlocker {
+    /// Build over the yes list, retrying each shard's seed until no
+    /// `no_list` member false-positives in it.
+    pub fn new(malicious: &[String], no_list: &[String]) -> Self {
+        let blocklist = Blocklist::new(malicious);
+        let n_shards = (malicious.len() / 2_000).max(1).next_power_of_two();
+        let mut shard_keys: Vec<Vec<u64>> = vec![Vec::new(); n_shards];
+        for u in malicious {
+            let k = blocklist.key(u);
+            shard_keys[(k % n_shards as u64) as usize].push(k);
+        }
+        let mut shard_negs: Vec<Vec<u64>> = vec![Vec::new(); n_shards];
+        for u in no_list {
+            let k = blocklist.key(u);
+            shard_negs[(k % n_shards as u64) as usize].push(k);
+        }
+        let shards = shard_keys
+            .iter()
+            .zip(&shard_negs)
+            .map(|(keys, negs)| {
+                // Retry seeds until this shard is FP-free on its
+                // no-list slice. Expected retries ≈ 1/(1-ε)^|negs|.
+                for seed in 0..4_096u64 {
+                    let f = xorf::XorFilter::build_with_seed(keys, 8, seed).expect("xor build");
+                    use filter_core::Filter;
+                    if negs.iter().all(|&k| !f.contains(k)) {
+                        return f;
+                    }
+                }
+                panic!("no FP-free seed found; shard no-list too large");
+            })
+            .collect();
+        FpFreeBlocker {
+            shards,
+            n_shards,
+            blocklist,
+            verifications: 0,
+        }
+    }
+}
+
+impl UrlBlocker for FpFreeBlocker {
+    fn check(&mut self, url: &str) -> Verdict {
+        use filter_core::Filter;
+        let k = self.blocklist.key(url);
+        if !self.shards[(k % self.n_shards as u64) as usize].contains(k) {
+            return Verdict::AllowedFast;
+        }
+        self.verifications += 1;
+        if self.blocklist.verify(url) {
+            Verdict::Blocked
+        } else {
+            Verdict::AllowedVerified
+        }
+    }
+
+    fn verifications(&self) -> u64 {
+        self.verifications
+    }
+
+    fn filter_bytes(&self) -> usize {
+        use filter_core::Filter;
+        self.shards.iter().map(|s| s.size_in_bytes()).sum()
+    }
+}
+
+/// Adaptive design: every verified false positive is repaired in the
+/// filter, so each hot negative pays the penalty at most ~once.
+#[derive(Debug, Clone)]
+pub struct AdaptiveBlocker {
+    filter: AdaptiveQuotientFilter,
+    blocklist: Blocklist,
+    verifications: u64,
+}
+
+impl AdaptiveBlocker {
+    /// Build over the blocklist with `r`-bit base fingerprints.
+    pub fn new(malicious: &[String], r: u32) -> Self {
+        let blocklist = Blocklist::new(malicious);
+        let slots = (malicious.len().max(64) as f64 / 0.85).ceil() as usize;
+        let q = slots.next_power_of_two().trailing_zeros().max(6);
+        let mut filter = AdaptiveQuotientFilter::new(q, r);
+        for u in malicious {
+            filter.insert(blocklist.key(u)).expect("aqf insert");
+        }
+        AdaptiveBlocker {
+            filter,
+            blocklist,
+            verifications: 0,
+        }
+    }
+}
+
+impl UrlBlocker for AdaptiveBlocker {
+    fn check(&mut self, url: &str) -> Verdict {
+        let k = self.blocklist.key(url);
+        if !self.filter.contains(k) {
+            return Verdict::AllowedFast;
+        }
+        self.verifications += 1;
+        if self.blocklist.verify(url) {
+            Verdict::Blocked
+        } else {
+            self.filter.adapt(k);
+            Verdict::AllowedVerified
+        }
+    }
+
+    fn verifications(&self) -> u64 {
+        self.verifications
+    }
+
+    fn filter_bytes(&self) -> usize {
+        self.filter.size_in_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::urls::UrlWorkload;
+
+    fn run_stream(blocker: &mut dyn UrlBlocker, stream: &[(String, bool)]) -> (u64, u64) {
+        let mut blocked = 0u64;
+        let mut missed = 0u64;
+        for (url, is_mal) in stream {
+            match blocker.check(url) {
+                Verdict::Blocked => blocked += 1,
+                _ if *is_mal => missed += 1,
+                _ => {}
+            }
+        }
+        (blocked, missed)
+    }
+
+    #[test]
+    fn nobody_misses_malicious_or_blocks_benign() {
+        let w = UrlWorkload::generate(1, 2_000, 200, 2_000);
+        let stream = w.query_stream(2, 10_000, 0.5);
+        let mut blockers: Vec<Box<dyn UrlBlocker>> = vec![
+            Box::new(PlainBloomBlocker::new(&w.malicious, 0.02)),
+            Box::new(CascadingBloomBlocker::new(
+                &w.malicious,
+                &w.hot_benign,
+                0.02,
+            )),
+            Box::new(AdaptiveBlocker::new(&w.malicious, 6)),
+            Box::new(BloomierBlocker::new(&w.malicious, &w.hot_benign)),
+            Box::new(FpFreeBlocker::new(&w.malicious, &w.hot_benign)),
+        ];
+        let malicious_queries = stream.iter().filter(|(_, m)| *m).count() as u64;
+        for b in blockers.iter_mut() {
+            let (blocked, missed) = run_stream(b.as_mut(), &stream);
+            assert_eq!(missed, 0, "missed malicious URLs");
+            assert_eq!(blocked, malicious_queries);
+        }
+    }
+
+    #[test]
+    fn adaptive_beats_plain_on_hot_negatives() {
+        let w = UrlWorkload::generate(3, 2_000, 100, 1_000);
+        // 80% of traffic replays the hot benign set.
+        let stream = w.query_stream(4, 20_000, 0.8);
+        let mut plain = PlainBloomBlocker::new(&w.malicious, 0.05);
+        let mut adaptive = AdaptiveBlocker::new(&w.malicious, 4);
+        run_stream(&mut plain, &stream);
+        run_stream(&mut adaptive, &stream);
+        // Hot benign FPs hit plain every time; adaptive pays ~once.
+        // Malicious queries verify in both designs; compare only the
+        // benign-side (false positive) verification cost.
+        let mal = stream.iter().filter(|(_, m)| *m).count() as u64;
+        let p = plain.verifications().saturating_sub(mal);
+        let a = adaptive.verifications().saturating_sub(mal);
+        assert!(
+            a * 3 < p.max(3),
+            "adaptive {} vs plain {} benign verifications",
+            adaptive.verifications(),
+            plain.verifications()
+        );
+    }
+
+    #[test]
+    fn static_no_list_designs_are_fp_free_on_their_list() {
+        // Bloomier and FP-free-set designs guarantee ZERO verification
+        // cost for the built no list (the cascade only makes it
+        // unlikely).
+        let w = UrlWorkload::generate(8, 3_000, 300, 100);
+        for mut b in [
+            Box::new(BloomierBlocker::new(&w.malicious, &w.hot_benign)) as Box<dyn UrlBlocker>,
+            Box::new(FpFreeBlocker::new(&w.malicious, &w.hot_benign)),
+        ] {
+            for u in &w.hot_benign {
+                for _ in 0..5 {
+                    assert_eq!(b.check(u), Verdict::AllowedFast);
+                }
+            }
+            assert_eq!(b.verifications(), 0, "no-list member paid verification");
+            // And still blocks everything malicious.
+            for u in &w.malicious {
+                assert_eq!(b.check(u), Verdict::Blocked);
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_protects_trained_but_not_shifted_negatives() {
+        let w = UrlWorkload::generate(5, 2_000, 100, 1_000);
+        let mut cascade = CascadingBloomBlocker::new(&w.malicious, &w.hot_benign, 0.05);
+        // Trained regime: hot benign only.
+        let trained = w.query_stream(6, 5_000, 1.0);
+        run_stream(&mut cascade, &trained);
+        let trained_cost = cascade.verifications();
+        assert!(trained_cost < 50, "trained-regime cost {trained_cost}");
+        // Shifted regime: cold benign becomes hot (not in training).
+        let shifted = UrlWorkload {
+            malicious: w.malicious.clone(),
+            hot_benign: w.cold_benign[..100].to_vec(),
+            cold_benign: w.cold_benign[100..].to_vec(),
+        };
+        let shift_stream = shifted.query_stream(7, 5_000, 1.0);
+        run_stream(&mut cascade, &shift_stream);
+        let shifted_cost = cascade.verifications() - trained_cost;
+        // The static cascade cannot adapt: new hot negatives that
+        // false-positive keep paying.
+        let mut adaptive = AdaptiveBlocker::new(&w.malicious, 4);
+        run_stream(&mut adaptive, &shift_stream);
+        assert!(
+            adaptive.verifications() <= shifted_cost + 50,
+            "adaptive {} vs shifted cascade {}",
+            adaptive.verifications(),
+            shifted_cost
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! A thread-scalable quotient filter (tutorial §1, feature 6).
+//!
+//! The counting quotient filter scales across threads by partitioning
+//! its table and taking fine-grained locks per region; this module
+//! realises the same recipe as hash-sharding over independent
+//! [`CountingQuotientFilter`] partitions guarded by
+//! [`parking_lot::Mutex`]es. A key's shard is derived from hash bits
+//! disjoint from the bits the inner filter quotients on, so the
+//! per-shard false-positive behaviour is unchanged.
+
+use crate::cqf::CountingQuotientFilter;
+use filter_core::{Hasher, Result};
+use parking_lot::Mutex;
+
+/// A sharded, thread-safe counting quotient filter.
+pub struct ConcurrentQuotientFilter {
+    shards: Vec<Mutex<CountingQuotientFilter>>,
+    hasher: Hasher,
+    shard_bits: u32,
+}
+
+impl ConcurrentQuotientFilter {
+    /// Create with `2^shard_bits` shards, each sized for
+    /// `capacity >> shard_bits` distinct keys at FPR `eps`.
+    pub fn new(capacity: usize, eps: f64, shard_bits: u32) -> Self {
+        assert!((0..=8).contains(&shard_bits));
+        let n_shards = 1usize << shard_bits;
+        let per_shard = (capacity / n_shards).max(64);
+        let shards = (0..n_shards)
+            .map(|i| {
+                let mut f = CountingQuotientFilter::with_seed(
+                    shard_q(per_shard),
+                    shard_r(eps),
+                    0x51ab ^ i as u64,
+                );
+                f.set_auto_expand(true);
+                Mutex::new(f)
+            })
+            .collect();
+        ConcurrentQuotientFilter {
+            shards,
+            hasher: Hasher::with_seed(0xc0c0),
+            shard_bits,
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, key: u64) -> usize {
+        if self.shard_bits == 0 {
+            0
+        } else {
+            (self.hasher.hash(&key) >> (64 - self.shard_bits)) as usize
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Insert one occurrence of `key`.
+    pub fn insert(&self, key: u64) -> Result<()> {
+        use filter_core::CountingFilter;
+        self.shards[self.shard_of(key)].lock().insert_count(key, 1)
+    }
+
+    /// Membership query.
+    pub fn contains(&self, key: u64) -> bool {
+        use filter_core::Filter;
+        self.shards[self.shard_of(key)].lock().contains(key)
+    }
+
+    /// Multiplicity estimate.
+    pub fn count(&self, key: u64) -> u64 {
+        use filter_core::CountingFilter;
+        self.shards[self.shard_of(key)].lock().count(key)
+    }
+
+    /// Remove one occurrence.
+    pub fn remove(&self, key: u64) -> Result<()> {
+        use filter_core::CountingFilter;
+        self.shards[self.shard_of(key)].lock().remove_count(key, 1)
+    }
+
+    /// Total distinct fingerprints across shards.
+    pub fn len(&self) -> usize {
+        use filter_core::Filter;
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Heap bytes across shards.
+    pub fn size_in_bytes(&self) -> usize {
+        use filter_core::Filter;
+        self.shards.iter().map(|s| s.lock().size_in_bytes()).sum()
+    }
+}
+
+fn shard_q(per_shard: usize) -> u32 {
+    ((per_shard as f64 / 0.9).ceil() as usize)
+        .next_power_of_two()
+        .trailing_zeros()
+        .max(6)
+}
+
+fn shard_r(eps: f64) -> u32 {
+    ((1.0 / eps).log2().ceil() as u32).clamp(2, 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use workloads::{disjoint_keys, unique_keys};
+
+    #[test]
+    fn single_threaded_roundtrip() {
+        let f = ConcurrentQuotientFilter::new(50_000, 1.0 / 256.0, 4);
+        let keys = unique_keys(310, 50_000);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        assert!(keys.iter().all(|&k| f.contains(k)));
+        let neg = disjoint_keys(311, 50_000, &keys);
+        let fpr = neg.iter().filter(|&&k| f.contains(k)).count() as f64 / 50_000.0;
+        assert!(fpr < 0.02, "fpr {fpr}");
+    }
+
+    #[test]
+    fn concurrent_inserts_then_queries() {
+        let f = Arc::new(ConcurrentQuotientFilter::new(80_000, 1.0 / 256.0, 4));
+        let keys = unique_keys(312, 80_000);
+        std::thread::scope(|s| {
+            for chunk in keys.chunks(20_000) {
+                let f = Arc::clone(&f);
+                s.spawn(move || {
+                    for &k in chunk {
+                        f.insert(k).unwrap();
+                    }
+                });
+            }
+        });
+        // Concurrent readers.
+        std::thread::scope(|s| {
+            for chunk in keys.chunks(20_000) {
+                let f = Arc::clone(&f);
+                s.spawn(move || {
+                    for &k in chunk {
+                        assert!(f.contains(k));
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn concurrent_mixed_ops_keep_counts_sane() {
+        let f = Arc::new(ConcurrentQuotientFilter::new(10_000, 1.0 / 1024.0, 3));
+        // 4 threads each insert the same 1000 keys 3 times then
+        // remove once: final count per key must be >= 4*3 - 4 = 8.
+        let keys = unique_keys(313, 1_000);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let f = Arc::clone(&f);
+                let keys = keys.clone();
+                s.spawn(move || {
+                    for _ in 0..3 {
+                        for &k in &keys {
+                            f.insert(k).unwrap();
+                        }
+                    }
+                    for &k in &keys {
+                        f.remove(k).unwrap();
+                    }
+                });
+            }
+        });
+        for &k in &keys {
+            assert!(
+                f.count(k) >= 8,
+                "count {} for a 12-insert/4-remove key",
+                f.count(k)
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_scales_with_threads() {
+        // Not a strict benchmark (CI noise), but 4 threads must not be
+        // slower than 1 thread on disjoint shards.
+        let run = |threads: usize| {
+            let f = Arc::new(ConcurrentQuotientFilter::new(400_000, 1.0 / 256.0, 6));
+            let keys = unique_keys(314, 200_000);
+            let t0 = std::time::Instant::now();
+            std::thread::scope(|s| {
+                for chunk in keys.chunks(keys.len() / threads) {
+                    let f = Arc::clone(&f);
+                    s.spawn(move || {
+                        for &k in chunk {
+                            f.insert(k).unwrap();
+                        }
+                    });
+                }
+            });
+            t0.elapsed()
+        };
+        let t1 = run(1);
+        let t4 = run(4);
+        assert!(
+            t4 < t1 * 2,
+            "4 threads ({t4:?}) should not be slower than 1 ({t1:?})"
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! # quotient
+//!
+//! The quotient-filter family (tutorial §2.1, §2.6):
+//!
+//! - [`SlotTable`] — the shared Robin-Hood quotienting table
+//!   (occupieds / runends / in-use metadata, 3 bits per slot).
+//! - [`QuotientFilter`] — dynamic membership filter with deletes and
+//!   §2.2 doubling expansion.
+//! - [`CountingQuotientFilter`] — the CQF: multiset counting with
+//!   variable-length counters, asymptotically optimal counter space,
+//!   robust to highly skewed distributions.
+//!
+//! The quotient maplet (§2.4) lives in the `maplet` crate and the
+//! adaptive quotient filter (§2.3) in the `adaptive` crate; both
+//! reuse [`SlotTable`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod concurrent;
+pub mod cqf;
+pub mod qf;
+pub mod table;
+pub mod vqf;
+
+pub use concurrent::ConcurrentQuotientFilter;
+pub use cqf::CountingQuotientFilter;
+pub use qf::QuotientFilter;
+pub use table::{Run, SlotTable};
+pub use vqf::VectorQuotientFilter;

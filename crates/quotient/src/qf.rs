@@ -1,0 +1,354 @@
+//! The membership quotient filter (Bender et al., VLDB 2012).
+//!
+//! Stores `r`-bit remainders in a [`SlotTable`] keyed by `q`-bit
+//! quotients. Supports insert, query, delete, and the §2.2 *doubling
+//! expansion*: capacity doubles by moving one bit from every
+//! remainder into the quotient, so the FPR doubles per expansion and
+//! expansion is exhausted when remainders run out — the trade-off
+//! experiment E4 measures.
+
+use crate::table::SlotTable;
+use filter_core::{
+    quotienting, DynamicFilter, Expandable, Filter, FilterError, Hasher, InsertFilter, Result,
+};
+
+/// Default maximum load factor before inserts are refused (or trigger
+/// auto-expansion).
+pub const DEFAULT_MAX_LOAD: f64 = 0.95;
+
+/// # Examples
+///
+/// ```
+/// use quotient::QuotientFilter;
+/// use filter_core::{DynamicFilter, Filter, InsertFilter};
+///
+/// let mut f = QuotientFilter::for_capacity(10_000, 0.01);
+/// f.insert(7).unwrap();
+/// assert!(f.contains(7));
+/// assert!(f.remove(7).unwrap());
+/// assert!(!f.contains(7));
+/// ```
+///
+/// A dynamic membership quotient filter.
+#[derive(Debug, Clone)]
+pub struct QuotientFilter {
+    table: SlotTable,
+    hasher: Hasher,
+    r: u32,
+    items: usize,
+    max_load: f64,
+    auto_expand: bool,
+    expansions: u32,
+}
+
+impl QuotientFilter {
+    /// Filter with `2^q` slots and `r`-bit remainders (FPR ≈ α·2⁻ʳ at
+    /// load α).
+    pub fn new(q: u32, r: u32) -> Self {
+        Self::with_seed(q, r, 0)
+    }
+
+    /// As [`QuotientFilter::new`] with an explicit hash seed.
+    pub fn with_seed(q: u32, r: u32, seed: u64) -> Self {
+        assert!(q + r <= 64, "fingerprint wider than 64 bits");
+        assert!(r >= 1);
+        QuotientFilter {
+            table: SlotTable::new(q, r),
+            hasher: Hasher::with_seed(seed),
+            r,
+            items: 0,
+            max_load: DEFAULT_MAX_LOAD,
+            auto_expand: false,
+            expansions: 0,
+        }
+    }
+
+    /// Size for `capacity` keys at false-positive rate `eps`.
+    ///
+    /// Chooses `q = ⌈lg(capacity / max_load)⌉` and `r = ⌈lg(1/ε)⌉`
+    /// (the quotienting space recipe of §2.1).
+    pub fn for_capacity(capacity: usize, eps: f64) -> Self {
+        assert!(capacity > 0);
+        assert!(eps > 0.0 && eps < 1.0);
+        let slots = (capacity as f64 / DEFAULT_MAX_LOAD).ceil() as usize;
+        let q = slots.next_power_of_two().trailing_zeros().max(4);
+        let r = ((1.0 / eps).log2().ceil() as u32).clamp(1, 60.min(64 - q));
+        Self::new(q, r)
+    }
+
+    /// Enable automatic doubling expansion when the load limit is hit.
+    pub fn set_auto_expand(&mut self, on: bool) {
+        self.auto_expand = on;
+    }
+
+    /// Current remainder width in bits.
+    pub fn remainder_bits(&self) -> u32 {
+        self.r
+    }
+
+    /// Quotient width in bits.
+    pub fn quotient_bits(&self) -> u32 {
+        self.table.q()
+    }
+
+    /// Current load factor.
+    pub fn load(&self) -> f64 {
+        self.table.load()
+    }
+
+    /// Expected false-positive rate at the current load: `α·2⁻ʳ`
+    /// (collision probability of another key's fingerprint).
+    pub fn expected_fpr(&self) -> f64 {
+        self.table.load() * 2f64.powi(-(self.r as i32))
+    }
+
+    #[inline]
+    fn fingerprint(&self, key: u64) -> (u64, u64) {
+        quotienting(self.hasher.hash(&key), self.table.q(), self.r)
+    }
+
+    fn insert_fp(&mut self, quot: u64, rem: u64) -> Result<()> {
+        if self.table.used_slots() + 1 > (self.max_load * self.table.capacity() as f64) as usize {
+            if self.auto_expand {
+                self.expand()?;
+                return self.insert_fp_rehash(quot, rem);
+            }
+            return Err(FilterError::CapacityExceeded);
+        }
+        self.table.modify_run(quot, |p| {
+            let i = p.partition_point(|&v| v < rem);
+            p.insert(i, rem);
+        })?;
+        self.items += 1;
+        Ok(())
+    }
+
+    /// Re-derive the fingerprint after an expansion changed (q, r).
+    fn insert_fp_rehash(&mut self, old_quot: u64, old_rem: u64) -> Result<()> {
+        // The pre-expansion fingerprint has q' = q-1 bits of quotient.
+        let old_q = self.table.q() - 1;
+        let fp = old_quot | (old_rem << old_q);
+        let quot = fp & filter_core::rem_mask(self.table.q());
+        let rem = (fp >> self.table.q()) & filter_core::rem_mask(self.r);
+        self.insert_fp(quot, rem)
+    }
+}
+
+impl Filter for QuotientFilter {
+    fn contains(&self, key: u64) -> bool {
+        let (quot, rem) = self.fingerprint(key);
+        let mut found = false;
+        self.table.scan_run(quot, |v| {
+            if v == rem {
+                found = true;
+                false
+            } else {
+                v < rem // runs are sorted; stop past rem
+            }
+        });
+        found
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.table.size_in_bytes()
+    }
+}
+
+impl InsertFilter for QuotientFilter {
+    fn insert(&mut self, key: u64) -> Result<()> {
+        let (quot, rem) = self.fingerprint(key);
+        self.insert_fp(quot, rem)
+    }
+}
+
+impl DynamicFilter for QuotientFilter {
+    fn remove(&mut self, key: u64) -> Result<bool> {
+        let (quot, rem) = self.fingerprint(key);
+        let mut removed = false;
+        self.table.modify_run(quot, |p| {
+            if let Some(i) = p.iter().position(|&v| v == rem) {
+                p.remove(i);
+                removed = true;
+            }
+        })?;
+        if removed {
+            self.items -= 1;
+        }
+        Ok(removed)
+    }
+}
+
+impl Expandable for QuotientFilter {
+    fn expand(&mut self) -> Result<()> {
+        if self.r <= 1 {
+            // One remainder bit left: sacrificing it would leave
+            // nothing to compare and every query would return true.
+            return Err(FilterError::ExpansionExhausted);
+        }
+        let old_q = self.table.q();
+        let new_q = old_q + 1;
+        let new_r = self.r - 1;
+        let mut new_table = SlotTable::new(new_q, new_r);
+        for run in self.table.iter_runs() {
+            for rem in run.payloads {
+                let fp = run.quotient | (rem << old_q);
+                let quot = fp & filter_core::rem_mask(new_q);
+                let new_rem = (fp >> new_q) & filter_core::rem_mask(new_r);
+                new_table.modify_run(quot, |p| {
+                    let i = p.partition_point(|&v| v < new_rem);
+                    p.insert(i, new_rem);
+                })?;
+            }
+        }
+        self.table = new_table;
+        self.r = new_r;
+        self.expansions += 1;
+        Ok(())
+    }
+
+    fn expansions(&self) -> u32 {
+        self.expansions
+    }
+
+    fn capacity(&self) -> usize {
+        self.table.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{disjoint_keys, unique_keys};
+
+    #[test]
+    fn insert_query_roundtrip() {
+        let keys = unique_keys(70, 30_000);
+        let mut f = QuotientFilter::for_capacity(30_000, 1.0 / 256.0);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        assert!(keys.iter().all(|&k| f.contains(k)));
+        assert_eq!(f.len(), 30_000);
+    }
+
+    #[test]
+    fn fpr_near_2_pow_minus_r() {
+        let keys = unique_keys(71, 30_000);
+        let mut f = QuotientFilter::for_capacity(30_000, 1.0 / 256.0);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        let neg = disjoint_keys(72, 100_000, &keys);
+        let fpr = neg.iter().filter(|&&k| f.contains(k)).count() as f64 / 100_000.0;
+        let expected = f.expected_fpr();
+        assert!(
+            fpr < 3.0 * expected + 1e-4,
+            "fpr {fpr} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn delete_removes_only_one_instance() {
+        let mut f = QuotientFilter::new(10, 10);
+        f.insert(5).unwrap();
+        f.insert(5).unwrap();
+        assert!(f.remove(5).unwrap());
+        assert!(f.contains(5), "second instance must survive");
+        assert!(f.remove(5).unwrap());
+        assert!(!f.contains(5));
+        assert!(!f.remove(5).unwrap());
+        assert_eq!(f.len(), 0);
+    }
+
+    #[test]
+    fn delete_then_negative() {
+        let keys = unique_keys(73, 10_000);
+        let mut f = QuotientFilter::for_capacity(10_000, 1.0 / 1024.0);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        for &k in &keys[..5_000] {
+            assert!(f.remove(k).unwrap());
+        }
+        let still = keys[..5_000].iter().filter(|&&k| f.contains(k)).count();
+        assert!(still < 50, "{still} deleted keys still positive");
+        assert!(keys[5_000..].iter().all(|&k| f.contains(k)));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut f = QuotientFilter::new(6, 8); // 64 slots
+        let mut inserted = 0;
+        for k in 0..100u64 {
+            if f.insert(k).is_err() {
+                break;
+            }
+            inserted += 1;
+        }
+        assert!((55..=61).contains(&inserted), "inserted {inserted}");
+    }
+
+    #[test]
+    fn expansion_preserves_members_and_doubles_fpr() {
+        let keys = unique_keys(74, 3_000);
+        let mut f = QuotientFilter::for_capacity(3_000, 1.0 / 4096.0);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        let r_before = f.remainder_bits();
+        let cap_before = Expandable::capacity(&f);
+        f.expand().unwrap();
+        assert_eq!(f.remainder_bits(), r_before - 1);
+        assert_eq!(Expandable::capacity(&f), cap_before * 2);
+        // No false negatives across expansion.
+        assert!(keys.iter().all(|&k| f.contains(k)));
+    }
+
+    #[test]
+    fn auto_expand_grows_until_remainder_exhausted() {
+        let mut f = QuotientFilter::new(8, 3);
+        f.set_auto_expand(true);
+        let mut exhausted = false;
+        for k in 0..10_000u64 {
+            match f.insert(k) {
+                Ok(()) => {}
+                Err(FilterError::ExpansionExhausted) => {
+                    exhausted = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(exhausted, "filter should run out of remainder bits");
+        assert!(f.expansions() >= 2);
+    }
+
+    #[test]
+    fn space_formula_matches_r_plus_3_bits_per_slot() {
+        // Tutorial §2: QF ≈ n·lg(1/ε) + c·n bits. Our table spends
+        // r bits payload + 3 metadata bits per slot (+5% padding).
+        let f = QuotientFilter::new(16, 8);
+        let bits_per_slot = f.size_in_bytes() as f64 * 8.0 / (1 << 16) as f64;
+        assert!(
+            (11.0..12.6).contains(&bits_per_slot),
+            "bits/slot {bits_per_slot}"
+        );
+    }
+
+    #[test]
+    fn multiset_duplicates_supported() {
+        let mut f = QuotientFilter::new(8, 8);
+        for _ in 0..20 {
+            f.insert(42).unwrap();
+        }
+        assert_eq!(f.len(), 20);
+        for _ in 0..20 {
+            assert!(f.remove(42).unwrap());
+        }
+        assert!(!f.contains(42));
+    }
+}

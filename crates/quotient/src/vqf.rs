@@ -1,0 +1,331 @@
+//! Vector quotient filter (Pandey, Conway, Durie, Bender,
+//! Farach-Colton, Johnson — SIGMOD 2021).
+//!
+//! Overcomes the quotient filter's time/space trade-off (§2.1): keys
+//! hash to one of two candidate *blocks* (power-of-two-choices), and
+//! all state for a block — a unary bucket-occupancy vector plus the
+//! remainder array — fits in a couple of cache lines, so inserts are
+//! block-local shifts instead of table-wide Robin Hood displacement.
+//!
+//! Geometry here: 80 logical buckets and 48 remainder slots per
+//! block; the metadata word is 128 bits laid out as
+//! `1^{c_0} 0 1^{c_1} 0 … 1^{c_79} 0` (bucket `i`'s run length in
+//! unary, delimited by zeros), giving 128/48 ≈ 2.67 metadata bits
+//! per slot — the same regime as the paper's 2.914.
+
+use filter_core::{DynamicFilter, Filter, FilterError, Hasher, InsertFilter, Result};
+
+/// Logical buckets per block.
+const BUCKETS: u32 = 80;
+/// Remainder slots per block.
+const SLOTS: usize = 48;
+
+/// One block: unary metadata + remainder array.
+#[derive(Debug, Clone)]
+struct Block {
+    /// `1^{c_0} 0 … 1^{c_79} 0`, low bits first; bits beyond
+    /// `used + BUCKETS` are zero.
+    meta: u128,
+    remainders: [u8; SLOTS],
+    used: u8,
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Block {
+            meta: 0, // 80 zeros in the low bits = all counts zero
+            remainders: [0; SLOTS],
+            used: 0,
+        }
+    }
+}
+
+/// Position of the `k`-th (0-based) zero bit of `x` (within 128 bits).
+#[inline]
+fn select0_u128(x: u128, k: u32) -> u32 {
+    let lo = x as u64;
+    let lo_zeros = 64 - lo.count_ones();
+    if k < lo_zeros {
+        filter_core::select_word(!lo, k).expect("in range")
+    } else {
+        64 + filter_core::select_word(!((x >> 64) as u64), k - lo_zeros).expect("in range")
+    }
+}
+
+impl Block {
+    /// Slot index of the start of bucket `b`'s run, and its length.
+    #[inline]
+    fn run_of(&self, b: u32) -> (usize, usize) {
+        let end_pos = select0_u128(self.meta, b); // position of b's delimiter
+        let start_pos = if b == 0 {
+            0
+        } else {
+            select0_u128(self.meta, b - 1) + 1
+        };
+        // Slots before a metadata position = ones before it = the
+        // position minus the delimiters (zeros) already passed.
+        let start_slot = (start_pos - if b == 0 { 0 } else { b }) as usize;
+        let len = (end_pos - start_pos) as usize;
+        (start_slot, len)
+    }
+
+    /// Insert remainder `r` into bucket `b`. Returns false if full.
+    fn insert(&mut self, b: u32, r: u8) -> bool {
+        if (self.used as usize) >= SLOTS {
+            return false;
+        }
+        let end_pos = select0_u128(self.meta, b);
+        // Insert a one bit at end_pos: shift everything at and above
+        // end_pos left by one.
+        let low_mask = (1u128 << end_pos) - 1;
+        self.meta = (self.meta & low_mask) | (1u128 << end_pos) | ((self.meta & !low_mask) << 1);
+        // Slot index for the new remainder = ones before end_pos.
+        let slot = (end_pos - b) as usize;
+        let used = self.used as usize;
+        self.remainders.copy_within(slot..used, slot + 1);
+        self.remainders[slot] = r;
+        self.used += 1;
+        true
+    }
+
+    /// Does bucket `b` hold remainder `r`?
+    fn contains(&self, b: u32, r: u8) -> bool {
+        let (start, len) = self.run_of(b);
+        self.remainders[start..start + len].contains(&r)
+    }
+
+    /// Remove one instance of remainder `r` from bucket `b`.
+    fn remove(&mut self, b: u32, r: u8) -> bool {
+        let (start, len) = self.run_of(b);
+        let Some(off) = self.remainders[start..start + len]
+            .iter()
+            .position(|&x| x == r)
+        else {
+            return false;
+        };
+        let slot = start + off;
+        let used = self.used as usize;
+        self.remainders.copy_within(slot + 1..used, slot);
+        self.remainders[used - 1] = 0;
+        // Delete one bit of bucket b's run: remove the bit just below
+        // its delimiter.
+        let end_pos = select0_u128(self.meta, b);
+        debug_assert!(end_pos > 0);
+        let del = end_pos - 1;
+        let low_mask = (1u128 << del) - 1;
+        self.meta = (self.meta & low_mask) | ((self.meta >> 1) & !low_mask);
+        self.used -= 1;
+        true
+    }
+}
+
+/// A dynamic vector quotient filter with 8-bit remainders.
+#[derive(Debug, Clone)]
+pub struct VectorQuotientFilter {
+    blocks: Vec<Block>,
+    hasher: Hasher,
+    items: usize,
+}
+
+impl VectorQuotientFilter {
+    /// Create for `capacity` keys at ~90% slot load.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_seed(capacity, 0)
+    }
+
+    /// As [`VectorQuotientFilter::new`] with an explicit seed.
+    pub fn with_seed(capacity: usize, seed: u64) -> Self {
+        let n_blocks = ((capacity as f64 / 0.9 / SLOTS as f64).ceil() as usize).max(2);
+        VectorQuotientFilter {
+            blocks: vec![Block::default(); n_blocks],
+            hasher: Hasher::with_seed(seed),
+            items: 0,
+        }
+    }
+
+    /// The two candidate (block, bucket) homes and the remainder.
+    #[inline]
+    fn homes(&self, key: u64) -> ([(usize, u32); 2], u8) {
+        let (h1, h2) = self.hasher.hash_pair(&key);
+        let nb = self.blocks.len() as u64;
+        let b1 = (h1 % nb) as usize;
+        let b2 = (h2 % nb) as usize;
+        let k1 = ((h1 >> 32) % BUCKETS as u64) as u32;
+        let k2 = ((h2 >> 32) % BUCKETS as u64) as u32;
+        let r = (h1 >> 56) as u8;
+        ([(b1, k1), (b2, k2)], r)
+    }
+
+    /// Fraction of slots used.
+    pub fn load(&self) -> f64 {
+        self.items as f64 / (self.blocks.len() * SLOTS) as f64
+    }
+}
+
+impl Filter for VectorQuotientFilter {
+    fn contains(&self, key: u64) -> bool {
+        let ([(b1, k1), (b2, k2)], r) = self.homes(key);
+        self.blocks[b1].contains(k1, r) || self.blocks[b2].contains(k2, r)
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        // 128 meta bits + 48 bytes of remainders per block (`used` is
+        // derivable from meta; it is a cached popcount).
+        self.blocks.len() * (16 + SLOTS)
+    }
+}
+
+impl InsertFilter for VectorQuotientFilter {
+    fn insert(&mut self, key: u64) -> Result<()> {
+        let ([(b1, k1), (b2, k2)], r) = self.homes(key);
+        // Power of two choices: emptier block first.
+        let order = if self.blocks[b1].used <= self.blocks[b2].used {
+            [(b1, k1), (b2, k2)]
+        } else {
+            [(b2, k2), (b1, k1)]
+        };
+        for (blk, bucket) in order {
+            if self.blocks[blk].insert(bucket, r) {
+                self.items += 1;
+                return Ok(());
+            }
+        }
+        Err(FilterError::CapacityExceeded)
+    }
+}
+
+impl DynamicFilter for VectorQuotientFilter {
+    /// Remove one instance matching `key`.
+    ///
+    /// As in every fingerprint filter with two homes, an aliased key
+    /// (same block/bucket/remainder triple through a *different*
+    /// hash) may have consumed this key's instance earlier; in that
+    /// ~`2⁻²⁸`-per-pair case the removal returns `Ok(false)` even
+    /// though the key was inserted. Deletion is only safe for keys
+    /// known to be present — the standard cuckoo-family caveat.
+    fn remove(&mut self, key: u64) -> Result<bool> {
+        let ([(b1, k1), (b2, k2)], r) = self.homes(key);
+        if self.blocks[b1].remove(k1, r) || self.blocks[b2].remove(k2, r) {
+            self.items -= 1;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{disjoint_keys, unique_keys};
+
+    #[test]
+    fn select0_u128_works_across_halves() {
+        let x: u128 = !0b1011u128; // zeros at 0-indexed positions 2 and >=4... inverted
+                                   // x has zeros exactly where 0b1011 has ones: positions 0,1,3.
+        assert_eq!(select0_u128(x, 0), 0);
+        assert_eq!(select0_u128(x, 1), 1);
+        assert_eq!(select0_u128(x, 2), 3);
+        // A zero in the high half.
+        let y: u128 = !(1u128 << 100);
+        assert_eq!(select0_u128(y, 0), 100);
+    }
+
+    #[test]
+    fn block_insert_query_remove() {
+        let mut b = Block::default();
+        assert!(b.insert(10, 0xaa));
+        assert!(b.insert(10, 0xbb));
+        assert!(b.insert(5, 0xcc));
+        assert!(b.insert(79, 0xdd));
+        assert!(b.contains(10, 0xaa));
+        assert!(b.contains(10, 0xbb));
+        assert!(b.contains(5, 0xcc));
+        assert!(b.contains(79, 0xdd));
+        assert!(!b.contains(10, 0xcc));
+        assert!(!b.contains(0, 0xaa));
+        assert!(b.remove(10, 0xaa));
+        assert!(!b.contains(10, 0xaa));
+        assert!(b.contains(10, 0xbb), "sibling survived");
+        assert!(!b.remove(10, 0xaa), "double remove");
+        assert_eq!(b.used, 3);
+    }
+
+    #[test]
+    fn block_fills_to_capacity() {
+        let mut b = Block::default();
+        for i in 0..SLOTS {
+            assert!(b.insert((i % BUCKETS as usize) as u32, i as u8));
+        }
+        assert!(!b.insert(0, 0xff), "49th insert must fail");
+    }
+
+    #[test]
+    fn insert_query_roundtrip() {
+        let keys = unique_keys(500, 50_000);
+        let mut f = VectorQuotientFilter::new(50_000);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        assert!(keys.iter().all(|&k| f.contains(k)));
+    }
+
+    #[test]
+    fn fpr_in_expected_range() {
+        let keys = unique_keys(501, 50_000);
+        let mut f = VectorQuotientFilter::new(50_000);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        let neg = disjoint_keys(502, 100_000, &keys);
+        let fpr = neg.iter().filter(|&&k| f.contains(k)).count() as f64 / 100_000.0;
+        // Two buckets of expected load 48/80·0.9 ≈ 0.54 remainders
+        // each at 2^-8 collision: ≈ 2·0.6·2^-8 ≈ 0.0045.
+        assert!(fpr < 0.012, "fpr {fpr}");
+    }
+
+    #[test]
+    fn delete_then_negatives() {
+        let keys = unique_keys(503, 20_000);
+        let mut f = VectorQuotientFilter::new(25_000);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        // A handful of removals can fail through triple-aliasing (see
+        // `remove`'s doc); anything beyond the collision rate is a bug.
+        let failed = keys[..10_000]
+            .iter()
+            .filter(|&&k| !f.remove(k).unwrap())
+            .count();
+        assert!(failed < 30, "{failed} removals failed");
+        let still = keys[..10_000].iter().filter(|&&k| f.contains(k)).count();
+        assert!(still < 150, "{still} deleted keys remain");
+        let missing = keys[10_000..].iter().filter(|&&k| !f.contains(k)).count();
+        assert!(missing < 30, "{missing} live keys lost to alias deletion");
+    }
+
+    #[test]
+    fn two_choice_load_exceeds_90_percent() {
+        let mut f = VectorQuotientFilter::new(10_000);
+        for k in workloads::KeyStream::new(504) {
+            if f.insert(k).is_err() {
+                break;
+            }
+        }
+        assert!(f.load() > 0.9, "stalled at load {}", f.load());
+    }
+
+    #[test]
+    fn space_is_under_11_bits_per_key() {
+        let keys = unique_keys(505, 100_000);
+        let mut f = VectorQuotientFilter::new(100_000);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        let bpk = f.bits_per_key();
+        assert!(bpk < 12.5, "bits/key {bpk}");
+    }
+}

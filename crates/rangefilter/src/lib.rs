@@ -1,0 +1,37 @@
+//! # rangefilter
+//!
+//! The range-filter landscape of tutorial §2.5 — the ε-approximate
+//! range-emptiness problem over 64-bit integer keys:
+//!
+//! | Filter | Approach | Strength | Weakness |
+//! |---|---|---|---|
+//! | [`Arf`] | trainable binary tree over the key space | learns repeating workloads | high training cost; shifts reset it |
+//! | [`Surf`] | succinct trie of distinguishing prefixes | small, general | breaks under correlated / adversarial workloads |
+//! | [`Rosetta`] | dyadic Bloom hierarchy | robust short ranges | FPR grows with range length; CPU-heavy |
+//! | [`Snarf`] | learned CDF spline + sparse bit array | any range length | static; model granularity |
+//! | [`Grafite`] | locality-preserving hash + Elias–Fano | optimal space, correlation-robust | integer keys, static, bounded L |
+//! | [`Proteus`] | trie + prefix Bloom, sample-trained | adapts to workload | must rebuild on shift |
+//!
+//! All implement [`filter_core::RangeFilter`]; experiment E10
+//! reproduces the tutorial's robustness comparison.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arf;
+pub mod grafite;
+pub mod proteus;
+pub mod rencoder;
+pub mod rosetta;
+pub mod snarf;
+pub mod surf;
+pub mod surf_bytes;
+
+pub use arf::Arf;
+pub use grafite::Grafite;
+pub use proteus::Proteus;
+pub use rencoder::REncoder;
+pub use rosetta::Rosetta;
+pub use snarf::Snarf;
+pub use surf::Surf;
+pub use surf_bytes::SurfBytes;

@@ -1,0 +1,146 @@
+//! Proteus-style self-designing hybrid (Knorr et al., SIGMOD 2022).
+//!
+//! Combines a depth-truncated succinct trie (prefixes up to `l1`
+//! bits) with a prefix Bloom filter at a longer prefix length `l2`,
+//! the two parameters chosen from a **sample of recent queries** —
+//! the tutorial's example of a filter that must be trained and
+//! rebuilt on workload shift.
+
+use crate::surf::Surf;
+use bloom::PrefixBloomFilter;
+use filter_core::RangeFilter;
+
+/// A trained trie + prefix-Bloom hybrid range filter.
+#[derive(Debug, Clone)]
+pub struct Proteus {
+    trie: Surf,
+    bloom: PrefixBloomFilter,
+    /// Trie prefix depth in bits (byte-aligned).
+    l1: u32,
+    /// Bloom prefix length in bits.
+    l2: u32,
+    items: usize,
+}
+
+impl Proteus {
+    /// Train parameters from sample query widths and build.
+    ///
+    /// `l2` is chosen so that a typical sample query spans only a few
+    /// Bloom prefix blocks; `l1` truncates the trie two bytes above
+    /// that. This is the essence of Proteus's sample-driven design
+    /// (its full CPFPR model sweeps the whole (l1, l2) plane).
+    pub fn train(sorted_keys: &[u64], sample_query_widths: &[u64], eps: f64) -> Self {
+        assert!(!sorted_keys.is_empty());
+        let mut widths: Vec<u64> = sample_query_widths.to_vec();
+        if widths.is_empty() {
+            widths.push(1);
+        }
+        widths.sort_unstable();
+        let p90 = widths[(widths.len() * 9 / 10).min(widths.len() - 1)].max(1);
+        // Block size ≈ p90 width → l2 = 64 − ⌈lg p90⌉ − 1 so a p90
+        // query spans ≤ ~4 blocks.
+        let lg_w = 64 - (p90 - 1).leading_zeros();
+        let l2 = (64 - lg_w).clamp(8, 63);
+        let l1_bytes = ((l2 / 8).saturating_sub(2)).clamp(1, 8) as usize;
+        let mut dedup = sorted_keys.to_vec();
+        dedup.dedup_by_key(|k| *k >> (64 - 8 * l1_bytes as u32));
+        let trie = Surf::build_with_depth(&dedup, 0, l1_bytes);
+        let mut bloom = PrefixBloomFilter::new(sorted_keys.len(), eps, l2);
+        for &k in sorted_keys {
+            bloom.insert(k).expect("bloom insert infallible");
+        }
+        Proteus {
+            trie,
+            bloom,
+            l1: 8 * l1_bytes as u32,
+            l2,
+            items: sorted_keys.len(),
+        }
+    }
+
+    /// Trained trie depth (bits).
+    pub fn l1(&self) -> u32 {
+        self.l1
+    }
+
+    /// Trained Bloom prefix length (bits).
+    pub fn l2(&self) -> u32 {
+        self.l2
+    }
+}
+
+impl RangeFilter for Proteus {
+    fn may_contain_range(&self, lo: u64, hi: u64) -> bool {
+        // Both structures must agree the range may be non-empty.
+        self.trie.may_contain_range(lo, hi) && self.bloom.may_contain_range(lo, hi)
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.trie.size_in_bytes() + RangeFilter::size_in_bytes(&self.bloom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::CorrelatedRangeWorkload;
+
+    #[test]
+    fn no_false_negatives() {
+        let w = CorrelatedRangeWorkload::uniform(240, 10_000, u64::MAX - 1);
+        let widths = vec![64u64; 100];
+        let p = Proteus::train(&w.keys, &widths, 0.01);
+        assert!(w.keys.iter().all(|&k| p.may_contain(k)));
+        for q in w.nonempty_queries(241, 1_000, 64) {
+            assert!(p.may_contain_range(q.lo, q.hi));
+        }
+    }
+
+    #[test]
+    fn filters_in_trained_regime() {
+        let w = CorrelatedRangeWorkload::uniform(242, 10_000, u64::MAX - 1);
+        let widths = vec![64u64; 100];
+        let p = Proteus::train(&w.keys, &widths, 0.01);
+        let qs = w.empty_queries(243, 1_000, 64, 0.0);
+        let fp = qs
+            .iter()
+            .filter(|q| p.may_contain_range(q.lo, q.hi))
+            .count();
+        let fpr = fp as f64 / 1_000.0;
+        assert!(fpr < 0.1, "trained-regime fpr {fpr}");
+    }
+
+    #[test]
+    fn workload_shift_degrades_filtering() {
+        // Train on short ranges, query far wider ones: the tutorial's
+        // "must rebuild on workload shift" caveat.
+        let w = CorrelatedRangeWorkload::uniform(244, 10_000, u64::MAX - 1);
+        let p = Proteus::train(&w.keys, &[16; 50], 0.01);
+        let short = w.empty_queries(245, 500, 16, 0.0);
+        let wide = w.empty_queries(246, 500, 1 << 24, 0.0);
+        let fpr = |qs: &[workloads::RangeQuery]| {
+            qs.iter()
+                .filter(|q| p.may_contain_range(q.lo, q.hi))
+                .count() as f64
+                / qs.len() as f64
+        };
+        let f_short = fpr(&short);
+        let f_wide = fpr(&wide);
+        assert!(
+            f_wide > f_short,
+            "shift did not degrade: {f_short} vs {f_wide}"
+        );
+    }
+
+    #[test]
+    fn trained_params_track_sample() {
+        let w = CorrelatedRangeWorkload::uniform(247, 1_000, u64::MAX - 1);
+        let narrow = Proteus::train(&w.keys, &[4; 10], 0.01);
+        let wide = Proteus::train(&w.keys, &[1 << 20; 10], 0.01);
+        assert!(narrow.l2() > wide.l2(), "l2 should shrink for wide queries");
+    }
+}

@@ -1,0 +1,235 @@
+//! REncoder (Wang et al., ICDE 2023): Rosetta's dyadic-prefix idea
+//! with the CPU overhead engineered away through **bit locality**.
+//!
+//! Rosetta keeps one independent Bloom filter per prefix length, so a
+//! doubting walk hops across memory. REncoder instead stores *all* of
+//! a key's prefix bits in one cache-line-sized block chosen by a
+//! coarse prefix of the key: a query's entire dyadic decomposition
+//! (and the recursive doubting under it) touches one or two blocks.
+//! Same hierarchy semantics as [`crate::Rosetta`], far fewer cache
+//! misses per query — the E10 CPU column reproduces the gap.
+
+use filter_core::{BitVec, Hasher, RangeFilter};
+
+/// 512-bit blocks (one cache line).
+const BLOCK_BITS: usize = 512;
+
+/// A blocked dyadic-prefix range filter.
+#[derive(Debug, Clone)]
+pub struct REncoder {
+    bits: BitVec,
+    n_blocks: usize,
+    /// Stored prefix lengths: `64 - levels + 1 ..= 64`.
+    levels: u32,
+    /// Prefix length that selects the block. Every stored prefix of a
+    /// key extends this block prefix, so all its bits land together.
+    block_prefix_len: u32,
+    hasher: Hasher,
+    /// Bits set per stored prefix (small k keeps blocks underloaded).
+    k: u32,
+    items: usize,
+    max_probes: usize,
+}
+
+impl REncoder {
+    /// Create for `capacity` keys covering ranges up to
+    /// `2^(levels-1)` long, with `bits_per_key` total budget.
+    pub fn new(capacity: usize, levels: u32, bits_per_key: f64) -> Self {
+        Self::with_seed(capacity, levels, bits_per_key, 0)
+    }
+
+    /// As [`REncoder::new`] with an explicit seed.
+    pub fn with_seed(capacity: usize, levels: u32, bits_per_key: f64, seed: u64) -> Self {
+        assert!((2..=40).contains(&levels));
+        assert!(bits_per_key >= 4.0);
+        let total_bits = ((capacity as f64 * bits_per_key) as usize).max(BLOCK_BITS);
+        let n_blocks = total_bits.div_ceil(BLOCK_BITS).next_power_of_two();
+        // The block must be chosen by a prefix at least as coarse as
+        // the coarsest stored level, so a stored prefix never spans
+        // blocks.
+        let block_prefix_len = 64 - levels;
+        REncoder {
+            bits: BitVec::new(n_blocks * BLOCK_BITS),
+            n_blocks,
+            levels,
+            block_prefix_len,
+            hasher: Hasher::with_seed(seed),
+            k: 2,
+            items: 0,
+            max_probes: 16_384,
+        }
+    }
+
+    /// Block index for a key prefix of length ≥ `block_prefix_len`.
+    #[inline]
+    fn block_of(&self, prefix: u64, plen: u32) -> usize {
+        debug_assert!(plen >= self.block_prefix_len);
+        let coarse = prefix >> (plen - self.block_prefix_len);
+        (self.hasher.hash(&coarse) as usize) & (self.n_blocks - 1)
+    }
+
+    /// In-block bit positions for a (prefix, length) pair.
+    #[inline]
+    fn bit_positions(&self, prefix: u64, plen: u32) -> [usize; 2] {
+        let h = self.hasher.derive(plen as u64).hash(&prefix);
+        [(h as usize) % BLOCK_BITS, ((h >> 32) as usize) % BLOCK_BITS]
+    }
+
+    /// Insert a key: every stored prefix sets `k` bits in the key's
+    /// single home block.
+    pub fn insert(&mut self, key: u64) {
+        let block = self.block_of(key >> self.levels, 64 - self.levels);
+        let base = block * BLOCK_BITS;
+        for i in 0..self.levels {
+            let plen = 64 - self.levels + 1 + i;
+            let prefix = key >> (64 - plen);
+            for pos in self
+                .bit_positions(prefix, plen)
+                .iter()
+                .take(self.k as usize)
+            {
+                self.bits.set(base + pos);
+            }
+        }
+        self.items += 1;
+    }
+
+    /// Probe one dyadic node.
+    #[inline]
+    fn probe(&self, prefix: u64, plen: u32) -> bool {
+        if plen <= self.block_prefix_len {
+            return true; // coarser than the stored hierarchy
+        }
+        let block = self.block_of(prefix, plen);
+        let base = block * BLOCK_BITS;
+        self.bit_positions(prefix, plen)
+            .iter()
+            .take(self.k as usize)
+            .all(|pos| self.bits.get(base + pos))
+    }
+
+    fn doubt(&self, prefix: u64, plen: u32, probes: &mut usize) -> bool {
+        if *probes == 0 {
+            return true;
+        }
+        *probes -= 1;
+        if !self.probe(prefix, plen) {
+            return false;
+        }
+        if plen == 64 {
+            return true;
+        }
+        self.doubt(prefix << 1, plen + 1, probes) || self.doubt((prefix << 1) | 1, plen + 1, probes)
+    }
+}
+
+impl RangeFilter for REncoder {
+    fn may_contain_range(&self, lo: u64, hi: u64) -> bool {
+        debug_assert!(lo <= hi);
+        let mut probes = self.max_probes;
+        crate::rosetta::decompose_dyadic(lo, hi, &mut |prefix, plen| {
+            self.doubt(prefix, plen, &mut probes)
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.bits.size_in_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::CorrelatedRangeWorkload;
+
+    fn build(w: &CorrelatedRangeWorkload, levels: u32, bpk: f64) -> REncoder {
+        let mut r = REncoder::new(w.keys.len(), levels, bpk);
+        for &k in &w.keys {
+            r.insert(k);
+        }
+        r
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let w = CorrelatedRangeWorkload::uniform(330, 5_000, u64::MAX - 1);
+        let r = build(&w, 17, 24.0);
+        assert!(w.keys.iter().all(|&k| r.may_contain(k)));
+        for q in w.nonempty_queries(331, 500, 1 << 12) {
+            assert!(r.may_contain_range(q.lo, q.hi));
+        }
+    }
+
+    #[test]
+    fn filters_short_ranges_robustly() {
+        // Each key sets levels·k = 34 block bits, so the block fill
+        // is ≈ 34/bits_per_key; budget for ~45% fill.
+        let w = CorrelatedRangeWorkload::uniform(332, 10_000, u64::MAX - 1);
+        let r = build(&w, 17, 72.0);
+        for (corr, seed) in [(0.0, 333u64), (1.0, 334)] {
+            let qs = w.empty_queries(seed, 1_000, 16, corr);
+            let fp = qs
+                .iter()
+                .filter(|q| r.may_contain_range(q.lo, q.hi))
+                .count();
+            let fpr = fp as f64 / 1_000.0;
+            assert!(fpr < 0.15, "corr {corr}: fpr {fpr}");
+        }
+    }
+
+    #[test]
+    fn at_least_half_the_space_of_rosetta_at_similar_fpr() {
+        // The locality claim is structural (see
+        // `one_block_per_point_insert_query`); the measurable win at
+        // laptop scale is space: Rosetta needs a full Bloom filter
+        // per level (~8 bits/key/level), REncoder shares one blocked
+        // array across levels.
+        let w = CorrelatedRangeWorkload::uniform(335, 50_000, u64::MAX - 1);
+        let renc = build(&w, 17, 72.0);
+        let mut rosetta = crate::Rosetta::new(w.keys.len(), 0.02, 17);
+        for &k in &w.keys {
+            rosetta.insert(k);
+        }
+        assert!(
+            RangeFilter::size_in_bytes(&renc) * 3 / 2 < RangeFilter::size_in_bytes(&rosetta),
+            "rencoder {} vs rosetta {} bytes",
+            RangeFilter::size_in_bytes(&renc),
+            RangeFilter::size_in_bytes(&rosetta)
+        );
+        // And timing must at least be in the same league (the paper's
+        // CPU advantage grows with hierarchy depth and out-of-cache
+        // working sets).
+        let qs = w.empty_queries(336, 5_000, 256, 0.5);
+        let time = |f: &dyn RangeFilter| {
+            let t0 = std::time::Instant::now();
+            let mut acc = 0usize;
+            for q in &qs {
+                acc += f.may_contain_range(q.lo, q.hi) as usize;
+            }
+            (t0.elapsed(), acc)
+        };
+        let _ = (time(&renc), time(&rosetta)); // warm
+        let (t_r, _) = time(&renc);
+        let (t_o, _) = time(&rosetta);
+        assert!(
+            t_r < t_o * 2,
+            "rencoder {t_r:?} far slower than rosetta {t_o:?}"
+        );
+    }
+
+    #[test]
+    fn one_block_per_point_insert_query() {
+        // Structural: all of a key's levels land in one block.
+        let r = REncoder::new(1_000, 17, 20.0);
+        let key = 0xdead_beef_0000_0000u64;
+        let b0 = r.block_of(key >> 17, 47);
+        for i in 0..17 {
+            let plen = 64 - 17 + 1 + i;
+            assert_eq!(r.block_of(key >> (64 - plen), plen), b0);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Rosetta (Luo et al., SIGMOD 2020): a hierarchy of Bloom filters
+//! forming a conceptual segment tree over the key universe.
+//!
+//! Level `l` stores every key's length-`l` binary prefix in a Bloom
+//! filter. A range query is decomposed into dyadic intervals; each
+//! dyadic node is probed and, on a positive, *doubted* — recursively
+//! re-probed down to leaf level — so a false positive must survive a
+//! chain of Bloom probes. This gives Rosetta its robustness for point
+//! and short-range queries, its rapidly growing FPR for long ranges,
+//! and its high CPU cost (all three reproduced in E10).
+
+use bloom::BloomFilter;
+use filter_core::{Filter, InsertFilter, RangeFilter};
+
+/// Rosetta over a 64-bit key universe, storing Bloom filters for the
+/// bottom `levels` prefix lengths.
+#[derive(Debug, Clone)]
+pub struct Rosetta {
+    /// `blooms[i]` indexes prefixes of length `64 - levels + 1 + i`;
+    /// the last entry is the full-key filter.
+    blooms: Vec<BloomFilter>,
+    levels: u32,
+    items: usize,
+    /// Probe budget per query before conceding a positive.
+    max_probes: usize,
+}
+
+impl Rosetta {
+    /// Create for `capacity` keys, FPR `eps` per level, covering
+    /// ranges up to `2^(levels-1)` in length.
+    pub fn new(capacity: usize, eps: f64, levels: u32) -> Self {
+        Self::with_seed(capacity, eps, levels, 0)
+    }
+
+    /// As [`Rosetta::new`] with an explicit seed.
+    pub fn with_seed(capacity: usize, eps: f64, levels: u32, seed: u64) -> Self {
+        assert!((1..=64).contains(&levels));
+        let base = filter_core::Hasher::with_seed(seed);
+        let blooms = (0..levels)
+            .map(|i| BloomFilter::with_seed(capacity, eps, base.derive(i as u64).seed()))
+            .collect();
+        Rosetta {
+            blooms,
+            levels,
+            items: 0,
+            max_probes: 16_384,
+        }
+    }
+
+    /// Prefix length handled by `blooms[i]`.
+    #[inline]
+    fn prefix_len(&self, i: usize) -> u32 {
+        64 - self.levels + 1 + i as u32
+    }
+
+    /// Insert a key: its prefix at every stored level.
+    pub fn insert(&mut self, key: u64) {
+        for i in 0..self.blooms.len() {
+            let plen = self.prefix_len(i);
+            self.blooms[i]
+                .insert(key >> (64 - plen))
+                .expect("bloom insert is infallible");
+        }
+        self.items += 1;
+    }
+
+    /// Probe the dyadic node covering `[prefix << s, …]` at level with
+    /// prefix length `plen`; `None` when that level is not stored
+    /// (too-coarse levels are treated as positive).
+    #[inline]
+    fn probe(&self, prefix: u64, plen: u32) -> bool {
+        if plen == 0 {
+            return true;
+        }
+        let i = (plen + self.levels) as i64 - 65;
+        if i < 0 {
+            return true; // coarser than the stored hierarchy
+        }
+        self.blooms[i as usize].contains(prefix)
+    }
+
+    /// Doubt a positive dyadic node: recursively verify that some
+    /// full-key path under it stays positive.
+    fn doubt(&self, prefix: u64, plen: u32, probes: &mut usize) -> bool {
+        if *probes == 0 {
+            return true; // budget exhausted: concede
+        }
+        *probes -= 1;
+        if !self.probe(prefix, plen) {
+            return false;
+        }
+        if plen == 64 {
+            return true;
+        }
+        self.doubt(prefix << 1, plen + 1, probes) || self.doubt((prefix << 1) | 1, plen + 1, probes)
+    }
+}
+
+/// Dyadic decomposition of `[lo, hi]`, invoking `visit` with
+/// `(prefix, prefix_len)` for each maximal dyadic block; stops early
+/// (returning `true`) when `visit` does. Shared by [`Rosetta`] and
+/// [`crate::REncoder`].
+pub(crate) fn decompose_dyadic(lo: u64, hi: u64, visit: &mut impl FnMut(u64, u32) -> bool) -> bool {
+    // Standard segment-tree style decomposition on the implicit
+    // binary trie.
+    let mut lo = lo;
+    loop {
+        // Largest block starting at lo that fits in [lo, hi].
+        let max_by_align = if lo == 0 { 64 } else { lo.trailing_zeros() };
+        let span = hi - lo; // remaining length - 1
+        let max_by_len = if span == u64::MAX {
+            64
+        } else {
+            63 - (span + 1).leading_zeros()
+        };
+        let block_log = max_by_align.min(max_by_len).min(63);
+        let plen = 64 - block_log;
+        if visit(lo >> block_log, plen) {
+            return true;
+        }
+        let step = 1u64 << block_log;
+        match lo.checked_add(step) {
+            Some(next) if next <= hi => lo = next,
+            _ => return false,
+        }
+    }
+}
+
+impl RangeFilter for Rosetta {
+    fn may_contain_range(&self, lo: u64, hi: u64) -> bool {
+        debug_assert!(lo <= hi);
+        let mut probes = self.max_probes;
+        decompose_dyadic(lo, hi, &mut |prefix, plen| {
+            self.doubt(prefix, plen, &mut probes)
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.blooms.iter().map(|b| b.size_in_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::CorrelatedRangeWorkload;
+
+    fn build(w: &CorrelatedRangeWorkload, eps: f64, levels: u32) -> Rosetta {
+        let mut r = Rosetta::new(w.keys.len(), eps, levels);
+        for &k in &w.keys {
+            r.insert(k);
+        }
+        r
+    }
+
+    #[test]
+    fn no_false_negatives_points_and_ranges() {
+        let w = CorrelatedRangeWorkload::uniform(210, 5_000, u64::MAX - 1);
+        let r = build(&w, 0.01, 17);
+        assert!(w.keys.iter().all(|&k| r.may_contain(k)));
+        for q in w.nonempty_queries(211, 500, 1 << 12) {
+            assert!(r.may_contain_range(q.lo, q.hi));
+        }
+    }
+
+    #[test]
+    fn robust_against_correlated_short_ranges() {
+        // Rosetta's headline property: correlation does not break it
+        // (contrast with SuRF's E10 failure).
+        let w = CorrelatedRangeWorkload::uniform(212, 10_000, u64::MAX - 1);
+        let r = build(&w, 0.01, 17);
+        let qs = w.empty_queries(213, 1_000, 16, 1.0);
+        let fp = qs
+            .iter()
+            .filter(|q| r.may_contain_range(q.lo, q.hi))
+            .count();
+        let fpr = fp as f64 / 1_000.0;
+        assert!(fpr < 0.1, "correlated short-range fpr {fpr}");
+    }
+
+    #[test]
+    fn fpr_grows_with_range_length() {
+        let w = CorrelatedRangeWorkload::uniform(214, 10_000, u64::MAX - 1);
+        let r = build(&w, 0.05, 17);
+        let fpr_at = |width: u64, seed: u64| {
+            let qs = w.empty_queries(seed, 400, width, 0.5);
+            qs.iter()
+                .filter(|q| r.may_contain_range(q.lo, q.hi))
+                .count() as f64
+                / 400.0
+        };
+        let short = fpr_at(4, 215);
+        let long = fpr_at(1 << 14, 216);
+        assert!(
+            long > short,
+            "long-range fpr {long} not above short-range {short}"
+        );
+    }
+
+    #[test]
+    fn beyond_hierarchy_ranges_still_safe() {
+        // Ranges longer than the covered 2^(levels-1) degrade to
+        // "maybe" (no filtering) but never to false negatives.
+        let w = CorrelatedRangeWorkload::uniform(217, 1_000, u64::MAX - 1);
+        let r = build(&w, 0.01, 9);
+        for q in w.nonempty_queries(218, 100, 1 << 30) {
+            assert!(r.may_contain_range(q.lo, q.hi));
+        }
+    }
+
+    #[test]
+    fn decompose_covers_exactly() {
+        // The dyadic decomposition must tile [lo, hi] exactly.
+        for (lo, hi) in [(3u64, 17u64), (0, 0), (5, 5), (0, 63), (1, 1 << 20)] {
+            let mut covered = Vec::new();
+            decompose_dyadic(lo, hi, &mut |prefix, plen| {
+                let lo_b = prefix << (64 - plen);
+                let hi_b = lo_b + (1u64 << (64 - plen)) - 1;
+                covered.push((lo_b, hi_b));
+                false
+            });
+            covered.sort();
+            assert_eq!(covered.first().unwrap().0, lo);
+            assert_eq!(covered.last().unwrap().1, hi);
+            for w in covered.windows(2) {
+                assert_eq!(w[0].1 + 1, w[1].0, "gap in decomposition");
+            }
+        }
+    }
+
+    #[test]
+    fn point_query_equals_leaf_bloom() {
+        let w = CorrelatedRangeWorkload::uniform(219, 2_000, u64::MAX - 1);
+        let r = build(&w, 0.01, 17);
+        // A point query decomposes to the single leaf-level probe.
+        assert!(w.keys.iter().all(|&k| r.may_contain(k)));
+    }
+}

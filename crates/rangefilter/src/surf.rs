@@ -1,0 +1,537 @@
+//! SuRF — the Succinct Range Filter (Zhang et al., SIGMOD 2018).
+//!
+//! Stores the minimum distinguishing prefixes of the key set in a
+//! LOUDS-Sparse succinct trie; each leaf additionally keeps
+//! `suffix_bits` *real* key bits (the SuRF-Real variant, which helps
+//! both point and range queries). Queries locate the smallest stored
+//! entry that could be ≥ the range's lower bound and test whether its
+//! value interval intersects the range.
+//!
+//! Per the tutorial, SuRF has no worst-case guarantee: adversarial
+//! key sets with long shared prefixes inflate the trie, and
+//! correlated queries that land just past a stored key false-positive
+//! heavily (experiment E10 reproduces both).
+
+use filter_core::{BitVec, Hasher, PackedArray, RangeFilter, RankSelectVec};
+
+/// What the per-leaf suffix bits encode — SuRF's space/FPR dial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuffixMode {
+    /// Real key bits: cut both point and range FPR (SuRF-Real).
+    Real,
+    /// Hashed key bits: better *point*-query FPR per bit, no help for
+    /// range queries (SuRF-Hash) — the trade-off the paper describes.
+    Hash,
+}
+
+/// LOUDS-Sparse trie edges: one label byte + has-child flag + LOUDS
+/// (first-child) flag per edge; leaf edges carry a real-key suffix.
+#[derive(Debug, Clone)]
+pub struct Surf {
+    labels: Vec<u8>,
+    has_child: RankSelectVec,
+    louds: RankSelectVec,
+    /// Real suffix bits per leaf edge, indexed by leaf rank.
+    suffixes: PackedArray,
+    /// Bits of suffix stored per leaf.
+    suffix_bits: u32,
+    /// Real or hashed suffix semantics.
+    mode: SuffixMode,
+    hasher: Hasher,
+    /// Trie depth cap in bytes (for Proteus's truncated variant).
+    max_depth: usize,
+    items: usize,
+}
+
+/// A leaf's value interval: the stored key lies in `[low, high]`.
+#[derive(Debug, Clone, Copy)]
+struct Interval {
+    low: u64,
+    high: u64,
+}
+
+impl Surf {
+    /// Build over sorted distinct keys with `suffix_bits` real suffix
+    /// bits per leaf.
+    pub fn build(sorted_keys: &[u64], suffix_bits: u32) -> Self {
+        Self::build_with_mode(sorted_keys, suffix_bits, SuffixMode::Real, 8)
+    }
+
+    /// Build the SuRF-Hash variant: suffix bits come from a key hash.
+    pub fn build_hash(sorted_keys: &[u64], suffix_bits: u32) -> Self {
+        Self::build_with_mode(sorted_keys, suffix_bits, SuffixMode::Hash, 8)
+    }
+
+    /// Build capping the trie at `max_depth` bytes (keys truncated;
+    /// used by the Proteus hybrid).
+    pub fn build_with_depth(sorted_keys: &[u64], suffix_bits: u32, max_depth: usize) -> Self {
+        Self::build_with_mode(sorted_keys, suffix_bits, SuffixMode::Real, max_depth)
+    }
+
+    /// Full-parameter builder.
+    pub fn build_with_mode(
+        sorted_keys: &[u64],
+        suffix_bits: u32,
+        mode: SuffixMode,
+        max_depth: usize,
+    ) -> Self {
+        assert!(suffix_bits <= 32);
+        assert!((1..=8).contains(&max_depth));
+        debug_assert!(
+            sorted_keys.windows(2).all(|w| w[0] < w[1]),
+            "keys not sorted/distinct"
+        );
+
+        let hasher = Hasher::with_seed(0x50bf);
+        let mut labels = Vec::new();
+        let mut has_child = Vec::new(); // bool per edge
+        let mut louds = Vec::new();
+        let mut suffix_vals = Vec::new();
+
+        // BFS over (depth, key range) nodes.
+        let mut queue = std::collections::VecDeque::new();
+        if !sorted_keys.is_empty() {
+            queue.push_back((0usize, 0usize, sorted_keys.len()));
+        }
+        while let Some((depth, lo, hi)) = queue.pop_front() {
+            let mut first_edge = true;
+            let mut i = lo;
+            while i < hi {
+                let byte = key_byte(sorted_keys[i], depth);
+                let mut j = i + 1;
+                while j < hi && key_byte(sorted_keys[j], depth) == byte {
+                    j += 1;
+                }
+                labels.push(byte);
+                louds.push(first_edge);
+                first_edge = false;
+                let group_is_leaf = j - i == 1 || depth + 1 >= max_depth;
+                if group_is_leaf {
+                    has_child.push(false);
+                    let known = (depth + 1) * 8;
+                    let sfx = match mode {
+                        // Real suffix: key bits after the prefix.
+                        SuffixMode::Real => {
+                            if suffix_bits == 0 || known >= 64 {
+                                0
+                            } else {
+                                let avail = (64 - known).min(suffix_bits as usize);
+                                (sorted_keys[i] >> (64 - known - avail))
+                                    & filter_core::rem_mask(avail as u32)
+                            }
+                        }
+                        // Hashed suffix: independent of key order.
+                        SuffixMode::Hash => {
+                            hasher.hash(&sorted_keys[i]) & filter_core::rem_mask(suffix_bits)
+                        }
+                    };
+                    suffix_vals.push(sfx);
+                } else {
+                    has_child.push(true);
+                    queue.push_back((depth + 1, i, j));
+                }
+                i = j;
+            }
+        }
+
+        let n_edges = labels.len();
+        let mut hc = BitVec::new(n_edges.max(1));
+        let mut ld = BitVec::new(n_edges.max(1));
+        for (e, (&h, &l)) in has_child.iter().zip(louds.iter()).enumerate() {
+            if h {
+                hc.set(e);
+            }
+            if l {
+                ld.set(e);
+            }
+        }
+        let mut suffixes = PackedArray::new(suffix_vals.len().max(1), suffix_bits.max(1));
+        for (i, &s) in suffix_vals.iter().enumerate() {
+            suffixes.set(i, s);
+        }
+        Surf {
+            labels,
+            has_child: RankSelectVec::new(hc),
+            louds: RankSelectVec::new(ld),
+            suffixes,
+            suffix_bits,
+            mode,
+            hasher,
+            max_depth,
+            items: sorted_keys.len(),
+        }
+    }
+
+    /// Edge range `[start, end)` of the node that edge `e` points to.
+    fn child_node(&self, e: usize) -> (usize, usize) {
+        debug_assert!(self.has_child.get(e));
+        let i = self.has_child.rank1(e + 1); // BFS index of child node
+        let start = self.louds.select1(i).expect("child exists");
+        let end = self.louds.select1(i + 1).unwrap_or(self.labels.len());
+        (start, end)
+    }
+
+    /// Value interval of leaf edge `e` at byte depth `depth`.
+    fn leaf_interval(&self, e: usize, depth: usize, prefix: u64) -> Interval {
+        let known_prefix = (depth + 1) * 8;
+        let prefix = set_key_byte(prefix, depth, self.labels[e]);
+        if known_prefix >= 64 {
+            return Interval {
+                low: prefix,
+                high: prefix,
+            };
+        }
+        let leaf_rank = self.has_child.rank0(e + 1) as usize - 1;
+        // Hashed suffixes say nothing about the key's position in the
+        // order — ranges get prefix precision only (the SuRF-Hash
+        // trade-off).
+        let avail = if self.mode == SuffixMode::Hash {
+            0
+        } else {
+            (64 - known_prefix).min(self.suffix_bits as usize)
+        };
+        let sfx = if self.suffix_bits == 0 || avail == 0 {
+            0
+        } else {
+            self.suffixes.get(leaf_rank)
+        };
+        let known = known_prefix + avail;
+        let base = prefix | (sfx << (64 - known));
+        let slack = if known >= 64 {
+            0
+        } else {
+            filter_core::rem_mask((64 - known) as u32)
+        };
+        Interval {
+            low: base,
+            high: base | slack,
+        }
+    }
+
+    /// Minimum entry interval within the subtree rooted at node
+    /// `[start, end)` at byte depth `depth` (follow smallest labels).
+    fn min_entry(
+        &self,
+        mut start: usize,
+        mut end: usize,
+        mut depth: usize,
+        mut prefix: u64,
+    ) -> Interval {
+        loop {
+            let e = start; // labels within a node are sorted; first is min
+            debug_assert!(e < end);
+            let _ = end;
+            if !self.has_child.get(e) {
+                return self.leaf_interval(e, depth, prefix);
+            }
+            prefix = set_key_byte(prefix, depth, self.labels[e]);
+            let (s, t) = self.child_node(e);
+            start = s;
+            end = t;
+            depth += 1;
+        }
+    }
+
+    /// Smallest stored entry whose interval's high end is ≥ `lo`,
+    /// searching the subtree `[start, end)` at `depth` with
+    /// accumulated `prefix`.
+    fn seek(
+        &self,
+        start: usize,
+        end: usize,
+        depth: usize,
+        prefix: u64,
+        lo: u64,
+    ) -> Option<Interval> {
+        let target = key_byte(lo, depth);
+        for e in start..end {
+            let label = self.labels[e];
+            if label < target {
+                continue;
+            }
+            if label == target {
+                if self.has_child.get(e) {
+                    let p = set_key_byte(prefix, depth, label);
+                    let (s, t) = self.child_node(e);
+                    if let Some(iv) = self.seek(s, t, depth + 1, p, lo) {
+                        return Some(iv);
+                    }
+                    // Subtree exhausted below lo: fall through to the
+                    // next (larger) label.
+                } else {
+                    let iv = self.leaf_interval(e, depth, prefix);
+                    if iv.high >= lo {
+                        return Some(iv);
+                    }
+                }
+                continue;
+            }
+            // label > target: the subtree minimum is the successor.
+            let p = set_key_byte(prefix, depth, label);
+            return Some(if self.has_child.get(e) {
+                let (s, t) = self.child_node(e);
+                self.min_entry(s, t, depth + 1, p)
+            } else {
+                self.leaf_interval(e, depth, prefix)
+            });
+        }
+        None
+    }
+
+    /// Depth cap used at build time.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Point query with full suffix checking (hashed suffixes help
+    /// here even though they cannot help ranges).
+    fn point_query(&self, key: u64) -> bool {
+        if self.items == 0 {
+            return false;
+        }
+        let mut start = 0usize;
+        let mut end = self.louds.select1(1).unwrap_or(self.labels.len());
+        let mut depth = 0usize;
+        loop {
+            let target = key_byte(key, depth);
+            let Some(e) = (start..end).find(|&e| self.labels[e] == target) else {
+                return false;
+            };
+            if !self.has_child.get(e) {
+                // Check the stored suffix against this key.
+                let leaf_rank = self.has_child.rank0(e + 1) as usize - 1;
+                if self.suffix_bits == 0 {
+                    return true;
+                }
+                let stored = self.suffixes.get(leaf_rank);
+                let expected = match self.mode {
+                    SuffixMode::Hash => {
+                        self.hasher.hash(&key) & filter_core::rem_mask(self.suffix_bits)
+                    }
+                    SuffixMode::Real => {
+                        let known = (depth + 1) * 8;
+                        if known >= 64 {
+                            return true;
+                        }
+                        let avail = (64 - known).min(self.suffix_bits as usize);
+                        (key >> (64 - known - avail)) & filter_core::rem_mask(avail as u32)
+                    }
+                };
+                return stored == expected;
+            }
+            let (s, t) = self.child_node(e);
+            start = s;
+            end = t;
+            depth += 1;
+        }
+    }
+}
+
+#[inline]
+fn key_byte(key: u64, depth: usize) -> u8 {
+    (key >> (56 - 8 * depth)) as u8
+}
+
+#[inline]
+fn set_key_byte(prefix: u64, depth: usize, byte: u8) -> u64 {
+    prefix | ((byte as u64) << (56 - 8 * depth))
+}
+
+impl RangeFilter for Surf {
+    fn may_contain(&self, key: u64) -> bool {
+        self.point_query(key)
+    }
+
+    fn may_contain_range(&self, lo: u64, hi: u64) -> bool {
+        debug_assert!(lo <= hi);
+        if self.items == 0 {
+            return false;
+        }
+        match self.seek(
+            0,
+            self.louds.select1(1).unwrap_or(self.labels.len()),
+            0,
+            0,
+            lo,
+        ) {
+            Some(iv) => iv.low <= hi,
+            None => false,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.labels.len()
+            + self.has_child.size_in_bytes()
+            + self.louds.size_in_bytes()
+            + self.suffixes.size_in_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::CorrelatedRangeWorkload;
+
+    fn sorted_keys(seed: u64, n: usize) -> Vec<u64> {
+        let mut k = workloads::unique_keys(seed, n);
+        k.sort_unstable();
+        k
+    }
+
+    #[test]
+    fn point_queries_no_false_negatives() {
+        let keys = sorted_keys(200, 20_000);
+        let f = Surf::build(&keys, 8);
+        assert!(keys.iter().all(|&k| f.may_contain(k)));
+    }
+
+    #[test]
+    fn range_queries_no_false_negatives() {
+        let w = CorrelatedRangeWorkload::uniform(201, 5_000, u64::MAX - 1);
+        let f = Surf::build(&w.keys, 8);
+        for q in w.nonempty_queries(202, 1_000, 1 << 20) {
+            assert!(f.may_contain_range(q.lo, q.hi), "[{:#x},{:#x}]", q.lo, q.hi);
+        }
+    }
+
+    #[test]
+    fn filters_uncorrelated_empty_ranges() {
+        let w = CorrelatedRangeWorkload::uniform(203, 10_000, u64::MAX - 1);
+        let f = Surf::build(&w.keys, 8);
+        let qs = w.empty_queries(204, 2_000, 1 << 10, 0.0);
+        let fp = qs
+            .iter()
+            .filter(|q| f.may_contain_range(q.lo, q.hi))
+            .count();
+        let fpr = fp as f64 / 2_000.0;
+        assert!(fpr < 0.05, "uncorrelated range fpr {fpr}");
+    }
+
+    #[test]
+    fn correlated_queries_break_surf() {
+        // The tutorial's SuRF weakness: ranges starting just past a
+        // key share its prefix and pass the filter.
+        let w = CorrelatedRangeWorkload::uniform(205, 10_000, u64::MAX - 1);
+        let f = Surf::build(&w.keys, 8);
+        let qs = w.empty_queries(206, 2_000, 1 << 10, 1.0);
+        let fp = qs
+            .iter()
+            .filter(|q| f.may_contain_range(q.lo, q.hi))
+            .count();
+        let fpr = fp as f64 / 2_000.0;
+        assert!(
+            fpr > 0.5,
+            "correlated fpr only {fpr}; expected SuRF to break"
+        );
+    }
+
+    #[test]
+    fn space_is_tens_of_bits_per_key() {
+        let keys = sorted_keys(207, 50_000);
+        let f = Surf::build(&keys, 8);
+        let bpk = f.size_in_bytes() as f64 * 8.0 / 50_000.0;
+        assert!((10.0..40.0).contains(&bpk), "bits/key {bpk}");
+    }
+
+    #[test]
+    fn adversarial_long_prefixes_inflate_space() {
+        // Pairs (x, x^1) share 63-bit prefixes: each pair forces the
+        // trie to full depth (the tutorial's "each pair of keys
+        // produces a unique long prefix" attack).
+        let mut adv: Vec<u64> = workloads::unique_keys(209, 10_000)
+            .into_iter()
+            .flat_map(|x| {
+                let x = x & !1;
+                [x, x | 1]
+            })
+            .collect();
+        adv.sort_unstable();
+        adv.dedup();
+        let rnd = sorted_keys(208, adv.len());
+        let fa = Surf::build(&adv, 8);
+        let fr = Surf::build(&rnd, 8);
+        let bpk_a = fa.size_in_bytes() as f64 * 8.0 / adv.len() as f64;
+        let bpk_r = fr.size_in_bytes() as f64 * 8.0 / rnd.len() as f64;
+        assert!(
+            bpk_a > 1.5 * bpk_r,
+            "adversarial {bpk_a} vs random {bpk_r} bits/key"
+        );
+    }
+
+    #[test]
+    fn hash_mode_matches_real_on_points_but_not_ranges() {
+        // The SuRF paper's suffix trade-off: hashed suffix bits cut
+        // point FPR as well as real bits do, but contribute nothing
+        // to range queries.
+        let keys = sorted_keys(209, 20_000);
+        let real = Surf::build(&keys, 8);
+        let hash = Surf::build_hash(&keys, 8);
+        let base = Surf::build(&keys, 0); // SuRF-Base: no suffix
+        assert!(keys.iter().all(|&k| hash.may_contain(k)), "hash-mode FN");
+
+        let neg = workloads::disjoint_keys(210, 50_000, &keys);
+        let point_fpr = |f: &Surf| {
+            neg.iter().filter(|&&k| f.may_contain(k)).count() as f64 / neg.len() as f64
+        };
+        let p_base = point_fpr(&base);
+        let p_real = point_fpr(&real);
+        let p_hash = point_fpr(&hash);
+        assert!(p_hash < p_base / 10.0, "hash {p_hash} vs base {p_base}");
+        assert!(p_hash < p_real * 3.0 + 1e-3, "hash {p_hash} vs real {p_real}");
+
+        // Range queries: hash mode behaves like SuRF-Base.
+        let w = CorrelatedRangeWorkload::from_sorted_keys(keys.clone(), u64::MAX);
+        let qs = w.empty_queries(212, 1_000, 1 << 8, 0.0);
+        let range_fpr = |f: &Surf| {
+            qs.iter().filter(|q| f.may_contain_range(q.lo, q.hi)).count() as f64 / qs.len() as f64
+        };
+        let r_real = range_fpr(&real);
+        let r_hash = range_fpr(&hash);
+        let r_base = range_fpr(&base);
+        assert!(
+            (r_hash - r_base).abs() < 0.02,
+            "hash range fpr {r_hash} should match base {r_base}"
+        );
+        assert!(r_real <= r_hash + 1e-9, "real {r_real} vs hash {r_hash}");
+    }
+
+    #[test]
+    fn tiny_sets() {
+        let f = Surf::build(&[], 8);
+        assert!(!f.may_contain_range(0, u64::MAX));
+        // A singleton set stores only 1 byte of prefix; give the leaf
+        // a 32-bit real suffix so distant ranges can be ruled out.
+        let f = Surf::build(&[42], 32);
+        assert!(f.may_contain(42));
+        assert!(f.may_contain_range(0, u64::MAX));
+        assert!(!f.may_contain_range(1 << 40, 1 << 41));
+    }
+
+    #[test]
+    fn exhaustive_against_truth_small() {
+        let keys: Vec<u64> = vec![
+            0x1000_0000_0000_0000,
+            0x1000_0000_0001_0000,
+            0x8fff_ffff_ffff_ffff,
+        ];
+        let f = Surf::build(&keys, 16);
+        let truth = |lo: u64, hi: u64| keys.iter().any(|&k| lo <= k && k <= hi);
+        // Probe around each key boundary.
+        for &k in &keys {
+            for d in [0u64, 1, 1 << 8, 1 << 20, 1 << 40] {
+                for (lo, hi) in [
+                    (k.saturating_sub(d), k.saturating_add(d)),
+                    (k.saturating_add(1), k.saturating_add(d.max(2))),
+                ] {
+                    if truth(lo, hi) {
+                        assert!(f.may_contain_range(lo, hi), "FN at [{lo:#x},{hi:#x}]");
+                    }
+                }
+            }
+        }
+    }
+}

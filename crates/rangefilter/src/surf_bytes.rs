@@ -1,0 +1,377 @@
+//! SuRF over arbitrary byte-string keys.
+//!
+//! The tutorial's Grafite comparison notes that Grafite "sacrifices
+//! the ability to handle non-integer keys"; this module is the other
+//! side of that trade-off — the trie-based SuRF handles
+//! variable-length byte strings natively. Same LOUDS-Sparse layout
+//! as [`crate::Surf`], with a 257th *terminator* label for keys that
+//! end at an inner node (one key being a prefix of another).
+
+use filter_core::{BitVec, RankSelectVec};
+
+/// Terminator pseudo-label (a key ends exactly here).
+const TERM: u16 = 256;
+
+/// A succinct range filter over byte-string keys.
+#[derive(Debug, Clone)]
+pub struct SurfBytes {
+    labels: Vec<u16>,
+    has_child: RankSelectVec,
+    louds: RankSelectVec,
+    /// Real-suffix bytes per leaf edge (fixed count, zero-padded).
+    suffixes: Vec<u8>,
+    suffix_bytes: usize,
+    items: usize,
+}
+
+/// What a leaf edge tells us about its stored key.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Known prefix bytes (including suffix bytes, if any).
+    known: Vec<u8>,
+    /// True if the key is exactly `known` (terminator / full key).
+    exact: bool,
+}
+
+impl Entry {
+    /// Smallest byte string the stored key could be.
+    fn min_possible(&self) -> &[u8] {
+        &self.known
+    }
+
+    /// Could the stored key be ≥ `x`? (`known ++ 0xff…` ≥ x)
+    fn max_ge(&self, x: &[u8]) -> bool {
+        if self.exact {
+            return self.known.as_slice() >= x;
+        }
+        let n = self.known.len().min(x.len());
+        match self.known[..n].cmp(&x[..n]) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            // known is a prefix of x (or equal): continuation 0xff…
+            // dominates anything.
+            std::cmp::Ordering::Equal => true,
+        }
+    }
+}
+
+impl SurfBytes {
+    /// Build over lexicographically sorted, distinct byte-string
+    /// keys, storing `suffix_bytes` real bytes per truncated leaf.
+    pub fn build(sorted_keys: &[Vec<u8>], suffix_bytes: usize) -> Self {
+        assert!(suffix_bytes <= 4);
+        debug_assert!(sorted_keys.windows(2).all(|w| w[0] < w[1]));
+        let mut labels = Vec::new();
+        let mut has_child: Vec<bool> = Vec::new();
+        let mut louds: Vec<bool> = Vec::new();
+        let mut suffixes: Vec<u8> = Vec::new();
+
+        let mut queue = std::collections::VecDeque::new();
+        if !sorted_keys.is_empty() {
+            queue.push_back((0usize, 0usize, sorted_keys.len()));
+        }
+        while let Some((depth, lo, hi)) = queue.pop_front() {
+            let mut first = true;
+            let mut i = lo;
+            // A key ending exactly at `depth` sorts first in its group
+            // (it is a prefix of everything after it).
+            if sorted_keys[i].len() == depth {
+                labels.push(TERM);
+                louds.push(first);
+                first = false;
+                has_child.push(false);
+                suffixes.extend(std::iter::repeat_n(0, suffix_bytes));
+                i += 1;
+            }
+            while i < hi {
+                let byte = sorted_keys[i][depth];
+                let mut j = i + 1;
+                while j < hi && sorted_keys[j].len() > depth && sorted_keys[j][depth] == byte {
+                    j += 1;
+                }
+                labels.push(byte as u16);
+                louds.push(first);
+                first = false;
+                if j - i == 1 {
+                    has_child.push(false);
+                    let key = &sorted_keys[i];
+                    let rest = &key[(depth + 1).min(key.len())..];
+                    let mut sfx = rest[..rest.len().min(suffix_bytes)].to_vec();
+                    sfx.resize(suffix_bytes, 0);
+                    suffixes.extend(sfx);
+                } else {
+                    has_child.push(true);
+                    queue.push_back((depth + 1, i, j));
+                }
+                i = j;
+            }
+        }
+
+        let n = labels.len();
+        let mut hc = BitVec::new(n.max(1));
+        let mut ld = BitVec::new(n.max(1));
+        for (e, (&h, &l)) in has_child.iter().zip(louds.iter()).enumerate() {
+            if h {
+                hc.set(e);
+            }
+            if l {
+                ld.set(e);
+            }
+        }
+        SurfBytes {
+            labels,
+            has_child: RankSelectVec::new(hc),
+            louds: RankSelectVec::new(ld),
+            suffixes,
+            suffix_bytes,
+            items: sorted_keys.len(),
+        }
+    }
+
+    fn child_node(&self, e: usize) -> (usize, usize) {
+        let i = self.has_child.rank1(e + 1);
+        let start = self.louds.select1(i).expect("child exists");
+        let end = self.louds.select1(i + 1).unwrap_or(self.labels.len());
+        (start, end)
+    }
+
+    /// Decode leaf edge `e` into its entry, given the path prefix.
+    fn leaf_entry(&self, e: usize, prefix: &[u8]) -> Entry {
+        let label = self.labels[e];
+        let mut known = prefix.to_vec();
+        if label == TERM {
+            return Entry { known, exact: true };
+        }
+        known.push(label as u8);
+        if self.suffix_bytes > 0 {
+            let leaf_rank = self.has_child.rank0(e + 1) as usize - 1;
+            let s =
+                &self.suffixes[leaf_rank * self.suffix_bytes..(leaf_rank + 1) * self.suffix_bytes];
+            known.extend_from_slice(s);
+            // Trailing zero padding is ambiguous with real zeros;
+            // treat padded bytes as unknown by trimming them — a
+            // conservative (false-positive-only) choice.
+            while known.len() > prefix.len() + 1 && known.last() == Some(&0) {
+                known.pop();
+            }
+        }
+        Entry {
+            known,
+            exact: false,
+        }
+    }
+
+    fn min_entry(&self, mut start: usize, mut prefix: Vec<u8>) -> Entry {
+        loop {
+            let e = start;
+            if !self.has_child.get(e) {
+                return self.leaf_entry(e, &prefix);
+            }
+            prefix.push(self.labels[e] as u8);
+            let (s, _) = self.child_node(e);
+            start = s;
+        }
+    }
+
+    /// Smallest stored entry whose max possible value is ≥ `lo`.
+    fn seek(
+        &self,
+        start: usize,
+        end: usize,
+        depth: usize,
+        prefix: &[u8],
+        lo: &[u8],
+    ) -> Option<Entry> {
+        let target: u16 = if depth < lo.len() {
+            lo[depth] as u16
+        } else {
+            // lo has ended: everything here (terminator included) is
+            // ≥ lo.
+            return Some(self.min_entry(start, prefix.to_vec()));
+        };
+        for e in start..end {
+            let label = self.labels[e];
+            if label == TERM {
+                continue; // key == prefix < lo (lo is longer)
+            }
+            if label < target {
+                continue;
+            }
+            if label == target {
+                if self.has_child.get(e) {
+                    let mut p = prefix.to_vec();
+                    p.push(label as u8);
+                    let (s, t) = self.child_node(e);
+                    if let Some(entry) = self.seek(s, t, depth + 1, &p, lo) {
+                        return Some(entry);
+                    }
+                } else {
+                    let entry = self.leaf_entry(e, prefix);
+                    if entry.max_ge(lo) {
+                        return Some(entry);
+                    }
+                }
+                continue;
+            }
+            // label > target: subtree minimum is the successor.
+            return Some(if self.has_child.get(e) {
+                let mut p = prefix.to_vec();
+                p.push(label as u8);
+                let (s, _) = self.child_node(e);
+                self.min_entry(s, p)
+            } else {
+                self.leaf_entry(e, prefix)
+            });
+        }
+        None
+    }
+
+    /// May any stored key fall in `[lo, hi]` (inclusive, lexicographic)?
+    pub fn may_contain_range(&self, lo: &[u8], hi: &[u8]) -> bool {
+        debug_assert!(lo <= hi);
+        if self.items == 0 {
+            return false;
+        }
+        let root_end = self.louds.select1(1).unwrap_or(self.labels.len());
+        match self.seek(0, root_end, 0, &[], lo) {
+            Some(entry) => entry.min_possible() <= hi,
+            None => false,
+        }
+    }
+
+    /// Point query.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        self.may_contain_range(key, key)
+    }
+
+    /// Number of keys represented.
+    pub fn len(&self) -> usize {
+        self.items
+    }
+
+    /// True when built over zero keys.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Heap bytes.
+    pub fn size_in_bytes(&self) -> usize {
+        self.labels.len() * 2
+            + self.has_child.size_in_bytes()
+            + self.louds.size_in_bytes()
+            + self.suffixes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(v: &[&str]) -> Vec<Vec<u8>> {
+        let mut k: Vec<Vec<u8>> = v.iter().map(|s| s.as_bytes().to_vec()).collect();
+        k.sort();
+        k.dedup();
+        k
+    }
+
+    #[test]
+    fn point_queries_on_strings() {
+        let ks = keys(&["apple", "banana", "cherry", "date"]);
+        let f = SurfBytes::build(&ks, 2);
+        for k in &ks {
+            assert!(f.may_contain(k), "{:?}", std::str::from_utf8(k));
+        }
+        assert!(!f.may_contain(b"zebra"));
+        assert!(!f.may_contain(b"aardvark"));
+    }
+
+    #[test]
+    fn prefix_keys_need_terminators() {
+        let ks = keys(&["app", "apple", "applesauce", "apply"]);
+        let f = SurfBytes::build(&ks, 2);
+        for k in &ks {
+            assert!(f.may_contain(k), "{:?}", std::str::from_utf8(k));
+        }
+        // Range between "app" and "apple": nothing stored.
+        assert!(!f.may_contain_range(b"appa", b"appk"));
+        // "app" itself is exactly representable.
+        assert!(f.may_contain_range(b"aoz", b"appa"));
+    }
+
+    #[test]
+    fn range_queries_on_strings() {
+        let ks = keys(&["bat", "cat", "dog", "eel", "fox"]);
+        let f = SurfBytes::build(&ks, 3);
+        assert!(f.may_contain_range(b"c", b"d"));
+        assert!(f.may_contain_range(b"cats", b"dognap"));
+        assert!(!f.may_contain_range(b"cau", b"dof"));
+        assert!(!f.may_contain_range(b"fpz", b"zzz"));
+        assert!(!f.may_contain_range(b"a", b"ba"));
+        assert!(f.may_contain_range(b"a", b"bat"));
+    }
+
+    #[test]
+    fn no_false_negatives_random_strings() {
+        let mut rng = workloads::rng(340);
+        use rand::Rng;
+        let mut ks: Vec<Vec<u8>> = (0..5_000)
+            .map(|_| {
+                let len = rng.gen_range(3..20);
+                (0..len).map(|_| rng.gen_range(b'a'..=b'z')).collect()
+            })
+            .collect();
+        ks.sort();
+        ks.dedup();
+        let f = SurfBytes::build(&ks, 2);
+        for k in &ks {
+            assert!(f.may_contain(k));
+        }
+        // Ranges straddling stored keys.
+        for k in ks.iter().step_by(37) {
+            let mut lo = k.clone();
+            let l = lo.pop().unwrap_or(b'a');
+            lo.push(l.saturating_sub(1));
+            let mut hi = k.clone();
+            hi.push(b'z');
+            assert!(f.may_contain_range(&lo, &hi));
+        }
+    }
+
+    #[test]
+    fn filters_empty_string_ranges() {
+        let mut rng = workloads::rng(341);
+        use rand::Rng;
+        let mut ks: Vec<Vec<u8>> = (0..5_000)
+            .map(|_| (0..10).map(|_| rng.gen_range(b'a'..=b'z')).collect())
+            .collect();
+        ks.sort();
+        ks.dedup();
+        let f = SurfBytes::build(&ks, 3);
+        // Uncorrelated probes: random 10-char strings, short ranges.
+        let mut fp = 0usize;
+        let mut total = 0usize;
+        for _ in 0..1_000 {
+            let probe: Vec<u8> = (0..10).map(|_| rng.gen_range(b'a'..=b'z')).collect();
+            let i = ks.partition_point(|k| k < &probe);
+            let mut hi = probe.clone();
+            *hi.last_mut().unwrap() = hi.last().unwrap().saturating_add(1);
+            let truly_empty = !(i < ks.len() && ks[i] <= hi);
+            if truly_empty {
+                total += 1;
+                fp += f.may_contain_range(&probe, &hi) as usize;
+            }
+        }
+        assert!(total > 800);
+        let fpr = fp as f64 / total as f64;
+        assert!(fpr < 0.1, "fpr {fpr}");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let f = SurfBytes::build(&[], 2);
+        assert!(!f.may_contain(b"x"));
+        let f = SurfBytes::build(&keys(&["hello"]), 4);
+        assert!(f.may_contain(b"hello"));
+        assert!(!f.may_contain_range(b"i", b"z"));
+    }
+}

@@ -1,0 +1,315 @@
+//! # ribbon
+//!
+//! The ribbon filter (Dillinger, Hübschle-Schneider, Sanders, Walzer,
+//! SEA 2022) — the tutorial's closest-to-optimal static filter
+//! (§2.7): `≈1.005·n·lg(1/ε) + O(n)` bits under suitable parameters,
+//! built by solving a linear system whose coefficient matrix is a
+//! narrow diagonal *ribbon* band, and queried by XORing up to `w`
+//! consecutive solution cells — slower than the fast fingerprint
+//! filters, as the tutorial notes.
+//!
+//! A single standard-ribbon segment fails with non-negligible
+//! probability once `n·exp(−Θ(ε·w))` grows (interval overload), so —
+//! like the paper's production variants — keys are sharded into
+//! segments of a few thousand keys; each segment retries
+//! independently with a rotated seed until its banded system solves.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use filter_core::{Filter, FilterError, Hasher, PackedArray, Result};
+
+/// Ribbon band width in bits.
+pub const BAND_WIDTH: usize = 64;
+/// Target keys per segment.
+const SEGMENT_KEYS: usize = 3500;
+/// Construction retries per segment before failure.
+const MAX_ATTEMPTS: u32 = 64;
+
+#[derive(Debug, Clone)]
+struct Segment {
+    /// Back-substituted solution, `fp_bits` per cell.
+    solution: PackedArray,
+    m: usize,
+    seed_rotation: u64,
+}
+
+/// A static ribbon filter with `fp_bits`-bit fingerprints
+/// (FPR = `2^-fp_bits`).
+#[derive(Debug, Clone)]
+pub struct RibbonFilter {
+    segments: Vec<Segment>,
+    fp_bits: u32,
+    hasher: Hasher,
+    items: usize,
+}
+
+impl RibbonFilter {
+    /// Build over distinct keys with the default 8% in-segment space
+    /// overhead.
+    pub fn build(keys: &[u64], fp_bits: u32) -> Result<Self> {
+        Self::build_with_overhead(keys, fp_bits, 1.08, 0)
+    }
+
+    /// Build with an explicit per-segment overhead factor `m/n`
+    /// (ablation: smaller factors need more retries — the
+    /// `ablate_ribbon_eps` bench) and base seed.
+    pub fn build_with_overhead(
+        keys: &[u64],
+        fp_bits: u32,
+        overhead: f64,
+        seed: u64,
+    ) -> Result<Self> {
+        assert!((1..=32).contains(&fp_bits));
+        assert!(overhead > 1.0);
+        let hasher = Hasher::with_seed(seed);
+        let n_segments = keys.len().div_ceil(SEGMENT_KEYS).max(1);
+        let mut shards: Vec<Vec<u64>> = vec![Vec::new(); n_segments];
+        for &k in keys {
+            shards[Self::shard_of(&hasher, k, n_segments)].push(k);
+        }
+        let mut segments = Vec::with_capacity(n_segments);
+        for shard in &shards {
+            segments.push(Self::build_segment(shard, fp_bits, overhead, &hasher)?);
+        }
+        Ok(RibbonFilter {
+            segments,
+            fp_bits,
+            hasher,
+            items: keys.len(),
+        })
+    }
+
+    #[inline]
+    fn shard_of(hasher: &Hasher, key: u64, n_segments: usize) -> usize {
+        ((hasher.derive(77).hash(&key)) % n_segments as u64) as usize
+    }
+
+    fn build_segment(
+        keys: &[u64],
+        fp_bits: u32,
+        overhead: f64,
+        hasher: &Hasher,
+    ) -> Result<Segment> {
+        let m = ((keys.len() as f64 * overhead).ceil() as usize) + BAND_WIDTH;
+        for attempt in 0..MAX_ATTEMPTS {
+            let h = hasher.derive(1000 + attempt as u64);
+            if let Some(solution) = Self::try_solve(keys, fp_bits, m, &h) {
+                return Ok(Segment {
+                    solution,
+                    m,
+                    seed_rotation: 1000 + attempt as u64,
+                });
+            }
+        }
+        Err(FilterError::ConstructionFailed {
+            attempts: MAX_ATTEMPTS,
+        })
+    }
+
+    /// Derive (start, coefficients, fingerprint) for a key within a
+    /// segment of `m` solution cells.
+    #[inline]
+    fn row_of(h: &Hasher, key: u64, m: usize, fp_bits: u32) -> (usize, u64, u64) {
+        let base = h.hash(&key);
+        let start = (base % (m - BAND_WIDTH + 1) as u64) as usize;
+        let coeff = h.derive(1).hash(&key) | 1; // bit 0 forced
+        let fp = h.derive(2).hash(&key) & filter_core::rem_mask(fp_bits);
+        (start, coeff, fp)
+    }
+
+    fn try_solve(keys: &[u64], fp_bits: u32, m: usize, h: &Hasher) -> Option<PackedArray> {
+        // Incremental banded Gaussian elimination: coeffs[i] holds the
+        // coefficient word whose bit 0 corresponds to column i.
+        let mut coeffs = vec![0u64; m];
+        let mut consts = vec![0u64; m];
+        for &key in keys {
+            let (mut i, mut c, mut b) = Self::row_of(h, key, m, fp_bits);
+            loop {
+                if c == 0 {
+                    if b == 0 {
+                        break; // redundant row (duplicate key)
+                    }
+                    return None; // inconsistent: retry with new seed
+                }
+                let tz = c.trailing_zeros() as usize;
+                i += tz;
+                c >>= tz;
+                if coeffs[i] == 0 {
+                    coeffs[i] = c;
+                    consts[i] = b;
+                    break;
+                }
+                c ^= coeffs[i];
+                b ^= consts[i];
+            }
+        }
+        // Back substitution, highest column first.
+        let mut solution = PackedArray::new(m, fp_bits);
+        for i in (0..m).rev() {
+            if coeffs[i] == 0 {
+                continue; // free variable: leave zero
+            }
+            let mut v = consts[i];
+            let mut c = coeffs[i] & !1; // skip the pivot bit
+            while c != 0 {
+                let j = c.trailing_zeros() as usize;
+                v ^= solution.get(i + j);
+                c &= c - 1;
+            }
+            solution.set(i, v);
+        }
+        Some(solution)
+    }
+
+    /// Fingerprint width in bits.
+    pub fn fp_bits(&self) -> u32 {
+        self.fp_bits
+    }
+
+    /// Number of independent segments.
+    pub fn segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Serialize for persistence alongside an immutable run.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = filter_core::ByteWriter::new();
+        w.put_u32(0x21bb_0715); // magic
+        w.put_u32(self.fp_bits);
+        w.put_u64(self.hasher.seed());
+        w.put_u64(self.items as u64);
+        w.put_u64(self.segments.len() as u64);
+        for seg in &self.segments {
+            w.put_u64(seg.m as u64);
+            w.put_u64(seg.seed_rotation);
+            seg.solution.serialize(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Deserialize a filter previously written by
+    /// [`RibbonFilter::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> std::result::Result<Self, filter_core::SerialError> {
+        let mut r = filter_core::ByteReader::new(bytes);
+        if r.take_u32()? != 0x21bb_0715 {
+            return Err(filter_core::SerialError::Corrupt("ribbon magic"));
+        }
+        let fp_bits = r.take_u32()?;
+        if !(1..=32).contains(&fp_bits) {
+            return Err(filter_core::SerialError::Corrupt("ribbon fp_bits"));
+        }
+        let seed = r.take_u64()?;
+        let items = r.take_u64()? as usize;
+        let n_segments = r.take_u64()? as usize;
+        if n_segments == 0 || n_segments > items.max(1) + 1 {
+            return Err(filter_core::SerialError::Corrupt("ribbon segment count"));
+        }
+        let mut segments = Vec::with_capacity(n_segments);
+        for _ in 0..n_segments {
+            let m = r.take_u64()? as usize;
+            let seed_rotation = r.take_u64()?;
+            let solution = filter_core::PackedArray::deserialize(&mut r)?;
+            if solution.len() != m || solution.width() != fp_bits {
+                return Err(filter_core::SerialError::Corrupt("ribbon segment shape"));
+            }
+            segments.push(Segment {
+                solution,
+                m,
+                seed_rotation,
+            });
+        }
+        Ok(RibbonFilter {
+            segments,
+            fp_bits,
+            hasher: filter_core::Hasher::with_seed(seed),
+            items,
+        })
+    }
+}
+
+impl Filter for RibbonFilter {
+    fn contains(&self, key: u64) -> bool {
+        let seg = &self.segments[Self::shard_of(&self.hasher, key, self.segments.len())];
+        let h = self.hasher.derive(seg.seed_rotation);
+        let (start, coeff, fp) = Self::row_of(&h, key, seg.m, self.fp_bits);
+        let mut v = 0u64;
+        let mut c = coeff;
+        while c != 0 {
+            let j = c.trailing_zeros() as usize;
+            v ^= seg.solution.get(start + j);
+            c &= c - 1;
+        }
+        v == fp
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| s.solution.size_in_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{disjoint_keys, unique_keys};
+
+    #[test]
+    fn no_false_negatives() {
+        let keys = unique_keys(130, 100_000);
+        let f = RibbonFilter::build(&keys, 8).unwrap();
+        assert!(keys.iter().all(|&k| f.contains(k)));
+        assert!(f.segments() > 20);
+    }
+
+    #[test]
+    fn fpr_is_2_pow_minus_f() {
+        let keys = unique_keys(131, 50_000);
+        let f = RibbonFilter::build(&keys, 8).unwrap();
+        let neg = disjoint_keys(132, 100_000, &keys);
+        let fpr = neg.iter().filter(|&&k| f.contains(k)).count() as f64 / 100_000.0;
+        let expected = 1.0 / 256.0;
+        assert!((expected * 0.5..expected * 2.0).contains(&fpr), "fpr {fpr}");
+    }
+
+    #[test]
+    fn space_is_close_to_lower_bound() {
+        // ≈1.1× lg(1/ε): closer to optimal than Bloom's 1.44× or
+        // XOR's 1.23× (the tutorial's §2.7 ranking).
+        let keys = unique_keys(133, 200_000);
+        let f = RibbonFilter::build(&keys, 8).unwrap();
+        let bpk = f.bits_per_key();
+        assert!((8.0..9.3).contains(&bpk), "bits/key {bpk}");
+    }
+
+    #[test]
+    fn duplicate_keys_are_redundant_rows() {
+        // Ribbon treats duplicate rows as consistent; both resolve.
+        let f = RibbonFilter::build(&[5, 5, 9], 8).unwrap();
+        assert!(f.contains(5));
+        assert!(f.contains(9));
+    }
+
+    #[test]
+    fn tighter_overhead_is_smaller_but_still_correct() {
+        let keys = unique_keys(134, 20_000);
+        let loose = RibbonFilter::build_with_overhead(&keys, 8, 1.25, 0).unwrap();
+        let tight = RibbonFilter::build_with_overhead(&keys, 8, 1.05, 0).unwrap();
+        assert!(tight.size_in_bytes() < loose.size_in_bytes());
+        assert!(keys.iter().all(|&k| tight.contains(k)));
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let f = RibbonFilter::build(&[], 8).unwrap();
+        assert_eq!(f.len(), 0);
+        let f = RibbonFilter::build(&[1], 8).unwrap();
+        assert!(f.contains(1));
+    }
+}

@@ -1,0 +1,184 @@
+//! Learned (classifier-assisted) filters — the other §2.8 design.
+//!
+//! Kraska et al.'s construction: train a classifier on a sample of
+//! historical queries to predict each key's membership; keys the
+//! model confidently predicts positive need not be stored in a
+//! filter at all, and a small *backup* filter holds only the
+//! positives the model misses, preserving the no-false-negative
+//! guarantee. When the key distribution is learnable (members
+//! cluster in feature space), the model + backup is smaller than a
+//! filter over everything; when it is not, the design degrades to
+//! the plain filter.
+//!
+//! The "model" here is a one-dimensional threshold classifier over a
+//! score function — the simplest member of the family, sufficient to
+//! reproduce the space/FPR trade-off (experiment E12's companion).
+//! Real deployments plug in an RNN or gradient-boosted trees; the
+//! surrounding sandwich logic is identical.
+
+use bloom::BloomFilter;
+use filter_core::{Filter, InsertFilter};
+
+/// Scores a key; higher means "more likely a member". Must be pure.
+pub type ScoreFn = fn(u64) -> f64;
+
+/// A learned filter: threshold model + backup Bloom filter.
+#[derive(Debug, Clone)]
+pub struct LearnedFilter {
+    score: ScoreFn,
+    /// Keys scoring ≥ `tau` are predicted members.
+    tau: f64,
+    /// Backup filter over the members the model rejects.
+    backup: BloomFilter,
+    items: usize,
+}
+
+impl LearnedFilter {
+    /// Train on the member set and a sample of non-member queries:
+    /// `tau` is chosen so at most `target_model_fpr` of the sampled
+    /// non-members score above it; members below `tau` go to the
+    /// backup filter at `backup_eps`.
+    pub fn build(
+        members: &[u64],
+        negative_sample: &[u64],
+        score: ScoreFn,
+        target_model_fpr: f64,
+        backup_eps: f64,
+    ) -> Self {
+        assert!(!members.is_empty());
+        assert!(!negative_sample.is_empty());
+        // tau = the (1 - target_model_fpr) quantile of negative scores.
+        let mut neg_scores: Vec<f64> = negative_sample.iter().map(|&k| score(k)).collect();
+        neg_scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((neg_scores.len() as f64) * (1.0 - target_model_fpr)) as usize;
+        let tau = neg_scores[idx.min(neg_scores.len() - 1)];
+
+        let misses: Vec<u64> = members
+            .iter()
+            .copied()
+            .filter(|&k| score(k) < tau)
+            .collect();
+        let mut backup = BloomFilter::new(misses.len().max(8), backup_eps);
+        for &k in &misses {
+            backup.insert(k).expect("bloom insert");
+        }
+        LearnedFilter {
+            score,
+            tau,
+            backup,
+            items: members.len(),
+        }
+    }
+
+    /// Fraction of members the model handles without storage.
+    pub fn model_coverage(&self) -> f64 {
+        1.0 - self.backup.len() as f64 / self.items.max(1) as f64
+    }
+
+    /// The trained threshold.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+}
+
+impl Filter for LearnedFilter {
+    fn contains(&self, key: u64) -> bool {
+        (self.score)(key) >= self.tau || self.backup.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        // Model: one threshold (8 bytes). The score function is code,
+        // not data — as in the literature's accounting, where model
+        // parameters count and the feature pipeline does not.
+        8 + self.backup.size_in_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// A learnable world: members are mostly drawn from the low half
+    /// of the key space. The score is the (negated, scaled) key.
+    fn score(k: u64) -> f64 {
+        1.0 - (k as f64 / u64::MAX as f64)
+    }
+
+    fn learnable_world(seed: u64, n: usize) -> (Vec<u64>, Vec<u64>) {
+        let mut rng = workloads::rng(seed);
+        // 90% of members cluster in the lowest 2^-10 of the key
+        // space (a region uniform negatives almost never hit), 10%
+        // anywhere: the separable regime learned filters assume.
+        let members: Vec<u64> = (0..n)
+            .map(|i| {
+                if i % 10 == 0 {
+                    rng.gen()
+                } else {
+                    rng.gen::<u64>() >> 10
+                }
+            })
+            .collect();
+        // Negatives uniform over the whole space.
+        let negatives: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        (members, negatives)
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let (members, negatives) = learnable_world(400, 20_000);
+        let f = LearnedFilter::build(&members, &negatives, score, 0.005, 0.01);
+        assert!(members.iter().all(|&k| f.contains(k)));
+    }
+
+    #[test]
+    fn model_absorbs_most_members() {
+        let (members, negatives) = learnable_world(401, 20_000);
+        let f = LearnedFilter::build(&members, &negatives, score, 0.005, 0.01);
+        assert!(
+            f.model_coverage() > 0.7,
+            "model covers only {:.2}",
+            f.model_coverage()
+        );
+    }
+
+    #[test]
+    fn smaller_than_plain_filter_at_same_fpr() {
+        let (members, negatives) = learnable_world(402, 20_000);
+        let f = LearnedFilter::build(&members, &negatives, score, 0.005, 0.01);
+        // Measure the compound FPR on fresh negatives.
+        let mut rng = workloads::rng(403);
+        let fresh: Vec<u64> = (0..20_000).map(|_| rng.gen()).collect();
+        let member_set: std::collections::HashSet<u64> = members.iter().copied().collect();
+        let fpr = fresh
+            .iter()
+            .filter(|&&k| !member_set.contains(&k) && f.contains(k))
+            .count() as f64
+            / fresh.len() as f64;
+        // A plain Bloom at that FPR:
+        let plain = BloomFilter::new(members.len(), fpr.max(1e-4));
+        assert!(
+            f.size_in_bytes() < plain.size_in_bytes() * 2 / 3,
+            "learned {} bytes vs plain {} at fpr {fpr:.4}",
+            f.size_in_bytes(),
+            plain.size_in_bytes()
+        );
+    }
+
+    #[test]
+    fn unlearnable_world_degrades_gracefully() {
+        // Members uniform: the model can't separate, so nearly all
+        // members land in the backup — same size as a plain filter,
+        // never worse correctness.
+        let mut rng = workloads::rng(404);
+        let members: Vec<u64> = (0..10_000).map(|_| rng.gen()).collect();
+        let negatives: Vec<u64> = (0..10_000).map(|_| rng.gen()).collect();
+        let f = LearnedFilter::build(&members, &negatives, score, 0.005, 0.01);
+        assert!(f.model_coverage() < 0.1);
+        assert!(members.iter().all(|&k| f.contains(k)));
+    }
+}

@@ -1,0 +1,208 @@
+//! # stacked
+//!
+//! Stacked filters (Deeds, Hentschel, Idreos — VLDB 2020), the
+//! tutorial's §2.8 workload-aware design: given a sample of
+//! frequently queried *negative* keys, interleave positive and
+//! negative Bloom layers so that a hot negative must fool every
+//! negative layer to false-positive — its FPR falls exponentially in
+//! the stack depth, while cold negatives still see roughly the
+//! layer-1 rate.
+//!
+//! Layer semantics (odd layers hold positives, even layers hold the
+//! sampled negatives that passed the previous layer):
+//!
+//! - query passes layer 1 (positives)? if not → definite negative.
+//! - passes layer 2 (hot negatives)? if yes → continue doubting;
+//!   if no → report **positive** (it behaved like a true positive).
+//! - … alternating until the stack ends.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod learned;
+pub use learned::LearnedFilter;
+
+use bloom::BloomFilter;
+use filter_core::{Filter, Hasher, InsertFilter, Result};
+
+/// A stacked Bloom filter trained on a hot-negative sample.
+#[derive(Debug, Clone)]
+pub struct StackedFilter {
+    /// `layers[0]`, `layers[2]`, … hold positives; `layers[1]`,
+    /// `layers[3]`, … hold sampled negatives.
+    layers: Vec<BloomFilter>,
+    items: usize,
+}
+
+impl StackedFilter {
+    /// Build from the positive key set and a sample of hot negative
+    /// keys, with `depth` layers (odd, ≥ 1) at per-layer FPR `eps`.
+    pub fn build(positives: &[u64], hot_negatives: &[u64], depth: usize, eps: f64) -> Self {
+        Self::build_with_seed(positives, hot_negatives, depth, eps, 0)
+    }
+
+    /// As [`StackedFilter::build`] with an explicit seed.
+    pub fn build_with_seed(
+        positives: &[u64],
+        hot_negatives: &[u64],
+        depth: usize,
+        eps: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(depth >= 1 && depth % 2 == 1, "depth must be odd");
+        assert!(!positives.is_empty());
+        let base = Hasher::with_seed(seed);
+        let mut layers = Vec::with_capacity(depth);
+
+        // Survivors flowing into the next layer.
+        let mut pos_survivors: Vec<u64> = positives.to_vec();
+        let mut neg_survivors: Vec<u64> = hot_negatives.to_vec();
+        for li in 0..depth {
+            let (content, filtered): (&[u64], &mut Vec<u64>) = if li % 2 == 0 {
+                (&pos_survivors, &mut neg_survivors)
+            } else {
+                (&neg_survivors, &mut pos_survivors)
+            };
+            if content.is_empty() {
+                break;
+            }
+            let mut layer =
+                BloomFilter::with_seed(content.len().max(8), eps, base.derive(li as u64).seed());
+            for &k in content {
+                layer.insert(k).expect("bloom insert infallible");
+            }
+            // Only keys that pass this layer continue to matter.
+            filtered.retain(|&k| layer.contains(k));
+            layers.push(layer);
+        }
+        StackedFilter {
+            layers,
+            items: positives.len(),
+        }
+    }
+
+    /// Number of layers actually built (stack construction stops early
+    /// once a survivor set empties).
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+impl Filter for StackedFilter {
+    fn contains(&self, key: u64) -> bool {
+        for (li, layer) in self.layers.iter().enumerate() {
+            if !layer.contains(key) {
+                // Rejected by a positive layer → negative; rejected
+                // by a negative layer → behaves as a positive.
+                return li % 2 == 1;
+            }
+        }
+        // Survived the whole stack: the last layer's kind decides.
+        self.layers.len() % 2 == 1
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.size_in_bytes()).sum()
+    }
+}
+
+/// Insert-only single-layer fallback used when no negative sample is
+/// available (degenerates to a plain Bloom filter) — convenient for
+/// A/B comparisons in the harness.
+#[derive(Debug, Clone)]
+pub struct UnstackedBaseline(pub BloomFilter);
+
+impl Filter for UnstackedBaseline {
+    fn contains(&self, key: u64) -> bool {
+        self.0.contains(key)
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn size_in_bytes(&self) -> usize {
+        self.0.size_in_bytes()
+    }
+}
+
+impl InsertFilter for UnstackedBaseline {
+    fn insert(&mut self, key: u64) -> Result<()> {
+        self.0.insert(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{disjoint_keys, unique_keys};
+
+    #[test]
+    fn no_false_negatives() {
+        let pos = unique_keys(250, 20_000);
+        let neg = disjoint_keys(251, 5_000, &pos);
+        let f = StackedFilter::build(&pos, &neg, 3, 0.03);
+        assert!(pos.iter().all(|&k| f.contains(k)), "stack broke a positive");
+    }
+
+    #[test]
+    fn hot_negatives_exponentially_suppressed() {
+        let pos = unique_keys(252, 20_000);
+        let hot = disjoint_keys(253, 5_000, &pos);
+        let plain = {
+            let mut b = BloomFilter::new(20_000, 0.03);
+            for &k in &pos {
+                b.insert(k).unwrap();
+            }
+            b
+        };
+        let stacked = StackedFilter::build(&pos, &hot, 3, 0.03);
+        let fpr_plain = hot.iter().filter(|&&k| plain.contains(k)).count() as f64 / 5_000.0;
+        let fpr_stack = hot.iter().filter(|&&k| stacked.contains(k)).count() as f64 / 5_000.0;
+        assert!(
+            fpr_stack < fpr_plain / 5.0 + 1e-4,
+            "stacked {fpr_stack} vs plain {fpr_plain}"
+        );
+    }
+
+    #[test]
+    fn cold_negatives_see_baseline_rate() {
+        let pos = unique_keys(254, 20_000);
+        let hot = disjoint_keys(255, 5_000, &pos);
+        let f = StackedFilter::build(&pos, &hot, 3, 0.03);
+        let mut exclude = pos.clone();
+        exclude.extend_from_slice(&hot);
+        let cold = disjoint_keys(256, 20_000, &exclude);
+        let fpr = cold.iter().filter(|&&k| f.contains(k)).count() as f64 / 20_000.0;
+        assert!(fpr < 0.08, "cold fpr {fpr}");
+    }
+
+    #[test]
+    fn deeper_stacks_suppress_harder() {
+        let pos = unique_keys(257, 10_000);
+        let hot = disjoint_keys(258, 5_000, &pos);
+        let fpr = |depth| {
+            let f = StackedFilter::build(&pos, &hot, depth, 0.1);
+            hot.iter().filter(|&&k| f.contains(k)).count() as f64 / 5_000.0
+        };
+        let d1 = fpr(1);
+        let d3 = fpr(3);
+        let d5 = fpr(5);
+        assert!(d3 < d1, "depth 3 ({d3}) not below depth 1 ({d1})");
+        assert!(
+            d5 <= d3 + 0.01,
+            "depth 5 ({d5}) regressed vs depth 3 ({d3})"
+        );
+    }
+
+    #[test]
+    fn construction_stops_when_survivors_empty() {
+        let pos = unique_keys(259, 1_000);
+        // No hot negatives at all: stack collapses to one layer.
+        let f = StackedFilter::build(&pos, &[], 5, 0.01);
+        assert_eq!(f.depth(), 1);
+        assert!(pos.iter().all(|&k| f.contains(k)));
+    }
+}

@@ -1,0 +1,199 @@
+//! Synthetic DNA sequences and k-mer extraction (§3.2 substrate).
+//!
+//! Substitutes for SRA sequencing data: generates random genomes,
+//! derives overlapping reads with configurable error, and packs k-mers
+//! (k ≤ 32) into 2-bit-per-base `u64` codes with canonical
+//! (reverse-complement-minimal) form — the representation Squeakr,
+//! Mantis, and deBGR all use.
+
+use rand::Rng;
+
+const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Generate a random DNA sequence of `len` bases.
+pub fn random_sequence(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = crate::rng(seed);
+    (0..len).map(|_| BASES[rng.gen_range(0..4)]).collect()
+}
+
+/// Derive `count` reads of `read_len` bases from `genome`, each with
+/// independent per-base substitution-error probability `err`.
+pub fn reads_from(
+    genome: &[u8],
+    seed: u64,
+    count: usize,
+    read_len: usize,
+    err: f64,
+) -> Vec<Vec<u8>> {
+    assert!(genome.len() >= read_len);
+    let mut rng = crate::rng(seed);
+    (0..count)
+        .map(|_| {
+            let start = rng.gen_range(0..=genome.len() - read_len);
+            let mut read = genome[start..start + read_len].to_vec();
+            for b in read.iter_mut() {
+                if rng.gen::<f64>() < err {
+                    *b = BASES[rng.gen_range(0..4)];
+                }
+            }
+            read
+        })
+        .collect()
+}
+
+/// 2-bit encoding of one base; `None` for non-ACGT.
+#[inline]
+pub fn encode_base(b: u8) -> Option<u64> {
+    match b {
+        b'A' | b'a' => Some(0),
+        b'C' | b'c' => Some(1),
+        b'G' | b'g' => Some(2),
+        b'T' | b't' => Some(3),
+        _ => None,
+    }
+}
+
+/// Complement of a 2-bit base code (A↔T, C↔G).
+#[inline]
+pub fn complement(code: u64) -> u64 {
+    3 - code
+}
+
+/// Reverse complement of a packed k-mer.
+pub fn reverse_complement(kmer: u64, k: usize) -> u64 {
+    let mut out = 0u64;
+    let mut x = kmer;
+    for _ in 0..k {
+        out = (out << 2) | complement(x & 3);
+        x >>= 2;
+    }
+    out
+}
+
+/// Canonical form: the lexicographically smaller of a k-mer and its
+/// reverse complement, so both strands map to one representative.
+pub fn canonical(kmer: u64, k: usize) -> u64 {
+    kmer.min(reverse_complement(kmer, k))
+}
+
+/// Extract all canonical k-mers (k ≤ 32) from a sequence, skipping
+/// windows containing non-ACGT characters.
+pub fn kmers(seq: &[u8], k: usize) -> Vec<u64> {
+    assert!((1..=32).contains(&k), "k must be in 1..=32");
+    let mask = if k == 32 {
+        u64::MAX
+    } else {
+        (1u64 << (2 * k)) - 1
+    };
+    let mut out = Vec::new();
+    let mut acc = 0u64;
+    let mut valid = 0usize;
+    for &b in seq {
+        match encode_base(b) {
+            Some(c) => {
+                acc = ((acc << 2) | c) & mask;
+                valid += 1;
+                if valid >= k {
+                    out.push(canonical(acc, k));
+                }
+            }
+            None => {
+                valid = 0;
+                acc = 0;
+            }
+        }
+    }
+    out
+}
+
+/// Successor k-mers of `kmer` in a de Bruijn graph: shift in each of
+/// the four bases (non-canonical orientation).
+pub fn successors(kmer: u64, k: usize) -> [u64; 4] {
+    let mask = if k == 32 {
+        u64::MAX
+    } else {
+        (1u64 << (2 * k)) - 1
+    };
+    [0, 1, 2, 3].map(|c| ((kmer << 2) | c) & mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_are_dna_and_deterministic() {
+        let s = random_sequence(1, 1000);
+        assert_eq!(s.len(), 1000);
+        assert!(s.iter().all(|b| BASES.contains(b)));
+        assert_eq!(s, random_sequence(1, 1000));
+    }
+
+    #[test]
+    fn kmer_count_is_len_minus_k_plus_1() {
+        let s = random_sequence(2, 500);
+        assert_eq!(kmers(&s, 21).len(), 500 - 21 + 1);
+        assert_eq!(kmers(&s, 1).len(), 500);
+    }
+
+    #[test]
+    fn invalid_bases_break_windows() {
+        let seq = b"ACGTNACGT";
+        // Windows of length 4: ACGT (pre-N) and ACGT (post-N) only.
+        assert_eq!(kmers(seq, 4).len(), 2);
+    }
+
+    #[test]
+    fn reverse_complement_is_involution() {
+        for k in [3usize, 15, 21, 31, 32] {
+            let seq = random_sequence(k as u64, 100);
+            for km in kmers(&seq, k) {
+                assert_eq!(reverse_complement(reverse_complement(km, k), k), km);
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_is_strand_invariant() {
+        // ACGT's reverse complement is ACGT itself (palindrome).
+        let acgt = 0b00_01_10_11u64;
+        assert_eq!(reverse_complement(acgt, 4), acgt);
+        // AAAA ↔ TTTT
+        let aaaa = 0u64;
+        let tttt = 0b11_11_11_11u64;
+        assert_eq!(reverse_complement(aaaa, 4), tttt);
+        assert_eq!(canonical(aaaa, 4), canonical(tttt, 4));
+    }
+
+    #[test]
+    fn kmers_match_manual_encoding() {
+        // "ACG" → A=0, C=1, G=2 → 0b000110 = 6; revcomp(ACG)=CGT =
+        // 0b011011 = 27; canonical = 6.
+        assert_eq!(kmers(b"ACG", 3), vec![6]);
+    }
+
+    #[test]
+    fn reads_cover_genome() {
+        let g = random_sequence(3, 2000);
+        let rs = reads_from(&g, 4, 50, 100, 0.0);
+        assert_eq!(rs.len(), 50);
+        for r in &rs {
+            assert_eq!(r.len(), 100);
+            // Error-free reads must be substrings of the genome.
+            assert!(g.windows(100).any(|w| w == &r[..]));
+        }
+    }
+
+    #[test]
+    fn successors_shift_left() {
+        let km = kmers(b"ACGT", 4)[0];
+        // canonical(ACGT) == ACGT itself (palindrome)
+        let succ = successors(km, 4);
+        assert_eq!(succ[0] & 3, 0);
+        assert_eq!(succ[3] & 3, 3);
+        // All successors share the (k-1)-suffix of km as prefix.
+        for s in succ {
+            assert_eq!(s >> 2, km & ((1 << 6) - 1));
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Uniform key-set generation and negative-probe construction.
+
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Generate `n` distinct uniformly random `u64` keys.
+pub fn unique_keys(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = crate::rng(seed);
+    let mut seen = HashSet::with_capacity(n * 2);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let k: u64 = rng.gen();
+        if seen.insert(k) {
+            out.push(k);
+        }
+    }
+    out
+}
+
+/// Generate `n` distinct keys guaranteed disjoint from `existing`
+/// (negative probes for FPR measurement).
+pub fn disjoint_keys(seed: u64, n: usize, existing: &[u64]) -> Vec<u64> {
+    let present: HashSet<u64> = existing.iter().copied().collect();
+    let mut rng = crate::rng(seed);
+    let mut seen = HashSet::with_capacity(n * 2);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let k: u64 = rng.gen();
+        if !present.contains(&k) && seen.insert(k) {
+            out.push(k);
+        }
+    }
+    out
+}
+
+/// An unbounded deterministic stream of uniform keys (not necessarily
+/// distinct), useful for insert-heavy load tests.
+pub struct KeyStream {
+    rng: rand::rngs::StdRng,
+}
+
+impl KeyStream {
+    /// New stream with the given seed.
+    pub fn new(seed: u64) -> Self {
+        KeyStream {
+            rng: crate::rng(seed),
+        }
+    }
+}
+
+impl Iterator for KeyStream {
+    type Item = u64;
+    fn next(&mut self) -> Option<u64> {
+        Some(self.rng.gen())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_keys_are_unique_and_deterministic() {
+        let a = unique_keys(42, 10_000);
+        let b = unique_keys(42, 10_000);
+        assert_eq!(a, b);
+        let set: HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 10_000);
+        let c = unique_keys(43, 100);
+        assert_ne!(a[..100], c[..]);
+    }
+
+    #[test]
+    fn disjoint_keys_do_not_intersect() {
+        let pos = unique_keys(1, 5_000);
+        let neg = disjoint_keys(2, 5_000, &pos);
+        let pset: HashSet<_> = pos.iter().collect();
+        assert!(neg.iter().all(|k| !pset.contains(k)));
+        assert_eq!(neg.iter().collect::<HashSet<_>>().len(), 5_000);
+    }
+
+    #[test]
+    fn key_stream_is_deterministic() {
+        let a: Vec<u64> = KeyStream::new(7).take(100).collect();
+        let b: Vec<u64> = KeyStream::new(7).take(100).collect();
+        assert_eq!(a, b);
+    }
+}

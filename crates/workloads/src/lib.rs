@@ -1,0 +1,38 @@
+//! # workloads
+//!
+//! Deterministic workload generators for the `beyond-bloom` experiment
+//! harness. These substitute for the production data the tutorial's
+//! applications consume (RocksDB traces, SRA genomic reads, URL
+//! blocklists) while exercising the same code paths:
+//!
+//! - [`keys`] — uniform random key sets, disjoint negative probes.
+//! - [`zipf`] — Zipfian multiset draws (skewed counting, §2.6; hot
+//!   negative queries, §2.8).
+//! - [`ranges`] — range-query workloads with controllable
+//!   key–query correlation (§2.5).
+//! - [`dna`] — random DNA sequences and k-mer extraction (§3.2).
+//! - [`urls`] — synthetic URL corpora for the yes/no-list case
+//!   study (§3.3).
+//!
+//! Every generator is seeded and reproducible.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dna;
+pub mod keys;
+pub mod ranges;
+pub mod urls;
+pub mod zipf;
+
+pub use keys::{disjoint_keys, unique_keys, KeyStream};
+pub use ranges::{CorrelatedRangeWorkload, RangeQuery};
+pub use zipf::Zipf;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Construct the workspace-standard deterministic RNG from a seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

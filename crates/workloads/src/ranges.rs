@@ -1,0 +1,192 @@
+//! Range-query workloads with controllable key–query correlation.
+//!
+//! The tutorial (§2.5) stresses that range filters differ most under
+//! *correlated* workloads, where queried intervals fall deliberately
+//! close to (but not on) existing keys — the adversarial case that
+//! breaks SuRF and that Grafite is robust to. This module generates
+//! both uncorrelated and correlated range workloads over a shared key
+//! set.
+
+use rand::Rng;
+
+/// A closed interval query `[lo, hi]` with its ground-truth answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeQuery {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound.
+    pub hi: u64,
+    /// Whether the key set actually intersects `[lo, hi]`.
+    pub truly_nonempty: bool,
+}
+
+/// Generator of keys plus empty-range queries at a chosen correlation
+/// level.
+#[derive(Debug, Clone)]
+pub struct CorrelatedRangeWorkload {
+    /// Sorted distinct keys.
+    pub keys: Vec<u64>,
+    universe: u64,
+}
+
+impl CorrelatedRangeWorkload {
+    /// Draw `n` distinct keys uniformly from `[0, universe)`.
+    pub fn uniform(seed: u64, n: usize, universe: u64) -> Self {
+        assert!(universe as u128 >= 4 * n as u128, "universe too dense");
+        let mut rng = crate::rng(seed);
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < n {
+            set.insert(rng.gen_range(0..universe));
+        }
+        CorrelatedRangeWorkload {
+            keys: set.into_iter().collect(),
+            universe,
+        }
+    }
+
+    /// Wrap an existing sorted, distinct key set.
+    pub fn from_sorted_keys(keys: Vec<u64>, universe: u64) -> Self {
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(keys.last().is_none_or(|&k| k < universe));
+        CorrelatedRangeWorkload { keys, universe }
+    }
+
+    /// The key universe bound.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// True iff `[lo, hi]` intersects the key set.
+    pub fn truth(&self, lo: u64, hi: u64) -> bool {
+        let i = self.keys.partition_point(|&k| k < lo);
+        i < self.keys.len() && self.keys[i] <= hi
+    }
+
+    /// Generate `count` *empty* range queries of width `width`.
+    ///
+    /// `correlation` ∈ [0, 1]: 0 places ranges uniformly at random
+    /// (rejecting non-empty ones); 1 places each range starting
+    /// immediately after an existing key (the adversarial case). A
+    /// fractional value mixes the two per-query.
+    pub fn empty_queries(
+        &self,
+        seed: u64,
+        count: usize,
+        width: u64,
+        correlation: f64,
+    ) -> Vec<RangeQuery> {
+        assert!((0.0..=1.0).contains(&correlation));
+        assert!(width >= 1);
+        let mut rng = crate::rng(seed);
+        let mut out = Vec::with_capacity(count);
+        let mut attempts = 0usize;
+        while out.len() < count {
+            attempts += 1;
+            assert!(
+                attempts < count * 1000 + 10_000,
+                "could not place empty ranges; key set too dense"
+            );
+            let correlated = rng.gen::<f64>() < correlation;
+            let lo = if correlated {
+                // Start just past a random existing key.
+                let k = self.keys[rng.gen_range(0..self.keys.len())];
+                k.saturating_add(1)
+            } else {
+                rng.gen_range(0..self.universe.saturating_sub(width))
+            };
+            let hi = match lo.checked_add(width - 1) {
+                Some(h) if h < self.universe => h,
+                _ => continue,
+            };
+            if !self.truth(lo, hi) {
+                out.push(RangeQuery {
+                    lo,
+                    hi,
+                    truly_nonempty: false,
+                });
+            }
+        }
+        out
+    }
+
+    /// Generate `count` queries guaranteed non-empty (for correctness
+    /// checks: a range filter must never return false for these).
+    pub fn nonempty_queries(&self, seed: u64, count: usize, width: u64) -> Vec<RangeQuery> {
+        let mut rng = crate::rng(seed);
+        (0..count)
+            .map(|_| {
+                let k = self.keys[rng.gen_range(0..self.keys.len())];
+                let slack = rng.gen_range(0..width);
+                let lo = k.saturating_sub(slack);
+                let hi = lo.saturating_add(width - 1).max(k);
+                debug_assert!(self.truth(lo, hi));
+                RangeQuery {
+                    lo,
+                    hi,
+                    truly_nonempty: true,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_is_correct() {
+        let w = CorrelatedRangeWorkload {
+            keys: vec![10, 20, 30],
+            universe: 100,
+        };
+        assert!(w.truth(10, 10));
+        assert!(w.truth(5, 15));
+        assert!(!w.truth(11, 19));
+        assert!(w.truth(0, 100));
+        assert!(!w.truth(31, 99));
+    }
+
+    #[test]
+    fn empty_queries_are_empty() {
+        let w = CorrelatedRangeWorkload::uniform(1, 1000, 1 << 40);
+        for corr in [0.0, 0.5, 1.0] {
+            let qs = w.empty_queries(2, 500, 16, corr);
+            assert_eq!(qs.len(), 500);
+            for q in &qs {
+                assert!(!w.truth(q.lo, q.hi), "query [{}, {}] not empty", q.lo, q.hi);
+                assert_eq!(q.hi - q.lo + 1, 16);
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_queries_hug_keys() {
+        let w = CorrelatedRangeWorkload::uniform(3, 1000, 1 << 40);
+        let qs = w.empty_queries(4, 200, 8, 1.0);
+        // Every correlated query starts exactly one past a key.
+        let keyset: std::collections::HashSet<u64> = w.keys.iter().copied().collect();
+        let hugging = qs.iter().filter(|q| keyset.contains(&(q.lo - 1))).count();
+        assert!(hugging > 190, "only {hugging}/200 queries hug a key");
+    }
+
+    #[test]
+    fn nonempty_queries_hit() {
+        let w = CorrelatedRangeWorkload::uniform(5, 500, 1 << 32);
+        for q in w.nonempty_queries(6, 300, 64) {
+            assert!(w.truth(q.lo, q.hi));
+            assert!(q.truly_nonempty);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = CorrelatedRangeWorkload::uniform(7, 100, 1 << 30);
+        let b = CorrelatedRangeWorkload::uniform(7, 100, 1 << 30);
+        assert_eq!(a.keys, b.keys);
+        assert_eq!(
+            a.empty_queries(8, 50, 4, 0.5),
+            b.empty_queries(8, 50, 4, 0.5)
+        );
+    }
+}

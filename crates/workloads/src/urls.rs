@@ -1,0 +1,156 @@
+//! Synthetic URL corpora for the malicious-URL yes/no-list case study
+//! (§3.3).
+//!
+//! Substitutes for commercial blocklists (e.g. the Kaspersky statistics
+//! the tutorial cites): generates plausible URL strings partitioned
+//! into a malicious *yes list*, a benign *no list* of
+//! important-never-block URLs, and background benign traffic, plus a
+//! skewed query stream over them.
+
+use crate::zipf::Zipf;
+use rand::Rng;
+
+const TLDS: [&str; 6] = ["com", "net", "org", "io", "ru", "xyz"];
+
+/// Generate one random URL.
+fn url<R: Rng>(rng: &mut R) -> String {
+    let dom_len = rng.gen_range(5..15);
+    let path_len = rng.gen_range(0..20);
+    let mut s = String::with_capacity(8 + dom_len + path_len + 8);
+    s.push_str("http://");
+    for _ in 0..dom_len {
+        s.push((b'a' + rng.gen_range(0..26)) as char);
+    }
+    s.push('.');
+    s.push_str(TLDS[rng.gen_range(0..TLDS.len())]);
+    if path_len > 0 {
+        s.push('/');
+        for _ in 0..path_len {
+            let c = rng.gen_range(0..36);
+            s.push(if c < 26 {
+                (b'a' + c) as char
+            } else {
+                (b'0' + c - 26) as char
+            });
+        }
+    }
+    s
+}
+
+/// A synthetic URL-filtering scenario.
+#[derive(Debug, Clone)]
+pub struct UrlWorkload {
+    /// Malicious URLs (the filter's yes list).
+    pub malicious: Vec<String>,
+    /// Benign URLs that are queried frequently and must never be
+    /// blocked (candidate no list).
+    pub hot_benign: Vec<String>,
+    /// Background benign URLs queried rarely.
+    pub cold_benign: Vec<String>,
+}
+
+impl UrlWorkload {
+    /// Generate disjoint malicious / hot-benign / cold-benign URL sets.
+    pub fn generate(seed: u64, malicious: usize, hot_benign: usize, cold_benign: usize) -> Self {
+        let mut rng = crate::rng(seed);
+        let total = malicious + hot_benign + cold_benign;
+        let mut seen = std::collections::HashSet::with_capacity(total * 2);
+        let mut all = Vec::with_capacity(total);
+        while all.len() < total {
+            let u = url(&mut rng);
+            if seen.insert(u.clone()) {
+                all.push(u);
+            }
+        }
+        let cold = all.split_off(malicious + hot_benign);
+        let hot = all.split_off(malicious);
+        UrlWorkload {
+            malicious: all,
+            hot_benign: hot,
+            cold_benign: cold,
+        }
+    }
+
+    /// A query stream of `count` URLs: hot-benign URLs are drawn with
+    /// Zipfian popularity and make up `hot_frac` of the stream; the
+    /// remainder is split evenly between malicious and cold-benign
+    /// draws. Returns `(url, is_malicious)` pairs.
+    pub fn query_stream(&self, seed: u64, count: usize, hot_frac: f64) -> Vec<(String, bool)> {
+        assert!((0.0..=1.0).contains(&hot_frac));
+        let mut rng = crate::rng(seed);
+        let hot_zipf = Zipf::new(self.hot_benign.len() as u64, 1.1);
+        (0..count)
+            .map(|_| {
+                let r = rng.gen::<f64>();
+                if r < hot_frac {
+                    let rank = hot_zipf.sample(&mut rng) as usize - 1;
+                    (self.hot_benign[rank].clone(), false)
+                } else if r < hot_frac + (1.0 - hot_frac) / 2.0 {
+                    let i = rng.gen_range(0..self.malicious.len());
+                    (self.malicious[i].clone(), true)
+                } else {
+                    let i = rng.gen_range(0..self.cold_benign.len());
+                    (self.cold_benign[i].clone(), false)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sets_are_disjoint_and_sized() {
+        let w = UrlWorkload::generate(1, 1000, 100, 2000);
+        assert_eq!(w.malicious.len(), 1000);
+        assert_eq!(w.hot_benign.len(), 100);
+        assert_eq!(w.cold_benign.len(), 2000);
+        let mut all: Vec<&String> = w
+            .malicious
+            .iter()
+            .chain(&w.hot_benign)
+            .chain(&w.cold_benign)
+            .collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 3100);
+    }
+
+    #[test]
+    fn urls_look_like_urls() {
+        let w = UrlWorkload::generate(2, 10, 10, 10);
+        for u in &w.malicious {
+            assert!(u.starts_with("http://"));
+            assert!(u.contains('.'));
+        }
+    }
+
+    #[test]
+    fn stream_labels_are_correct() {
+        let w = UrlWorkload::generate(3, 500, 50, 500);
+        let mal: std::collections::HashSet<_> = w.malicious.iter().collect();
+        let stream = w.query_stream(4, 2000, 0.5);
+        for (u, is_mal) in &stream {
+            assert_eq!(mal.contains(u), *is_mal);
+        }
+        // Roughly half the stream should be hot-benign repeats.
+        let hot: std::collections::HashSet<_> = w.hot_benign.iter().collect();
+        let hot_hits = stream.iter().filter(|(u, _)| hot.contains(u)).count();
+        assert!((800..1200).contains(&hot_hits), "hot hits {hot_hits}");
+    }
+
+    #[test]
+    fn hot_stream_is_skewed() {
+        let w = UrlWorkload::generate(5, 10, 100, 10);
+        let stream = w.query_stream(6, 5000, 1.0);
+        let mut counts = std::collections::HashMap::new();
+        for (u, _) in &stream {
+            *counts.entry(u.clone()).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().unwrap();
+        let avg = 5000 / counts.len();
+        assert!(*max > 3 * avg, "head not hot: max {max}, avg {avg}");
+    }
+}

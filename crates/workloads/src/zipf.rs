@@ -1,0 +1,158 @@
+//! Zipfian distribution sampling.
+//!
+//! The tutorial repeatedly emphasises skewed inputs: DNA k-mer
+//! multiplicities, hot query keys, and frequently probed negatives all
+//! follow heavy-tailed distributions (§2.6, §2.8). This sampler uses
+//! the rejection-inversion method of Hörmann & Derflinger, which is
+//! O(1) per draw for any exponent `s > 0`, including `s = 1`.
+
+use rand::Rng;
+
+/// A Zipf(n, s) sampler over ranks `1..=n` with exponent `s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    // Precomputed constants for rejection-inversion.
+    h_x1: f64,
+    h_n: f64,
+}
+
+impl Zipf {
+    /// Create a sampler over `1..=n` with exponent `s > 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s <= 0`.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs n > 0");
+        assert!(s > 0.0, "Zipf needs s > 0");
+        let h = |x: f64| -> f64 {
+            // H(x) = integral of x^-s
+            if (s - 1.0).abs() < 1e-12 {
+                x.ln()
+            } else {
+                (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+            }
+        };
+        let h_x1 = h(1.5) - 1.0;
+        let h_n = h(n as f64 + 0.5);
+        Zipf { n, s, h_x1, h_n }
+    }
+
+    #[inline]
+    fn h(&self, x: f64) -> f64 {
+        if (self.s - 1.0).abs() < 1e-12 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - self.s) - 1.0) / (1.0 - self.s)
+        }
+    }
+
+    #[inline]
+    fn h_inv(&self, x: f64) -> f64 {
+        if (self.s - 1.0).abs() < 1e-12 {
+            x.exp()
+        } else {
+            (1.0 + x * (1.0 - self.s)).powf(1.0 / (1.0 - self.s))
+        }
+    }
+
+    /// Draw one rank in `1..=n` (rank 1 is the most frequent).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        // Rejection-inversion (Hörmann & Derflinger 1996): invert the
+        // integral H of the density, then accept/reject against the
+        // true pmf. Expected iterations < 1.1 for all s.
+        loop {
+            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = self.h_inv(u);
+            let k = x.round().clamp(1.0, self.n as f64);
+            // Accept iff u lands in the sub-interval of mass k^-s:
+            // since x^-s is convex, H(k+.5) - H(k-.5) >= k^-s, so the
+            // accepted region has exactly the Zipf pmf up to the
+            // normalizer.
+            if u >= self.h(k + 0.5) - k.powf(-self.s) {
+                return k as u64;
+            }
+        }
+    }
+
+    /// Draw `count` ranks.
+    pub fn sample_many<R: Rng>(&self, rng: &mut R, count: usize) -> Vec<u64> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Number of distinct ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Exponent.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// Exact probability of rank `k` (O(n); for tests and small n).
+    pub fn pmf(&self, k: u64) -> f64 {
+        let hn: f64 = (1..=self.n).map(|i| (i as f64).powf(-self.s)).sum();
+        (k as f64).powf(-self.s) / hn
+    }
+}
+
+/// Map Zipf ranks onto arbitrary key values so that rank popularity is
+/// decoupled from key magnitude: rank `r` → `mix64(r ^ salt)`.
+pub fn rank_to_key(rank: u64, salt: u64) -> u64 {
+    filter_core::hash::mix64(rank ^ salt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = crate::rng(1);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=1000).contains(&k));
+        }
+    }
+
+    #[test]
+    fn rank_one_dominates() {
+        let z = Zipf::new(10_000, 1.2);
+        let mut rng = crate::rng(2);
+        let draws = z.sample_many(&mut rng, 50_000);
+        let ones = draws.iter().filter(|&&k| k == 1).count() as f64 / 50_000.0;
+        let p1 = z.pmf(1);
+        assert!((ones - p1).abs() < 0.02, "empirical {ones} vs pmf {p1}");
+        // Monotone decreasing frequency for the head.
+        let count = |r: u64| draws.iter().filter(|&&k| k == r).count();
+        assert!(count(1) > count(10));
+        assert!(count(1) > count(100));
+    }
+
+    #[test]
+    fn exponent_one_works() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = crate::rng(3);
+        let draws = z.sample_many(&mut rng, 20_000);
+        let ones = draws.iter().filter(|&&k| k == 1).count() as f64 / 20_000.0;
+        assert!((ones - z.pmf(1)).abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let z = Zipf::new(500, 1.5);
+        let a = z.sample_many(&mut crate::rng(9), 100);
+        let b = z.sample_many(&mut crate::rng(9), 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rank_to_key_is_injective_on_sample() {
+        let keys: std::collections::HashSet<u64> =
+            (1..=10_000).map(|r| rank_to_key(r, 42)).collect();
+        assert_eq!(keys.len(), 10_000);
+    }
+}

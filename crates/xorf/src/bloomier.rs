@@ -1,0 +1,224 @@
+//! The Bloomier filter (Chazelle, Kilian, Rubinfeld, Tal 2004): a
+//! *static maplet* (tutorial §2.4).
+//!
+//! Two layers, as in the original mutable construction:
+//!
+//! 1. An XOR structure over `fp_bits + 2`-bit cells encodes, for each
+//!    built key, a fingerprint plus a 2-bit *selector* naming which of
+//!    the key's three table positions it **owns**. The peeling order
+//!    assigns owned positions injectively, so every key's selector
+//!    points at a cell no other key owns.
+//! 2. A value table, indexed by owned position, holds the values.
+//!
+//! Queries on built keys return the exact value (PRS = 1); absent
+//! keys are rejected by the fingerprint with probability
+//! `1 − 2^-fp_bits`, otherwise they return one arbitrary value
+//! (NRS ≈ ε). Values of existing keys can be **updated in place**
+//! (their owned cell is exclusive); new keys cannot be inserted.
+
+use crate::peel::{peel, positions, segment_len};
+use filter_core::{FilterError, Hasher, PackedArray, Result};
+
+/// Maximum construction attempts.
+const MAX_ATTEMPTS: u32 = 64;
+
+/// A static key→value maplet with exact positive results and in-place
+/// value updates.
+#[derive(Debug, Clone)]
+pub struct BloomierFilter {
+    /// XOR layer: `fp_bits + 2` bits per cell (selector in the low 2).
+    xor_table: PackedArray,
+    /// Value layer, indexed by owned position.
+    values: PackedArray,
+    seg_len: usize,
+    fp_bits: u32,
+    value_bits: u32,
+    hasher: Hasher,
+    items: usize,
+}
+
+impl BloomierFilter {
+    /// Build from `(key, value)` pairs with distinct keys; values must
+    /// fit in `value_bits`.
+    pub fn build(pairs: &[(u64, u64)], fp_bits: u32, value_bits: u32) -> Result<Self> {
+        Self::build_with_seed(pairs, fp_bits, value_bits, 0)
+    }
+
+    /// As [`BloomierFilter::build`] with an explicit base seed.
+    pub fn build_with_seed(
+        pairs: &[(u64, u64)],
+        fp_bits: u32,
+        value_bits: u32,
+        seed: u64,
+    ) -> Result<Self> {
+        assert!((1..=32).contains(&fp_bits));
+        assert!((1..=48).contains(&value_bits));
+        let vmask = filter_core::rem_mask(value_bits);
+        assert!(
+            pairs.iter().all(|&(_, v)| v <= vmask),
+            "value exceeds value_bits"
+        );
+        let keys: Vec<u64> = pairs.iter().map(|&(k, _)| k).collect();
+        let seg_len = segment_len(keys.len());
+        for attempt in 0..MAX_ATTEMPTS {
+            let hasher = Hasher::with_seed(seed ^ filter_core::hash::mix64(attempt as u64 + 1));
+            let Some(stack) = peel(&keys, &hasher, seg_len) else {
+                continue;
+            };
+            let mut xor_table = PackedArray::new(3 * seg_len, fp_bits + 2);
+            let mut values = PackedArray::new(3 * seg_len, value_bits);
+            for &(i, p) in stack.iter().rev() {
+                let (key, value) = pairs[i];
+                let pos = positions(&hasher, key, seg_len);
+                let selector = pos.iter().position(|&x| x == p).expect("p is a position") as u64;
+                let fp = Self::fingerprint(&hasher, key, fp_bits);
+                let target = (fp << 2) | selector;
+                let others = xor_table.get(pos[0])
+                    ^ xor_table.get(pos[1])
+                    ^ xor_table.get(pos[2])
+                    ^ xor_table.get(p);
+                xor_table.set(p, target ^ others);
+                values.set(p, value);
+            }
+            return Ok(BloomierFilter {
+                xor_table,
+                values,
+                seg_len,
+                fp_bits,
+                value_bits,
+                hasher,
+                items: pairs.len(),
+            });
+        }
+        Err(FilterError::ConstructionFailed {
+            attempts: MAX_ATTEMPTS,
+        })
+    }
+
+    #[inline]
+    fn fingerprint(hasher: &Hasher, key: u64, fp_bits: u32) -> u64 {
+        hasher.derive(99).hash(&key) & filter_core::rem_mask(fp_bits)
+    }
+
+    /// The key's owned position, if its fingerprint matches.
+    #[inline]
+    fn owned_position(&self, key: u64) -> Option<usize> {
+        let pos = positions(&self.hasher, key, self.seg_len);
+        let cell =
+            self.xor_table.get(pos[0]) ^ self.xor_table.get(pos[1]) ^ self.xor_table.get(pos[2]);
+        let fp = Self::fingerprint(&self.hasher, key, self.fp_bits);
+        if cell >> 2 != fp {
+            return None;
+        }
+        let sel = (cell & 3) as usize;
+        // A corrupted selector of 3 can only arise for absent keys.
+        (sel < 3).then(|| pos[sel])
+    }
+
+    /// Look up `key`: `Some(value)` when the fingerprint matches
+    /// (always for built keys), `None` otherwise.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.owned_position(key).map(|p| self.values.get(p))
+    }
+
+    /// Update the value of an existing key in place. Returns
+    /// `NotFound` if the fingerprint does not match (key was not in
+    /// the build set).
+    pub fn update(&mut self, key: u64, value: u64) -> Result<()> {
+        assert!(value <= filter_core::rem_mask(self.value_bits));
+        let p = self.owned_position(key).ok_or(FilterError::NotFound)?;
+        self.values.set(p, value);
+        Ok(())
+    }
+
+    /// Number of built pairs.
+    pub fn len(&self) -> usize {
+        self.items
+    }
+
+    /// True when built over zero pairs.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Heap bytes (both layers).
+    pub fn size_in_bytes(&self) -> usize {
+        self.xor_table.size_in_bytes() + self.values.size_in_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{disjoint_keys, unique_keys};
+
+    fn sample_pairs(n: usize) -> Vec<(u64, u64)> {
+        unique_keys(120, n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k, (i as u64 * 7) & 0xffff))
+            .collect()
+    }
+
+    #[test]
+    fn exact_values_for_built_keys() {
+        let pairs = sample_pairs(20_000);
+        let f = BloomierFilter::build(&pairs, 8, 16).unwrap();
+        for &(k, v) in &pairs {
+            assert_eq!(f.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn absent_keys_mostly_rejected() {
+        let pairs = sample_pairs(20_000);
+        let f = BloomierFilter::build(&pairs, 8, 16).unwrap();
+        let keys: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+        let neg = disjoint_keys(121, 50_000, &keys);
+        let hits = neg.iter().filter(|&&k| f.get(k).is_some()).count();
+        let fpr = hits as f64 / 50_000.0;
+        assert!(
+            (0.0005..0.01).contains(&fpr),
+            "fpr {fpr} (expect ≈ 3/4·1/256)"
+        );
+    }
+
+    #[test]
+    fn update_changes_one_key_only() {
+        let pairs = sample_pairs(5_000);
+        let mut f = BloomierFilter::build(&pairs, 8, 16).unwrap();
+        f.update(pairs[17].0, 0xbeef).unwrap();
+        assert_eq!(f.get(pairs[17].0), Some(0xbeef));
+        let damaged = pairs
+            .iter()
+            .enumerate()
+            .filter(|&(i, &(k, v))| i != 17 && f.get(k) != Some(v))
+            .count();
+        assert_eq!(damaged, 0, "{damaged} other keys damaged by update");
+    }
+
+    #[test]
+    fn update_absent_key_errors() {
+        let pairs = sample_pairs(100);
+        let mut f = BloomierFilter::build(&pairs, 16, 16).unwrap();
+        let neg = disjoint_keys(122, 10, &pairs.iter().map(|p| p.0).collect::<Vec<_>>());
+        assert!(matches!(f.update(neg[0], 1), Err(FilterError::NotFound)));
+    }
+
+    #[test]
+    fn prs_is_exactly_one() {
+        // The tutorial's maplet guarantee: Bloomier PRS = 1 — positive
+        // queries return exactly the stored value, never aliases.
+        let pairs = sample_pairs(10_000);
+        let f = BloomierFilter::build(&pairs, 8, 16).unwrap();
+        let exact = pairs.iter().filter(|&&(k, v)| f.get(k) == Some(v)).count();
+        assert_eq!(exact, pairs.len());
+    }
+
+    #[test]
+    fn empty_build() {
+        let f = BloomierFilter::build(&[], 8, 8).unwrap();
+        assert!(f.is_empty());
+        assert_eq!(f.get(42), None);
+    }
+}

@@ -1,0 +1,18 @@
+//! # xorf
+//!
+//! Algebraic static filters built on 3-uniform hypergraph peeling
+//! (tutorial §2.7, §2.4):
+//!
+//! - [`XorFilter`] — static membership at `1.23·fp_bits` bits/key.
+//! - [`BloomierFilter`] — static maplet with exact positive lookups
+//!   (PRS = 1) and in-place value updates.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bloomier;
+pub mod peel;
+pub mod xor_filter;
+
+pub use bloomier::BloomierFilter;
+pub use xor_filter::XorFilter;

@@ -1,0 +1,116 @@
+//! Hypergraph peeling shared by the XOR and Bloomier filters.
+//!
+//! Each key hashes to one position in each of three equal segments of
+//! a table of size `⌈1.23·n⌉`-ish. Construction finds a *peeling
+//! order*: repeatedly remove a key that is the sole occupant of some
+//! position. Assigning table values in reverse peel order lets each
+//! key fix its own XOR equation without disturbing earlier ones.
+//! Success probability per attempt is high for the 1.23 factor; on
+//! failure the seed is rotated and construction retried.
+
+use filter_core::Hasher;
+
+/// Expansion factor over n for the 3-segment table (Graf & Lemire).
+pub const EXPANSION: f64 = 1.23;
+
+/// The three table positions of a key under `hasher`.
+#[inline]
+pub fn positions(hasher: &Hasher, key: u64, seg_len: usize) -> [usize; 3] {
+    let h = hasher.hash(&key);
+    // Three independent 21-bit-ish streams from one hash plus a remix.
+    let h2 = filter_core::hash::mix64(h ^ 0x9e37_79b9_7f4a_7c15);
+    [
+        (h as usize) % seg_len,
+        (h2 as usize) % seg_len + seg_len,
+        ((h >> 32) as usize ^ (h2 >> 32) as usize) % seg_len + 2 * seg_len,
+    ]
+}
+
+/// Segment length for `n` keys.
+pub fn segment_len(n: usize) -> usize {
+    (((n as f64 * EXPANSION).ceil() as usize) / 3 + 1).max(2)
+}
+
+/// Compute a peeling order for `keys` under `hasher`.
+///
+/// Returns the stack of `(key_index, assigned_position)` in peel
+/// order (assign in *reverse*), or `None` if the hypergraph has a
+/// 2-core (retry with another seed).
+pub fn peel(keys: &[u64], hasher: &Hasher, seg_len: usize) -> Option<Vec<(usize, usize)>> {
+    let table_len = 3 * seg_len;
+    // Per-position: occupancy count and XOR of incident key indices.
+    let mut count = vec![0u32; table_len];
+    let mut xor_idx = vec![0usize; table_len];
+    for (i, &k) in keys.iter().enumerate() {
+        for p in positions(hasher, k, seg_len) {
+            count[p] += 1;
+            xor_idx[p] ^= i;
+        }
+    }
+    let mut queue: Vec<usize> = (0..table_len).filter(|&p| count[p] == 1).collect();
+    let mut stack = Vec::with_capacity(keys.len());
+    while let Some(p) = queue.pop() {
+        if count[p] != 1 {
+            continue;
+        }
+        let i = xor_idx[p];
+        stack.push((i, p));
+        for q in positions(hasher, keys[i], seg_len) {
+            count[q] -= 1;
+            xor_idx[q] ^= i;
+            if count[q] == 1 {
+                queue.push(q);
+            }
+        }
+    }
+    (stack.len() == keys.len()).then_some(stack)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peel_succeeds_on_random_keys() {
+        let keys = workloads::unique_keys(1, 10_000);
+        let hasher = Hasher::with_seed(0);
+        let seg = segment_len(keys.len());
+        let stack = peel(&keys, &hasher, seg).expect("peeling should succeed");
+        assert_eq!(stack.len(), keys.len());
+        // Each key appears exactly once; each position at most once.
+        let mut seen_keys = vec![false; keys.len()];
+        let mut seen_pos = std::collections::HashSet::new();
+        for &(i, p) in &stack {
+            assert!(!seen_keys[i]);
+            seen_keys[i] = true;
+            assert!(seen_pos.insert(p));
+            assert!(positions(&hasher, keys[i], seg).contains(&p));
+        }
+    }
+
+    #[test]
+    fn peel_detects_duplicate_keys() {
+        // Duplicate keys form an unpeelable 2-cycle.
+        let keys = vec![42u64, 42];
+        let hasher = Hasher::with_seed(0);
+        assert!(peel(&keys, &hasher, segment_len(2)).is_none());
+    }
+
+    #[test]
+    fn positions_land_in_disjoint_segments() {
+        let hasher = Hasher::with_seed(3);
+        let seg = 1000;
+        for k in 0..1000u64 {
+            let [a, b, c] = positions(&hasher, k, seg);
+            assert!(a < seg);
+            assert!((seg..2 * seg).contains(&b));
+            assert!((2 * seg..3 * seg).contains(&c));
+        }
+    }
+
+    #[test]
+    fn empty_key_set_peels() {
+        let hasher = Hasher::with_seed(0);
+        assert_eq!(peel(&[], &hasher, 2), Some(vec![]));
+    }
+}

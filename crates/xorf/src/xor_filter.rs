@@ -1,0 +1,197 @@
+//! The XOR filter (Graf & Lemire, JEA 2020) — the tutorial's first
+//! algebraic static filter (§2.7), `1.22·n·lg(1/ε)` bits.
+
+use crate::peel::{peel, positions, segment_len};
+use filter_core::{Filter, FilterError, Hasher, PackedArray, Result};
+
+/// Maximum construction attempts before giving up.
+const MAX_ATTEMPTS: u32 = 64;
+
+/// # Examples
+///
+/// ```
+/// use xorf::XorFilter;
+/// use filter_core::Filter;
+///
+/// let keys = vec![10, 20, 30];
+/// let f = XorFilter::build(&keys, 8).unwrap();
+/// assert!(f.contains(20));
+/// ```
+///
+/// A static XOR filter with `fp_bits`-bit fingerprints
+/// (FPR = `2^-fp_bits`).
+#[derive(Debug, Clone)]
+pub struct XorFilter {
+    table: PackedArray,
+    seg_len: usize,
+    fp_bits: u32,
+    hasher: Hasher,
+    items: usize,
+}
+
+impl XorFilter {
+    /// Build from a set of distinct keys.
+    ///
+    /// Retries internally with rotated seeds; fails only if `keys`
+    /// contains duplicates (a duplicate pair is never peelable).
+    pub fn build(keys: &[u64], fp_bits: u32) -> Result<Self> {
+        Self::build_with_seed(keys, fp_bits, 0)
+    }
+
+    /// As [`XorFilter::build`] with an explicit base seed.
+    pub fn build_with_seed(keys: &[u64], fp_bits: u32, seed: u64) -> Result<Self> {
+        assert!((1..=32).contains(&fp_bits));
+        let seg_len = segment_len(keys.len());
+        for attempt in 0..MAX_ATTEMPTS {
+            let hasher = Hasher::with_seed(seed ^ filter_core::hash::mix64(attempt as u64 + 1));
+            let Some(stack) = peel(keys, &hasher, seg_len) else {
+                continue;
+            };
+            let mut table = PackedArray::new(3 * seg_len, fp_bits);
+            // Assign in reverse peel order: each key's chosen slot is
+            // untouched by all later assignments.
+            for &(i, p) in stack.iter().rev() {
+                let key = keys[i];
+                let fp = Self::fingerprint_of(&hasher, key, fp_bits);
+                let [a, b, c] = positions(&hasher, key, seg_len);
+                let others = table.get(a) ^ table.get(b) ^ table.get(c) ^ table.get(p);
+                table.set(p, fp ^ others);
+            }
+            return Ok(XorFilter {
+                table,
+                seg_len,
+                fp_bits,
+                hasher,
+                items: keys.len(),
+            });
+        }
+        Err(FilterError::ConstructionFailed {
+            attempts: MAX_ATTEMPTS,
+        })
+    }
+
+    #[inline]
+    fn fingerprint_of(hasher: &Hasher, key: u64, fp_bits: u32) -> u64 {
+        hasher.derive(99).hash(&key) & filter_core::rem_mask(fp_bits)
+    }
+
+    /// Fingerprint width in bits.
+    pub fn fp_bits(&self) -> u32 {
+        self.fp_bits
+    }
+
+    /// Serialize for persistence alongside an immutable run.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = filter_core::ByteWriter::new();
+        w.put_u32(0x0f11_7e12); // magic
+        w.put_u32(self.fp_bits);
+        w.put_u64(self.seg_len as u64);
+        w.put_u64(self.hasher.seed());
+        w.put_u64(self.items as u64);
+        self.table.serialize(&mut w);
+        w.into_bytes()
+    }
+
+    /// Deserialize a filter previously written by
+    /// [`XorFilter::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> std::result::Result<Self, filter_core::SerialError> {
+        let mut r = filter_core::ByteReader::new(bytes);
+        if r.take_u32()? != 0x0f11_7e12 {
+            return Err(filter_core::SerialError::Corrupt("xor magic"));
+        }
+        let fp_bits = r.take_u32()?;
+        if !(1..=32).contains(&fp_bits) {
+            return Err(filter_core::SerialError::Corrupt("xor fp_bits"));
+        }
+        let seg_len = r.take_u64()? as usize;
+        let seed = r.take_u64()?;
+        let items = r.take_u64()? as usize;
+        let table = filter_core::PackedArray::deserialize(&mut r)?;
+        if table.len() != 3 * seg_len || table.width() != fp_bits {
+            return Err(filter_core::SerialError::Corrupt("xor table shape"));
+        }
+        Ok(XorFilter {
+            table,
+            seg_len,
+            fp_bits,
+            hasher: Hasher::with_seed(seed),
+            items,
+        })
+    }
+}
+
+impl Filter for XorFilter {
+    fn contains(&self, key: u64) -> bool {
+        let [a, b, c] = positions(&self.hasher, key, self.seg_len);
+        let fp = Self::fingerprint_of(&self.hasher, key, self.fp_bits);
+        fp == self.table.get(a) ^ self.table.get(b) ^ self.table.get(c)
+    }
+
+    fn len(&self) -> usize {
+        self.items
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.table.size_in_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{disjoint_keys, unique_keys};
+
+    #[test]
+    fn no_false_negatives() {
+        let keys = unique_keys(110, 100_000);
+        let f = XorFilter::build(&keys, 8).unwrap();
+        assert!(keys.iter().all(|&k| f.contains(k)));
+    }
+
+    #[test]
+    fn fpr_is_2_pow_minus_f() {
+        let keys = unique_keys(111, 50_000);
+        let f = XorFilter::build(&keys, 8).unwrap();
+        let neg = disjoint_keys(112, 100_000, &keys);
+        let fpr = neg.iter().filter(|&&k| f.contains(k)).count() as f64 / 100_000.0;
+        let expected = 1.0 / 256.0;
+        assert!((expected * 0.5..expected * 2.0).contains(&fpr), "fpr {fpr}");
+    }
+
+    #[test]
+    fn space_is_1_23x_fp_bits() {
+        let keys = unique_keys(113, 100_000);
+        let f = XorFilter::build(&keys, 8).unwrap();
+        let bpk = f.bits_per_key();
+        assert!((9.5..10.5).contains(&bpk), "bits/key {bpk} (want ≈ 9.84)");
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let err = XorFilter::build(&[1, 2, 3, 1], 8).unwrap_err();
+        assert!(matches!(err, FilterError::ConstructionFailed { .. }));
+    }
+
+    #[test]
+    fn tiny_and_empty_sets() {
+        let f = XorFilter::build(&[], 8).unwrap();
+        assert_eq!(f.len(), 0);
+        let f = XorFilter::build(&[7], 8).unwrap();
+        assert!(f.contains(7));
+        let f = XorFilter::build(&[1, 2, 3], 8).unwrap();
+        assert!(f.contains(1) && f.contains(2) && f.contains(3));
+    }
+
+    #[test]
+    fn wider_fingerprints_lower_fpr() {
+        let keys = unique_keys(114, 20_000);
+        let neg = disjoint_keys(115, 100_000, &keys);
+        let fpr = |bits: u32| {
+            let f = XorFilter::build(&keys, bits).unwrap();
+            neg.iter().filter(|&&k| f.contains(k)).count() as f64 / 100_000.0
+        };
+        let f8 = fpr(8);
+        let f16 = fpr(16);
+        assert!(f16 < f8 / 20.0, "f8={f8} f16={f16}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Sequence search across sequencing experiments — the tutorial's
+//! §3.2 case study: count k-mers with a CQF (Squeakr), then answer
+//! "which experiments contain this sequence?" with an SBT and a
+//! Mantis-style index, and navigate a filter-backed de Bruijn graph.
+//!
+//! ```text
+//! cargo run --release --example genome_search
+//! ```
+
+use beyond_bloom::biofilter::{DeBruijnGraph, KmerCounter, MantisIndex, SequenceBloomTree};
+use beyond_bloom::workloads::dna;
+
+const K: usize = 21;
+
+fn main() {
+    // Sixteen synthetic "sequencing experiments".
+    let experiments: Vec<Vec<u8>> = (0..16)
+        .map(|i| dna::random_sequence(1000 + i, 30_000))
+        .collect();
+
+    // --- Squeakr: k-mer counting over reads --------------------------
+    let reads = dna::reads_from(&experiments[0], 42, 2_000, 150, 0.01);
+    let mut counter = KmerCounter::new(K, 60_000, 1.0 / 1024.0);
+    counter.ingest_all(reads.iter().map(|r| r.as_slice()));
+    println!(
+        "squeakr: ingested {} reads -> {} k-mer instances, {} distinct, {:.1} bits/k-mer",
+        reads.len(),
+        counter.total_kmers(),
+        counter.distinct_kmers(),
+        counter.size_in_bytes() as f64 * 8.0 / counter.distinct_kmers() as f64
+    );
+    let probe = &experiments[0][10_000..10_000 + K];
+    println!(
+        "  coverage of one genomic k-mer: {}x (reads were ~10x)",
+        counter.count_seq(probe)
+    );
+
+    // --- Experiment discovery: SBT vs Mantis --------------------------
+    let sbt = SequenceBloomTree::from_sequences(&experiments, K, 0.01);
+    let mantis = MantisIndex::build(&experiments, K, 1.0 / 4096.0);
+    let query = &experiments[7][12_000..12_400];
+    println!(
+        "\nquery: 400bp fragment of experiment 7, theta = 0.8\n  SBT    -> {:?}  ({:.1} MiB)\n  Mantis -> {:?}  ({:.1} MiB, {} colour classes)",
+        sbt.query_seq(query, 0.8),
+        sbt.size_in_bytes() as f64 / (1 << 20) as f64,
+        mantis.query_seq(query, 0.8),
+        mantis.size_in_bytes() as f64 / (1 << 20) as f64,
+        mantis.colour_classes(),
+    );
+
+    // --- de Bruijn graph navigation -----------------------------------
+    let truth: std::collections::HashSet<u64> =
+        dna::kmers(&experiments[0], K).into_iter().collect();
+    let graph = DeBruijnGraph::build(&truth, K, 0.05);
+    println!(
+        "\nde Bruijn graph: {} k-mers in a Bloom filter at eps = 5%,\n  {} critical false positives stored exactly ({:.1}% of nodes)",
+        graph.len(),
+        graph.critical_false_positives(),
+        graph.critical_false_positives() as f64 / graph.len() as f64 * 100.0
+    );
+    // Walk 100 steps along the genome through the graph.
+    let path = dna::kmers(&experiments[0], K);
+    let mut ok = 0;
+    for w in path.windows(2).take(100) {
+        if graph.neighbours(w[0]).contains(&w[1]) {
+            ok += 1;
+        }
+    }
+    println!("  walked 100 genome steps through the graph: {ok} navigable");
+}

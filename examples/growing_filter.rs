@@ -1,0 +1,57 @@
+//! Expansion strategies compared — the tutorial's §2.2 narrative as a
+//! runnable demo: the same growing key stream pushed through (a) a
+//! plain doubling quotient filter, (b) a chained scalable Bloom
+//! filter, and (c) an InfiniFilter, printing FPR and query cost as
+//! the data outgrows every initial guess.
+//!
+//! ```text
+//! cargo run --release --example growing_filter
+//! ```
+
+use beyond_bloom::core::{Expandable, Filter, InsertFilter};
+
+fn main() {
+    let keys = beyond_bloom::workloads::unique_keys(11, 400_000);
+    let probes = beyond_bloom::workloads::disjoint_keys(12, 30_000, &keys);
+
+    let mut qf = beyond_bloom::quotient::QuotientFilter::new(12, 10);
+    qf.set_auto_expand(true);
+    let mut sbf = beyond_bloom::bloom::ScalableBloomFilter::new(4_096, 0.001);
+    let mut inf = beyond_bloom::infini::InfiniFilter::new(12, 10);
+
+    println!(
+        "{:>9} | {:>11} {:>5} | {:>11} {:>6} | {:>11} {:>5}",
+        "inserted", "qf fpr", "r", "chain fpr", "stages", "infini fpr", "exp"
+    );
+    let mut qf_dead = false;
+    for (i, &k) in keys.iter().enumerate() {
+        if !qf_dead {
+            qf_dead = qf.insert(k).is_err();
+        }
+        sbf.insert(k).unwrap();
+        inf.insert(k).unwrap();
+        if (i + 1) % 50_000 == 0 {
+            let fpr = |f: &dyn Filter| {
+                probes.iter().filter(|&&p| f.contains(p)).count() as f64 / probes.len() as f64
+            };
+            println!(
+                "{:>9} | {:>11.5} {:>5} | {:>11.5} {:>6} | {:>11.5} {:>5}{}",
+                i + 1,
+                fpr(&qf),
+                qf.remainder_bits(),
+                fpr(&sbf),
+                sbf.stages(),
+                fpr(&inf),
+                inf.expansions(),
+                if qf_dead { "   (qf exhausted)" } else { "" }
+            );
+        }
+    }
+    println!(
+        "\nplain doubling: FPR doubles per expansion until remainders run out;\n\
+         chaining: stable FPR but every negative query probes all {} stages;\n\
+         InfiniFilter: stable FPR, single structure, {} expansions.",
+        sbf.stages(),
+        inf.expansions()
+    );
+}

@@ -1,0 +1,109 @@
+//! A filtered key-value store: the tutorial's §3.1 motivating
+//! scenario. Builds an LSM tree four ways and compares the simulated
+//! I/O bill for the same workload.
+//!
+//! ```text
+//! cargo run --release --example lsm_store
+//! ```
+
+use beyond_bloom::lsm::{
+    FilterKind, FprAllocation, IndexMode, LsmConfig, LsmTree, RangeFilterKind,
+};
+
+const WRITES: u64 = 200_000;
+const LOOKUPS: u64 = 50_000;
+
+fn main() {
+    println!("ingesting {WRITES} writes, then {LOOKUPS} point lookups (half negative)\n");
+    let configs = [
+        (
+            "unfiltered",
+            LsmConfig {
+                filter_kind: FilterKind::None,
+                ..Default::default()
+            },
+        ),
+        ("bloom per run (the classic design)", LsmConfig::default()),
+        (
+            "ribbon per run (static filters fit immutable runs)",
+            LsmConfig {
+                filter_kind: FilterKind::Ribbon,
+                ..Default::default()
+            },
+        ),
+        (
+            "monkey allocation (size-proportional FPRs)",
+            LsmConfig {
+                allocation: FprAllocation::Monkey {
+                    base_eps: 0.05,
+                    ratio: 4.0,
+                },
+                ..Default::default()
+            },
+        ),
+        (
+            "global maplet (Chucky/SlimDB-style)",
+            LsmConfig {
+                index_mode: IndexMode::GlobalMaplet,
+                filter_kind: FilterKind::None,
+                ..Default::default()
+            },
+        ),
+    ];
+
+    for (name, config) in configs {
+        let mut t = LsmTree::new(config);
+        for i in 0..WRITES {
+            t.put(key(i), i);
+        }
+        t.flush();
+        t.io().reset();
+        let mut found = 0u64;
+        for i in 0..LOOKUPS {
+            // Every other lookup misses.
+            let probe = if i % 2 == 0 { key(i) } else { key(WRITES + i) };
+            found += t.get(probe).is_some() as u64;
+        }
+        println!(
+            "{name}\n    {:.3} reads/lookup, {} hits, filter memory {:.2} MiB, {} runs\n",
+            t.io().reads() as f64 / LOOKUPS as f64,
+            found,
+            t.filter_bytes() as f64 / (1 << 20) as f64,
+            t.run_count()
+        );
+    }
+
+    // Range scans with and without range filters.
+    println!("range scans into empty gaps (sparse key space):");
+    for (name, rf) in [
+        ("without range filters", RangeFilterKind::None),
+        (
+            "with grafite per run",
+            RangeFilterKind::Grafite {
+                l_bits: 8,
+                eps: 0.01,
+            },
+        ),
+    ] {
+        let mut t = LsmTree::new(LsmConfig {
+            range_filter: rf,
+            ..Default::default()
+        });
+        for i in 0..100_000u64 {
+            t.put(i * 1_000, i);
+        }
+        t.flush();
+        t.io().reset();
+        for i in 0..10_000u64 {
+            assert!(t.scan(i * 1_000 + 1, i * 1_000 + 60).is_empty());
+        }
+        println!(
+            "    {name}: {:.4} reads per empty scan",
+            t.io().reads() as f64 / 10_000.0
+        );
+    }
+}
+
+fn key(i: u64) -> u64 {
+    beyond_bloom::core::hash::mix64(i)
+}

@@ -1,0 +1,109 @@
+//! Quickstart: a tour of the filter families through the shared trait
+//! hierarchy.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use beyond_bloom::core::{
+    AdaptiveFilter, CountingFilter, DynamicFilter, Expandable, Filter, InsertFilter, Maplet,
+    RangeFilter,
+};
+
+fn main() {
+    let keys = beyond_bloom::workloads::unique_keys(1, 100_000);
+    let absent = beyond_bloom::workloads::disjoint_keys(2, 100_000, &keys);
+
+    // --- Semi-dynamic: the 1970 baseline -----------------------------
+    let mut bloom = beyond_bloom::bloom::BloomFilter::new(keys.len(), 0.01);
+    for &k in &keys {
+        bloom.insert(k).unwrap();
+    }
+    report("Bloom (1970)", &bloom, &keys, &absent);
+
+    // --- Static: runs are immutable? use an algebraic filter ---------
+    let xor = beyond_bloom::xorf::XorFilter::build(&keys, 8).unwrap();
+    report("XOR (static)", &xor, &keys, &absent);
+    let ribbon = beyond_bloom::ribbon::RibbonFilter::build(&keys, 8).unwrap();
+    report("Ribbon (static)", &ribbon, &keys, &absent);
+
+    // --- Dynamic: inserts AND deletes --------------------------------
+    let mut qf = beyond_bloom::quotient::QuotientFilter::for_capacity(keys.len(), 0.01);
+    for &k in &keys {
+        qf.insert(k).unwrap();
+    }
+    qf.remove(keys[0]).unwrap();
+    println!(
+        "QuotientFilter: removed a key; contains(now) = {}",
+        qf.contains(keys[0])
+    );
+    report("Quotient (dynamic)", &qf, &keys[1..], &absent);
+
+    // --- Counting: multisets ------------------------------------------
+    let mut cqf = beyond_bloom::quotient::CountingQuotientFilter::for_capacity(1_000, 0.001);
+    for _ in 0..42 {
+        cqf.insert_count(7, 1).unwrap();
+    }
+    println!(
+        "CQF: inserted key 7 forty-two times; count = {}",
+        cqf.count(7)
+    );
+
+    // --- Expandable: don't know n in advance? -------------------------
+    let mut inf = beyond_bloom::infini::InfiniFilter::new(8, 14);
+    for &k in &keys {
+        inf.insert(k).unwrap();
+    }
+    println!(
+        "InfiniFilter: grew from 256 to {} slots across {} expansions; fpr stays near 2^-14",
+        Expandable::capacity(&inf),
+        inf.expansions()
+    );
+
+    // --- Adaptive: fix false positives as they're found ---------------
+    let mut aqf = beyond_bloom::adaptive::AdaptiveQuotientFilter::new(17, 6);
+    for &k in &keys {
+        aqf.insert(k).unwrap();
+    }
+    let fps: Vec<u64> = absent
+        .iter()
+        .copied()
+        .filter(|&k| aqf.contains(k))
+        .collect();
+    for &k in &fps {
+        aqf.adapt(k);
+    }
+    let fixed = fps.iter().filter(|&&k| !aqf.contains(k)).count();
+    println!(
+        "AdaptiveQF: found {} false positives, repaired {}",
+        fps.len(),
+        fixed
+    );
+
+    // --- Maplets: associate small values -------------------------------
+    let mut m = beyond_bloom::maplet::QuotientMaplet::for_capacity(1_000, 0.001, 16);
+    m.insert(99, 0xbeef).unwrap();
+    let mut vals = Vec::new();
+    m.get(99, &mut vals);
+    println!("QuotientMaplet: get(99) -> {vals:0x?}");
+
+    // --- Range filters: is [lo, hi] empty? -----------------------------
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    let grafite = beyond_bloom::rangefilter::Grafite::build(&sorted, 16, 0.01);
+    println!(
+        "Grafite: may_contain_range around a key = {}, in a gap = {}",
+        grafite.may_contain_range(sorted[5] - 1, sorted[5] + 1),
+        grafite.may_contain_range(sorted[5] + 1, sorted[5] + 3),
+    );
+}
+
+fn report(name: &str, f: &dyn Filter, present: &[u64], absent: &[u64]) {
+    let fn_count = present.iter().filter(|&&k| !f.contains(k)).count();
+    let fp = absent.iter().filter(|&&k| f.contains(k)).count();
+    println!(
+        "{name:<20} {:>6.2} bits/key  fpr {:.4}  false negatives {fn_count}",
+        f.bits_per_key(),
+        fp as f64 / absent.len() as f64,
+    );
+}

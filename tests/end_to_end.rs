@@ -1,0 +1,149 @@
+//! End-to-end application tests: the LSM engine against a reference
+//! model, and the bio / netsec pipelines on realistic flows.
+
+use beyond_bloom::lsm::{FilterKind, IndexMode, LsmConfig, LsmTree, RangeFilterKind};
+use beyond_bloom::workloads::dna;
+use std::collections::BTreeMap;
+
+/// Random interleavings of puts, overwrite-puts, point gets and range
+/// scans checked against a BTreeMap.
+#[test]
+fn lsm_matches_btreemap_model() {
+    for (mode, filter) in [
+        (IndexMode::PerRunFilters, FilterKind::Bloom),
+        (IndexMode::PerRunFilters, FilterKind::Xor),
+        (IndexMode::GlobalMaplet, FilterKind::None),
+    ] {
+        let mut t = LsmTree::new(LsmConfig {
+            memtable_capacity: 256,
+            size_ratio: 3,
+            filter_kind: filter,
+            index_mode: mode,
+            range_filter: RangeFilterKind::Grafite {
+                l_bits: 10,
+                eps: 0.01,
+            },
+            ..Default::default()
+        });
+        let mut model = BTreeMap::new();
+        let mut rng_state = 0x1234_5678u64;
+        let mut next = || {
+            rng_state = beyond_bloom::core::hash::mix64(rng_state);
+            rng_state
+        };
+        for i in 0..20_000u64 {
+            let k = next() % 4_096; // heavy overwrites
+            t.put(k, i);
+            model.insert(k, i);
+            if i % 97 == 0 {
+                let probe = next() % 8_192;
+                assert_eq!(t.get(probe), model.get(&probe).copied(), "get({probe})");
+            }
+            if i % 397 == 0 {
+                let lo = next() % 4_096;
+                let hi = lo + next() % 256;
+                let got = t.scan(lo, hi);
+                let want: Vec<(u64, u64)> = model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+                assert_eq!(got, want, "scan [{lo}, {hi}]");
+            }
+        }
+        t.flush();
+        for (&k, &v) in &model {
+            assert_eq!(t.get(k), Some(v), "{mode:?}: final get({k})");
+        }
+    }
+}
+
+/// Write-heavy churn forces repeated compaction through every level.
+#[test]
+fn lsm_survives_deep_compaction() {
+    let mut t = LsmTree::new(LsmConfig {
+        memtable_capacity: 128,
+        size_ratio: 2,
+        ..Default::default()
+    });
+    for i in 0..30_000u64 {
+        t.put(beyond_bloom::core::hash::mix64(i), i);
+    }
+    t.flush();
+    assert!(t.level_count() >= 5, "only {} levels", t.level_count());
+    for i in (0..30_000u64).step_by(313) {
+        assert_eq!(t.get(beyond_bloom::core::hash::mix64(i)), Some(i));
+    }
+}
+
+/// Full genomics flow: reads → k-mer counts → search index → graph.
+#[test]
+fn genomics_pipeline() {
+    let genome = dna::random_sequence(42, 20_000);
+    let reads = dna::reads_from(&genome, 43, 800, 100, 0.01);
+
+    let mut counter = beyond_bloom::biofilter::KmerCounter::new(21, 40_000, 1.0 / 1024.0);
+    counter.ingest_all(reads.iter().map(|r| r.as_slice()));
+    assert!(counter.total_kmers() > 60_000);
+
+    // Most genome k-mers were covered by reads.
+    let genome_kmers = dna::kmers(&genome, 21);
+    let covered = genome_kmers
+        .iter()
+        .filter(|&&km| counter.count_kmer(km) > 0)
+        .count();
+    assert!(
+        covered as f64 / genome_kmers.len() as f64 > 0.9,
+        "only {covered} covered"
+    );
+
+    // Index 8 experiments and find a fragment's source.
+    let experiments: Vec<Vec<u8>> = (0..8)
+        .map(|i| dna::random_sequence(50 + i, 10_000))
+        .collect();
+    let mantis = beyond_bloom::biofilter::MantisIndex::build(&experiments, 21, 1.0 / 4096.0);
+    let sbt = beyond_bloom::biofilter::SequenceBloomTree::from_sequences(&experiments, 21, 0.01);
+    for (i, e) in experiments.iter().enumerate() {
+        let frag = &e[2_000..2_250];
+        assert!(
+            mantis.query_seq(frag, 0.9).contains(&i),
+            "mantis missed {i}"
+        );
+        assert!(sbt.query_seq(frag, 0.9).contains(&i), "sbt missed {i}");
+    }
+
+    // Graph navigation along the genome is complete.
+    let truth: std::collections::HashSet<u64> = genome_kmers.iter().copied().collect();
+    let graph = beyond_bloom::biofilter::DeBruijnGraph::build(&truth, 21, 0.05);
+    let path = dna::kmers(&genome, 21);
+    for w in path.windows(2).take(2_000) {
+        assert!(graph.contains(w[0]));
+        assert!(w[0] == w[1] || graph.neighbours(w[0]).contains(&w[1]));
+    }
+}
+
+/// Full URL-blocking flow with a mid-stream workload shift.
+#[test]
+fn url_blocking_pipeline() {
+    use beyond_bloom::netsec::{AdaptiveBlocker, UrlBlocker, Verdict};
+    use beyond_bloom::workloads::urls::UrlWorkload;
+
+    let w = UrlWorkload::generate(77, 5_000, 200, 5_000);
+    let mut blocker = AdaptiveBlocker::new(&w.malicious, 6);
+    let stream = w.query_stream(78, 50_000, 0.6);
+    let mut blocked = 0u64;
+    let mut missed = 0u64;
+    for (url, is_mal) in &stream {
+        match blocker.check(url) {
+            Verdict::Blocked => blocked += 1,
+            _ if *is_mal => missed += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(missed, 0, "missed malicious URLs");
+    assert_eq!(blocked, stream.iter().filter(|(_, m)| *m).count() as u64);
+    // The adaptive filter converges: almost all verifications are for
+    // genuinely malicious URLs.
+    let mal = blocked;
+    let benign_verifs = blocker.verifications() - mal;
+    assert!(
+        benign_verifs < 600,
+        "adaptive blocker paid {benign_verifs} benign verifications"
+    );
+}

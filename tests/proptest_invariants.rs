@@ -1,0 +1,305 @@
+//! Property-based tests: core data structures and filters checked
+//! against reference models under arbitrary operation sequences.
+
+use beyond_bloom::core::{
+    BitVec, CountingFilter, DynamicFilter, EliasFano, Filter, InsertFilter, Maplet, PackedArray,
+    RangeFilter,
+};
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashMap};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BitVec::set_bits/get_bits round-trips at arbitrary offsets and
+    /// widths, without disturbing neighbours.
+    #[test]
+    fn bitvec_field_roundtrip(
+        pos in 0usize..500,
+        width in 1u32..=64,
+        value: u64,
+        canary in 0u64..2,
+    ) {
+        let mut bv = BitVec::new(600);
+        // Plant canaries on both sides.
+        if pos > 0 && canary == 1 {
+            bv.set(pos - 1);
+        }
+        let end = pos + width as usize;
+        if end < 599 && canary == 1 {
+            bv.set(end);
+        }
+        bv.set_bits(pos, width, value);
+        prop_assert_eq!(bv.get_bits(pos, width), value & beyond_bloom::core::rem_mask(width));
+        if pos > 0 {
+            prop_assert_eq!(bv.get(pos - 1), canary == 1);
+        }
+        if end < 599 {
+            prop_assert_eq!(bv.get(end), canary == 1);
+        }
+    }
+
+    /// PackedArray behaves like a Vec<u64> masked to its width.
+    #[test]
+    fn packed_array_matches_vec(
+        width in 1u32..=63,
+        ops in prop::collection::vec((0usize..128, any::<u64>()), 1..200),
+    ) {
+        let mut pa = PackedArray::new(128, width);
+        let mut model = vec![0u64; 128];
+        let mask = beyond_bloom::core::rem_mask(width);
+        for (i, v) in ops {
+            pa.set(i, v);
+            model[i] = v & mask;
+        }
+        for (i, &want) in model.iter().enumerate() {
+            prop_assert_eq!(pa.get(i), want);
+        }
+    }
+
+    /// Elias–Fano reproduces any sorted sequence and its successor
+    /// queries.
+    #[test]
+    fn elias_fano_matches_sorted_vec(
+        mut values in prop::collection::vec(0u64..1_000_000, 0..300),
+        probes in prop::collection::vec(0u64..1_100_000, 0..50),
+    ) {
+        values.sort_unstable();
+        let universe = values.last().copied().unwrap_or(0);
+        let ef = EliasFano::new(&values, universe);
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(ef.get(i), v);
+        }
+        for p in probes {
+            prop_assert_eq!(ef.successor_index(p), values.partition_point(|&v| v < p));
+        }
+    }
+
+    /// The quotient filter over a multiset model: inserts/removes in
+    /// arbitrary interleaving never produce a false negative.
+    #[test]
+    fn quotient_filter_multiset_model(
+        ops in prop::collection::vec((any::<bool>(), 0u64..64), 1..400),
+    ) {
+        let mut f = beyond_bloom::quotient::QuotientFilter::new(10, 12);
+        let mut model: HashMap<u64, usize> = HashMap::new();
+        for (insert, key) in ops {
+            if insert {
+                if f.insert(key).is_ok() {
+                    *model.entry(key).or_insert(0) += 1;
+                }
+            } else {
+                let removed = f.remove(key).unwrap();
+                let m = model.get(&key).copied().unwrap_or(0);
+                // With 12-bit remainders over 64 keys collisions are
+                // negligible: removal succeeds iff the model has it.
+                prop_assert_eq!(removed, m > 0);
+                if removed {
+                    *model.get_mut(&key).unwrap() -= 1;
+                }
+            }
+        }
+        for (&k, &c) in &model {
+            if c > 0 {
+                prop_assert!(f.contains(k), "false negative for {}", k);
+            }
+        }
+        prop_assert_eq!(f.len(), model.values().sum::<usize>());
+    }
+
+    /// CQF counts dominate the true multiset counts.
+    #[test]
+    fn cqf_counts_dominate_model(
+        ops in prop::collection::vec((0u64..32, 1u64..20), 1..200),
+    ) {
+        let mut f = beyond_bloom::quotient::CountingQuotientFilter::new(10, 10);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (key, c) in ops {
+            f.insert_count(key, c).unwrap();
+            *model.entry(key).or_insert(0) += c;
+        }
+        for (&k, &c) in &model {
+            prop_assert!(f.count(k) >= c);
+        }
+        prop_assert_eq!(f.total_count(), model.values().sum::<u64>());
+    }
+
+    /// Cuckoo filter delete-reinsert sequences keep live keys visible.
+    #[test]
+    fn cuckoo_delete_reinsert(
+        keys in prop::collection::btree_set(any::<u64>(), 1..200),
+        drop_every in 2usize..5,
+    ) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let mut f = beyond_bloom::cuckoo::CuckooFilter::new(512, 14);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        let mut live: BTreeSet<u64> = keys.iter().copied().collect();
+        for &k in keys.iter().step_by(drop_every) {
+            prop_assert!(f.remove(k).unwrap());
+            live.remove(&k);
+        }
+        for &k in &live {
+            prop_assert!(f.contains(k));
+        }
+    }
+
+    /// Maplet: the true value is always among the returned candidates.
+    #[test]
+    fn quotient_maplet_returns_truth(
+        pairs in prop::collection::hash_map(any::<u64>(), 0u64..0xffff, 1..150),
+    ) {
+        let mut m = beyond_bloom::maplet::QuotientMaplet::new(9, 12, 16);
+        for (&k, &v) in &pairs {
+            m.insert(k, v).unwrap();
+        }
+        let mut out = Vec::new();
+        for (&k, &v) in &pairs {
+            out.clear();
+            m.get(k, &mut out);
+            prop_assert!(out.contains(&v));
+        }
+    }
+
+    /// Range filters never report a truly non-empty range as empty.
+    #[test]
+    fn range_filters_never_false_negative(
+        keys in prop::collection::btree_set(0u64..u64::MAX - 2, 2..100),
+        widths in prop::collection::vec(0u64..10_000, 1..30),
+    ) {
+        let keys: Vec<u64> = keys.iter().copied().collect();
+        let surf = beyond_bloom::rangefilter::Surf::build(&keys, 8);
+        let grafite = beyond_bloom::rangefilter::Grafite::build(&keys, 14, 0.01);
+        let snarf = beyond_bloom::rangefilter::Snarf::build(&keys, 10.0);
+        for (i, w) in widths.iter().enumerate() {
+            let k = keys[i % keys.len()];
+            let lo = k.saturating_sub(w / 2);
+            let hi = k.saturating_add(w / 2);
+            prop_assert!(surf.may_contain_range(lo, hi), "surf FN");
+            prop_assert!(grafite.may_contain_range(lo, hi), "grafite FN");
+            prop_assert!(snarf.may_contain_range(lo, hi), "snarf FN");
+        }
+    }
+
+    /// InfiniFilter expansion never loses a key.
+    #[test]
+    fn infini_expansion_preserves_members(
+        keys in prop::collection::btree_set(any::<u64>(), 1..500),
+    ) {
+        let mut f = beyond_bloom::infini::InfiniFilter::new(4, 10);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        for &k in &keys {
+            prop_assert!(f.contains(k));
+        }
+    }
+
+    /// Counting Bloom: counts dominate and deletes restore the model.
+    #[test]
+    fn cbf_counts_dominate(
+        ops in prop::collection::vec((0u64..64, 1u64..5), 1..100),
+    ) {
+        let mut f = beyond_bloom::bloom::CountingBloomFilter::new(1000, 0.001, 8);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (k, c) in ops {
+            f.insert_count(k, c).unwrap();
+            *model.entry(k).or_insert(0) += c;
+        }
+        for (&k, &c) in &model {
+            prop_assert!(f.count(k) >= c);
+        }
+    }
+
+    /// Taffy cuckoo filter: no false negatives across any expansion
+    /// sequence the inserts trigger.
+    #[test]
+    fn taffy_never_loses_keys(
+        keys in prop::collection::btree_set(any::<u64>(), 1..600),
+    ) {
+        let mut f = beyond_bloom::infini::TaffyCuckooFilter::new(4, 14);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        for &k in &keys {
+            prop_assert!(f.contains(k));
+        }
+    }
+
+    /// Vector quotient filter against a multiset model (insert-only).
+    #[test]
+    fn vqf_multiset_no_false_negatives(
+        keys in prop::collection::vec(any::<u64>(), 1..400),
+    ) {
+        let mut f = beyond_bloom::quotient::VectorQuotientFilter::new(512);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        for &k in &keys {
+            prop_assert!(f.contains(k));
+        }
+        prop_assert_eq!(f.len(), keys.len());
+    }
+
+    /// ARF: marking truly-empty ranges never hides real keys.
+    #[test]
+    fn arf_never_false_negative(
+        keys in prop::collection::btree_set(0u64..u64::MAX - 1, 1..100),
+        ranges in prop::collection::vec((any::<u64>(), 0u64..1 << 20), 0..40),
+    ) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let mut arf = beyond_bloom::rangefilter::Arf::new(20_000);
+        for (lo, w) in ranges {
+            let hi = lo.saturating_add(w);
+            let i = keys.partition_point(|&k| k < lo);
+            let empty = !(i < keys.len() && keys[i] <= hi);
+            if empty {
+                arf.mark_empty(lo, hi);
+            }
+        }
+        use beyond_bloom::core::RangeFilter;
+        for &k in &keys {
+            prop_assert!(arf.may_contain(k), "ARF hid key {:#x}", k);
+        }
+    }
+
+    /// Cascade filter: flushes and merges never lose fingerprints.
+    #[test]
+    fn cascade_never_loses_keys(
+        keys in prop::collection::btree_set(any::<u64>(), 1..800),
+        buffer in 16usize..64,
+    ) {
+        let mut f = beyond_bloom::lsm::CascadeFilter::new(buffer, 40);
+        for &k in &keys {
+            f.insert(k);
+        }
+        for &k in &keys {
+            prop_assert!(f.contains(k));
+        }
+    }
+
+    /// The dyadic-hierarchy range filters agree with ground truth on
+    /// non-empty ranges under arbitrary key sets.
+    #[test]
+    fn rosetta_rencoder_no_false_negatives(
+        keys in prop::collection::btree_set(any::<u64>(), 1..150),
+        widths in prop::collection::vec(0u64..1 << 16, 1..20),
+    ) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let mut rosetta = beyond_bloom::rangefilter::Rosetta::new(keys.len(), 0.05, 17);
+        let mut rencoder = beyond_bloom::rangefilter::REncoder::new(keys.len(), 17, 72.0);
+        for &k in &keys {
+            rosetta.insert(k);
+            rencoder.insert(k);
+        }
+        use beyond_bloom::core::RangeFilter;
+        for (i, w) in widths.iter().enumerate() {
+            let k = keys[i % keys.len()];
+            let lo = k.saturating_sub(w / 2);
+            let hi = k.saturating_add(w / 2);
+            prop_assert!(rosetta.may_contain_range(lo, hi));
+            prop_assert!(rencoder.may_contain_range(lo, hi));
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Persistence round-trips: filters written beside immutable runs
+//! must reload with identical behaviour.
+
+use beyond_bloom::core::{Filter, InsertFilter};
+use beyond_bloom::workloads::{disjoint_keys, unique_keys};
+
+#[test]
+fn bloom_roundtrip() {
+    let keys = unique_keys(950, 20_000);
+    let mut f = beyond_bloom::bloom::BloomFilter::new(20_000, 0.01);
+    for &k in &keys {
+        f.insert(k).unwrap();
+    }
+    let bytes = f.to_bytes();
+    let g = beyond_bloom::bloom::BloomFilter::from_bytes(&bytes).unwrap();
+    assert_eq!(g.len(), f.len());
+    let probes = disjoint_keys(951, 20_000, &keys);
+    for &k in keys.iter().chain(&probes) {
+        assert_eq!(f.contains(k), g.contains(k), "behaviour diverged at {k}");
+    }
+}
+
+#[test]
+fn xor_roundtrip() {
+    let keys = unique_keys(952, 50_000);
+    let f = beyond_bloom::xorf::XorFilter::build(&keys, 12).unwrap();
+    let g = beyond_bloom::xorf::XorFilter::from_bytes(&f.to_bytes()).unwrap();
+    let probes = disjoint_keys(953, 20_000, &keys);
+    for &k in keys.iter().chain(&probes) {
+        assert_eq!(f.contains(k), g.contains(k));
+    }
+    assert_eq!(f.size_in_bytes(), g.size_in_bytes());
+}
+
+#[test]
+fn ribbon_roundtrip() {
+    let keys = unique_keys(954, 50_000);
+    let f = beyond_bloom::ribbon::RibbonFilter::build(&keys, 10).unwrap();
+    let g = beyond_bloom::ribbon::RibbonFilter::from_bytes(&f.to_bytes()).unwrap();
+    assert_eq!(g.segments(), f.segments());
+    let probes = disjoint_keys(955, 20_000, &keys);
+    for &k in keys.iter().chain(&probes) {
+        assert_eq!(f.contains(k), g.contains(k));
+    }
+}
+
+#[test]
+fn corrupted_inputs_rejected_not_panicking() {
+    let keys = unique_keys(956, 1_000);
+    let f = beyond_bloom::xorf::XorFilter::build(&keys, 8).unwrap();
+    let bytes = f.to_bytes();
+    // Truncations at every prefix length must error, never panic.
+    for cut in 0..bytes.len().min(64) {
+        assert!(beyond_bloom::xorf::XorFilter::from_bytes(&bytes[..cut]).is_err());
+    }
+    // Wrong magic.
+    let mut wrong = bytes.clone();
+    wrong[0] ^= 0xff;
+    assert!(beyond_bloom::xorf::XorFilter::from_bytes(&wrong).is_err());
+    // Cross-family confusion: ribbon bytes are not a bloom.
+    let rf = beyond_bloom::ribbon::RibbonFilter::build(&keys, 8).unwrap();
+    assert!(beyond_bloom::bloom::BloomFilter::from_bytes(&rf.to_bytes()).is_err());
+}
