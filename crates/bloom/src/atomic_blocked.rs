@@ -1,0 +1,272 @@
+//! Wait-free concurrent blocked Bloom filter.
+//!
+//! A Bloom filter's state is a monotone set of bits: inserts only ever
+//! set bits, and queries only read them. That makes it the textbook
+//! candidate for lock-free sharing — `fetch_or` on atomic words gives
+//! linearizable inserts with no locks, no retries, and no blocking
+//! (every operation finishes in a bounded number of steps, i.e. the
+//! structure is wait-free). The tutorial lists thread scalability as a
+//! future-filter feature (§1, feature 6); this is its cheapest
+//! realisation, complementing the lock-per-shard approach in the
+//! `concurrent` crate which generalises to filters (CQF, cuckoo) whose
+//! mutations are not monotone.
+//!
+//! [`AtomicBlockedBloomFilter`] shares its probe geometry with
+//! [`BlockedBloomFilter`](crate::BlockedBloomFilter): same-seed
+//! instances of the two types set and test exactly the same bits, so
+//! the single-threaded filter doubles as a sequential model in tests.
+//!
+//! Memory ordering is `Relaxed` throughout, inherited from
+//! [`AtomicBitVec`]: bit-sets are commutative and idempotent, so no
+//! cross-bit ordering is needed for filter correctness. A reader is
+//! guaranteed to see the bits of an insert that happened-before its
+//! query (e.g. via `thread::scope` join or any other synchronisation
+//! edge); concurrent in-flight inserts may be observed partially,
+//! which for a Bloom filter can only delay a positive, never produce
+//! a false negative after publication.
+
+use filter_core::{AtomicBitVec, Filter, Hasher, InsertFilter, Result};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::blocked::{bit_in_block, locate_block, BLOCK_WORDS};
+
+/// A cache-blocked Bloom filter with lock-free `&self` inserts.
+///
+/// ```
+/// use bloom::AtomicBlockedBloomFilter;
+/// use filter_core::Filter;
+///
+/// let f = AtomicBlockedBloomFilter::new(10_000, 0.01);
+/// std::thread::scope(|s| {
+///     for t in 0..4u64 {
+///         let f = &f;
+///         s.spawn(move || {
+///             for k in (t * 1000)..(t * 1000 + 1000) {
+///                 f.insert(k); // &self: no lock, no &mut
+///             }
+///         });
+///     }
+/// });
+/// assert!((0..4000).all(|k| f.contains(k)));
+/// ```
+#[derive(Debug)]
+pub struct AtomicBlockedBloomFilter {
+    bits: AtomicBitVec,
+    n_blocks: usize,
+    k: u32,
+    hasher: Hasher,
+    items: AtomicUsize,
+}
+
+impl AtomicBlockedBloomFilter {
+    /// Create for `capacity` keys at target FPR `eps`.
+    ///
+    /// Sizing matches [`BlockedBloomFilter`](crate::BlockedBloomFilter)
+    /// exactly: the plain-Bloom optimum plus ~12% blocking slack.
+    pub fn new(capacity: usize, eps: f64) -> Self {
+        Self::with_seed(capacity, eps, 0)
+    }
+
+    /// As [`AtomicBlockedBloomFilter::new`] with an explicit seed.
+    pub fn with_seed(capacity: usize, eps: f64, seed: u64) -> Self {
+        assert!(capacity > 0);
+        assert!(eps > 0.0 && eps < 1.0);
+        let bits = (crate::plain::optimal_bits(capacity, eps) as f64 * 1.12) as usize;
+        let n_blocks = bits.div_ceil(BLOCK_WORDS * 64).max(1);
+        AtomicBlockedBloomFilter {
+            bits: AtomicBitVec::new(n_blocks * BLOCK_WORDS * 64),
+            n_blocks,
+            k: crate::plain::optimal_k(eps),
+            hasher: Hasher::with_seed(seed),
+            items: AtomicUsize::new(0),
+        }
+    }
+
+    /// Insert `key` without exclusive access.
+    ///
+    /// Wait-free: at most `k` `fetch_or` operations (fewer when probes
+    /// share a word — the per-block mask is accumulated first and each
+    /// touched word is OR-ed exactly once).
+    pub fn insert(&self, key: u64) {
+        let (b, h1, h2) = locate_block(&self.hasher, self.n_blocks, key);
+        let mut mask = [0u64; BLOCK_WORDS];
+        for i in 0..self.k as u64 {
+            let (w, bit) = bit_in_block(h1, h2, i);
+            mask[w] |= 1 << bit;
+        }
+        let base = b * BLOCK_WORDS;
+        for (w, &m) in mask.iter().enumerate() {
+            if m != 0 {
+                self.bits.or_word(base + w, m);
+            }
+        }
+        self.items.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Insert every key in `keys`.
+    pub fn insert_batch(&self, keys: &[u64]) {
+        for &k in keys {
+            self.insert(k);
+        }
+    }
+
+    /// Membership query (never a false negative for published inserts).
+    pub fn contains(&self, key: u64) -> bool {
+        let (b, h1, h2) = locate_block(&self.hasher, self.n_blocks, key);
+        let base = b * BLOCK_WORDS;
+        // Load each of the (at most 8) probed words once.
+        let mut loaded = [None::<u64>; BLOCK_WORDS];
+        (0..self.k as u64).all(|i| {
+            let (w, bit) = bit_in_block(h1, h2, i);
+            let word = *loaded[w].get_or_insert_with(|| self.bits.load_word(base + w));
+            word >> bit & 1 == 1
+        })
+    }
+
+    /// Batched membership query; results align with `keys`.
+    pub fn contains_batch(&self, keys: &[u64]) -> Vec<bool> {
+        keys.iter().map(|&k| self.contains(k)).collect()
+    }
+}
+
+impl Filter for AtomicBlockedBloomFilter {
+    fn contains(&self, key: u64) -> bool {
+        AtomicBlockedBloomFilter::contains(self, key)
+    }
+
+    fn len(&self) -> usize {
+        self.items.load(Ordering::Relaxed)
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.bits.size_in_bytes()
+    }
+}
+
+impl InsertFilter for AtomicBlockedBloomFilter {
+    fn insert(&mut self, key: u64) -> Result<()> {
+        AtomicBlockedBloomFilter::insert(self, key);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BlockedBloomFilter;
+    use filter_core::InsertFilter;
+    use workloads::{disjoint_keys, unique_keys};
+
+    #[test]
+    fn no_false_negatives_single_thread() {
+        let f = AtomicBlockedBloomFilter::new(20_000, 0.01);
+        let keys = unique_keys(40, 20_000);
+        f.insert_batch(&keys);
+        assert!(keys.iter().all(|&k| f.contains(k)));
+        assert_eq!(Filter::len(&f), 20_000);
+    }
+
+    #[test]
+    fn bit_identical_to_sequential_blocked_filter() {
+        // Same seed, same keys: the atomic filter must agree with the
+        // single-threaded BlockedBloomFilter on every query, positive
+        // or negative — they share probe geometry by construction.
+        let atomic = AtomicBlockedBloomFilter::with_seed(10_000, 0.01, 77);
+        let mut seq = BlockedBloomFilter::with_seed(10_000, 0.01, 77);
+        let keys = unique_keys(41, 10_000);
+        for &k in &keys {
+            atomic.insert(k);
+            seq.insert(k).unwrap();
+        }
+        let probes = unique_keys(42, 30_000);
+        for &k in &probes {
+            assert_eq!(atomic.contains(k), seq.contains(k), "key {k}");
+        }
+        assert_eq!(atomic.size_in_bytes(), seq.size_in_bytes());
+    }
+
+    #[test]
+    fn fpr_within_2x_of_target() {
+        let f = AtomicBlockedBloomFilter::new(50_000, 0.01);
+        let keys = unique_keys(43, 50_000);
+        f.insert_batch(&keys);
+        let probes = disjoint_keys(44, 50_000, &keys);
+        let fpr = probes.iter().filter(|&&k| f.contains(k)).count() as f64 / 50_000.0;
+        assert!(fpr < 0.025, "fpr {fpr}");
+    }
+
+    #[test]
+    fn concurrent_inserts_all_visible_after_join() {
+        let f = AtomicBlockedBloomFilter::new(40_000, 0.01);
+        let keys = unique_keys(45, 40_000);
+        std::thread::scope(|s| {
+            for chunk in keys.chunks(10_000) {
+                let f = &f;
+                s.spawn(move || f.insert_batch(chunk));
+            }
+        });
+        assert!(keys.iter().all(|&k| f.contains(k)));
+        assert_eq!(Filter::len(&f), 40_000);
+    }
+
+    #[test]
+    fn readers_interleaved_with_writers_see_no_false_negatives() {
+        // Readers check only keys already published through the
+        // per-chunk fence of a finished writer (join-free: writers
+        // flag completion through an atomic counter).
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let f = AtomicBlockedBloomFilter::new(40_000, 0.01);
+        let keys = unique_keys(46, 40_000);
+        let published = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for chunk in keys.chunks(10_000) {
+                let (f, published) = (&f, &published);
+                s.spawn(move || {
+                    f.insert_batch(chunk);
+                    published.fetch_add(chunk.len(), Ordering::Release);
+                });
+            }
+            for _ in 0..2 {
+                let (f, published, keys) = (&f, &published, &keys);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        let n = published.load(Ordering::Acquire);
+                        // chunks finish in an arbitrary order, so only
+                        // the count — not which chunks — is known; probe
+                        // the first chunk once it is certainly complete.
+                        if n >= 31_000 {
+                            assert!(keys[..10_000].iter().all(|&k| f.contains(k)));
+                        }
+                        std::hint::spin_loop();
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn insert_filter_trait_object_usable() {
+        let mut f = AtomicBlockedBloomFilter::new(1_000, 0.01);
+        let keys = unique_keys(47, 1_000);
+        {
+            let dynf: &mut dyn InsertFilter = &mut f;
+            for &k in &keys {
+                dynf.insert(k).unwrap();
+            }
+        }
+        let dynf: &dyn Filter = &f;
+        assert!(keys.iter().all(|&k| dynf.contains(k)));
+    }
+
+    #[test]
+    fn batch_matches_pointwise() {
+        let f = AtomicBlockedBloomFilter::new(5_000, 0.01);
+        let keys = unique_keys(48, 5_000);
+        f.insert_batch(&keys);
+        let probes = unique_keys(49, 10_000);
+        let batch = f.contains_batch(&probes);
+        for (i, &k) in probes.iter().enumerate() {
+            assert_eq!(batch[i], f.contains(k));
+        }
+    }
+}

@@ -10,7 +10,24 @@
 
 use filter_core::{Filter, Hasher, InsertFilter, Result};
 
-const BLOCK_WORDS: usize = 8; // 512 bits = one cache line
+pub(crate) const BLOCK_WORDS: usize = 8; // 512 bits = one cache line
+
+/// Derive (block index, probe bases) for a key: shared by the
+/// single-threaded and atomic blocked filters so same-seed instances
+/// agree bit-for-bit.
+#[inline]
+pub(crate) fn locate_block(hasher: &Hasher, n_blocks: usize, key: u64) -> (usize, u64, u64) {
+    let (h1, h2) = hasher.hash_pair(&key);
+    let block = (h1 % n_blocks as u64) as usize;
+    (block, h1 >> 32, h2)
+}
+
+/// The i-th probe's (word-in-block, bit-in-word) position.
+#[inline]
+pub(crate) fn bit_in_block(h1: u64, h2: u64, i: u64) -> (usize, u32) {
+    let pos = h1.wrapping_add(i.wrapping_mul(h2)) % (BLOCK_WORDS as u64 * 64);
+    ((pos >> 6) as usize, (pos & 63) as u32)
+}
 
 /// A register-blocked Bloom filter: one cache line per key.
 #[derive(Debug, Clone)]
@@ -47,15 +64,12 @@ impl BlockedBloomFilter {
     /// Derive (block index, in-block bit positions) for a key.
     #[inline]
     fn locate(&self, key: u64) -> (usize, u64, u64) {
-        let (h1, h2) = self.hasher.hash_pair(&key);
-        let block = (h1 % self.blocks.len() as u64) as usize;
-        (block, h1 >> 32, h2)
+        locate_block(&self.hasher, self.blocks.len(), key)
     }
 
     #[inline]
     fn bit_at(h1: u64, h2: u64, i: u64) -> (usize, u32) {
-        let pos = h1.wrapping_add(i.wrapping_mul(h2)) % (BLOCK_WORDS as u64 * 64);
-        ((pos >> 6) as usize, (pos & 63) as u32)
+        bit_in_block(h1, h2, i)
     }
 }
 

@@ -6,6 +6,7 @@
 //! |------|-----------|------|
 //! | [`BloomFilter`] | §1, §2 | the 1970 baseline, `1.44·n·lg(1/ε)` bits |
 //! | [`BlockedBloomFilter`] | §2 | cache-local variant, one line per op |
+//! | [`AtomicBlockedBloomFilter`] | §1 f.6 | wait-free concurrent variant |
 //! | [`CountingBloomFilter`] | §2.6 | multiset counts, saturating counters |
 //! | [`DLeftCountingFilter`] | §2.6 | d-left hashing, ~2× smaller than CBF |
 //! | [`SpectralBloomFilter`] | §2.6 | variable counters for skewed input |
@@ -15,6 +16,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod atomic_blocked;
 pub mod blocked;
 pub mod counting;
 pub mod dleft;
@@ -23,6 +25,7 @@ pub mod prefix_bloom;
 pub mod scalable;
 pub mod spectral;
 
+pub use atomic_blocked::AtomicBlockedBloomFilter;
 pub use blocked::BlockedBloomFilter;
 pub use counting::CountingBloomFilter;
 pub use dleft::DLeftCountingFilter;

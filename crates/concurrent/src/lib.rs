@@ -1,0 +1,369 @@
+//! # concurrent
+//!
+//! Generic thread-scalability layer for the workspace's filters
+//! (tutorial §1, feature 6).
+//!
+//! [`Sharded<F>`] lifts *any* single-threaded filter implementing the
+//! `filter-core` traits into a thread-safe structure by partitioning
+//! the key space into `2^shard_bits` independent shards, each its own
+//! filter instance behind its own mutex. Threads operating on
+//! different shards never contend; with shards ≳ 4× threads,
+//! contention on any one lock is rare, which is the same recipe the
+//! counting quotient filter uses internally (per-region locks over a
+//! partitioned table).
+//!
+//! ## The shard-bit / fingerprint-bit disjointness invariant
+//!
+//! Sharding must not change per-shard false-positive behaviour. Every
+//! fingerprint filter in this workspace consumes the **low** `q + r`
+//! bits of a key hash produced under the filter's **own seed**
+//! (`filter_core::quotienting`). Shard selection therefore uses the
+//! **top** `shard_bits` of a hash produced under a **dedicated seed**
+//! ([`SHARD_SEED`]) that no inner filter uses. Two independent
+//! defences, either of which suffices:
+//!
+//! 1. different seeds → the shard-selection hash and the in-filter
+//!    fingerprint hash are independent functions of the key, so
+//!    conditioning on "key landed in shard i" does not bias the
+//!    fingerprint distribution inside shard i;
+//! 2. top-vs-low bit split → even under one shared seed the bits
+//!    consumed would be disjoint (as long as `shard_bits + q + r ≤
+//!    64`).
+//!
+//! [`Sharded::new`] additionally hands each shard its index so
+//! builders can derive distinct per-shard filter seeds; the
+//! constructors in `quotient`, `cuckoo`, and `lsm` all do.
+//!
+//! ## What sharding gives — and what it does not
+//!
+//! `Sharded<F>` preserves F's semantics exactly: a key's operations
+//! always land on the same shard, so insert/contains/count/remove
+//! sequences behave as if applied to a single filter sized
+//! `capacity / shards` (see the model-based equivalence property in
+//! `tests/proptest_invariants.rs`). Aggregate statistics (`len`,
+//! `size_in_bytes`) sum over shards. Cross-shard operations are not
+//! atomic: `len()` racing concurrent inserts is a snapshot, as for
+//! any concurrent counter.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use filter_core::{CountingFilter, DynamicFilter, Filter, Hasher, InsertFilter, Result};
+use std::sync::Mutex;
+
+/// Seed reserved for shard selection. No filter constructor in the
+/// workspace uses this seed for fingerprinting, upholding defence (1)
+/// of the disjointness invariant documented at the crate root.
+pub const SHARD_SEED: u64 = 0xc0c0_5ea1_ed5e_ed00;
+
+/// Maximum supported `shard_bits` (4096 shards).
+pub const MAX_SHARD_BITS: u32 = 12;
+
+/// A thread-safe filter built from `2^shard_bits` independent
+/// single-threaded shards.
+///
+/// All operations take `&self`; share freely via `Arc` or
+/// `std::thread::scope` borrows.
+///
+/// # Examples
+///
+/// ```
+/// use concurrent::Sharded;
+/// use bloom::BloomFilter;
+///
+/// // 16 shards, each a Bloom filter with a distinct derived seed.
+/// let f = Sharded::new(4, |i| BloomFilter::with_seed(10_000, 0.01, i as u64));
+/// std::thread::scope(|s| {
+///     for t in 0..4u64 {
+///         let f = &f;
+///         s.spawn(move || {
+///             for k in (t * 1000)..(t * 1000 + 1000) {
+///                 f.insert(k).unwrap();
+///             }
+///         });
+///     }
+/// });
+/// assert!((0..4000u64).all(|k| f.contains(k)));
+/// ```
+pub struct Sharded<F> {
+    shards: Vec<Mutex<F>>,
+    hasher: Hasher,
+    shard_bits: u32,
+}
+
+impl<F> Sharded<F> {
+    /// Create with `2^shard_bits` shards; `build(i)` constructs shard
+    /// `i`. Builders should derive a distinct filter seed from `i`.
+    pub fn new(shard_bits: u32, build: impl FnMut(usize) -> F) -> Self {
+        assert!(
+            shard_bits <= MAX_SHARD_BITS,
+            "shard_bits {shard_bits} > {MAX_SHARD_BITS}"
+        );
+        let shards: Vec<Mutex<F>> = (0..1usize << shard_bits)
+            .map(build)
+            .map(Mutex::new)
+            .collect();
+        Sharded {
+            shards,
+            hasher: Hasher::with_seed(SHARD_SEED),
+            shard_bits,
+        }
+    }
+
+    /// Shard index for `key`: the **top** `shard_bits` of the
+    /// dedicated shard hash (disjoint from the low fingerprint bits
+    /// any inner filter consumes — see the crate docs).
+    #[inline]
+    pub fn shard_of(&self, key: u64) -> usize {
+        if self.shard_bits == 0 {
+            0
+        } else {
+            (self.hasher.hash(&key) >> (64 - self.shard_bits)) as usize
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Run `f` on the shard owning `key`.
+    #[inline]
+    pub fn with_shard<R>(&self, key: u64, f: impl FnOnce(&mut F) -> R) -> R {
+        let mut guard = self.lock(self.shard_of(key));
+        f(&mut guard)
+    }
+
+    /// Run `f` on every shard in index order (aggregate statistics,
+    /// serialization). Locks one shard at a time.
+    pub fn for_each_shard<R>(&self, mut f: impl FnMut(&F) -> R) -> Vec<R> {
+        (0..self.shards.len()).map(|i| f(&self.lock(i))).collect()
+    }
+
+    #[inline]
+    fn lock(&self, i: usize) -> std::sync::MutexGuard<'_, F> {
+        // A poisoned shard means another thread panicked mid-update;
+        // filters hold no invariant that a completed panic unwinds, so
+        // recover the guard rather than cascade the panic.
+        match self.shards[i].lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Group `keys` by shard, preserving each key's original index.
+    /// One pass, one allocation per call; batch operations then lock
+    /// every non-empty shard exactly once.
+    fn group_by_shard(&self, keys: &[u64]) -> Vec<Vec<(usize, u64)>> {
+        let mut buckets: Vec<Vec<(usize, u64)>> = vec![Vec::new(); self.shards.len()];
+        for (i, &k) in keys.iter().enumerate() {
+            buckets[self.shard_of(k)].push((i, k));
+        }
+        buckets
+    }
+}
+
+impl<F: Filter> Sharded<F> {
+    /// Membership query (never a false negative for inserted keys).
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        self.with_shard(key, |f| f.contains(key))
+    }
+
+    /// Batched membership: `out[i]` answers `keys[i]`. Locks each
+    /// shard once instead of once per key.
+    pub fn contains_batch(&self, keys: &[u64]) -> Vec<bool> {
+        let mut out = vec![false; keys.len()];
+        for (s, bucket) in self.group_by_shard(keys).into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let shard = self.lock(s);
+            for (i, k) in bucket {
+                out[i] = shard.contains(k);
+            }
+        }
+        out
+    }
+
+    /// Distinct keys represented, summed over shards (a racing
+    /// snapshot under concurrent writes).
+    pub fn len(&self) -> usize {
+        self.for_each_shard(|f| f.len()).into_iter().sum()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Heap bytes summed over shards.
+    pub fn size_in_bytes(&self) -> usize {
+        self.for_each_shard(|f| f.size_in_bytes()).into_iter().sum()
+    }
+}
+
+impl<F: InsertFilter> Sharded<F> {
+    /// Insert `key` (thread-safe, `&self`).
+    #[inline]
+    pub fn insert(&self, key: u64) -> Result<()> {
+        self.with_shard(key, |f| f.insert(key))
+    }
+
+    /// Batched insert; locks each shard once. On error, keys in
+    /// earlier buckets (and earlier keys of the failing bucket) remain
+    /// inserted — the same prefix semantics as a sequential loop.
+    pub fn insert_batch(&self, keys: &[u64]) -> Result<()> {
+        for (s, bucket) in self.group_by_shard(keys).into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut shard = self.lock(s);
+            for (_, k) in bucket {
+                shard.insert(k)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<F: DynamicFilter> Sharded<F> {
+    /// Remove one occurrence of `key`.
+    #[inline]
+    pub fn remove(&self, key: u64) -> Result<bool> {
+        self.with_shard(key, |f| f.remove(key))
+    }
+}
+
+impl<F: CountingFilter> Sharded<F> {
+    /// Insert `count` occurrences of `key`.
+    #[inline]
+    pub fn insert_count(&self, key: u64, count: u64) -> Result<()> {
+        self.with_shard(key, |f| f.insert_count(key, count))
+    }
+
+    /// Upper-bounding multiplicity estimate.
+    #[inline]
+    pub fn count(&self, key: u64) -> u64 {
+        self.with_shard(key, |f| f.count(key))
+    }
+
+    /// Remove `count` occurrences of `key`.
+    #[inline]
+    pub fn remove_count(&self, key: u64, count: u64) -> Result<()> {
+        self.with_shard(key, |f| f.remove_count(key, count))
+    }
+}
+
+impl<F: Filter> Filter for Sharded<F> {
+    fn contains(&self, key: u64) -> bool {
+        Sharded::contains(self, key)
+    }
+
+    fn len(&self) -> usize {
+        Sharded::len(self)
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        Sharded::size_in_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bloom::BloomFilter;
+    use std::sync::Arc;
+    use workloads::{disjoint_keys, unique_keys};
+
+    fn sharded_bloom(shard_bits: u32, capacity: usize) -> Sharded<BloomFilter> {
+        let per_shard = (capacity >> shard_bits).max(64);
+        Sharded::new(shard_bits, |i| {
+            BloomFilter::with_seed(per_shard, 0.01, 0x0b10 ^ i as u64)
+        })
+    }
+
+    #[test]
+    fn single_thread_roundtrip_and_fpr() {
+        let f = sharded_bloom(4, 40_000);
+        let keys = unique_keys(500, 40_000);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        assert!(keys.iter().all(|&k| f.contains(k)));
+        assert_eq!(f.len(), 40_000);
+        let neg = disjoint_keys(501, 40_000, &keys);
+        let fpr = neg.iter().filter(|&&k| f.contains(k)).count() as f64 / 40_000.0;
+        // Sharding must not degrade FPR beyond sampling noise.
+        assert!(fpr < 0.02, "fpr {fpr}");
+    }
+
+    #[test]
+    fn zero_shard_bits_is_a_single_filter() {
+        let f = sharded_bloom(0, 1_000);
+        assert_eq!(f.shards(), 1);
+        f.insert(42).unwrap();
+        assert!(f.contains(42));
+        assert_eq!(f.shard_of(u64::MAX), 0);
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_uniform() {
+        let f = sharded_bloom(4, 10_000);
+        let keys = unique_keys(502, 16_000);
+        let mut counts = [0usize; 16];
+        for &k in &keys {
+            let s = f.shard_of(k);
+            assert_eq!(s, f.shard_of(k));
+            counts[s] += 1;
+        }
+        // Each shard should get ~1000 of 16k keys; allow wide noise.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((700..1300).contains(&c), "shard {i} got {c} keys");
+        }
+    }
+
+    #[test]
+    fn batch_matches_pointwise() {
+        let f = sharded_bloom(3, 5_000);
+        let keys = unique_keys(503, 5_000);
+        f.insert_batch(&keys).unwrap();
+        let neg = disjoint_keys(504, 5_000, &keys);
+        let mut probes = keys.clone();
+        probes.extend_from_slice(&neg);
+        let batch = f.contains_batch(&probes);
+        for (i, &k) in probes.iter().enumerate() {
+            assert_eq!(batch[i], f.contains(k), "probe {i}");
+        }
+        assert!(batch[..keys.len()].iter().all(|&b| b));
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let f = Arc::new(sharded_bloom(4, 80_000));
+        let keys = unique_keys(505, 80_000);
+        std::thread::scope(|s| {
+            for chunk in keys.chunks(20_000) {
+                let f = Arc::clone(&f);
+                s.spawn(move || f.insert_batch(chunk).unwrap());
+            }
+        });
+        std::thread::scope(|s| {
+            for chunk in keys.chunks(20_000) {
+                let f = Arc::clone(&f);
+                s.spawn(move || assert!(chunk.iter().all(|&k| f.contains(k))));
+            }
+        });
+    }
+
+    #[test]
+    fn filter_trait_is_implemented() {
+        let f = sharded_bloom(2, 1_000);
+        f.insert(7).unwrap();
+        let dynf: &dyn Filter = &f;
+        assert!(dynf.contains(7));
+        assert_eq!(dynf.len(), 1);
+        assert!(dynf.size_in_bytes() > 0);
+    }
+}

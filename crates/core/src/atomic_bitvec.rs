@@ -1,0 +1,224 @@
+//! A lock-free fixed-capacity bit vector over `AtomicU64` words.
+//!
+//! This is the storage substrate for the workspace's wait-free
+//! concurrent filters (tutorial §1, feature 6 — thread scalability):
+//! Bloom-style structures only ever *set* bits on insert and *read*
+//! bits on query, so a plain `fetch_or` per touched word gives
+//! linearizable inserts with no locks, no CAS retry loops, and no
+//! false negatives for completed inserts. Blocked layouts
+//! (`bloom::AtomicBlockedBloomFilter`) confine those words to one
+//! cache line per key, which keeps coherence traffic to a single line
+//! per operation under contention.
+//!
+//! Memory ordering: all accesses use [`Ordering::Relaxed`]. Individual
+//! bit reads/writes are independent monotone updates — a query that
+//! races an insert may see either state, exactly the approximate
+//! semantics a filter already has. Callers that need a happens-before
+//! edge between a completed insert and later queries get one from
+//! whatever mechanism published the key between threads (channel,
+//! mutex, `thread::scope` join), as usual in Rust.
+
+use crate::bitvec::BitVec;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixed-capacity bit vector with thread-safe `&self` mutation.
+#[derive(Debug)]
+pub struct AtomicBitVec {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitVec {
+    /// All-zero bit vector of `len` bits.
+    pub fn new(len: usize) -> Self {
+        AtomicBitVec {
+            words: (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            len,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector holds zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Heap bytes used by the backing store.
+    #[inline]
+    pub fn size_in_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i >> 6].load(Ordering::Relaxed) >> (i & 63)) & 1 == 1
+    }
+
+    /// Set bit `i` to 1 (wait-free).
+    #[inline]
+    pub fn set(&self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i >> 6].fetch_or(1 << (i & 63), Ordering::Relaxed);
+    }
+
+    /// Set bit `i`, returning its previous value (wait-free; the
+    /// returned value is exact even under races, unlike a separate
+    /// `get` + `set`).
+    #[inline]
+    pub fn test_and_set(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i & 63);
+        self.words[i >> 6].fetch_or(mask, Ordering::Relaxed) & mask != 0
+    }
+
+    /// OR a whole word's worth of bits into word `wi` (one cache-line
+    /// touch for up to 64 bit positions; the blocked-Bloom fast path).
+    #[inline]
+    pub fn or_word(&self, wi: usize, mask: u64) {
+        self.words[wi].fetch_or(mask, Ordering::Relaxed);
+    }
+
+    /// Load word `wi`.
+    #[inline]
+    pub fn load_word(&self, wi: usize) -> u64 {
+        self.words[wi].load(Ordering::Relaxed)
+    }
+
+    /// Number of backing words.
+    #[inline]
+    pub fn word_len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Number of set bits (a racing snapshot under concurrent writes).
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Copy into a plain [`BitVec`] (single-threaded continuation,
+    /// serialization).
+    pub fn snapshot(&self) -> BitVec {
+        let words = self
+            .words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect();
+        BitVec::from_parts(words, self.len)
+    }
+}
+
+impl From<&BitVec> for AtomicBitVec {
+    /// Promote a single-threaded bit vector to atomic storage.
+    fn from(bv: &BitVec) -> Self {
+        AtomicBitVec {
+            words: bv.words().iter().map(|&w| AtomicU64::new(w)).collect(),
+            len: bv.len(),
+        }
+    }
+}
+
+impl Clone for AtomicBitVec {
+    fn clone(&self) -> Self {
+        AtomicBitVec {
+            words: self
+                .words
+                .iter()
+                .map(|w| AtomicU64::new(w.load(Ordering::Relaxed)))
+                .collect(),
+            len: self.len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let bv = AtomicBitVec::new(200);
+        assert!(!bv.get(150));
+        bv.set(150);
+        assert!(bv.get(150));
+        assert!(!bv.get(149));
+        assert!(!bv.get(151));
+        assert_eq!(bv.count_ones(), 1);
+    }
+
+    #[test]
+    fn test_and_set_reports_previous() {
+        let bv = AtomicBitVec::new(70);
+        assert!(!bv.test_and_set(64));
+        assert!(bv.test_and_set(64));
+    }
+
+    #[test]
+    fn snapshot_matches_bitvec_semantics() {
+        let abv = AtomicBitVec::new(300);
+        for i in [0, 63, 64, 65, 299] {
+            abv.set(i);
+        }
+        let bv = abv.snapshot();
+        for i in 0..300 {
+            assert_eq!(bv.get(i), abv.get(i), "bit {i}");
+        }
+        let back = AtomicBitVec::from(&bv);
+        assert_eq!(back.count_ones(), 5);
+        assert_eq!(back.len(), 300);
+    }
+
+    #[test]
+    fn concurrent_sets_are_all_visible_after_join() {
+        let bv = Arc::new(AtomicBitVec::new(4096));
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let bv = Arc::clone(&bv);
+                s.spawn(move || {
+                    for i in (t..4096).step_by(4) {
+                        bv.set(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(bv.count_ones(), 4096);
+    }
+
+    #[test]
+    fn contended_single_word_loses_no_bits() {
+        // All threads hammer the same word: fetch_or must not drop
+        // updates the way a read-modify-write over a plain u64 would.
+        let bv = Arc::new(AtomicBitVec::new(64));
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let bv = Arc::clone(&bv);
+                s.spawn(move || {
+                    for i in (t % 2..64).step_by(2) {
+                        bv.set(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(bv.count_ones(), 64);
+    }
+
+    #[test]
+    fn or_word_and_load_word() {
+        let bv = AtomicBitVec::new(128);
+        bv.or_word(1, 0xff00);
+        assert_eq!(bv.load_word(1), 0xff00);
+        assert!(bv.get(64 + 8));
+        assert_eq!(bv.word_len(), 2);
+    }
+}

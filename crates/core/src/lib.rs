@@ -10,6 +10,8 @@
 //!   derivation, and the quotienting split used by all
 //!   fingerprint-based filters (tutorial §2.1).
 //! - [`bitvec`] — compact bit vectors and packed fixed-width arrays.
+//! - [`atomic_bitvec`] — the lock-free variant backing the
+//!   concurrent filters (tutorial §1, feature 6).
 //! - [`rank_select`] — word-level rank/select and a sampled directory,
 //!   the navigation machinery of the RSQF and succinct tries.
 //! - [`ef`] — Elias–Fano monotone-sequence coding (Grafite, SNARF).
@@ -20,6 +22,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod atomic_bitvec;
 pub mod bitvec;
 pub mod ef;
 pub mod hash;
@@ -27,6 +30,7 @@ pub mod rank_select;
 pub mod serial;
 pub mod traits;
 
+pub use atomic_bitvec::AtomicBitVec;
 pub use bitvec::{BitVec, PackedArray};
 pub use ef::EliasFano;
 pub use hash::{quotienting, rem_mask, FilterKey, Hasher};

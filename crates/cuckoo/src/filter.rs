@@ -93,6 +93,25 @@ impl CuckooFilter {
         2.0 * self.bucket_size as f64 * 2f64.powi(-(self.fp_bits as i32)) * self.load().min(1.0)
     }
 
+    /// A thread-safe cuckoo filter: `2^shard_bits` independent shards
+    /// behind per-shard locks, jointly sized for `capacity` keys.
+    ///
+    /// Shard selection uses the `concurrent` crate's dedicated shard
+    /// hash (top bits, separate seed), disjoint from the bucket/
+    /// fingerprint hashing inside each shard, so per-shard load and
+    /// FPR match an unsharded filter of the per-shard capacity. Each
+    /// shard gets a distinct seed to decorrelate kick paths.
+    pub fn sharded(
+        capacity: usize,
+        fp_bits: u32,
+        shard_bits: u32,
+    ) -> concurrent::Sharded<CuckooFilter> {
+        let per_shard = (capacity >> shard_bits).max(64);
+        concurrent::Sharded::new(shard_bits, |i| {
+            CuckooFilter::with_params(per_shard, fp_bits, BUCKET_SIZE, 0xcc00 ^ i as u64)
+        })
+    }
+
     /// Nonzero fingerprint and primary bucket of a key.
     #[inline]
     fn fp_and_bucket(&self, key: u64) -> (u64, usize) {
@@ -307,5 +326,24 @@ mod tests {
             let i2 = f.alt_bucket(i1, fp);
             assert_eq!(f.alt_bucket(i2, fp), i1);
         }
+    }
+
+    #[test]
+    fn sharded_concurrent_insert_query_delete() {
+        let f = CuckooFilter::sharded(60_000, 13, 3);
+        let keys = unique_keys(97, 60_000);
+        std::thread::scope(|s| {
+            for chunk in keys.chunks(15_000) {
+                let f = &f;
+                s.spawn(move || f.insert_batch(chunk).unwrap());
+            }
+        });
+        assert!(f.contains_batch(&keys).iter().all(|&b| b));
+        assert_eq!(f.len(), 60_000);
+        for &k in &keys[..5_000] {
+            assert!(f.remove(k).unwrap());
+        }
+        let still = keys[..5_000].iter().filter(|&&k| f.contains(k)).count();
+        assert!(still < 30, "{still} deleted keys remain");
     }
 }

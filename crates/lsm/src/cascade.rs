@@ -79,6 +79,12 @@ impl CascadeFilter {
     /// Create with an in-RAM buffer of `buffer_capacity` fingerprints
     /// and `fp_bits`-bit fingerprints (FPR ≈ n·2^-fp_bits).
     pub fn new(buffer_capacity: usize, fp_bits: u32) -> Self {
+        Self::with_seed(buffer_capacity, fp_bits, 0)
+    }
+
+    /// As [`CascadeFilter::new`] with an explicit fingerprint-hash
+    /// seed (shards of a sharded cascade decorrelate through this).
+    pub fn with_seed(buffer_capacity: usize, fp_bits: u32, seed: u64) -> Self {
         assert!(buffer_capacity >= 16);
         assert!((16..=62).contains(&fp_bits));
         CascadeFilter {
@@ -87,10 +93,33 @@ impl CascadeFilter {
             runs: Vec::new(),
             size_ratio: 4,
             fp_bits,
-            hasher: Hasher::with_seed(0),
+            hasher: Hasher::with_seed(seed),
             io: IoCounter::new(),
             items: 0,
         }
+    }
+
+    /// A thread-safe cascade filter: `2^shard_bits` independent
+    /// cascades behind per-shard locks, splitting the RAM budget.
+    ///
+    /// Each shard owns a buffer of `buffer_capacity >> shard_bits`
+    /// fingerprints and its own simulated-storage runs, so flushes and
+    /// merges in one shard never block operations on the others — the
+    /// same partitioning the tutorial's thread-scalable on-flash
+    /// filters use. Shard selection (see the `concurrent` crate docs)
+    /// is disjoint from the fingerprint hash by construction.
+    pub fn sharded(
+        buffer_capacity: usize,
+        fp_bits: u32,
+        shard_bits: u32,
+    ) -> concurrent::Sharded<CascadeFilter> {
+        concurrent::Sharded::new(shard_bits, |i| {
+            CascadeFilter::with_seed(
+                (buffer_capacity >> shard_bits).max(16),
+                fp_bits,
+                0xca5c ^ i as u64,
+            )
+        })
     }
 
     /// The simulated-storage I/O counter.
@@ -179,6 +208,35 @@ impl CascadeFilter {
     pub fn ram_bytes(&self) -> usize {
         self.buffer.len() * 8 + self.runs.iter().map(|r| r.fences.len() * 8).sum::<usize>()
     }
+
+    /// Storage bytes across all runs.
+    pub fn storage_bytes(&self) -> usize {
+        self.runs.iter().map(|r| r.fps.len() * 8).sum()
+    }
+}
+
+impl filter_core::Filter for CascadeFilter {
+    fn contains(&self, key: u64) -> bool {
+        CascadeFilter::contains(self, key)
+    }
+
+    fn len(&self) -> usize {
+        CascadeFilter::len(self)
+    }
+
+    /// RAM plus simulated-storage bytes — the total footprint, unlike
+    /// [`CascadeFilter::ram_bytes`] which reports the residency the
+    /// cascade is designed to minimise.
+    fn size_in_bytes(&self) -> usize {
+        self.ram_bytes() + self.storage_bytes()
+    }
+}
+
+impl filter_core::InsertFilter for CascadeFilter {
+    fn insert(&mut self, key: u64) -> filter_core::Result<()> {
+        CascadeFilter::insert(self, key);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +300,40 @@ mod tests {
             "{per_query} reads/query over {} runs",
             f.run_count()
         );
+    }
+
+    #[test]
+    fn filter_traits_match_inherent_api() {
+        use filter_core::{Filter, InsertFilter};
+        let keys = unique_keys(607, 20_000);
+        let mut f = CascadeFilter::new(1_024, 40);
+        {
+            let dynf: &mut dyn InsertFilter = &mut f;
+            for &k in &keys {
+                dynf.insert(k).unwrap();
+            }
+        }
+        let dynf: &dyn Filter = &f;
+        assert!(keys.iter().all(|&k| dynf.contains(k)));
+        assert_eq!(dynf.len(), 20_000);
+        assert!(dynf.size_in_bytes() >= f.ram_bytes());
+    }
+
+    #[test]
+    fn sharded_cascade_concurrent_inserts() {
+        let f = CascadeFilter::sharded(4_096, 40, 2);
+        let keys = unique_keys(608, 80_000);
+        std::thread::scope(|s| {
+            for chunk in keys.chunks(20_000) {
+                let f = &f;
+                s.spawn(move || f.insert_batch(chunk).unwrap());
+            }
+        });
+        assert!(f.contains_batch(&keys).iter().all(|&b| b));
+        assert_eq!(f.len(), 80_000);
+        let neg = disjoint_keys(609, 20_000, &keys);
+        let fps = neg.iter().filter(|&&k| f.contains(k)).count();
+        assert!(fps <= 2, "{fps} false positives");
     }
 
     #[test]

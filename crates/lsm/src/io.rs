@@ -6,14 +6,20 @@
 //! storage layer here is in-memory and every would-be block access
 //! increments a counter. This is the measured quantity in E11.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Shared I/O counter threaded through runs and the tree.
+///
+/// Atomic (not `Cell`) so structures that embed one — notably
+/// [`CascadeFilter`](crate::CascadeFilter) — stay `Send` and can sit
+/// behind the `concurrent` crate's per-shard locks. Counts use
+/// `Relaxed` ordering: they are independent statistics, never used to
+/// synchronise.
 #[derive(Debug, Clone, Default)]
 pub struct IoCounter {
-    reads: Rc<Cell<u64>>,
-    writes: Rc<Cell<u64>>,
+    reads: Arc<AtomicU64>,
+    writes: Arc<AtomicU64>,
 }
 
 impl IoCounter {
@@ -25,29 +31,29 @@ impl IoCounter {
     /// Record `n` block reads.
     #[inline]
     pub fn read(&self, n: u64) {
-        self.reads.set(self.reads.get() + n);
+        self.reads.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Record `n` block writes.
     #[inline]
     pub fn write(&self, n: u64) {
-        self.writes.set(self.writes.get() + n);
+        self.writes.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Total block reads so far.
     pub fn reads(&self) -> u64 {
-        self.reads.get()
+        self.reads.load(Ordering::Relaxed)
     }
 
     /// Total block writes so far.
     pub fn writes(&self) -> u64 {
-        self.writes.get()
+        self.writes.load(Ordering::Relaxed)
     }
 
     /// Reset both counters.
     pub fn reset(&self) {
-        self.reads.set(0);
-        self.writes.set(0);
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
     }
 }
 

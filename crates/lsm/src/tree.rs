@@ -265,9 +265,7 @@ impl LsmTree {
             .levels
             .iter()
             .flatten()
-            .flat_map(|(_, run)| {
-                run.entries_for_index_build().iter().map(|&(k, _)| k)
-            })
+            .flat_map(|(_, run)| run.entries_for_index_build().iter().map(|&(k, _)| k))
             .collect();
         keys.sort_unstable();
         keys.dedup();
@@ -306,10 +304,7 @@ impl LsmTree {
         }
         // Tombstones can be dropped once nothing older can exist
         // below the merge output (it becomes the bottom of the tree).
-        let nothing_below = self
-            .levels
-            .get(level + 1)
-            .is_none_or(|l| l.is_empty())
+        let nothing_below = self.levels.get(level + 1).is_none_or(|l| l.is_empty())
             && self.levels.iter().skip(level + 2).all(|l| l.is_empty());
         let entries: Vec<(u64, u64)> = merged
             .into_iter()
@@ -401,10 +396,7 @@ impl LsmTree {
             for (&k, &v) in self.memtable.range(lo..=hi) {
                 acc.insert(k, v);
             }
-            return acc
-                .into_iter()
-                .filter(|&(_, v)| v != TOMBSTONE)
-                .collect();
+            return acc.into_iter().filter(|&(_, v)| v != TOMBSTONE).collect();
         }
         // Oldest level first so newer writes overwrite.
         let mut buf = Vec::new();

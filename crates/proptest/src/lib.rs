@@ -1,0 +1,512 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The workspace builds hermetically with no crates.io access, so the
+//! external `proptest` crate is replaced by this in-tree framework
+//! implementing the surface the workspace's model-based tests use:
+//!
+//! - the [`proptest!`] macro (with `#![proptest_config(..)]`, `pat in
+//!   strategy` arguments, and `ident: Type` shorthand),
+//! - [`Strategy`] with [`Strategy::prop_map`] and
+//!   [`Strategy::boxed`], integer-range and tuple strategies,
+//!   [`any`], [`prop_oneof!`], and `prop::collection::{vec,
+//!   btree_set, hash_map}`,
+//! - [`prop_assert!`] / [`prop_assert_eq!`], and
+//!   [`ProptestConfig::with_cases`].
+//!
+//! Differences from real proptest, deliberate for a hermetic test
+//! tier: generation is **deterministic** (seeded per test name, so
+//! failures reproduce exactly) and there is **no shrinking** — on
+//! failure the generated inputs are printed in full instead.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// The generator driving all strategies.
+pub type TestRng = StdRng;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator (subset of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase for heterogeneous composition ([`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies (the [`prop_oneof!`]
+/// backend).
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Choose uniformly among `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! of zero strategies");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Types with a canonical full-range strategy (subset of
+/// `proptest::arbitrary::Arbitrary`).
+pub trait ArbitraryValue: Sized {
+    /// Draw a uniformly distributed value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            #[inline]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    #[inline]
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+impl ArbitraryValue for f64 {
+    #[inline]
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.gen::<f64>()
+    }
+}
+
+/// The `any::<T>()` strategy object.
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+/// Full-range strategy for `T` (subset of `proptest::arbitrary::any`).
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl<T: rand::SampleUniform + Clone> Strategy for Range<T> {
+    type Value = T;
+    #[inline]
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: rand::SampleUniform + Copy> Strategy for RangeInclusive<T> {
+    type Value = T;
+    #[inline]
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::{BTreeSet, HashMap};
+    use std::ops::Range;
+
+    /// A `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `BTreeSet` whose final size falls in `size` (when the element
+    /// domain is large enough to yield distinct values).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// Output of [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = rng.gen_range(self.size.clone());
+            let mut out = BTreeSet::new();
+            // Collisions shrink the set below target; retry a bounded
+            // number of times so small domains still terminate.
+            let mut budget = target * 10 + 64;
+            while out.len() < target && budget > 0 {
+                out.insert(self.element.generate(rng));
+                budget -= 1;
+            }
+            out
+        }
+    }
+
+    /// A `HashMap` whose final size falls in `size` (same collision
+    /// caveat as [`btree_set`]).
+    pub fn hash_map<K, V>(keys: K, values: V, size: Range<usize>) -> HashMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: std::hash::Hash + Eq,
+        V: Strategy,
+    {
+        HashMapStrategy { keys, values, size }
+    }
+
+    /// Output of [`hash_map`].
+    pub struct HashMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: Range<usize>,
+    }
+
+    impl<K, V> Strategy for HashMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: std::hash::Hash + Eq,
+        V: Strategy,
+    {
+        type Value = HashMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashMap<K::Value, V::Value> {
+            let target = rng.gen_range(self.size.clone());
+            let mut out = HashMap::new();
+            let mut budget = target * 10 + 64;
+            while out.len() < target && budget > 0 {
+                out.insert(self.keys.generate(rng), self.values.generate(rng));
+                budget -= 1;
+            }
+            out
+        }
+    }
+}
+
+/// Commonly-imported names (subset of `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        ProptestConfig, Strategy,
+    };
+
+    /// The `prop::` module path used by `prop::collection::vec` etc.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Define property tests (subset of the `proptest!` macro).
+///
+/// Supports an optional leading `#![proptest_config(expr)]` and any
+/// number of test functions whose arguments are either `pattern in
+/// strategy` or the `ident: Type` shorthand for `ident in
+/// any::<Type>()`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: one test function per
+/// repetition.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case!{ @munch ($cfg) ($body) ($name) () () $($args)* }
+        }
+        $crate::__proptest_tests!{ ($cfg); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: normalise the argument list
+/// into parallel (pattern, strategy) tuples, then run the case loop.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // `ident: Type` shorthand → `ident in any::<Type>()`.
+    (@munch $cfg:tt $body:tt $name:tt ($($pats:tt)*) ($($strats:tt)*)
+        $id:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_case!{ @munch $cfg $body $name
+            ($($pats)* ($id)) ($($strats)* ($crate::any::<$ty>())) $($rest)* }
+    };
+    (@munch $cfg:tt $body:tt $name:tt ($($pats:tt)*) ($($strats:tt)*)
+        $id:ident : $ty:ty) => {
+        $crate::__proptest_case!{ @munch $cfg $body $name
+            ($($pats)* ($id)) ($($strats)* ($crate::any::<$ty>())) }
+    };
+    // `pattern in strategy`.
+    (@munch $cfg:tt $body:tt $name:tt ($($pats:tt)*) ($($strats:tt)*)
+        $pat:pat_param in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_case!{ @munch $cfg $body $name
+            ($($pats)* ($pat)) ($($strats)* ($strat)) $($rest)* }
+    };
+    (@munch $cfg:tt $body:tt $name:tt ($($pats:tt)*) ($($strats:tt)*)
+        $pat:pat_param in $strat:expr) => {
+        $crate::__proptest_case!{ @munch $cfg $body $name
+            ($($pats)* ($pat)) ($($strats)* ($strat)) }
+    };
+    // All arguments consumed: emit the runner.
+    (@munch ($cfg:expr) ($body:block) ($name:ident)
+        ($(($pat:pat_param))+) ($(($strat:expr))+)) => {{
+        let config: $crate::ProptestConfig = $cfg;
+        // Deterministic per-test seed (FNV-1a over the test name):
+        // failures reproduce without a persistence file.
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in stringify!($name).bytes() {
+            seed = (seed ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        let mut rng = <$crate::TestRng as $crate::__rand::SeedableRng>::seed_from_u64(seed);
+        let strategy = ($($strat,)+);
+        for case in 0..config.cases {
+            let values = $crate::Strategy::generate(&strategy, &mut rng);
+            let described = format!("{values:?}");
+            let result = ::std::panic::catch_unwind(
+                ::std::panic::AssertUnwindSafe(|| {
+                    let ($($pat,)+) = values;
+                    $body
+                }),
+            );
+            if let Err(panic) = result {
+                eprintln!(
+                    "proptest case {case}/{} of `{}` failed with inputs: {described}",
+                    config.cases,
+                    stringify!($name),
+                );
+                ::std::panic::resume_unwind(panic);
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Add(u64),
+        Del(u64),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![(0u64..64).prop_map(Op::Add), (0u64..64).prop_map(Op::Del),]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in 1u32..=4, b: bool) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+            let _ = b;
+        }
+
+        #[test]
+        fn collections_respect_size(
+            v in prop::collection::vec(any::<u64>(), 3..10),
+            s in prop::collection::btree_set(any::<u64>(), 2..8),
+            m in prop::collection::hash_map(any::<u64>(), 0u64..16, 1..6),
+        ) {
+            prop_assert!((3..10).contains(&v.len()));
+            prop_assert!((2..8).contains(&s.len()));
+            prop_assert!((1..6).contains(&m.len()));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(ops in prop::collection::vec(op_strategy(), 1..50)) {
+            for op in ops {
+                match op {
+                    Op::Add(k) | Op::Del(k) => prop_assert!(k < 64),
+                }
+            }
+        }
+
+        #[test]
+        fn tuple_patterns_destructure((a, b) in (0u64..8, 0u64..8), mut acc in 0u64..4) {
+            acc += a + b;
+            prop_assert!(acc < 20);
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_values() {
+        use crate::{any, Strategy, TestRng};
+        use rand::SeedableRng;
+        let mut r1 = TestRng::seed_from_u64(99);
+        let mut r2 = TestRng::seed_from_u64(99);
+        let s = crate::collection::vec(any::<u64>(), 1..10);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

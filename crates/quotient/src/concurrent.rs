@@ -3,20 +3,29 @@
 //! The counting quotient filter scales across threads by partitioning
 //! its table and taking fine-grained locks per region; this module
 //! realises the same recipe as hash-sharding over independent
-//! [`CountingQuotientFilter`] partitions guarded by
-//! [`parking_lot::Mutex`]es. A key's shard is derived from hash bits
-//! disjoint from the bits the inner filter quotients on, so the
-//! per-shard false-positive behaviour is unchanged.
+//! [`CountingQuotientFilter`] partitions via the workspace-generic
+//! [`concurrent::Sharded`] wrapper. A key's shard is derived from the
+//! top bits of a dedicated shard hash — disjoint from the low
+//! fingerprint bits the inner filters quotient on (see the
+//! `concurrent` crate docs for the invariant) — so per-shard
+//! false-positive behaviour is unchanged.
+//!
+//! This type predates `Sharded<F>` and is kept as a thin compatibility
+//! wrapper: new code should use
+//! `Sharded<CountingQuotientFilter>` directly (via
+//! [`ConcurrentQuotientFilter::from_inner`] /
+//! [`ConcurrentQuotientFilter::into_inner`] for interop).
 
 use crate::cqf::CountingQuotientFilter;
-use filter_core::{Hasher, Result};
-use parking_lot::Mutex;
+use concurrent::Sharded;
+use filter_core::Result;
 
 /// A sharded, thread-safe counting quotient filter.
+///
+/// Thin wrapper over `Sharded<CountingQuotientFilter>` preserving the
+/// original `quotient::concurrent` API.
 pub struct ConcurrentQuotientFilter {
-    shards: Vec<Mutex<CountingQuotientFilter>>,
-    hasher: Hasher,
-    shard_bits: u32,
+    inner: Sharded<CountingQuotientFilter>,
 }
 
 impl ConcurrentQuotientFilter {
@@ -26,66 +35,71 @@ impl ConcurrentQuotientFilter {
         assert!((0..=8).contains(&shard_bits));
         let n_shards = 1usize << shard_bits;
         let per_shard = (capacity / n_shards).max(64);
-        let shards = (0..n_shards)
-            .map(|i| {
-                let mut f = CountingQuotientFilter::with_seed(
-                    shard_q(per_shard),
-                    shard_r(eps),
-                    0x51ab ^ i as u64,
-                );
-                f.set_auto_expand(true);
-                Mutex::new(f)
-            })
-            .collect();
-        ConcurrentQuotientFilter {
-            shards,
-            hasher: Hasher::with_seed(0xc0c0),
-            shard_bits,
-        }
+        let inner = Sharded::new(shard_bits, |i| {
+            let mut f = CountingQuotientFilter::with_seed(
+                shard_q(per_shard),
+                shard_r(eps),
+                0x51ab ^ i as u64,
+            );
+            f.set_auto_expand(true);
+            f
+        });
+        ConcurrentQuotientFilter { inner }
     }
 
-    #[inline]
-    fn shard_of(&self, key: u64) -> usize {
-        if self.shard_bits == 0 {
-            0
-        } else {
-            (self.hasher.hash(&key) >> (64 - self.shard_bits)) as usize
-        }
+    /// Wrap an existing sharded CQF.
+    pub fn from_inner(inner: Sharded<CountingQuotientFilter>) -> Self {
+        ConcurrentQuotientFilter { inner }
+    }
+
+    /// The generic sharded filter backing this wrapper.
+    pub fn inner(&self) -> &Sharded<CountingQuotientFilter> {
+        &self.inner
+    }
+
+    /// Unwrap into the generic sharded filter.
+    pub fn into_inner(self) -> Sharded<CountingQuotientFilter> {
+        self.inner
     }
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.shards.len()
+        self.inner.shards()
     }
 
     /// Insert one occurrence of `key`.
     pub fn insert(&self, key: u64) -> Result<()> {
-        use filter_core::CountingFilter;
-        self.shards[self.shard_of(key)].lock().insert_count(key, 1)
+        self.inner.insert_count(key, 1)
+    }
+
+    /// Insert one occurrence of every key, locking each shard once.
+    pub fn insert_batch(&self, keys: &[u64]) -> Result<()> {
+        self.inner.insert_batch(keys)
     }
 
     /// Membership query.
     pub fn contains(&self, key: u64) -> bool {
-        use filter_core::Filter;
-        self.shards[self.shard_of(key)].lock().contains(key)
+        self.inner.contains(key)
+    }
+
+    /// Batched membership query, locking each shard once.
+    pub fn contains_batch(&self, keys: &[u64]) -> Vec<bool> {
+        self.inner.contains_batch(keys)
     }
 
     /// Multiplicity estimate.
     pub fn count(&self, key: u64) -> u64 {
-        use filter_core::CountingFilter;
-        self.shards[self.shard_of(key)].lock().count(key)
+        self.inner.count(key)
     }
 
     /// Remove one occurrence.
     pub fn remove(&self, key: u64) -> Result<()> {
-        use filter_core::CountingFilter;
-        self.shards[self.shard_of(key)].lock().remove_count(key, 1)
+        self.inner.remove_count(key, 1)
     }
 
     /// Total distinct fingerprints across shards.
     pub fn len(&self) -> usize {
-        use filter_core::Filter;
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.inner.len()
     }
 
     /// True when no keys are stored.
@@ -95,11 +109,11 @@ impl ConcurrentQuotientFilter {
 
     /// Heap bytes across shards.
     pub fn size_in_bytes(&self) -> usize {
-        use filter_core::Filter;
-        self.shards.iter().map(|s| s.lock().size_in_bytes()).sum()
+        self.inner.size_in_bytes()
     }
 }
 
+/// Quotient bits so each shard holds `per_shard` keys at ≤0.9 load.
 fn shard_q(per_shard: usize) -> u32 {
     ((per_shard as f64 / 0.9).ceil() as usize)
         .next_power_of_two()
@@ -107,6 +121,7 @@ fn shard_q(per_shard: usize) -> u32 {
         .max(6)
 }
 
+/// Remainder bits for target FPR `eps`.
 fn shard_r(eps: f64) -> u32 {
     ((1.0 / eps).log2().ceil() as u32).clamp(2, 32)
 }
@@ -186,6 +201,17 @@ mod tests {
                 f.count(k)
             );
         }
+    }
+
+    #[test]
+    fn batch_api_round_trips() {
+        let f = ConcurrentQuotientFilter::new(20_000, 1.0 / 256.0, 3);
+        let keys = unique_keys(315, 20_000);
+        f.insert_batch(&keys).unwrap();
+        assert!(f.contains_batch(&keys).iter().all(|&b| b));
+        // len() counts distinct fingerprints; a handful of the 20k keys
+        // collide in fingerprint space at r = 8 bits.
+        assert!((19_500..=20_000).contains(&f.len()), "len {}", f.len());
     }
 
     #[test]

@@ -228,7 +228,7 @@ impl CountingQuotientFilter {
         let r = self.r;
         let mut prev = 0u64;
         let mut underflow = false;
-        self.table.modify_run(quot, |p| {
+        let edited = self.table.modify_run(quot, |p| {
             let mut counts = decode_counts(p, r);
             match counts.iter_mut().find(|(x, _)| *x == rem) {
                 Some((_, c)) => {
@@ -251,7 +251,23 @@ impl CountingQuotientFilter {
             }
             counts.retain(|&(_, c)| c > 0);
             *p = encode_counts(&counts, r);
-        })?;
+        });
+        if let Err(e) = edited {
+            // The average-load headroom check above can pass while a
+            // single cluster still spills past the table's physical
+            // padding (skewed multisets grow long variable-length
+            // counter runs). The table rejects the edit *before*
+            // writing anything, so expanding and retrying is safe.
+            if matches!(e, FilterError::CapacityExceeded) && self.auto_expand {
+                self.expand()?;
+                let old_q = self.table.q() - 1;
+                let fp = quot | (rem << old_q);
+                let nq = fp & filter_core::rem_mask(self.table.q());
+                let nr = (fp >> self.table.q()) & filter_core::rem_mask(self.r);
+                return self.update_fp(nq, nr, delta);
+            }
+            return Err(e);
+        }
         if underflow {
             return Err(FilterError::NotFound);
         }

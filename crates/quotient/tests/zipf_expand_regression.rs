@@ -1,0 +1,33 @@
+//! Regression: skewed counting streams must not fail with
+//! `CapacityExceeded` while auto-expansion is enabled.
+//!
+//! The CQF's growth check guards *average* load, but a Zipf-hot
+//! cluster of variable-length counters can spill past the linear
+//! table's physical padding well below `max_load`. The fix makes
+//! `update_fp` expand and retry when the slot table rejects an edit
+//! for physical overflow (the exact params of
+//! `examples/concurrent_counting.rs`, which first exposed this —
+//! draw 782 855 of this stream used to panic).
+
+use quotient::ConcurrentQuotientFilter;
+use workloads::rng;
+use workloads::zipf::{rank_to_key, Zipf};
+
+#[test]
+fn zipf_stream_expands_instead_of_failing() {
+    let zipf = Zipf::new(200_000, 1.1);
+    let mut r = rng(1);
+    let f = ConcurrentQuotientFilter::new(400_000, 1.0 / 256.0, 6);
+    let mut truth = std::collections::HashMap::new();
+    for i in 0..2_000_000usize {
+        let k = rank_to_key(zipf.sample(&mut r), 7);
+        f.insert(k)
+            .unwrap_or_else(|e| panic!("insert failed at draw {i}: {e:?}"));
+        *truth.entry(k).or_insert(0u64) += 1;
+    }
+    // A counting filter may overcount on fingerprint collisions but
+    // must never undercount.
+    let undercounts = truth.iter().filter(|(&k, &c)| f.count(k) < c).count();
+    assert_eq!(undercounts, 0, "counts must never undercount");
+    assert!(f.len() <= truth.len());
+}

@@ -474,20 +474,25 @@ mod tests {
         assert!(keys.iter().all(|&k| hash.may_contain(k)), "hash-mode FN");
 
         let neg = workloads::disjoint_keys(210, 50_000, &keys);
-        let point_fpr = |f: &Surf| {
-            neg.iter().filter(|&&k| f.may_contain(k)).count() as f64 / neg.len() as f64
-        };
+        let point_fpr =
+            |f: &Surf| neg.iter().filter(|&&k| f.may_contain(k)).count() as f64 / neg.len() as f64;
         let p_base = point_fpr(&base);
         let p_real = point_fpr(&real);
         let p_hash = point_fpr(&hash);
         assert!(p_hash < p_base / 10.0, "hash {p_hash} vs base {p_base}");
-        assert!(p_hash < p_real * 3.0 + 1e-3, "hash {p_hash} vs real {p_real}");
+        assert!(
+            p_hash < p_real * 3.0 + 1e-3,
+            "hash {p_hash} vs real {p_real}"
+        );
 
         // Range queries: hash mode behaves like SuRF-Base.
         let w = CorrelatedRangeWorkload::from_sorted_keys(keys.clone(), u64::MAX);
         let qs = w.empty_queries(212, 1_000, 1 << 8, 0.0);
         let range_fpr = |f: &Surf| {
-            qs.iter().filter(|q| f.may_contain_range(q.lo, q.hi)).count() as f64 / qs.len() as f64
+            qs.iter()
+                .filter(|q| f.may_contain_range(q.lo, q.hi))
+                .count() as f64
+                / qs.len() as f64
         };
         let r_real = range_fpr(&real);
         let r_hash = range_fpr(&hash);

@@ -72,10 +72,18 @@ mod tests {
 
     #[test]
     fn peel_succeeds_on_random_keys() {
+        // A single attempt fails with small probability (the 1.23
+        // expansion makes a 2-core rare, not impossible), so mirror
+        // the builder's seed-rotation: one of the first few seeds
+        // must peel.
         let keys = workloads::unique_keys(1, 10_000);
-        let hasher = Hasher::with_seed(0);
         let seg = segment_len(keys.len());
-        let stack = peel(&keys, &hasher, seg).expect("peeling should succeed");
+        let (hasher, stack) = (0..8)
+            .find_map(|s| {
+                let h = Hasher::with_seed(s);
+                peel(&keys, &h, seg).map(|st| (h, st))
+            })
+            .expect("peeling should succeed within 8 seed rotations");
         assert_eq!(stack.len(), keys.len());
         // Each key appears exactly once; each position at most once.
         let mut seen_keys = vec![false; keys.len()];

@@ -51,7 +51,10 @@ fn main() {
     let q_co = w.empty_queries(4, 1_000, 256, 1.0);
     for (name, f) in &filters {
         let fpr = |qs: &[beyond_bloom::workloads::RangeQuery]| {
-            qs.iter().filter(|q| f.may_contain_range(q.lo, q.hi)).count() as f64 / qs.len() as f64
+            qs.iter()
+                .filter(|q| f.may_contain_range(q.lo, q.hi))
+                .count() as f64
+                / qs.len() as f64
         };
         let trained = sample
             .iter()
@@ -75,7 +78,14 @@ fn main() {
 
     // Byte-string keys: SuRF's native habitat, impossible for Grafite.
     let words: Vec<Vec<u8>> = [
-        "ape", "apple", "apricot", "banana", "blueberry", "cherry", "citron", "damson",
+        "ape",
+        "apple",
+        "apricot",
+        "banana",
+        "blueberry",
+        "cherry",
+        "citron",
+        "damson",
     ]
     .iter()
     .map(|s| s.as_bytes().to_vec())

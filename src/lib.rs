@@ -18,7 +18,7 @@
 //! | fast block-local inserts + deletes | [`quotient::VectorQuotientFilter`] |
 //! | one cache line per lookup | [`cuckoo::MortonFilter`], [`bloom::BlockedBloomFilter`] |
 //! | multiset counts | [`quotient::CountingQuotientFilter`] |
-//! | many threads | [`quotient::ConcurrentQuotientFilter`] |
+//! | many threads | [`concurrent::Sharded`] (any filter), [`quotient::ConcurrentQuotientFilter`], [`bloom::AtomicBlockedBloomFilter`] |
 //! | grows forever | [`infini::InfiniFilter`] (deletes) / [`infini::TaffyCuckooFilter`] |
 //! | grows one bucket at a time | [`infini::RingFilter`] (ops go logarithmic) |
 //! | adversarial queries | [`adaptive::AdaptiveQuotientFilter`], [`cuckoo::AdaptiveCuckooFilter`] |
@@ -47,6 +47,7 @@
 pub use adaptive;
 pub use biofilter;
 pub use bloom;
+pub use concurrent;
 pub use cuckoo;
 pub use filter_core as core;
 pub use infini;

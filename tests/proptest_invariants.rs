@@ -279,6 +279,96 @@ proptest! {
         }
     }
 
+    /// AtomicBitVec behaves exactly like BitVec under any sequence of
+    /// single-threaded set operations (the concurrent semantics are
+    /// this serial behaviour plus commutativity of fetch_or).
+    #[test]
+    fn atomic_bitvec_matches_bitvec(
+        len in 1usize..700,
+        ops in prop::collection::vec(0usize..700, 0..300),
+    ) {
+        use beyond_bloom::core::AtomicBitVec;
+        let atomic = AtomicBitVec::new(len);
+        let mut model = BitVec::new(len);
+        for i in ops {
+            let i = i % len;
+            let was_set = model.get(i);
+            model.set(i);
+            // test_and_set reports the prior value exactly.
+            prop_assert_eq!(atomic.test_and_set(i), was_set);
+        }
+        for i in 0..len {
+            prop_assert_eq!(atomic.get(i), model.get(i));
+        }
+        prop_assert_eq!(atomic.count_ones(), model.count_ones());
+        // Snapshot and round-trip conversions agree word-for-word.
+        let snap = atomic.snapshot();
+        for i in 0..len {
+            prop_assert_eq!(snap.get(i), model.get(i));
+        }
+        let back = AtomicBitVec::from(&model);
+        prop_assert_eq!(back.count_ones(), model.count_ones());
+    }
+
+    /// A one-shard Sharded<F> is observationally identical to its
+    /// inner filter: same membership answers (including false
+    /// positives), same len, under any op sequence.
+    #[test]
+    fn sharded_single_shard_matches_inner(
+        keys in prop::collection::vec(any::<u64>(), 0..300),
+        probes in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        use beyond_bloom::concurrent::Sharded;
+        let sharded: Sharded<beyond_bloom::bloom::BloomFilter> =
+            Sharded::new(0, |_| beyond_bloom::bloom::BloomFilter::with_seed(512, 0.02, 99));
+        let mut inner = beyond_bloom::bloom::BloomFilter::with_seed(512, 0.02, 99);
+        for &k in &keys {
+            sharded.insert(k).unwrap();
+            inner.insert(k).unwrap();
+        }
+        prop_assert_eq!(sharded.len(), inner.len());
+        for &p in keys.iter().chain(&probes) {
+            prop_assert_eq!(sharded.contains(p), inner.contains(p));
+        }
+    }
+
+    /// Sharded<CQF> applied serially matches a multiset model, and
+    /// the batch API matches pointwise application key-for-key.
+    #[test]
+    fn sharded_cqf_serial_matches_model(
+        ops in prop::collection::vec((0u64..128, 1u64..6), 1..200),
+        probes in prop::collection::vec(any::<u64>(), 0..100),
+    ) {
+        use beyond_bloom::concurrent::Sharded;
+        use beyond_bloom::quotient::CountingQuotientFilter;
+        let build = || -> Sharded<CountingQuotientFilter> {
+            Sharded::new(2, |i| {
+                let mut f = CountingQuotientFilter::with_seed(8, 10, 0x5eed ^ i as u64);
+                f.set_auto_expand(true);
+                f
+            })
+        };
+        let pointwise = build();
+        let batched = build();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut flat = Vec::new();
+        for &(k, c) in &ops {
+            pointwise.insert_count(k, c).unwrap();
+            *model.entry(k).or_insert(0) += c;
+            for _ in 0..c {
+                flat.push(k);
+            }
+        }
+        batched.insert_batch(&flat).unwrap();
+        for (&k, &c) in &model {
+            prop_assert!(pointwise.count(k) >= c, "undercount for {}", k);
+            prop_assert_eq!(pointwise.count(k), batched.count(k));
+        }
+        for &p in &probes {
+            prop_assert_eq!(pointwise.contains(p), batched.contains(p));
+        }
+    }
+
     /// The dyadic-hierarchy range filters agree with ground truth on
     /// non-empty ranges under arbitrary key sets.
     #[test]
