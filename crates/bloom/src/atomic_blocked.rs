@@ -82,6 +82,14 @@ impl AtomicBlockedBloomFilter {
         }
     }
 
+    /// The hash seed, for building a same-geometry sequential
+    /// [`BlockedBloomFilter`](crate::BlockedBloomFilter) as a
+    /// bit-identical oracle (see the service parity tests).
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.hasher.seed()
+    }
+
     /// Insert `key` without exclusive access.
     ///
     /// Wait-free: at most `k` `fetch_or` operations (fewer when probes

@@ -110,6 +110,47 @@ impl<F> Sharded<F> {
         }
     }
 
+    /// Rebuild from previously constructed shards in index order —
+    /// e.g. filters deserialized from per-shard blobs, or a single
+    /// pre-built filter shipped over the service's CREATE frame
+    /// (a one-element vector gives an unsharded wrapper).
+    ///
+    /// # Panics
+    /// Panics unless `shards.len()` is a power of two between 1 and
+    /// `2^MAX_SHARD_BITS`.
+    pub fn from_shards(shards: Vec<F>) -> Self {
+        assert!(
+            shards.len().is_power_of_two() && shards.len() <= 1 << MAX_SHARD_BITS,
+            "shard count {} not a power of two <= {}",
+            shards.len(),
+            1usize << MAX_SHARD_BITS
+        );
+        let shard_bits = shards.len().trailing_zeros();
+        Sharded {
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            hasher: Hasher::with_seed(SHARD_SEED),
+            shard_bits,
+        }
+    }
+
+    /// Consume the wrapper, returning the per-shard filters in index
+    /// order (serialization walks these to emit per-shard blobs).
+    pub fn into_shards(self) -> Vec<F> {
+        self.shards
+            .into_iter()
+            .map(|m| match m.into_inner() {
+                Ok(f) => f,
+                Err(poisoned) => poisoned.into_inner(),
+            })
+            .collect()
+    }
+
+    /// Number of shard-index bits (`shards() == 1 << shard_bits()`).
+    #[inline]
+    pub fn shard_bits(&self) -> u32 {
+        self.shard_bits
+    }
+
     /// Shard index for `key`: the **top** `shard_bits` of the
     /// dedicated shard hash (disjoint from the low fingerprint bits
     /// any inner filter consumes — see the crate docs).
@@ -234,6 +275,24 @@ impl<F: DynamicFilter> Sharded<F> {
     pub fn remove(&self, key: u64) -> Result<bool> {
         self.with_shard(key, |f| f.remove(key))
     }
+
+    /// Batched remove; `out[i]` reports whether `keys[i]` matched a
+    /// stored fingerprint. Locks each shard once. On error, removals
+    /// in earlier buckets remain applied (prefix semantics, as for
+    /// [`Sharded::insert_batch`]).
+    pub fn remove_batch(&self, keys: &[u64]) -> Result<Vec<bool>> {
+        let mut out = vec![false; keys.len()];
+        for (s, bucket) in self.group_by_shard(keys).into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut shard = self.lock(s);
+            for (i, k) in bucket {
+                out[i] = shard.remove(k)?;
+            }
+        }
+        Ok(out)
+    }
 }
 
 impl<F: CountingFilter> Sharded<F> {
@@ -253,6 +312,22 @@ impl<F: CountingFilter> Sharded<F> {
     #[inline]
     pub fn remove_count(&self, key: u64, count: u64) -> Result<()> {
         self.with_shard(key, |f| f.remove_count(key, count))
+    }
+
+    /// Batched multiplicity estimate: `out[i]` answers `keys[i]`.
+    /// Locks each shard once instead of once per key.
+    pub fn count_batch(&self, keys: &[u64]) -> Vec<u64> {
+        let mut out = vec![0u64; keys.len()];
+        for (s, bucket) in self.group_by_shard(keys).into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let shard = self.lock(s);
+            for (i, k) in bucket {
+                out[i] = shard.count(k);
+            }
+        }
+        out
     }
 }
 
@@ -355,6 +430,29 @@ mod tests {
                 s.spawn(move || assert!(chunk.iter().all(|&k| f.contains(k))));
             }
         });
+    }
+
+    #[test]
+    fn from_shards_round_trips_behaviour() {
+        let f = sharded_bloom(3, 8_000);
+        let keys = unique_keys(506, 8_000);
+        f.insert_batch(&keys).unwrap();
+        let g = Sharded::from_shards(f.into_shards());
+        assert_eq!(g.shards(), 8);
+        assert_eq!(g.shard_bits(), 3);
+        assert!(g.contains_batch(&keys).iter().all(|&b| b));
+        // Same shard hash seed: every key routes to the same shard.
+        let h = sharded_bloom(3, 8_000);
+        for &k in &keys[..500] {
+            assert_eq!(g.shard_of(k), h.shard_of(k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn from_shards_rejects_non_power_of_two() {
+        let shards: Vec<BloomFilter> = (0..3).map(|i| BloomFilter::with_seed(64, 0.1, i)).collect();
+        let _ = Sharded::from_shards(shards);
     }
 
     #[test]

@@ -58,6 +58,27 @@ impl ByteWriter {
         }
     }
 
+    /// Append an `f64` (IEEE-754 bit pattern, exact round-trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a length-prefixed byte string (`u32` length).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u32(bytes.len() as u32);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
     /// Finish, returning the bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
@@ -109,6 +130,24 @@ impl<'a> ByteReader<'a> {
             return Err(SerialError::Truncated);
         }
         (0..n).map(|_| self.take_u64()).collect()
+    }
+
+    /// Read an `f64` written by [`ByteWriter::put_f64`].
+    pub fn take_f64(&mut self) -> Result<f64, SerialError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Read a length-prefixed byte string written by
+    /// [`ByteWriter::put_bytes`] (length sanity-capped by the
+    /// remaining input).
+    pub fn take_bytes(&mut self) -> Result<Vec<u8>, SerialError> {
+        let n = self.take_u32()? as usize;
+        if n > self.buf.len() {
+            return Err(SerialError::Truncated);
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head.to_vec())
     }
 }
 
@@ -169,6 +208,28 @@ mod tests {
         assert_eq!(r.take_u64().unwrap(), u64::MAX);
         assert_eq!(r.take_u64_vec().unwrap(), vec![1, 2, 3]);
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_and_f64_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_bytes(b"hello");
+        w.put_bytes(b"");
+        w.put_f64(0.001);
+        w.put_f64(f64::NEG_INFINITY);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.take_bytes().unwrap(), b"hello");
+        assert_eq!(r.take_bytes().unwrap(), b"");
+        assert_eq!(r.take_f64().unwrap(), 0.001);
+        assert_eq!(r.take_f64().unwrap(), f64::NEG_INFINITY);
+        assert_eq!(r.remaining(), 0);
+        // Absurd byte-string length cannot over-read.
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.take_bytes(), Err(SerialError::Truncated));
     }
 
     #[test]

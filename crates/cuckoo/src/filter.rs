@@ -112,6 +112,59 @@ impl CuckooFilter {
         })
     }
 
+    /// Serialize for persistence beside an immutable run or for
+    /// shipping a pre-built filter over the service's CREATE frame.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = filter_core::ByteWriter::new();
+        w.put_u32(0xcc4f_f117); // magic
+        w.put_u64(self.n_buckets as u64);
+        w.put_u32(self.bucket_size as u32);
+        w.put_u32(self.fp_bits);
+        w.put_u64(self.hasher.seed());
+        w.put_u64(self.items as u64);
+        w.put_u64(self.kicks_performed);
+        self.slots.serialize(&mut w);
+        w.into_bytes()
+    }
+
+    /// Deserialize a filter previously written by
+    /// [`CuckooFilter::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> std::result::Result<Self, filter_core::SerialError> {
+        use filter_core::SerialError;
+        let mut r = filter_core::ByteReader::new(bytes);
+        if r.take_u32()? != 0xcc4f_f117 {
+            return Err(SerialError::Corrupt("cuckoo magic"));
+        }
+        let n_buckets = r.take_u64()? as usize;
+        let bucket_size = r.take_u32()? as usize;
+        let fp_bits = r.take_u32()?;
+        if !n_buckets.is_power_of_two() || n_buckets < 2 {
+            return Err(SerialError::Corrupt("cuckoo bucket count"));
+        }
+        if !(1..=16).contains(&bucket_size) || !(2..=32).contains(&fp_bits) {
+            return Err(SerialError::Corrupt("cuckoo geometry"));
+        }
+        let seed = r.take_u64()?;
+        let items = r.take_u64()? as usize;
+        let kicks_performed = r.take_u64()?;
+        let slots = filter_core::PackedArray::deserialize(&mut r)?;
+        if slots.len() != n_buckets * bucket_size || slots.width() != fp_bits {
+            return Err(SerialError::Corrupt("cuckoo slot table"));
+        }
+        if items > slots.len() {
+            return Err(SerialError::Corrupt("cuckoo item count"));
+        }
+        Ok(CuckooFilter {
+            slots,
+            n_buckets,
+            bucket_size,
+            fp_bits,
+            hasher: Hasher::with_seed(seed),
+            items,
+            kicks_performed,
+        })
+    }
+
     /// Nonzero fingerprint and primary bucket of a key.
     #[inline]
     fn fp_and_bucket(&self, key: u64) -> (u64, usize) {
@@ -316,6 +369,44 @@ mod tests {
         let bpk = f.bits_per_key();
         // fp_bits / 0.95 ≈ 13.7, plus power-of-two rounding slack.
         assert!((13.0..18.0).contains(&bpk), "bits/key {bpk}");
+    }
+
+    #[test]
+    fn serialization_roundtrip_preserves_behaviour() {
+        let keys = unique_keys(98, 20_000);
+        let mut f = CuckooFilter::with_params(20_000, 13, 4, 0xfeed);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        for &k in &keys[..500] {
+            assert!(f.remove(k).unwrap());
+        }
+        let g = CuckooFilter::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(g.len(), f.len());
+        assert_eq!(g.size_in_bytes(), f.size_in_bytes());
+        assert_eq!(g.kicks_performed(), f.kicks_performed());
+        let probes = disjoint_keys(99, 20_000, &keys);
+        for &k in keys.iter().chain(&probes) {
+            assert_eq!(f.contains(k), g.contains(k), "behaviour diverged at {k}");
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_rejected_not_panicking() {
+        let mut f = CuckooFilter::new(1_000, 12);
+        for k in 0..500u64 {
+            f.insert(k).unwrap();
+        }
+        let bytes = f.to_bytes();
+        for cut in 0..bytes.len().min(64) {
+            assert!(CuckooFilter::from_bytes(&bytes[..cut]).is_err());
+        }
+        let mut wrong = bytes.clone();
+        wrong[0] ^= 0xff; // magic
+        assert!(CuckooFilter::from_bytes(&wrong).is_err());
+        let mut wrong = bytes;
+        wrong[4] = 0xff; // n_buckets no longer a power of two
+        assert!(CuckooFilter::from_bytes(&wrong).is_err());
     }
 
     #[test]

@@ -29,7 +29,18 @@ use filter_core::{
 };
 
 /// Decode a run's payload slots into `(remainder, count)` pairs.
+///
+/// Panics on a malformed escape sequence; runs produced by
+/// [`encode_counts`] are always well-formed. Untrusted inputs
+/// (deserialization) go through [`try_decode_counts`] instead.
 pub(crate) fn decode_counts(payloads: &[u64], r: u32) -> Vec<(u64, u64)> {
+    try_decode_counts(payloads, r).expect("malformed counter run")
+}
+
+/// Bounds-checked [`decode_counts`]: returns `None` on a structurally
+/// invalid run (e.g. an unterminated counter escape) instead of
+/// panicking.
+pub(crate) fn try_decode_counts(payloads: &[u64], r: u32) -> Option<Vec<(u64, u64)>> {
     let base = filter_core::rem_mask(r); // 2^r - 1
     let mut out = Vec::new();
     let mut i = 0usize;
@@ -44,7 +55,9 @@ pub(crate) fn decode_counts(payloads: &[u64], r: u32) -> Vec<(u64, u64)> {
     }
     while i < payloads.len() {
         let x = payloads[i];
-        debug_assert!(x > 0, "zero remainder past run head");
+        if x == 0 {
+            return None; // zero remainder past the run head
+        }
         if i + 1 < payloads.len() && payloads[i + 1] == x {
             out.push((x, 2));
             i += 2;
@@ -55,24 +68,27 @@ pub(crate) fn decode_counts(payloads: &[u64], r: u32) -> Vec<(u64, u64)> {
             let mut j = i + 2;
             let mut m = 0u64;
             let mut scale = 1u64;
-            while payloads[j] != x {
+            while *payloads.get(j)? != x {
                 let digit = if payloads[j] < x {
                     payloads[j]
                 } else {
                     payloads[j] - 1
                 };
-                m += digit * scale;
-                scale *= base;
+                m = m.checked_add(digit.checked_mul(scale)?)?;
+                // After the highest digit, scale is never multiplied
+                // into anything in a valid run; it may legitimately
+                // wrap there (the next payload is the terminator).
+                scale = scale.wrapping_mul(base);
                 j += 1;
             }
-            out.push((x, 3 + d0 + x * m));
+            out.push((x, 3u64.checked_add(d0)?.checked_add(x.checked_mul(m)?)?));
             i = j + 1;
         } else {
             out.push((x, 1));
             i += 1;
         }
     }
-    out
+    Some(out)
 }
 
 /// Encode `(remainder, count)` pairs (sorted by remainder) into
@@ -206,6 +222,103 @@ impl CountingQuotientFilter {
             }
         }
         Ok(())
+    }
+
+    /// Serialize for persistence or for shipping a pre-built filter
+    /// over the service's CREATE frame.
+    ///
+    /// The encoding is run-oriented — `(quotient, payload slots)` pairs
+    /// — rather than a raw table dump, so it is independent of the
+    /// table's physical padding and robin-hood shift state.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = filter_core::ByteWriter::new();
+        w.put_u32(0xc0ff_1175); // magic
+        w.put_u32(self.table.q());
+        w.put_u32(self.r);
+        w.put_u64(self.hasher.seed());
+        w.put_f64(self.max_load);
+        w.put_u32(u32::from(self.auto_expand));
+        w.put_u32(self.expansions);
+        let runs: Vec<crate::table::Run> = self.table.iter_runs().collect();
+        w.put_u64(runs.len() as u64);
+        for run in runs {
+            w.put_u64(run.quotient);
+            w.put_u64_slice(&run.payloads);
+        }
+        w.into_bytes()
+    }
+
+    /// Deserialize a filter previously written by
+    /// [`CountingQuotientFilter::to_bytes`]. Distinct/total counts are
+    /// recomputed from the decoded runs, so a forged header cannot
+    /// desynchronise them.
+    pub fn from_bytes(bytes: &[u8]) -> std::result::Result<Self, filter_core::SerialError> {
+        use filter_core::SerialError;
+        let mut r = filter_core::ByteReader::new(bytes);
+        if r.take_u32()? != 0xc0ff_1175 {
+            return Err(SerialError::Corrupt("cqf magic"));
+        }
+        let q = r.take_u32()?;
+        let rem_bits = r.take_u32()?;
+        if !(1..=56).contains(&q) || !(2..=64).contains(&rem_bits) || q + rem_bits > 64 {
+            return Err(SerialError::Corrupt("cqf geometry"));
+        }
+        let seed = r.take_u64()?;
+        let max_load = r.take_f64()?;
+        if !(0.1..=1.0).contains(&max_load) {
+            return Err(SerialError::Corrupt("cqf max load"));
+        }
+        let auto_expand = r.take_u32()? != 0;
+        let expansions = r.take_u32()?;
+        let n_runs = r.take_u64()? as usize;
+        if n_runs > 1usize << q {
+            return Err(SerialError::Corrupt("cqf run count"));
+        }
+        let mut table = SlotTable::new(q, rem_bits);
+        let mut distinct = 0usize;
+        let mut total = 0u64;
+        let rem_max = filter_core::rem_mask(rem_bits);
+        let mut prev_quot: Option<u64> = None;
+        for _ in 0..n_runs {
+            let quot = r.take_u64()?;
+            if quot >= 1u64 << q {
+                return Err(SerialError::Corrupt("cqf quotient out of range"));
+            }
+            // iter_runs emits quotients in strictly increasing order;
+            // requiring it here rules out duplicate runs.
+            if prev_quot.is_some_and(|p| quot <= p) {
+                return Err(SerialError::Corrupt("cqf runs out of order"));
+            }
+            prev_quot = Some(quot);
+            let payloads = r.take_u64_vec()?;
+            if payloads.is_empty() || payloads.iter().any(|&p| p > rem_max) {
+                return Err(SerialError::Corrupt("cqf run payload"));
+            }
+            // A decode/encode round-trip must reproduce the slots
+            // exactly, otherwise the counter escape structure is
+            // malformed (e.g. an unterminated escape, or a
+            // non-canonical re-encoding).
+            let counts = try_decode_counts(&payloads, rem_bits)
+                .ok_or(SerialError::Corrupt("cqf counter encoding"))?;
+            if encode_counts(&counts, rem_bits) != payloads {
+                return Err(SerialError::Corrupt("cqf counter encoding"));
+            }
+            distinct += counts.len();
+            total = counts.iter().fold(total, |t, &(_, c)| t.saturating_add(c));
+            table
+                .modify_run(quot, |p| *p = payloads)
+                .map_err(|_| SerialError::Corrupt("cqf table overflow"))?;
+        }
+        Ok(CountingQuotientFilter {
+            table,
+            hasher: Hasher::with_seed(seed),
+            r: rem_bits,
+            distinct,
+            total,
+            max_load,
+            auto_expand,
+            expansions,
+        })
     }
 
     /// Add `delta` (may be negative) to a remainder's count. Returns
@@ -530,6 +643,70 @@ mod tests {
         let mut a = CountingQuotientFilter::with_seed(8, 8, 1);
         let b = CountingQuotientFilter::with_seed(8, 8, 2);
         let _ = a.merge_from(&b);
+    }
+
+    #[test]
+    fn serialization_roundtrip_preserves_counts() {
+        let mut f = CountingQuotientFilter::with_seed(13, 9, 0xabcd);
+        f.set_auto_expand(true);
+        let z = Zipf::new(3_000, 1.2);
+        let mut rng = workloads::rng(86);
+        for _ in 0..50_000 {
+            f.insert(rank_to_key(z.sample(&mut rng), 7)).unwrap();
+        }
+        let g = CountingQuotientFilter::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(g.len(), f.len());
+        assert_eq!(g.total_count(), f.total_count());
+        assert_eq!(g.remainder_bits(), f.remainder_bits());
+        for rank in 1..=3_000u64 {
+            let k = rank_to_key(rank, 7);
+            assert_eq!(f.count(k), g.count(k), "count diverged for rank {rank}");
+        }
+        let neg = unique_keys(87, 10_000);
+        for &k in &neg {
+            assert_eq!(f.contains(k), g.contains(k), "membership diverged at {k}");
+        }
+        // The reloaded filter stays fully functional, including
+        // auto-expansion.
+        let mut g = g;
+        for k in neg {
+            g.insert(k).unwrap();
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_rejected_not_panicking() {
+        // Counter escapes cost up to 3 slots per key, so q = 10 gives
+        // 1024 home slots for 150 keys with counts up to 11.
+        let mut f = CountingQuotientFilter::new(10, 8);
+        for (i, k) in unique_keys(88, 150).into_iter().enumerate() {
+            f.insert_count(k, (i % 11 + 1) as u64).unwrap();
+        }
+        let bytes = f.to_bytes();
+        for cut in 0..bytes.len().min(96) {
+            assert!(CountingQuotientFilter::from_bytes(&bytes[..cut]).is_err());
+        }
+        let mut wrong = bytes.clone();
+        wrong[0] ^= 0xff; // magic
+        assert!(CountingQuotientFilter::from_bytes(&wrong).is_err());
+        // Flipping bytes anywhere must never panic; it may still
+        // round-trip to a valid filter or fail cleanly.
+        for i in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 0x55;
+            let _ = CountingQuotientFilter::from_bytes(&mutated);
+        }
+    }
+
+    #[test]
+    fn malformed_escape_rejected() {
+        // [2, 1] starts an escape (1 < 2) with no terminator: the
+        // bounds-checked decoder must refuse it rather than read past
+        // the run.
+        assert_eq!(try_decode_counts(&[2, 1], 8), None);
+        // Zero remainder after the run head is structurally invalid.
+        assert_eq!(try_decode_counts(&[3, 0, 3], 8), Some(vec![(3, 3)]));
+        assert_eq!(try_decode_counts(&[5, 3, 0], 8), None);
     }
 
     #[test]

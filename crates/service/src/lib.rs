@@ -1,0 +1,52 @@
+//! # service
+//!
+//! A production-shaped network layer over the workspace's filters: the
+//! tutorial's feature-rich filters (concurrent Bloom, deletable
+//! cuckoo, counting quotient) served as named instances behind a
+//! versioned binary wire protocol — the deployment shape in which
+//! systems like caches, routers, and storage engines actually consume
+//! a filter when it cannot live in the querying process.
+//!
+//! Three design constraints shape everything here:
+//!
+//! 1. **Offline-buildable.** The container has no crates.io access, so
+//!    the stack is `std::net` + threads: no async runtime, no serde,
+//!    no prometheus. Serialization reuses `filter_core::serial`, and
+//!    observability is an in-tree [`metrics`] module (atomic counters
+//!    + fixed-bucket latency histograms) exposed over a STATS frame.
+//! 2. **Batching as the unit of amortisation.** A frame carries a
+//!    whole batch of keys; the server answers a batch CONTAINS with
+//!    one registry lookup and one shard-grouped filter call
+//!    (`Sharded::contains_batch`), and membership answers return
+//!    bit-packed. Per-key network cost is what the batch-size sweep in
+//!    experiment E19 measures.
+//! 3. **Hostile-input hygiene.** Frame lengths are bounded before
+//!    allocation, payloads decode through checked [`SerialError`]
+//!    paths, and a peer that disconnects mid-frame or ships an absurd
+//!    length prefix costs the server one counter increment and a
+//!    closed socket — never a panic, a wedge, or an over-read.
+//!
+//! [`SerialError`]: filter_core::SerialError
+//!
+//! Module map: [`proto`] (framing + request/response codec),
+//! [`server`] (registry, worker pool, graceful shutdown), [`client`]
+//! (blocking request/response client), [`metrics`] (counters,
+//! histograms, STATS report).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+
+pub use client::{ClientError, FilterClient};
+pub use metrics::{
+    CountersSnapshot, FilterRow, HistogramSnapshot, LatencyHistogram, ServerMetrics, StatsReport,
+};
+pub use proto::{Backend, ErrorCode, Request, Response, DEFAULT_MAX_FRAME, PROTO_VERSION};
+pub use server::{
+    build_atomic_bloom, build_sharded_cqf, build_sharded_cuckoo, cuckoo_fp_bits, FilterServer,
+    ServedFilter, ServerConfig,
+};

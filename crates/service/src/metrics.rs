@@ -1,0 +1,397 @@
+//! In-tree observability: atomic counters and fixed-bucket latency
+//! histograms, exposed over the STATS frame.
+//!
+//! The container builds offline, so there is no prometheus client to
+//! lean on; this module is the minimal subset a filter service needs
+//! to be operable — monotonic `Relaxed` counters (each is an
+//! independent statistic; cross-counter snapshots tolerate the same
+//! benign racing as `Sharded::len`) and a 40-bucket power-of-two
+//! latency histogram whose `record` is one `fetch_add` on the bucket
+//! selected by a leading-zero count. Quantiles are reconstructed from
+//! bucket boundaries, so a reported p99 is an upper bound within one
+//! power of two — the honest resolution for a histogram this cheap.
+
+use filter_core::{ByteReader, ByteWriter, SerialError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets: bucket `i` counts samples with
+/// `ns < 2^(i+1)` (and `>= 2^i` for `i > 0`); the last bucket absorbs
+/// everything ≥ ~9.2 minutes.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A fixed-bucket latency histogram with wait-free recording.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Fresh all-zero histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one sample (one `fetch_add`).
+    pub fn record(&self, latency: Duration) {
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn bucket_of(ns: u64) -> usize {
+        // Index of the highest set bit, clamped to the bucket range;
+        // 0 and 1 ns share bucket 0.
+        (63 - ns.max(1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Racing snapshot of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// An owned copy of a histogram's bucket counts, serializable for the
+/// STATS frame.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Upper-bound estimate of the `q`-quantile in nanoseconds
+    /// (`q` in `[0, 1]`): the upper edge of the bucket holding the
+    /// `q`-th sample. Returns 0 for an empty histogram.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << HISTOGRAM_BUCKETS
+    }
+
+    /// Merge another snapshot into this one (bucketwise sum) — used by
+    /// the load generator to combine per-thread client histograms.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Serialize (length-prefixed bucket counts).
+    pub fn serialize(&self, w: &mut ByteWriter) {
+        w.put_u64_slice(&self.counts);
+    }
+
+    /// Deserialize.
+    pub fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, SerialError> {
+        let counts = r.take_u64_vec()?;
+        if counts.len() > HISTOGRAM_BUCKETS {
+            return Err(SerialError::Corrupt("histogram bucket count"));
+        }
+        Ok(HistogramSnapshot { counts })
+    }
+}
+
+/// The server-side counter set. All counters are monotone and
+/// `Relaxed`; a snapshot is a consistent-enough racing read.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections accepted.
+    pub connections_opened: AtomicU64,
+    /// Connections fully torn down.
+    pub connections_closed: AtomicU64,
+    /// Complete frames received (well-formed or not).
+    pub frames_received: AtomicU64,
+    /// Response frames written.
+    pub responses_sent: AtomicU64,
+    /// Malformed payloads, bad versions, unknown opcodes, and
+    /// oversized length prefixes.
+    pub protocol_errors: AtomicU64,
+    /// Peers that vanished in the middle of a frame.
+    pub disconnects_mid_frame: AtomicU64,
+    /// Requests answered with an error response (includes protocol
+    /// errors that could still be answered).
+    pub error_responses: AtomicU64,
+    /// Keys processed across INSERT/CONTAINS/COUNT/DELETE batches.
+    pub keys_processed: AtomicU64,
+    /// Payload bytes read.
+    pub bytes_in: AtomicU64,
+    /// Payload bytes written.
+    pub bytes_out: AtomicU64,
+    /// Server-side request service time (decode → response written).
+    pub request_latency: LatencyHistogram,
+}
+
+impl ServerMetrics {
+    /// Fresh all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one to a counter.
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n` to a counter.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot every counter plus the latency histogram.
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            connections_opened: self.connections_opened.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            frames_received: self.frames_received.load(Ordering::Relaxed),
+            responses_sent: self.responses_sent.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            disconnects_mid_frame: self.disconnects_mid_frame.load(Ordering::Relaxed),
+            error_responses: self.error_responses.load(Ordering::Relaxed),
+            keys_processed: self.keys_processed.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            request_latency: self.request_latency.snapshot(),
+        }
+    }
+}
+
+/// An owned, serializable copy of [`ServerMetrics`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CountersSnapshot {
+    /// Connections accepted.
+    pub connections_opened: u64,
+    /// Connections fully torn down.
+    pub connections_closed: u64,
+    /// Complete frames received.
+    pub frames_received: u64,
+    /// Response frames written.
+    pub responses_sent: u64,
+    /// Protocol-level failures (malformed, oversized, bad version).
+    pub protocol_errors: u64,
+    /// Peers that vanished mid-frame.
+    pub disconnects_mid_frame: u64,
+    /// Error responses sent.
+    pub error_responses: u64,
+    /// Keys processed across all batch operations.
+    pub keys_processed: u64,
+    /// Payload bytes read.
+    pub bytes_in: u64,
+    /// Payload bytes written.
+    pub bytes_out: u64,
+    /// Server-side service-time histogram.
+    pub request_latency: HistogramSnapshot,
+}
+
+impl CountersSnapshot {
+    fn serialize(&self, w: &mut ByteWriter) {
+        for v in [
+            self.connections_opened,
+            self.connections_closed,
+            self.frames_received,
+            self.responses_sent,
+            self.protocol_errors,
+            self.disconnects_mid_frame,
+            self.error_responses,
+            self.keys_processed,
+            self.bytes_in,
+            self.bytes_out,
+        ] {
+            w.put_u64(v);
+        }
+        self.request_latency.serialize(w);
+    }
+
+    fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, SerialError> {
+        Ok(CountersSnapshot {
+            connections_opened: r.take_u64()?,
+            connections_closed: r.take_u64()?,
+            frames_received: r.take_u64()?,
+            responses_sent: r.take_u64()?,
+            protocol_errors: r.take_u64()?,
+            disconnects_mid_frame: r.take_u64()?,
+            error_responses: r.take_u64()?,
+            keys_processed: r.take_u64()?,
+            bytes_in: r.take_u64()?,
+            bytes_out: r.take_u64()?,
+            request_latency: HistogramSnapshot::deserialize(r)?,
+        })
+    }
+}
+
+/// One served filter's row in the STATS inventory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterRow {
+    /// Registry name.
+    pub name: String,
+    /// Backend family.
+    pub backend: crate::proto::Backend,
+    /// Distinct keys represented (racing snapshot).
+    pub len: u64,
+    /// Heap bytes.
+    pub size_in_bytes: u64,
+}
+
+/// The full STATS response body: counters plus filter inventory.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsReport {
+    /// Server-wide counters and latency.
+    pub counters: CountersSnapshot,
+    /// One row per registered filter, in name order.
+    pub filters: Vec<FilterRow>,
+}
+
+impl StatsReport {
+    /// Serialize into a STATS frame body.
+    pub fn serialize(&self, w: &mut ByteWriter) {
+        self.counters.serialize(w);
+        w.put_u64(self.filters.len() as u64);
+        for row in &self.filters {
+            w.put_bytes(row.name.as_bytes());
+            w.put_u32(match row.backend {
+                crate::proto::Backend::AtomicBloom => 0,
+                crate::proto::Backend::ShardedCuckoo => 1,
+                crate::proto::Backend::ShardedCqf => 2,
+            });
+            w.put_u64(row.len);
+            w.put_u64(row.size_in_bytes);
+        }
+    }
+
+    /// Deserialize from a STATS frame body.
+    pub fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, SerialError> {
+        let counters = CountersSnapshot::deserialize(r)?;
+        let n = r.take_u64()? as usize;
+        if n > 1 << 20 {
+            return Err(SerialError::Corrupt("stats filter count"));
+        }
+        let mut filters = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let name = String::from_utf8(r.take_bytes()?)
+                .map_err(|_| SerialError::Corrupt("stats name not utf-8"))?;
+            let backend = match r.take_u32()? {
+                0 => crate::proto::Backend::AtomicBloom,
+                1 => crate::proto::Backend::ShardedCuckoo,
+                2 => crate::proto::Backend::ShardedCqf,
+                _ => return Err(SerialError::Corrupt("stats backend")),
+            };
+            filters.push(FilterRow {
+                name,
+                backend,
+                len: r.take_u64()?,
+                size_in_bytes: r.take_u64()?,
+            });
+        }
+        Ok(StatsReport { counters, filters })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_selection() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 0);
+        assert_eq!(LatencyHistogram::bucket_of(2), 1);
+        assert_eq!(LatencyHistogram::bucket_of(3), 1);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_are_upper_bounds() {
+        let h = LatencyHistogram::new();
+        // 90 samples at ~1us, 10 at ~1ms.
+        for _ in 0..90 {
+            h.record(Duration::from_nanos(1_000));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_nanos(1_000_000));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 100);
+        let p50 = snap.quantile_ns(0.50);
+        let p99 = snap.quantile_ns(0.99);
+        assert!((1_000..4_096).contains(&p50), "p50 {p50}");
+        assert!((1_000_000..4_194_304).contains(&p99), "p99 {p99}");
+        assert!(snap.quantile_ns(0.0) > 0);
+        assert_eq!(HistogramSnapshot::default().quantile_ns(0.99), 0);
+    }
+
+    #[test]
+    fn merge_sums_buckets() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record(Duration::from_nanos(100));
+        b.record(Duration::from_nanos(100));
+        b.record(Duration::from_micros(50));
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 3);
+    }
+
+    #[test]
+    fn stats_report_roundtrip() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(3));
+        let report = StatsReport {
+            counters: CountersSnapshot {
+                connections_opened: 5,
+                frames_received: 100,
+                keys_processed: 4096,
+                request_latency: h.snapshot(),
+                ..Default::default()
+            },
+            filters: vec![FilterRow {
+                name: "urls".into(),
+                backend: crate::proto::Backend::AtomicBloom,
+                len: 1_000,
+                size_in_bytes: 2_048,
+            }],
+        };
+        let mut w = ByteWriter::new();
+        report.serialize(&mut w);
+        let bytes = w.into_bytes();
+        let back = StatsReport::deserialize(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(back, report);
+        // Truncations error cleanly.
+        for cut in 0..bytes.len() {
+            assert!(StatsReport::deserialize(&mut ByteReader::new(&bytes[..cut])).is_err());
+        }
+    }
+}

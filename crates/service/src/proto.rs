@@ -1,0 +1,763 @@
+//! The versioned, length-prefixed binary wire protocol.
+//!
+//! Every message on the wire is a *frame*:
+//!
+//! ```text
+//! +----------------+---------------------------+
+//! | u32 LE length  |  payload (length bytes)   |
+//! +----------------+---------------------------+
+//! ```
+//!
+//! and every payload begins with the same 12-byte header, encoded by
+//! `filter_core::serial`'s little-endian codec:
+//!
+//! ```text
+//! u32 magic (0xBBF117AA) | u32 version (1) | u32 opcode | body...
+//! ```
+//!
+//! Requests carry a filter name (length-prefixed UTF-8, ≤ 255 bytes)
+//! and a batch of `u64` keys; batching is the unit of amortisation —
+//! one frame, one registry lookup, one shard-grouped filter call for
+//! any number of keys (the xor-filter paper's batch-lookup framing).
+//! Membership answers come back bit-packed, 64 per word.
+//!
+//! Malformed payloads are rejected through the same
+//! [`SerialError`]-checked decoding the persistence layer uses: a
+//! truncated or corrupt frame can produce an error response, never a
+//! panic or an over-read. Frame *lengths* are bounded before any
+//! allocation happens (see [`FrameReader`]), so an adversarial length
+//! prefix cannot balloon memory.
+
+use filter_core::{ByteReader, ByteWriter, SerialError};
+use std::io::{self, Read, Write};
+
+/// Frame-payload magic: "BB" + F117 ("filter") + version-independent
+/// tag byte.
+pub const PROTO_MAGIC: u32 = 0xBBF1_17AA;
+/// Current protocol version. Bump on any incompatible frame change;
+/// servers reject other versions with [`ErrorCode::UnsupportedVersion`].
+pub const PROTO_VERSION: u32 = 1;
+/// Default upper bound on a frame payload (8 MiB ≈ one million keys
+/// per batch); both sides refuse larger length prefixes outright.
+pub const DEFAULT_MAX_FRAME: u32 = 8 * 1024 * 1024;
+/// Longest accepted filter name in bytes.
+pub const MAX_NAME_LEN: usize = 255;
+
+/// Which filter implementation backs a served instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Wait-free `bloom::AtomicBlockedBloomFilter` (insert/contains).
+    AtomicBloom,
+    /// `Sharded<cuckoo::CuckooFilter>` (insert/contains/delete).
+    ShardedCuckoo,
+    /// `Sharded<quotient::CountingQuotientFilter>`
+    /// (insert/contains/count/delete).
+    ShardedCqf,
+}
+
+impl Backend {
+    fn to_u32(self) -> u32 {
+        match self {
+            Backend::AtomicBloom => 0,
+            Backend::ShardedCuckoo => 1,
+            Backend::ShardedCqf => 2,
+        }
+    }
+
+    fn from_u32(v: u32) -> Result<Self, SerialError> {
+        match v {
+            0 => Ok(Backend::AtomicBloom),
+            1 => Ok(Backend::ShardedCuckoo),
+            2 => Ok(Backend::ShardedCqf),
+            _ => Err(SerialError::Corrupt("unknown backend")),
+        }
+    }
+
+    /// Human-readable backend name (STATS output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::AtomicBloom => "atomic-bloom",
+            Backend::ShardedCuckoo => "sharded-cuckoo",
+            Backend::ShardedCqf => "sharded-cqf",
+        }
+    }
+}
+
+/// Machine-readable error classes carried by error responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The payload failed structural decoding.
+    BadFrame,
+    /// The header version is not [`PROTO_VERSION`].
+    UnsupportedVersion,
+    /// The header opcode is not a known request.
+    UnknownOpcode,
+    /// No filter registered under the given name.
+    NoSuchFilter,
+    /// CREATE of a name that is already registered.
+    FilterExists,
+    /// The filter's mutation path reported an error (capacity,
+    /// eviction limit, not-found underflow...).
+    Filter,
+    /// The operation is not supported by this backend (e.g. COUNT on
+    /// a plain membership filter).
+    Unsupported,
+    /// The filter name is empty, too long, or not UTF-8.
+    BadName,
+}
+
+impl ErrorCode {
+    fn to_u32(self) -> u32 {
+        match self {
+            ErrorCode::BadFrame => 1,
+            ErrorCode::UnsupportedVersion => 2,
+            ErrorCode::UnknownOpcode => 3,
+            ErrorCode::NoSuchFilter => 4,
+            ErrorCode::FilterExists => 5,
+            ErrorCode::Filter => 6,
+            ErrorCode::Unsupported => 7,
+            ErrorCode::BadName => 8,
+        }
+    }
+
+    fn from_u32(v: u32) -> Result<Self, SerialError> {
+        Ok(match v {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::UnsupportedVersion,
+            3 => ErrorCode::UnknownOpcode,
+            4 => ErrorCode::NoSuchFilter,
+            5 => ErrorCode::FilterExists,
+            6 => ErrorCode::Filter,
+            7 => ErrorCode::Unsupported,
+            8 => ErrorCode::BadName,
+            _ => return Err(SerialError::Corrupt("unknown error code")),
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+// Request opcodes (low range).
+const OP_CREATE: u32 = 1;
+const OP_INSERT: u32 = 2;
+const OP_CONTAINS: u32 = 3;
+const OP_COUNT: u32 = 4;
+const OP_DELETE: u32 = 5;
+const OP_STATS: u32 = 6;
+
+// Response opcodes (high range).
+const OP_OK: u32 = 128;
+const OP_BOOLS: u32 = 129;
+const OP_COUNTS: u32 = 130;
+const OP_STATS_REPORT: u32 = 131;
+const OP_ERROR: u32 = 132;
+
+/// A client request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Register a new named filter. With an empty `blob` the server
+    /// builds from `(capacity, eps, shard_bits, seed)`; a non-empty
+    /// blob ships a pre-built filter (`CuckooFilter::to_bytes` /
+    /// `CountingQuotientFilter::to_bytes`) and the sizing parameters
+    /// are ignored.
+    Create {
+        /// Registry key for the new instance.
+        name: String,
+        /// Implementation family.
+        backend: Backend,
+        /// Expected number of distinct keys.
+        capacity: u64,
+        /// Target false-positive rate.
+        eps: f64,
+        /// log2 of the shard count (ignored by the atomic Bloom
+        /// backend, which is wait-free and unsharded).
+        shard_bits: u32,
+        /// Hash seed; the same seed rebuilds a bit-identical filter
+        /// in-process (the parity-test oracle).
+        seed: u64,
+        /// Optional serialized pre-built filter.
+        blob: Vec<u8>,
+    },
+    /// Insert a batch of keys.
+    Insert {
+        /// Target filter.
+        name: String,
+        /// Keys to insert.
+        keys: Vec<u64>,
+    },
+    /// Batched membership query; answered by [`Response::Bools`].
+    Contains {
+        /// Target filter.
+        name: String,
+        /// Keys to probe.
+        keys: Vec<u64>,
+    },
+    /// Batched multiplicity query; answered by [`Response::Counts`].
+    Count {
+        /// Target filter.
+        name: String,
+        /// Keys to count.
+        keys: Vec<u64>,
+    },
+    /// Batched removal; answered by [`Response::Bools`] (whether each
+    /// key matched a stored fingerprint).
+    Delete {
+        /// Target filter.
+        name: String,
+        /// Keys to remove.
+        keys: Vec<u64>,
+    },
+    /// Server metrics and the filter inventory.
+    Stats,
+}
+
+/// A server response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request succeeded with nothing to return.
+    Ok,
+    /// Per-key boolean answers, aligned with the request's keys.
+    Bools(Vec<bool>),
+    /// Per-key multiplicity answers, aligned with the request's keys.
+    Counts(Vec<u64>),
+    /// Metrics snapshot plus filter inventory.
+    Stats(crate::metrics::StatsReport),
+    /// The request failed.
+    Error {
+        /// Machine-readable class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+fn put_header(w: &mut ByteWriter, opcode: u32) {
+    w.put_u32(PROTO_MAGIC);
+    w.put_u32(PROTO_VERSION);
+    w.put_u32(opcode);
+}
+
+/// Strip and validate the 12-byte header, returning the opcode.
+fn take_header(r: &mut ByteReader<'_>) -> Result<u32, HeaderError> {
+    if r.take_u32().map_err(HeaderError::Serial)? != PROTO_MAGIC {
+        return Err(HeaderError::Serial(SerialError::Corrupt("frame magic")));
+    }
+    let version = r.take_u32().map_err(HeaderError::Serial)?;
+    if version != PROTO_VERSION {
+        return Err(HeaderError::Version(version));
+    }
+    r.take_u32().map_err(HeaderError::Serial)
+}
+
+/// Why a frame header was rejected. Version mismatches are split from
+/// structural corruption so the server can answer with the precise
+/// error code.
+#[derive(Debug)]
+pub enum HeaderError {
+    /// Magic or field decoding failed.
+    Serial(SerialError),
+    /// Well-formed header for a version this peer does not speak.
+    Version(u32),
+}
+
+fn put_name(w: &mut ByteWriter, name: &str) {
+    w.put_bytes(name.as_bytes());
+}
+
+fn take_name(r: &mut ByteReader<'_>) -> Result<String, SerialError> {
+    let bytes = r.take_bytes()?;
+    if bytes.is_empty() || bytes.len() > MAX_NAME_LEN {
+        return Err(SerialError::Corrupt("filter name length"));
+    }
+    String::from_utf8(bytes).map_err(|_| SerialError::Corrupt("filter name not utf-8"))
+}
+
+/// Bit-pack bools 64 per word (little-endian bit order).
+fn put_bools(w: &mut ByteWriter, bools: &[bool]) {
+    w.put_u64(bools.len() as u64);
+    let mut word = 0u64;
+    for (i, &b) in bools.iter().enumerate() {
+        if b {
+            word |= 1 << (i % 64);
+        }
+        if i % 64 == 63 {
+            w.put_u64(word);
+            word = 0;
+        }
+    }
+    if !bools.len().is_multiple_of(64) {
+        w.put_u64(word);
+    }
+}
+
+fn take_bools(r: &mut ByteReader<'_>) -> Result<Vec<bool>, SerialError> {
+    let n = r.take_u64()? as usize;
+    let words = n.div_ceil(64);
+    if words * 8 > r.remaining() {
+        return Err(SerialError::Truncated);
+    }
+    let mut out = Vec::with_capacity(n);
+    for wi in 0..words {
+        let word = r.take_u64()?;
+        let bits = (n - wi * 64).min(64);
+        for b in 0..bits {
+            out.push(word >> b & 1 == 1);
+        }
+    }
+    Ok(out)
+}
+
+impl Request {
+    /// Encode into a frame payload (header + body, no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Request::Create {
+                name,
+                backend,
+                capacity,
+                eps,
+                shard_bits,
+                seed,
+                blob,
+            } => {
+                put_header(&mut w, OP_CREATE);
+                put_name(&mut w, name);
+                w.put_u32(backend.to_u32());
+                w.put_u64(*capacity);
+                w.put_f64(*eps);
+                w.put_u32(*shard_bits);
+                w.put_u64(*seed);
+                w.put_bytes(blob);
+            }
+            Request::Insert { name, keys } => {
+                put_header(&mut w, OP_INSERT);
+                put_name(&mut w, name);
+                w.put_u64_slice(keys);
+            }
+            Request::Contains { name, keys } => {
+                put_header(&mut w, OP_CONTAINS);
+                put_name(&mut w, name);
+                w.put_u64_slice(keys);
+            }
+            Request::Count { name, keys } => {
+                put_header(&mut w, OP_COUNT);
+                put_name(&mut w, name);
+                w.put_u64_slice(keys);
+            }
+            Request::Delete { name, keys } => {
+                put_header(&mut w, OP_DELETE);
+                put_name(&mut w, name);
+                w.put_u64_slice(keys);
+            }
+            Request::Stats => put_header(&mut w, OP_STATS),
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload. Distinguishes version mismatch from
+    /// structural corruption (the server answers each with its own
+    /// error code); an unknown opcode is reported as the inner `Err`
+    /// carrying the offending opcode.
+    pub fn decode(payload: &[u8]) -> Result<Result<Request, u32>, HeaderError> {
+        let mut r = ByteReader::new(payload);
+        let opcode = take_header(&mut r)?;
+        let req = (|| -> Result<Result<Request, u32>, SerialError> {
+            Ok(Ok(match opcode {
+                OP_CREATE => Request::Create {
+                    name: take_name(&mut r)?,
+                    backend: Backend::from_u32(r.take_u32()?)?,
+                    capacity: r.take_u64()?,
+                    eps: r.take_f64()?,
+                    shard_bits: r.take_u32()?,
+                    seed: r.take_u64()?,
+                    blob: r.take_bytes()?,
+                },
+                OP_INSERT => Request::Insert {
+                    name: take_name(&mut r)?,
+                    keys: r.take_u64_vec()?,
+                },
+                OP_CONTAINS => Request::Contains {
+                    name: take_name(&mut r)?,
+                    keys: r.take_u64_vec()?,
+                },
+                OP_COUNT => Request::Count {
+                    name: take_name(&mut r)?,
+                    keys: r.take_u64_vec()?,
+                },
+                OP_DELETE => Request::Delete {
+                    name: take_name(&mut r)?,
+                    keys: r.take_u64_vec()?,
+                },
+                OP_STATS => Request::Stats,
+                other => return Ok(Err(other)),
+            }))
+        })()
+        .map_err(HeaderError::Serial)?;
+        if let Ok(ref _req) = req {
+            if r.remaining() != 0 {
+                return Err(HeaderError::Serial(SerialError::Corrupt(
+                    "trailing bytes after request",
+                )));
+            }
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode into a frame payload (header + body, no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Response::Ok => put_header(&mut w, OP_OK),
+            Response::Bools(bools) => {
+                put_header(&mut w, OP_BOOLS);
+                put_bools(&mut w, bools);
+            }
+            Response::Counts(counts) => {
+                put_header(&mut w, OP_COUNTS);
+                w.put_u64_slice(counts);
+            }
+            Response::Stats(report) => {
+                put_header(&mut w, OP_STATS_REPORT);
+                report.serialize(&mut w);
+            }
+            Response::Error { code, message } => {
+                put_header(&mut w, OP_ERROR);
+                w.put_u32(code.to_u32());
+                w.put_bytes(message.as_bytes());
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, SerialError> {
+        let mut r = ByteReader::new(payload);
+        let opcode = match take_header(&mut r) {
+            Ok(op) => op,
+            Err(HeaderError::Serial(e)) => return Err(e),
+            Err(HeaderError::Version(_)) => return Err(SerialError::Corrupt("frame version")),
+        };
+        Ok(match opcode {
+            OP_OK => Response::Ok,
+            OP_BOOLS => Response::Bools(take_bools(&mut r)?),
+            OP_COUNTS => Response::Counts(r.take_u64_vec()?),
+            OP_STATS_REPORT => Response::Stats(crate::metrics::StatsReport::deserialize(&mut r)?),
+            OP_ERROR => Response::Error {
+                code: ErrorCode::from_u32(r.take_u32()?)?,
+                message: String::from_utf8(r.take_bytes()?)
+                    .map_err(|_| SerialError::Corrupt("error message not utf-8"))?,
+            },
+            _ => return Err(SerialError::Corrupt("unknown response opcode")),
+        })
+    }
+}
+
+/// Write one frame: `u32` LE payload length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// A frame arrived, or the peer closed cleanly between frames.
+#[derive(Debug)]
+pub enum FrameEvent {
+    /// A complete payload.
+    Frame(Vec<u8>),
+    /// EOF on a frame boundary: an orderly close.
+    Closed,
+}
+
+/// Why [`FrameReader::read_frame`] failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The read timed out mid-wait; partial progress is retained and
+    /// the call can simply be retried (the server uses this tick to
+    /// poll its shutdown flag).
+    Timeout,
+    /// The length prefix exceeds the configured maximum. Nothing
+    /// beyond the prefix was read or allocated.
+    Oversized(u32),
+    /// EOF in the middle of a frame: the peer disconnected mid-write.
+    Disconnected,
+    /// Any other transport error.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Timeout => write!(f, "read timed out"),
+            FrameError::Oversized(n) => write!(f, "frame length {n} exceeds limit"),
+            FrameError::Disconnected => write!(f, "peer disconnected mid-frame"),
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+enum ReadState {
+    Head,
+    Body,
+}
+
+/// Incremental frame reader that survives read timeouts.
+///
+/// Progress is buffered across calls: a timeout mid-length-prefix or
+/// mid-body returns [`FrameError::Timeout`] without losing the bytes
+/// already consumed, so a server can use short read timeouts as a
+/// shutdown-polling tick without corrupting the stream position.
+pub struct FrameReader<R> {
+    inner: R,
+    max_frame: u32,
+    state: ReadState,
+    head: [u8; 4],
+    got: usize,
+    body: Vec<u8>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wrap a byte stream; frames larger than `max_frame` are refused
+    /// before their body is read.
+    pub fn new(inner: R, max_frame: u32) -> Self {
+        FrameReader {
+            inner,
+            max_frame,
+            state: ReadState::Head,
+            head: [0; 4],
+            got: 0,
+            body: Vec::new(),
+        }
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// Read until one full frame, clean EOF, timeout, or error.
+    pub fn read_frame(&mut self) -> Result<FrameEvent, FrameError> {
+        loop {
+            match self.state {
+                ReadState::Head => {
+                    while self.got < 4 {
+                        match self.inner.read(&mut self.head[self.got..]) {
+                            Ok(0) if self.got == 0 => return Ok(FrameEvent::Closed),
+                            Ok(0) => return Err(FrameError::Disconnected),
+                            Ok(n) => self.got += n,
+                            Err(e) => return Err(classify(e)),
+                        }
+                    }
+                    let len = u32::from_le_bytes(self.head);
+                    if len > self.max_frame {
+                        // Reset so the caller could in principle keep
+                        // going, though the server closes here: the
+                        // unread body makes resync impossible.
+                        self.got = 0;
+                        return Err(FrameError::Oversized(len));
+                    }
+                    self.body = vec![0; len as usize];
+                    self.got = 0;
+                    self.state = ReadState::Body;
+                }
+                ReadState::Body => {
+                    while self.got < self.body.len() {
+                        match self.inner.read(&mut self.body[self.got..]) {
+                            Ok(0) => return Err(FrameError::Disconnected),
+                            Ok(n) => self.got += n,
+                            Err(e) => return Err(classify(e)),
+                        }
+                    }
+                    self.state = ReadState::Head;
+                    self.got = 0;
+                    return Ok(FrameEvent::Frame(std::mem::take(&mut self.body)));
+                }
+            }
+        }
+    }
+}
+
+fn classify(e: io::Error) -> FrameError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => FrameError::Timeout,
+        io::ErrorKind::UnexpectedEof => FrameError::Disconnected,
+        _ => FrameError::Io(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let bytes = req.encode();
+        let back = Request::decode(&bytes).unwrap().unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(Request::Create {
+            name: "urls".into(),
+            backend: Backend::ShardedCqf,
+            capacity: 1_000_000,
+            eps: 1.0 / 256.0,
+            shard_bits: 4,
+            seed: 0xfeed,
+            blob: vec![1, 2, 3],
+        });
+        roundtrip_request(Request::Insert {
+            name: "f".into(),
+            keys: vec![1, 2, 3],
+        });
+        roundtrip_request(Request::Contains {
+            name: "f".into(),
+            keys: (0..1000).collect(),
+        });
+        roundtrip_request(Request::Count {
+            name: "f".into(),
+            keys: vec![],
+        });
+        roundtrip_request(Request::Delete {
+            name: "f".into(),
+            keys: vec![u64::MAX],
+        });
+        roundtrip_request(Request::Stats);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        for n in [0usize, 1, 63, 64, 65, 300] {
+            let bools: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            let bytes = Response::Bools(bools.clone()).encode();
+            assert_eq!(Response::decode(&bytes).unwrap(), Response::Bools(bools));
+        }
+        let resp = Response::Counts(vec![0, 1, u64::MAX]);
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        let resp = Response::Error {
+            code: ErrorCode::NoSuchFilter,
+            message: "no filter named 'x'".into(),
+        };
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        assert_eq!(
+            Response::decode(&Response::Ok.encode()).unwrap(),
+            Response::Ok
+        );
+    }
+
+    #[test]
+    fn malformed_payloads_rejected_not_panicking() {
+        let good = Request::Contains {
+            name: "f".into(),
+            keys: vec![1, 2, 3],
+        }
+        .encode();
+        for cut in 0..good.len() {
+            assert!(matches!(
+                Request::decode(&good[..cut]),
+                Err(HeaderError::Serial(_)) | Ok(Err(_))
+            ));
+        }
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(Request::decode(&bad), Err(HeaderError::Serial(_))));
+        // Future version.
+        let mut bad = good.clone();
+        bad[4] = 9;
+        assert!(matches!(
+            Request::decode(&bad),
+            Err(HeaderError::Version(9))
+        ));
+        // Unknown opcode is reported, not conflated with corruption.
+        let mut bad = good.clone();
+        bad[8] = 99;
+        assert!(matches!(Request::decode(&bad), Ok(Err(99))));
+        // Trailing garbage.
+        let mut bad = good;
+        bad.push(0);
+        assert!(matches!(Request::decode(&bad), Err(HeaderError::Serial(_))));
+    }
+
+    #[test]
+    fn name_limits_enforced() {
+        let long = "x".repeat(MAX_NAME_LEN + 1);
+        let bytes = Request::Insert {
+            name: long,
+            keys: vec![],
+        }
+        .encode();
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(HeaderError::Serial(_))
+        ));
+        let empty = Request::Insert {
+            name: String::new(),
+            keys: vec![],
+        }
+        .encode();
+        assert!(matches!(
+            Request::decode(&empty),
+            Err(HeaderError::Serial(_))
+        ));
+    }
+
+    #[test]
+    fn frame_reader_reassembles_split_writes() {
+        // Feed a frame one byte at a time through a reader that
+        // returns each byte in its own read() call.
+        struct OneByte(Vec<u8>, usize);
+        impl Read for OneByte {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let payload = Request::Stats.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut fr = FrameReader::new(OneByte(wire, 0), DEFAULT_MAX_FRAME);
+        for _ in 0..2 {
+            match fr.read_frame().unwrap() {
+                FrameEvent::Frame(p) => assert_eq!(p, payload),
+                FrameEvent::Closed => panic!("premature close"),
+            }
+        }
+        assert!(matches!(fr.read_frame().unwrap(), FrameEvent::Closed));
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_prefix_without_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        let mut fr = FrameReader::new(&wire[..], 1024);
+        assert!(matches!(
+            fr.read_frame(),
+            Err(FrameError::Oversized(u32::MAX))
+        ));
+    }
+
+    #[test]
+    fn frame_reader_flags_mid_frame_disconnect() {
+        let payload = Request::Stats.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        wire.truncate(wire.len() - 3); // peer died mid-frame
+        let mut fr = FrameReader::new(&wire[..], DEFAULT_MAX_FRAME);
+        assert!(matches!(fr.read_frame(), Err(FrameError::Disconnected)));
+    }
+}

@@ -1,0 +1,715 @@
+//! The filter server: a thread-pooled `std::net` TCP server hosting
+//! named filter instances behind the wire protocol of [`crate::proto`].
+//!
+//! # Threading model
+//!
+//! One *accept* thread pulls connections off the listener and feeds a
+//! bounded queue (`mpsc::sync_channel`); a fixed pool of *worker*
+//! threads pulls from that queue and serves one connection at a time,
+//! request-per-frame (thread-per-connection semantics over a bounded
+//! pool — the classic shape for a filter sidecar where connections are
+//! few and long-lived). There is no async runtime: the container
+//! builds offline and the paper's measurements concern filter
+//! throughput, not connection scaling.
+//!
+//! Workers read with a short socket timeout. [`crate::proto::FrameReader`]
+//! retains partial progress across timeouts, so the timeout is purely
+//! a tick on which the worker polls the shutdown flag — it never
+//! corrupts the stream position of a slow writer.
+//!
+//! # Shutdown
+//!
+//! [`FilterServer::shutdown`] sets a flag, nudges the accept thread
+//! awake with a self-connection, and joins everything. Workers finish
+//! the request they are executing (its response is written) and then
+//! close; queued-but-unserved connections are dropped. That is the
+//! "drain in-flight, refuse new" contract.
+//!
+//! # Registry
+//!
+//! Filters live in a `RwLock<BTreeMap<name, Arc<ServedFilter>>>`.
+//! Request handling clones the `Arc` and releases the registry lock
+//! before touching the filter — concurrency across requests to one
+//! filter is then governed by the filter's own synchronisation
+//! (wait-free atomics for the Bloom backend, per-shard mutexes for
+//! the sharded backends), exactly as measured in E14/E15.
+
+use crate::metrics::{FilterRow, ServerMetrics, StatsReport};
+use crate::proto::{
+    write_frame, Backend, ErrorCode, FrameError, FrameEvent, FrameReader, HeaderError, Request,
+    Response, DEFAULT_MAX_FRAME,
+};
+use bloom::AtomicBlockedBloomFilter;
+use concurrent::{Sharded, MAX_SHARD_BITS};
+use cuckoo::CuckooFilter;
+use filter_core::{Filter, FilterError};
+use quotient::CountingQuotientFilter;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`FilterServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (concurrently served connections).
+    pub workers: usize,
+    /// Accepted connections that may queue for a free worker before
+    /// the accept thread itself blocks.
+    pub backlog: usize,
+    /// Per-connection frame payload limit; larger length prefixes are
+    /// refused before allocation.
+    pub max_frame: u32,
+    /// Socket read timeout — the cadence at which idle workers poll
+    /// the shutdown flag.
+    pub read_timeout: Duration,
+    /// Largest `capacity` a CREATE may request (bounds server memory
+    /// taken by one request).
+    pub max_capacity: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            backlog: 64,
+            max_frame: DEFAULT_MAX_FRAME,
+            read_timeout: Duration::from_millis(50),
+            max_capacity: 1 << 28,
+        }
+    }
+}
+
+/// A filter instance the server can host.
+///
+/// The three backends cover the tutorial's concurrency spectrum: a
+/// wait-free atomic blocked Bloom (insert/contains only), a sharded
+/// cuckoo filter (adds deletion), and a sharded counting quotient
+/// filter (adds multiplicity counts).
+pub enum ServedFilter {
+    /// Wait-free insert/contains; no deletion, no counts.
+    Bloom(AtomicBlockedBloomFilter),
+    /// Deletable membership via sharded cuckoo.
+    Cuckoo(Sharded<CuckooFilter>),
+    /// Counting + deletable via sharded CQF.
+    Cqf(Sharded<CountingQuotientFilter>),
+}
+
+impl ServedFilter {
+    /// Which wire-protocol backend tag this instance answers to.
+    pub fn backend(&self) -> Backend {
+        match self {
+            ServedFilter::Bloom(_) => Backend::AtomicBloom,
+            ServedFilter::Cuckoo(_) => Backend::ShardedCuckoo,
+            ServedFilter::Cqf(_) => Backend::ShardedCqf,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ServedFilter::Bloom(f) => f.len(),
+            ServedFilter::Cuckoo(f) => f.len(),
+            ServedFilter::Cqf(f) => f.len(),
+        }
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        match self {
+            ServedFilter::Bloom(f) => f.size_in_bytes(),
+            ServedFilter::Cuckoo(f) => f.size_in_bytes(),
+            ServedFilter::Cqf(f) => f.size_in_bytes(),
+        }
+    }
+}
+
+/// Cuckoo fingerprint width hitting a target FPR: the filter's false
+/// positive rate is ≈ `2b / 2^f` with `b = 4` slots per bucket, so
+/// `f = ceil(log2(8 / eps))`, clamped to the implementation's 2..=32.
+pub fn cuckoo_fp_bits(eps: f64) -> u32 {
+    ((8.0 / eps).log2().ceil() as u32).clamp(2, 32)
+}
+
+/// Build the Bloom backend exactly as the server does for a CREATE
+/// with these parameters — tests use this to construct a bit-identical
+/// in-process oracle.
+pub fn build_atomic_bloom(capacity: u64, eps: f64, seed: u64) -> AtomicBlockedBloomFilter {
+    AtomicBlockedBloomFilter::with_seed(capacity as usize, eps, seed)
+}
+
+/// Build the sharded-cuckoo backend exactly as the server does
+/// (per-shard seeds derived from `seed` so shards stay decorrelated
+/// but the whole construction is reproducible).
+pub fn build_sharded_cuckoo(
+    capacity: u64,
+    eps: f64,
+    shard_bits: u32,
+    seed: u64,
+) -> Sharded<CuckooFilter> {
+    let per_shard = ((capacity as usize) >> shard_bits).max(64);
+    let fp_bits = cuckoo_fp_bits(eps);
+    Sharded::new(shard_bits, |i| {
+        CuckooFilter::with_params(
+            per_shard,
+            fp_bits,
+            cuckoo::filter::BUCKET_SIZE,
+            seed ^ (0xcc00 + i as u64),
+        )
+    })
+}
+
+/// Build the sharded-CQF backend exactly as the server does. Shards
+/// auto-expand, so a CREATE capacity is a sizing hint rather than a
+/// hard limit (matching the CQF's own `for_capacity` contract).
+pub fn build_sharded_cqf(
+    capacity: u64,
+    eps: f64,
+    shard_bits: u32,
+    seed: u64,
+) -> Sharded<CountingQuotientFilter> {
+    let per_shard = ((capacity as usize) >> shard_bits).max(64);
+    let slots = (per_shard as f64 / quotient::qf::DEFAULT_MAX_LOAD).ceil() as usize;
+    let q = slots.next_power_of_two().trailing_zeros().max(4);
+    let r = ((1.0 / eps).log2().ceil() as u32).clamp(2, 60.min(64 - q));
+    Sharded::new(shard_bits, |i| {
+        let mut f = CountingQuotientFilter::with_seed(q, r, seed ^ (0xc0f0 + i as u64));
+        f.set_auto_expand(true);
+        f
+    })
+}
+
+struct Shared {
+    registry: RwLock<BTreeMap<String, Arc<ServedFilter>>>,
+    metrics: ServerMetrics,
+    stop: AtomicBool,
+    config: ServerConfig,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+}
+
+/// A running filter server. Dropping the handle without calling
+/// [`FilterServer::shutdown`] detaches the threads (they keep serving
+/// until the process exits); tests and the load generator call
+/// `shutdown` for a deterministic drain.
+pub struct FilterServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl FilterServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start the
+    /// accept thread plus worker pool.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<FilterServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            registry: RwLock::new(BTreeMap::new()),
+            metrics: ServerMetrics::new(),
+            stop: AtomicBool::new(false),
+            config,
+        });
+
+        let (tx, rx) = sync_channel::<TcpStream>(shared.config.backlog.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("filter-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("filter-accept".into())
+                .spawn(move || accept_loop(&shared, &listener, tx))
+                .expect("spawn accept thread")
+        };
+
+        Ok(FilterServer {
+            shared,
+            addr: local,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Racing snapshot of the server metrics (same data STATS serves).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.shared.metrics
+    }
+
+    /// Install a filter directly, bypassing the wire CREATE (used by
+    /// the example and by tests seeding large filters in-process).
+    /// Returns `false` when the name is already taken.
+    pub fn register(&self, name: &str, filter: ServedFilter) -> bool {
+        let mut reg = write_lock(&self.shared.registry);
+        match reg.entry(name.to_string()) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(v) => {
+                v.insert(Arc::new(filter));
+                true
+            }
+        }
+    }
+
+    /// Stop accepting, drain in-flight requests, join all threads.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        // Wake the accept thread out of its blocking accept().
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn read_lock<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|p| p.into_inner())
+}
+
+fn write_lock<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|p| p.into_inner())
+}
+
+fn accept_loop(
+    shared: &Shared,
+    listener: &TcpListener,
+    tx: std::sync::mpsc::SyncSender<TcpStream>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.stopping() {
+                    // The wake-up self-connection (or a late client)
+                    // lands here; refuse and exit.
+                    drop(stream);
+                    break;
+                }
+                ServerMetrics::bump(&shared.metrics.connections_opened);
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(_) => {
+                if shared.stopping() {
+                    break;
+                }
+                // Transient accept errors (e.g. ECONNABORTED) are not
+                // fatal to the listener.
+            }
+        }
+    }
+    // Dropping `tx` disconnects the channel; workers exit once the
+    // queue is empty.
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        let next = {
+            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+            guard.recv()
+        };
+        match next {
+            Ok(stream) => {
+                if shared.stopping() {
+                    drop(stream);
+                    continue; // keep draining the queue until disconnect
+                }
+                serve_connection(shared, stream);
+                ServerMetrics::bump(&shared.metrics.connections_closed);
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Serve one connection to completion: frame in, response out, until
+/// the peer closes, errors, or the server drains for shutdown.
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let m = &shared.metrics;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut frames = FrameReader::new(read_half, shared.config.max_frame);
+    loop {
+        match frames.read_frame() {
+            Ok(FrameEvent::Frame(payload)) => {
+                ServerMetrics::bump(&m.frames_received);
+                ServerMetrics::add(&m.bytes_in, payload.len() as u64);
+                let t0 = Instant::now();
+                let resp = dispatch(shared, &payload);
+                if !write_response(shared, &mut stream, &resp) {
+                    break;
+                }
+                m.request_latency.record(t0.elapsed());
+                if shared.stopping() {
+                    break; // in-flight request drained; refuse further
+                }
+            }
+            Ok(FrameEvent::Closed) => break,
+            Err(FrameError::Timeout) => {
+                if shared.stopping() {
+                    break;
+                }
+            }
+            Err(FrameError::Oversized(n)) => {
+                // The unread body makes stream resync impossible:
+                // answer with the reason, then close.
+                ServerMetrics::bump(&m.protocol_errors);
+                let resp = Response::Error {
+                    code: ErrorCode::BadFrame,
+                    message: format!("frame length {n} exceeds limit {}", shared.config.max_frame),
+                };
+                write_response(shared, &mut stream, &resp);
+                break;
+            }
+            Err(FrameError::Disconnected) => {
+                ServerMetrics::bump(&m.disconnects_mid_frame);
+                break;
+            }
+            Err(FrameError::Io(_)) => break,
+        }
+    }
+}
+
+fn write_response(shared: &Shared, stream: &mut TcpStream, resp: &Response) -> bool {
+    let m = &shared.metrics;
+    if matches!(resp, Response::Error { .. }) {
+        ServerMetrics::bump(&m.error_responses);
+    }
+    let bytes = resp.encode();
+    match write_frame(stream, &bytes) {
+        Ok(()) => {
+            ServerMetrics::bump(&m.responses_sent);
+            ServerMetrics::add(&m.bytes_out, bytes.len() as u64);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+fn err(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+fn filter_err(e: FilterError) -> Response {
+    err(ErrorCode::Filter, e.to_string())
+}
+
+/// Decode one frame payload and execute it against the registry.
+fn dispatch(shared: &Shared, payload: &[u8]) -> Response {
+    let m = &shared.metrics;
+    let req = match Request::decode(payload) {
+        Ok(Ok(req)) => req,
+        Ok(Err(op)) => {
+            ServerMetrics::bump(&m.protocol_errors);
+            return err(ErrorCode::UnknownOpcode, format!("unknown opcode {op}"));
+        }
+        Err(HeaderError::Version(v)) => {
+            ServerMetrics::bump(&m.protocol_errors);
+            return err(
+                ErrorCode::UnsupportedVersion,
+                format!(
+                    "version {v}, this server speaks {}",
+                    crate::proto::PROTO_VERSION
+                ),
+            );
+        }
+        Err(HeaderError::Serial(e)) => {
+            ServerMetrics::bump(&m.protocol_errors);
+            return err(ErrorCode::BadFrame, format!("malformed payload: {e}"));
+        }
+    };
+    match req {
+        Request::Create {
+            name,
+            backend,
+            capacity,
+            eps,
+            shard_bits,
+            seed,
+            blob,
+        } => handle_create(
+            shared, &name, backend, capacity, eps, shard_bits, seed, &blob,
+        ),
+        Request::Insert { name, keys } => handle_insert(shared, &name, &keys),
+        Request::Contains { name, keys } => handle_contains(shared, &name, &keys),
+        Request::Count { name, keys } => handle_count(shared, &name, &keys),
+        Request::Delete { name, keys } => handle_delete(shared, &name, &keys),
+        Request::Stats => handle_stats(shared),
+    }
+}
+
+// `Response` is as large as its Stats variant; error responses here
+// are always the small Error variant and are immediately serialised,
+// so boxing would only add an allocation to the hot error path.
+#[allow(clippy::result_large_err)]
+fn lookup(shared: &Shared, name: &str) -> Result<Arc<ServedFilter>, Response> {
+    read_lock(&shared.registry)
+        .get(name)
+        .cloned()
+        .ok_or_else(|| err(ErrorCode::NoSuchFilter, format!("no filter named '{name}'")))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_create(
+    shared: &Shared,
+    name: &str,
+    backend: Backend,
+    capacity: u64,
+    eps: f64,
+    shard_bits: u32,
+    seed: u64,
+    blob: &[u8],
+) -> Response {
+    if !name.chars().all(|c| c.is_ascii_graphic()) {
+        return err(
+            ErrorCode::BadName,
+            "filter names must be printable ASCII without spaces",
+        );
+    }
+    // Fast-path duplicate check without building anything.
+    if read_lock(&shared.registry).contains_key(name) {
+        return err(ErrorCode::FilterExists, format!("'{name}' already exists"));
+    }
+    let filter = if blob.is_empty() {
+        if capacity == 0 || capacity > shared.config.max_capacity {
+            return err(
+                ErrorCode::Filter,
+                format!(
+                    "capacity {capacity} outside 1..={}",
+                    shared.config.max_capacity
+                ),
+            );
+        }
+        if !(eps.is_finite() && eps > 0.0 && eps <= 0.5) {
+            return err(ErrorCode::Filter, format!("eps {eps} outside (0, 0.5]"));
+        }
+        if shard_bits > MAX_SHARD_BITS {
+            return err(
+                ErrorCode::Filter,
+                format!("shard_bits {shard_bits} > {MAX_SHARD_BITS}"),
+            );
+        }
+        match backend {
+            Backend::AtomicBloom => ServedFilter::Bloom(build_atomic_bloom(capacity, eps, seed)),
+            Backend::ShardedCuckoo => {
+                ServedFilter::Cuckoo(build_sharded_cuckoo(capacity, eps, shard_bits, seed))
+            }
+            Backend::ShardedCqf => {
+                ServedFilter::Cqf(build_sharded_cqf(capacity, eps, shard_bits, seed))
+            }
+        }
+    } else {
+        // A pre-built filter shipped over the wire; `from_bytes` does
+        // the structural validation (untrusted input).
+        match backend {
+            Backend::AtomicBloom => {
+                return err(
+                    ErrorCode::Unsupported,
+                    "atomic-bloom does not support pre-built blobs",
+                )
+            }
+            Backend::ShardedCuckoo => match CuckooFilter::from_bytes(blob) {
+                Ok(f) => ServedFilter::Cuckoo(Sharded::from_shards(vec![f])),
+                Err(e) => return err(ErrorCode::Filter, format!("bad cuckoo blob: {e}")),
+            },
+            Backend::ShardedCqf => match CountingQuotientFilter::from_bytes(blob) {
+                Ok(f) => ServedFilter::Cqf(Sharded::from_shards(vec![f])),
+                Err(e) => return err(ErrorCode::Filter, format!("bad cqf blob: {e}")),
+            },
+        }
+    };
+    // Re-check under the write lock: a racing CREATE may have won.
+    match write_lock(&shared.registry).entry(name.to_string()) {
+        Entry::Occupied(_) => err(ErrorCode::FilterExists, format!("'{name}' already exists")),
+        Entry::Vacant(v) => {
+            v.insert(Arc::new(filter));
+            Response::Ok
+        }
+    }
+}
+
+fn handle_insert(shared: &Shared, name: &str, keys: &[u64]) -> Response {
+    let f = match lookup(shared, name) {
+        Ok(f) => f,
+        Err(resp) => return resp,
+    };
+    ServerMetrics::add(&shared.metrics.keys_processed, keys.len() as u64);
+    match &*f {
+        ServedFilter::Bloom(b) => {
+            b.insert_batch(keys);
+            Response::Ok
+        }
+        ServedFilter::Cuckoo(c) => match c.insert_batch(keys) {
+            Ok(()) => Response::Ok,
+            Err(e) => filter_err(e),
+        },
+        ServedFilter::Cqf(q) => match q.insert_batch(keys) {
+            Ok(()) => Response::Ok,
+            Err(e) => filter_err(e),
+        },
+    }
+}
+
+fn handle_contains(shared: &Shared, name: &str, keys: &[u64]) -> Response {
+    let f = match lookup(shared, name) {
+        Ok(f) => f,
+        Err(resp) => return resp,
+    };
+    ServerMetrics::add(&shared.metrics.keys_processed, keys.len() as u64);
+    Response::Bools(match &*f {
+        ServedFilter::Bloom(b) => b.contains_batch(keys),
+        ServedFilter::Cuckoo(c) => c.contains_batch(keys),
+        ServedFilter::Cqf(q) => q.contains_batch(keys),
+    })
+}
+
+fn handle_count(shared: &Shared, name: &str, keys: &[u64]) -> Response {
+    let f = match lookup(shared, name) {
+        Ok(f) => f,
+        Err(resp) => return resp,
+    };
+    match &*f {
+        ServedFilter::Cqf(q) => {
+            ServerMetrics::add(&shared.metrics.keys_processed, keys.len() as u64);
+            Response::Counts(q.count_batch(keys))
+        }
+        other => err(
+            ErrorCode::Unsupported,
+            format!("{} does not support COUNT", other.backend().name()),
+        ),
+    }
+}
+
+fn handle_delete(shared: &Shared, name: &str, keys: &[u64]) -> Response {
+    let f = match lookup(shared, name) {
+        Ok(f) => f,
+        Err(resp) => return resp,
+    };
+    match &*f {
+        ServedFilter::Cuckoo(c) => {
+            ServerMetrics::add(&shared.metrics.keys_processed, keys.len() as u64);
+            match c.remove_batch(keys) {
+                Ok(hits) => Response::Bools(hits),
+                Err(e) => filter_err(e),
+            }
+        }
+        ServedFilter::Cqf(q) => {
+            ServerMetrics::add(&shared.metrics.keys_processed, keys.len() as u64);
+            // Remove one occurrence per listed key; a missing key
+            // (`FilterError::NotFound`) is a per-key `false`, not a
+            // request failure.
+            let hits = keys.iter().map(|&k| q.remove_count(k, 1).is_ok()).collect();
+            Response::Bools(hits)
+        }
+        other => err(
+            ErrorCode::Unsupported,
+            format!("{} does not support DELETE", other.backend().name()),
+        ),
+    }
+}
+
+fn handle_stats(shared: &Shared) -> Response {
+    let filters = read_lock(&shared.registry)
+        .iter()
+        .map(|(name, f)| FilterRow {
+            name: name.clone(),
+            backend: f.backend(),
+            len: f.len() as u64,
+            size_in_bytes: f.size_in_bytes() as u64,
+        })
+        .collect();
+    Response::Stats(StatsReport {
+        counters: shared.metrics.snapshot(),
+        filters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::FilterClient;
+
+    fn quick_config() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            read_timeout: Duration::from_millis(10),
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn serve_create_insert_query_shutdown() {
+        let server = FilterServer::bind("127.0.0.1:0", quick_config()).unwrap();
+        let mut c = FilterClient::connect(server.local_addr()).unwrap();
+        c.create("t", Backend::AtomicBloom, 10_000, 0.01, 0, 7)
+            .unwrap();
+        c.insert("t", &[1, 2, 3]).unwrap();
+        let got = c.contains("t", &[1, 2, 3, 999_999]).unwrap();
+        assert_eq!(&got[..3], &[true, true, true]);
+        let stats = c.stats().unwrap();
+        assert_eq!(stats.filters.len(), 1);
+        assert_eq!(stats.filters[0].name, "t");
+        assert!(stats.counters.frames_received >= 3);
+        drop(c);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_filter_and_duplicate_create_report_codes() {
+        let server = FilterServer::bind("127.0.0.1:0", quick_config()).unwrap();
+        let mut c = FilterClient::connect(server.local_addr()).unwrap();
+        let e = c.insert("nope", &[1]).unwrap_err();
+        assert!(matches!(
+            e,
+            crate::client::ClientError::Remote {
+                code: ErrorCode::NoSuchFilter,
+                ..
+            }
+        ));
+        c.create("dup", Backend::ShardedCuckoo, 1_000, 0.01, 2, 1)
+            .unwrap();
+        let e = c
+            .create("dup", Backend::ShardedCuckoo, 1_000, 0.01, 2, 1)
+            .unwrap_err();
+        assert!(matches!(
+            e,
+            crate::client::ClientError::Remote {
+                code: ErrorCode::FilterExists,
+                ..
+            }
+        ));
+        drop(c);
+        server.shutdown();
+    }
+}

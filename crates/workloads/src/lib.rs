@@ -27,7 +27,7 @@ pub mod zipf;
 
 pub use keys::{disjoint_keys, unique_keys, KeyStream};
 pub use ranges::{CorrelatedRangeWorkload, RangeQuery};
-pub use zipf::Zipf;
+pub use zipf::{rank_to_key, zipf_keys, Zipf};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -104,6 +104,18 @@ pub fn rank_to_key(rank: u64, salt: u64) -> u64 {
     filter_core::hash::mix64(rank ^ salt)
 }
 
+/// Draw `count` keys from a Zipf(`n`, `s`) popularity distribution,
+/// mapped through [`rank_to_key`] with `salt` so hot keys are spread
+/// uniformly over the key space. This is the standard skewed query
+/// stream the closed-loop service load generator replays.
+pub fn zipf_keys(seed: u64, n: u64, s: f64, salt: u64, count: usize) -> Vec<u64> {
+    let z = Zipf::new(n, s);
+    let mut rng = crate::rng(seed);
+    (0..count)
+        .map(|_| rank_to_key(z.sample(&mut rng), salt))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +159,16 @@ mod tests {
         let a = z.sample_many(&mut crate::rng(9), 100);
         let b = z.sample_many(&mut crate::rng(9), 100);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zipf_keys_is_deterministic_and_skewed() {
+        let a = zipf_keys(7, 1_000, 1.1, 3, 20_000);
+        let b = zipf_keys(7, 1_000, 1.1, 3, 20_000);
+        assert_eq!(a, b);
+        let hot = rank_to_key(1, 3);
+        let hits = a.iter().filter(|&&k| k == hot).count();
+        assert!(hits > 1_000, "rank-1 key drawn only {hits} times");
     }
 
     #[test]

@@ -31,7 +31,9 @@
 //!
 //! Application case studies live in [`lsm`] (storage engines),
 //! [`biofilter`] (computational biology), and [`netsec`] (URL
-//! blocking); deterministic workload generators in [`workloads`].
+//! blocking); deterministic workload generators in [`workloads`];
+//! and [`service`] serves any of the concurrent backends over a
+//! versioned binary wire protocol (`std::net`, no external deps).
 //!
 //! ```
 //! use beyond_bloom::core::{Filter, InsertFilter};
@@ -58,6 +60,7 @@ pub use prefix_filter;
 pub use quotient;
 pub use rangefilter;
 pub use ribbon;
+pub use service;
 pub use stacked;
 pub use workloads;
 pub use xorf;

@@ -61,3 +61,60 @@ fn corrupted_inputs_rejected_not_panicking() {
     let rf = beyond_bloom::ribbon::RibbonFilter::build(&keys, 8).unwrap();
     assert!(beyond_bloom::bloom::BloomFilter::from_bytes(&rf.to_bytes()).is_err());
 }
+
+#[test]
+fn cuckoo_roundtrip() {
+    let keys = unique_keys(957, 30_000);
+    let mut f = beyond_bloom::cuckoo::CuckooFilter::new(30_000, 14);
+    for &k in &keys {
+        f.insert(k).unwrap();
+    }
+    for &k in &keys[..500] {
+        beyond_bloom::core::DynamicFilter::remove(&mut f, k).unwrap();
+    }
+    let g = beyond_bloom::cuckoo::CuckooFilter::from_bytes(&f.to_bytes()).unwrap();
+    assert_eq!(g.len(), f.len());
+    let probes = disjoint_keys(958, 20_000, &keys);
+    for &k in keys.iter().chain(&probes) {
+        assert_eq!(f.contains(k), g.contains(k), "behaviour diverged at {k}");
+    }
+}
+
+#[test]
+fn cqf_roundtrip_preserves_counts() {
+    use beyond_bloom::core::CountingFilter;
+    let keys = unique_keys(959, 5_000);
+    let mut f = beyond_bloom::quotient::CountingQuotientFilter::for_capacity(30_000, 0.01);
+    for (i, &k) in keys.iter().enumerate() {
+        f.insert_count(k, 1 + (i as u64 % 7)).unwrap();
+    }
+    let g = beyond_bloom::quotient::CountingQuotientFilter::from_bytes(&f.to_bytes()).unwrap();
+    assert_eq!(g.len(), f.len());
+    assert_eq!(g.total_count(), f.total_count());
+    let probes = disjoint_keys(960, 5_000, &keys);
+    for &k in keys.iter().chain(&probes) {
+        assert_eq!(f.count(k), g.count(k), "count diverged at {k}");
+    }
+}
+
+#[test]
+fn cuckoo_and_cqf_corrupt_bytes_rejected() {
+    let keys = unique_keys(961, 2_000);
+    let mut cf = beyond_bloom::cuckoo::CuckooFilter::new(2_000, 12);
+    let mut qf = beyond_bloom::quotient::CountingQuotientFilter::for_capacity(2_000, 0.01);
+    for &k in &keys {
+        cf.insert(k).unwrap();
+        qf.insert(k).unwrap();
+    }
+    for bytes in [cf.to_bytes(), qf.to_bytes()] {
+        for cut in 0..bytes.len().min(80) {
+            assert!(beyond_bloom::cuckoo::CuckooFilter::from_bytes(&bytes[..cut]).is_err());
+            assert!(
+                beyond_bloom::quotient::CountingQuotientFilter::from_bytes(&bytes[..cut]).is_err()
+            );
+        }
+    }
+    // Cross-family confusion in both directions.
+    assert!(beyond_bloom::quotient::CountingQuotientFilter::from_bytes(&cf.to_bytes()).is_err());
+    assert!(beyond_bloom::cuckoo::CuckooFilter::from_bytes(&qf.to_bytes()).is_err());
+}
