@@ -1,0 +1,182 @@
+//! E20: batched probe kernels vs scalar lookup loops.
+//!
+//! Every point-filter family ships a `BatchedFilter::contains_chunk`
+//! kernel that hoists hashing, issues software prefetches for the
+//! whole chunk, then resolves from (hopefully) warm lines. This
+//! experiment measures what that buys: scalar pointwise `contains`
+//! against `contains_many` at batch widths 1/8/32/256, on a
+//! cache-resident table and on a DRAM-resident one where the probe
+//! stream is miss-dominated and memory-level parallelism matters.
+//!
+//! Env knobs (for the CI perf-smoke job):
+//! - `E20_QUICK=1` shrinks sizes and repetitions to finish in seconds.
+//! - `E20_ASSERT=1` prints a `gate: PASS`/`gate: FAIL` line asserting
+//!   batched throughput at width 256 is at least 0.9× scalar for every
+//!   family — an anti-pessimization gate, not a speedup guarantee
+//!   (shared CI boxes are too noisy to assert the win itself).
+
+use super::header;
+use filter_core::{BatchedFilter, InsertFilter};
+use std::time::Instant;
+use workloads::{disjoint_keys, unique_keys};
+
+/// Batch widths handed to `contains_many`; 32 equals `PROBE_CHUNK`.
+const WIDTHS: [usize; 4] = [1, 8, 32, 256];
+
+struct FamilyResult {
+    name: &'static str,
+    scalar_mops: f64,
+    width_mops: [f64; 4],
+}
+
+fn mops(ops: usize, t: std::time::Duration) -> f64 {
+    ops as f64 / t.as_secs_f64() / 1e6
+}
+
+/// Time scalar and batched probes over `probes`, repeated until at
+/// least `target_ops` lookups have been issued per configuration.
+fn bench_family<F: BatchedFilter>(
+    name: &'static str,
+    f: &F,
+    probes: &[u64],
+    target_ops: usize,
+) -> FamilyResult {
+    let reps = (target_ops / probes.len()).max(1);
+    let t0 = Instant::now();
+    let mut hits = 0usize;
+    for _ in 0..reps {
+        for &k in probes {
+            hits += f.contains(k) as usize;
+        }
+    }
+    let scalar_mops = mops(reps * probes.len(), t0.elapsed());
+    std::hint::black_box(hits);
+
+    let mut width_mops = [0f64; 4];
+    let mut out = vec![false; probes.len()];
+    for (wi, &w) in WIDTHS.iter().enumerate() {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            for (kc, oc) in probes.chunks(w).zip(out.chunks_mut(w)) {
+                f.contains_many(kc, oc);
+            }
+        }
+        width_mops[wi] = mops(reps * probes.len(), t0.elapsed());
+        std::hint::black_box(&out);
+    }
+    FamilyResult {
+        name,
+        scalar_mops,
+        width_mops,
+    }
+}
+
+/// E20: scalar vs batched lookup throughput per family.
+pub fn e20_batched() -> bool {
+    header(
+        "E20 — batched probe kernels (scalar vs contains_many)",
+        "hash-hoisted, prefetch-pipelined batch probes overlap cache \
+         misses; the win grows with table size (DRAM-resident) and \
+         batch width, and batched is never slower than scalar",
+    );
+    let quick = std::env::var_os("E20_QUICK").is_some();
+    let assert_gate = std::env::var_os("E20_ASSERT").is_some();
+    // Cache-resident: the whole table fits in L2/L3. DRAM-resident:
+    // the table dwarfs LLC, so random probes are memory-bound.
+    let sizes: &[(&str, usize)] = if quick {
+        &[("cache", 1 << 15), ("dram", 1 << 19)]
+    } else {
+        &[("cache", 1 << 16), ("dram", 1 << 22)]
+    };
+    let target_ops = if quick { 1 << 19 } else { 1 << 22 };
+    let mut all_pass = true;
+
+    for &(size_label, n) in sizes {
+        let keys = unique_keys(2_020, n);
+        // Half members, half guaranteed misses: both probe outcomes
+        // walk the same index/prefetch path, so the mix keeps the
+        // measurement honest without favouring early-exit branches.
+        let n_probes = (n / 2).clamp(1 << 14, 1 << 18);
+        let misses = disjoint_keys(2_021, n_probes / 2, &keys);
+        let mut probes = Vec::with_capacity(n_probes);
+        for i in 0..n_probes {
+            if i % 2 == 0 {
+                probes.push(keys[(i / 2) % keys.len()]);
+            } else {
+                probes.push(misses[(i / 2) % misses.len()]);
+            }
+        }
+
+        let mut results = Vec::new();
+        {
+            let mut f = bloom::BloomFilter::new(n, 0.01);
+            for &k in &keys {
+                f.insert(k).unwrap();
+            }
+            results.push(bench_family("bloom", &f, &probes, target_ops));
+        }
+        {
+            let mut f = bloom::BlockedBloomFilter::new(n, 0.01);
+            for &k in &keys {
+                f.insert(k).unwrap();
+            }
+            results.push(bench_family("blocked-bloom", &f, &probes, target_ops));
+        }
+        {
+            let f = bloom::AtomicBlockedBloomFilter::new(n, 0.01);
+            f.insert_batch(&keys);
+            results.push(bench_family("atomic-blocked", &f, &probes, target_ops));
+        }
+        {
+            let mut f = cuckoo::CuckooFilter::new(n, 12);
+            for &k in &keys {
+                f.insert(k).unwrap();
+            }
+            results.push(bench_family("cuckoo", &f, &probes, target_ops));
+        }
+        {
+            let mut f = quotient::CountingQuotientFilter::for_capacity(n, 0.01);
+            for &k in &keys {
+                f.insert(k).unwrap();
+            }
+            results.push(bench_family("cqf", &f, &probes, target_ops));
+        }
+        {
+            let f = xorf::XorFilter::build(&keys, 8).unwrap();
+            results.push(bench_family("xor", &f, &probes, target_ops));
+        }
+
+        println!(
+            "\n{size_label}-resident, n = {n} keys, {} probes (50% hits), Mops:",
+            probes.len()
+        );
+        println!(
+            "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12}",
+            "family", "scalar", "w=1", "w=8", "w=32", "w=256", "best/scalar"
+        );
+        for r in &results {
+            let ratio = r.width_mops.iter().cloned().fold(0.0, f64::max) / r.scalar_mops;
+            println!(
+                "{:<16} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>11.2}x",
+                r.name,
+                r.scalar_mops,
+                r.width_mops[0],
+                r.width_mops[1],
+                r.width_mops[2],
+                r.width_mops[3],
+                ratio
+            );
+            if ratio < 0.9 {
+                all_pass = false;
+            }
+        }
+    }
+
+    if assert_gate {
+        println!(
+            "\ne20 gate (best batched width >= 0.9x scalar for every family): {}",
+            if all_pass { "PASS" } else { "FAIL" }
+        );
+    }
+    true
+}

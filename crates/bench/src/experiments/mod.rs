@@ -3,6 +3,7 @@
 
 pub mod adaptive_exp;
 pub mod apps;
+pub mod batched;
 pub mod concurrency;
 pub mod counting;
 pub mod expansion;
@@ -11,7 +12,7 @@ pub mod range;
 pub mod service_exp;
 pub mod space_fpr;
 
-/// Run one experiment by id (`e1`..`e19`), or `all`.
+/// Run one experiment by id (`e1`..`e20`), or `all`.
 pub fn run(id: &str) -> bool {
     match id {
         "e1" | "e1-space" => space_fpr::e1_space(),
@@ -33,10 +34,11 @@ pub fn run(id: &str) -> bool {
         "e17" | "e17-join" => apps::e17_join(),
         "e18" | "e18-threads" => concurrency::e18_threads(),
         "e19" | "e19-service" => service_exp::e19_service(),
+        "e20" | "e20-batched" => batched::e20_batched(),
         "all" => {
             for e in [
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "e15", "e16", "e17", "e18", "e19",
+                "e14", "e15", "e16", "e17", "e18", "e19", "e20",
             ] {
                 run(e);
                 println!();

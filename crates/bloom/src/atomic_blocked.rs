@@ -25,10 +25,10 @@
 //! which for a Bloom filter can only delay a positive, never produce
 //! a false negative after publication.
 
-use filter_core::{AtomicBitVec, Filter, Hasher, InsertFilter, Result};
+use filter_core::{AtomicBitVec, BatchedFilter, Filter, Hasher, InsertFilter, Result, PROBE_CHUNK};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::blocked::{bit_in_block, locate_block, BLOCK_WORDS};
+use crate::blocked::{locate_block, probe_positions, BLOCK_WORDS};
 
 /// A cache-blocked Bloom filter with lock-free `&self` inserts.
 ///
@@ -98,8 +98,7 @@ impl AtomicBlockedBloomFilter {
     pub fn insert(&self, key: u64) {
         let (b, h1, h2) = locate_block(&self.hasher, self.n_blocks, key);
         let mut mask = [0u64; BLOCK_WORDS];
-        for i in 0..self.k as u64 {
-            let (w, bit) = bit_in_block(h1, h2, i);
+        for (w, bit) in probe_positions(h1, h2, self.k) {
             mask[w] |= 1 << bit;
         }
         let base = b * BLOCK_WORDS;
@@ -121,19 +120,47 @@ impl AtomicBlockedBloomFilter {
     /// Membership query (never a false negative for published inserts).
     pub fn contains(&self, key: u64) -> bool {
         let (b, h1, h2) = locate_block(&self.hasher, self.n_blocks, key);
+        self.contains_located(b, h1, h2)
+    }
+
+    /// Resolve phase: membership from an already-located block.
+    #[inline]
+    fn contains_located(&self, b: usize, h1: u64, h2: u64) -> bool {
         let base = b * BLOCK_WORDS;
         // Load each of the (at most 8) probed words once.
         let mut loaded = [None::<u64>; BLOCK_WORDS];
-        (0..self.k as u64).all(|i| {
-            let (w, bit) = bit_in_block(h1, h2, i);
+        probe_positions(h1, h2, self.k).all(|(w, bit)| {
             let word = *loaded[w].get_or_insert_with(|| self.bits.load_word(base + w));
             word >> bit & 1 == 1
         })
     }
 
-    /// Batched membership query; results align with `keys`.
+    /// Batched membership query; results align with `keys`. Thin
+    /// delegation to the [`BatchedFilter`] pipelined kernel.
     pub fn contains_batch(&self, keys: &[u64]) -> Vec<bool> {
-        keys.iter().map(|&k| self.contains(k)).collect()
+        BatchedFilter::contains_batch(self, keys)
+    }
+}
+
+impl BatchedFilter for AtomicBlockedBloomFilter {
+    /// Pipelined probe over the atomic words: locate every key's
+    /// block, prefetch both ends of each block (a 512-bit block can
+    /// straddle two lines — `Vec<AtomicU64>` is only 8-byte aligned),
+    /// then resolve. Prefetching has no memory-ordering effect.
+    fn contains_chunk(&self, keys: &[u64], out: &mut [bool]) {
+        debug_assert!(keys.len() <= PROBE_CHUNK && keys.len() == out.len());
+        let mut loc = [(0usize, 0u64, 0u64); PROBE_CHUNK];
+        for (l, &key) in loc.iter_mut().zip(keys) {
+            *l = locate_block(&self.hasher, self.n_blocks, key);
+        }
+        for &(b, _, _) in &loc[..keys.len()] {
+            let base = b * BLOCK_WORDS;
+            self.bits.prefetch_word(base);
+            self.bits.prefetch_word(base + BLOCK_WORDS - 1);
+        }
+        for (o, &(b, h1, h2)) in out.iter_mut().zip(&loc[..keys.len()]) {
+            *o = self.contains_located(b, h1, h2);
+        }
     }
 }
 

@@ -8,7 +8,7 @@
 //! performance baseline the fingerprint filters are compared against
 //! in the throughput experiments (E3).
 
-use filter_core::{Filter, Hasher, InsertFilter, Result};
+use filter_core::{BatchedFilter, Filter, Hasher, InsertFilter, Result, PROBE_CHUNK};
 
 pub(crate) const BLOCK_WORDS: usize = 8; // 512 bits = one cache line
 
@@ -22,11 +22,33 @@ pub(crate) fn locate_block(hasher: &Hasher, n_blocks: usize, key: u64) -> (usize
     (block, h1 >> 32, h2)
 }
 
-/// The i-th probe's (word-in-block, bit-in-word) position.
+/// The i-th probe's (word-in-block, bit-in-word) position — the
+/// original remixed-per-probe formula, kept as the specification the
+/// hoisted iterator is tested against.
+#[cfg(test)]
 #[inline]
 pub(crate) fn bit_in_block(h1: u64, h2: u64, i: u64) -> (usize, u32) {
     let pos = h1.wrapping_add(i.wrapping_mul(h2)) % (BLOCK_WORDS as u64 * 64);
     ((pos >> 6) as usize, (pos & 63) as u32)
+}
+
+/// Hoisted probe positions: all `k` (word-in-block, bit-in-word)
+/// pairs for one key, derived from the base pair with one wrapping
+/// add per probe instead of a per-probe multiply.
+///
+/// The block is 512 bits — a power of two dividing 2⁶⁴ — so
+/// `(h1 + i·h2) mod 2⁶⁴ mod 512` distributes over the addition and
+/// the position advances by `(pos + step) & 511`. Bit-identical to
+/// [`bit_in_block`] (see `hoisted_positions_match_remixed`).
+#[inline]
+pub(crate) fn probe_positions(h1: u64, h2: u64, k: u32) -> impl Iterator<Item = (usize, u32)> {
+    const MASK: u64 = BLOCK_WORDS as u64 * 64 - 1;
+    let step = h2 & MASK;
+    (0..k).scan(h1 & MASK, move |pos, _| {
+        let p = *pos;
+        *pos = (p + step) & MASK;
+        Some(((p >> 6) as usize, (p & 63) as u32))
+    })
 }
 
 /// A register-blocked Bloom filter: one cache line per key.
@@ -66,21 +88,13 @@ impl BlockedBloomFilter {
     fn locate(&self, key: u64) -> (usize, u64, u64) {
         locate_block(&self.hasher, self.blocks.len(), key)
     }
-
-    #[inline]
-    fn bit_at(h1: u64, h2: u64, i: u64) -> (usize, u32) {
-        bit_in_block(h1, h2, i)
-    }
 }
 
 impl Filter for BlockedBloomFilter {
     fn contains(&self, key: u64) -> bool {
         let (b, h1, h2) = self.locate(key);
         let block = &self.blocks[b];
-        (0..self.k as u64).all(|i| {
-            let (w, bit) = Self::bit_at(h1, h2, i);
-            block[w] >> bit & 1 == 1
-        })
+        probe_positions(h1, h2, self.k).all(|(w, bit)| block[w] >> bit & 1 == 1)
     }
 
     fn len(&self) -> usize {
@@ -92,12 +106,30 @@ impl Filter for BlockedBloomFilter {
     }
 }
 
+impl BatchedFilter for BlockedBloomFilter {
+    /// Pipelined probe: one block — one line — per key, so one
+    /// prefetch per key warms everything the resolve phase reads.
+    fn contains_chunk(&self, keys: &[u64], out: &mut [bool]) {
+        debug_assert!(keys.len() <= PROBE_CHUNK && keys.len() == out.len());
+        let mut loc = [(0usize, 0u64, 0u64); PROBE_CHUNK];
+        for (l, &key) in loc.iter_mut().zip(keys) {
+            *l = self.locate(key);
+        }
+        for &(b, _, _) in &loc[..keys.len()] {
+            filter_core::prefetch_read(&self.blocks, b);
+        }
+        for (o, &(b, h1, h2)) in out.iter_mut().zip(&loc[..keys.len()]) {
+            let block = &self.blocks[b];
+            *o = probe_positions(h1, h2, self.k).all(|(w, bit)| block[w] >> bit & 1 == 1);
+        }
+    }
+}
+
 impl InsertFilter for BlockedBloomFilter {
     fn insert(&mut self, key: u64) -> Result<()> {
         let (b, h1, h2) = self.locate(key);
         let block = &mut self.blocks[b];
-        for i in 0..self.k as u64 {
-            let (w, bit) = Self::bit_at(h1, h2, i);
+        for (w, bit) in probe_positions(h1, h2, self.k) {
             block[w] |= 1 << bit;
         }
         self.items += 1;
@@ -169,5 +201,24 @@ mod tests {
         let f = BlockedBloomFilter::new(1000, 0.01);
         let (b1, _, _) = f.locate(42);
         assert!(b1 < f.blocks.len());
+    }
+
+    #[test]
+    fn hoisted_positions_match_remixed() {
+        // probe_positions (incremental add, mask) must visit exactly
+        // the (word, bit) sequence of the original remixed formula
+        // bit_in_block for arbitrary base pairs — 512 divides 2^64,
+        // so the mod distributes over the wrapping arithmetic.
+        let h = Hasher::with_seed(7);
+        for key in unique_keys(15, 2_000) {
+            let (h1, h2) = h.hash_pair(&key);
+            let h1 = h1 >> 32; // locate_block's in-block base
+            for k in [1u32, 7, 8, 13] {
+                let remixed: Vec<(usize, u32)> =
+                    (0..k as u64).map(|i| bit_in_block(h1, h2, i)).collect();
+                let hoisted: Vec<(usize, u32)> = probe_positions(h1, h2, k).collect();
+                assert_eq!(hoisted, remixed, "key {key} k {k}");
+            }
+        }
     }
 }

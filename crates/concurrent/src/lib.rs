@@ -48,7 +48,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use filter_core::{CountingFilter, DynamicFilter, Filter, Hasher, InsertFilter, Result};
+use filter_core::{
+    BatchedFilter, CountingFilter, DynamicFilter, Filter, Hasher, InsertFilter, Result,
+};
 use std::sync::Mutex;
 
 /// Seed reserved for shard selection. No filter constructor in the
@@ -212,22 +214,6 @@ impl<F: Filter> Sharded<F> {
         self.with_shard(key, |f| f.contains(key))
     }
 
-    /// Batched membership: `out[i]` answers `keys[i]`. Locks each
-    /// shard once instead of once per key.
-    pub fn contains_batch(&self, keys: &[u64]) -> Vec<bool> {
-        let mut out = vec![false; keys.len()];
-        for (s, bucket) in self.group_by_shard(keys).into_iter().enumerate() {
-            if bucket.is_empty() {
-                continue;
-            }
-            let shard = self.lock(s);
-            for (i, k) in bucket {
-                out[i] = shard.contains(k);
-            }
-        }
-        out
-    }
-
     /// Distinct keys represented, summed over shards (a racing
     /// snapshot under concurrent writes).
     pub fn len(&self) -> usize {
@@ -242,6 +228,46 @@ impl<F: Filter> Sharded<F> {
     /// Heap bytes summed over shards.
     pub fn size_in_bytes(&self) -> usize {
         self.for_each_shard(|f| f.size_in_bytes()).into_iter().sum()
+    }
+}
+
+impl<F: BatchedFilter> Sharded<F> {
+    /// Batched membership: `out[i]` answers `keys[i]`. Groups keys by
+    /// shard (locking each shard once instead of once per key), runs
+    /// each shard's keys through the inner filter's pipelined
+    /// [`BatchedFilter`] kernel, and restitches results to input
+    /// order.
+    pub fn contains_batch(&self, keys: &[u64]) -> Vec<bool> {
+        let mut out = vec![false; keys.len()];
+        self.contains_into(keys, &mut out);
+        out
+    }
+
+    /// Core of the batched membership path: answers into `out`
+    /// (shared by [`Sharded::contains_batch`] and the
+    /// [`BatchedFilter`] impl).
+    fn contains_into(&self, keys: &[u64], out: &mut [bool]) {
+        debug_assert_eq!(keys.len(), out.len());
+        // Scratch buffers reused across shards: the kernel wants each
+        // shard's keys contiguous, and results come back in that
+        // gathered order before being scattered to input positions.
+        let mut gathered: Vec<u64> = Vec::new();
+        let mut answers: Vec<bool> = Vec::new();
+        for (s, bucket) in self.group_by_shard(keys).into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            gathered.clear();
+            gathered.extend(bucket.iter().map(|&(_, k)| k));
+            answers.clear();
+            answers.resize(bucket.len(), false);
+            let shard = self.lock(s);
+            shard.contains_many(&gathered, &mut answers);
+            drop(shard);
+            for (&(i, _), &a) in bucket.iter().zip(&answers) {
+                out[i] = a;
+            }
+        }
     }
 }
 
@@ -342,6 +368,21 @@ impl<F: Filter> Filter for Sharded<F> {
 
     fn size_in_bytes(&self) -> usize {
         Sharded::size_in_bytes(self)
+    }
+}
+
+impl<F: BatchedFilter> BatchedFilter for Sharded<F> {
+    /// Batched membership through shard grouping: one lock per
+    /// non-empty shard, inner kernels per shard, input order
+    /// preserved. Overrides the whole driver (not just the chunk
+    /// hook) because grouping wants to see the full batch at once.
+    fn contains_many(&self, keys: &[u64], out: &mut [bool]) {
+        assert_eq!(
+            keys.len(),
+            out.len(),
+            "contains_many: keys and out lengths differ"
+        );
+        self.contains_into(keys, out);
     }
 }
 

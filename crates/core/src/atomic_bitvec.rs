@@ -98,6 +98,15 @@ impl AtomicBitVec {
         self.words.len()
     }
 
+    /// Prefetch the cache line holding word `wi` (no-op out of range —
+    /// see [`crate::prefetch::prefetch_read`]). Prefetching does not
+    /// interact with the atomics: it is a hint with no memory-order
+    /// effects.
+    #[inline(always)]
+    pub fn prefetch_word(&self, wi: usize) {
+        crate::prefetch::prefetch_read(&self.words, wi);
+    }
+
     /// Number of set bits (a racing snapshot under concurrent writes).
     pub fn count_ones(&self) -> usize {
         self.words

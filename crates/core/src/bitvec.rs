@@ -136,6 +136,13 @@ impl BitVec {
         &self.words
     }
 
+    /// Prefetch the cache line holding bit `i` (no-op out of range —
+    /// see [`crate::prefetch::prefetch_read`]).
+    #[inline(always)]
+    pub fn prefetch_bit(&self, i: usize) {
+        crate::prefetch::prefetch_read(&self.words, i >> 6);
+    }
+
     /// Rebuild from backing words and a bit length (serialization).
     pub fn from_parts(words: Vec<u64>, len: usize) -> Self {
         assert_eq!(words.len(), len.div_ceil(64));
@@ -254,6 +261,15 @@ impl PackedArray {
     pub fn get(&self, i: usize) -> u64 {
         debug_assert!(i < self.len);
         self.bits.get_bits(i * self.width as usize, self.width)
+    }
+
+    /// Prefetch the cache line holding the start of field `i` (no-op
+    /// out of range). Fields are at most 64 bits, so one line covers
+    /// a field except when it straddles a line boundary — good enough
+    /// for a hint.
+    #[inline(always)]
+    pub fn prefetch_field(&self, i: usize) {
+        self.bits.prefetch_bit(i * self.width as usize);
     }
 
     /// Write field `i`.

@@ -18,22 +18,36 @@
 //! - [`traits`] — the filter trait hierarchy mirroring the tutorial's
 //!   taxonomy: static / semi-dynamic / dynamic filters plus counting,
 //!   maplet, range, expandable, and adaptive extensions.
+//! - [`batch`] — the [`BatchedFilter`] extension trait: hash-hoisted,
+//!   prefetch-pipelined batch lookups (the memory-level-parallelism
+//!   technique behind the fastest published filters).
+//! - [`prefetch`] — the safe software-prefetch wrapper the batch
+//!   kernels use to overlap DRAM misses.
+//!
+//! Unsafe code policy: the crate denies `unsafe_code` everywhere
+//! except the [`prefetch`] module, whose single intrinsic call
+//! performs no architecturally visible memory access (see the module
+//! docs for the safety argument).
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 pub mod atomic_bitvec;
+pub mod batch;
 pub mod bitvec;
 pub mod ef;
 pub mod hash;
+pub mod prefetch;
 pub mod rank_select;
 pub mod serial;
 pub mod traits;
 
 pub use atomic_bitvec::AtomicBitVec;
+pub use batch::{BatchedFilter, PROBE_CHUNK};
 pub use bitvec::{BitVec, PackedArray};
 pub use ef::EliasFano;
 pub use hash::{quotienting, rem_mask, FilterKey, Hasher};
+pub use prefetch::prefetch_read;
 pub use rank_select::{rank_word, select_word, RankSelectVec};
 pub use serial::{ByteReader, ByteWriter, SerialError};
 pub use traits::{

@@ -1,0 +1,74 @@
+//! Safe software-prefetch wrapper for batch probe kernels.
+//!
+//! Filter probes are memory-bound: the hash is a handful of
+//! arithmetic ops, the bucket read is a DRAM miss. A scalar probe
+//! loop serialises those misses; a batched loop that *hashes first,
+//! prefetches second, resolves third* overlaps them, which is where
+//! the xor/binary-fuse line of work gets most of its batch-query
+//! speedup. This module provides the one primitive those kernels
+//! need: "start pulling this element's cache line now".
+//!
+//! # Safety argument
+//!
+//! This is the only module in the crate allowed to contain `unsafe`
+//! (the crate root carries `#![deny(unsafe_code)]`). The single
+//! unsafe operation is [`_mm_prefetch`], which is a pure performance
+//! hint: it performs **no architecturally visible memory access** —
+//! it cannot fault, cannot read or write data as far as the abstract
+//! machine is concerned, and is explicitly documented to be safe even
+//! on invalid addresses. The intrinsic is only `unsafe` in Rust
+//! because all `core::arch` intrinsics are. We nevertheless only pass
+//! pointers derived from in-bounds slice elements: [`prefetch_read`]
+//! bounds-checks `index` and becomes a no-op when it is out of range,
+//! so the wrapper is safe by construction, not merely by the
+//! intrinsic's contract.
+//!
+//! On non-x86_64 targets the function compiles to nothing; batch
+//! kernels still benefit there from the hash hoisting alone.
+//!
+//! [`_mm_prefetch`]: core::arch::x86_64::_mm_prefetch
+
+/// Hint the CPU to pull `slice[index]`'s cache line toward L1.
+///
+/// A no-op when `index` is out of bounds or on non-x86_64 targets.
+/// This never reads the element; it only warms the line so a
+/// subsequent real read is likely to hit cache.
+#[inline(always)]
+pub fn prefetch_read<T>(slice: &[T], index: usize) {
+    if let Some(elem) = slice.get(index) {
+        #[cfg(target_arch = "x86_64")]
+        #[allow(unsafe_code)]
+        // SAFETY: `elem` is a valid in-bounds reference; `_mm_prefetch`
+        // performs no architecturally visible access (hint only).
+        unsafe {
+            core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+                (elem as *const T).cast::<i8>(),
+            );
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = elem;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_in_bounds_is_a_nop_semantically() {
+        let data = vec![1u64, 2, 3, 4];
+        for i in 0..data.len() {
+            prefetch_read(&data, i);
+        }
+        assert_eq!(data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn prefetch_out_of_bounds_is_safe() {
+        let data: Vec<u64> = Vec::new();
+        prefetch_read(&data, 0);
+        prefetch_read(&data, usize::MAX);
+        let one = [42u8];
+        prefetch_read(&one, 1);
+    }
+}

@@ -8,7 +8,10 @@
 //! 3-bit overhead comes from the `b = 4` bucket structure
 //! (`lg(2b) = 3`).
 
-use filter_core::{DynamicFilter, Filter, FilterError, Hasher, InsertFilter, PackedArray, Result};
+use filter_core::{
+    BatchedFilter, DynamicFilter, Filter, FilterError, Hasher, InsertFilter, PackedArray, Result,
+    PROBE_CHUNK,
+};
 
 /// Slots per bucket (the paper's recommended 4).
 pub const BUCKET_SIZE: usize = 4;
@@ -223,6 +226,29 @@ impl Filter for CuckooFilter {
 
     fn size_in_bytes(&self) -> usize {
         self.slots.size_in_bytes()
+    }
+}
+
+impl BatchedFilter for CuckooFilter {
+    /// Pipelined probe: derive every key's fingerprint and both
+    /// candidate buckets up front (the alternate bucket is computed
+    /// eagerly — the scalar path derives it lazily, but the answer is
+    /// identical), prefetch both buckets' slot words, then resolve.
+    fn contains_chunk(&self, keys: &[u64], out: &mut [bool]) {
+        debug_assert!(keys.len() <= PROBE_CHUNK && keys.len() == out.len());
+        let mut probes = [(0u64, 0usize, 0usize); PROBE_CHUNK];
+        for (p, &key) in probes.iter_mut().zip(keys) {
+            let (fp, i1) = self.fp_and_bucket(key);
+            let i2 = self.alt_bucket(i1, fp);
+            *p = (fp, i1, i2);
+        }
+        for &(_, i1, i2) in &probes[..keys.len()] {
+            self.slots.prefetch_field(i1 * self.bucket_size);
+            self.slots.prefetch_field(i2 * self.bucket_size);
+        }
+        for (o, &(fp, i1, i2)) in out.iter_mut().zip(&probes[..keys.len()]) {
+            *o = self.bucket_contains(i1, fp) || self.bucket_contains(i2, fp);
+        }
     }
 }
 

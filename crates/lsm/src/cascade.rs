@@ -239,6 +239,12 @@ impl filter_core::InsertFilter for CascadeFilter {
     }
 }
 
+/// Default (scalar) batch implementation: a cascade query's cost is
+/// dominated by simulated-storage I/O, not cache misses, so there is
+/// no prefetch kernel — but the impl lets `Sharded<CascadeFilter>`
+/// use the one-lock-per-shard batched membership path.
+impl filter_core::BatchedFilter for CascadeFilter {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

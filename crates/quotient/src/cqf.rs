@@ -25,7 +25,8 @@
 
 use crate::table::SlotTable;
 use filter_core::{
-    quotienting, CountingFilter, Expandable, Filter, FilterError, Hasher, InsertFilter, Result,
+    quotienting, BatchedFilter, CountingFilter, Expandable, Filter, FilterError, Hasher,
+    InsertFilter, Result, PROBE_CHUNK,
 };
 
 /// Decode a run's payload slots into `(remainder, count)` pairs.
@@ -203,6 +204,19 @@ impl CountingQuotientFilter {
     #[inline]
     fn fingerprint(&self, key: u64) -> (u64, u64) {
         quotienting(self.hasher.hash(&key), self.table.q(), self.r)
+    }
+
+    /// Multiplicity of an already-quotiented fingerprint (shared by
+    /// [`CountingFilter::count`] and the batch kernel's resolve
+    /// phase).
+    #[inline]
+    fn count_fp(&self, quot: u64, rem: u64) -> u64 {
+        let payloads = self.table.run_payloads(quot);
+        decode_counts(&payloads, self.r)
+            .into_iter()
+            .find(|&(x, _)| x == rem)
+            .map(|(_, c)| c)
+            .unwrap_or(0)
     }
 
     /// Merge another CQF's counts into this one. Both filters must
@@ -410,6 +424,27 @@ impl Filter for CountingQuotientFilter {
     }
 }
 
+impl BatchedFilter for CountingQuotientFilter {
+    /// Pipelined probe: quotient every key up front, warm each home
+    /// slot's metadata bitmaps and payload line, then decode runs
+    /// from cache. Long clusters can still walk past the warmed
+    /// words, but the common case (short runs near the home slot)
+    /// resolves without a serialised miss.
+    fn contains_chunk(&self, keys: &[u64], out: &mut [bool]) {
+        debug_assert!(keys.len() <= PROBE_CHUNK && keys.len() == out.len());
+        let mut fps = [(0u64, 0u64); PROBE_CHUNK];
+        for (p, &key) in fps.iter_mut().zip(keys) {
+            *p = self.fingerprint(key);
+        }
+        for &(quot, _) in &fps[..keys.len()] {
+            self.table.prefetch_home(quot);
+        }
+        for (o, &(quot, rem)) in out.iter_mut().zip(&fps[..keys.len()]) {
+            *o = self.count_fp(quot, rem) > 0;
+        }
+    }
+}
+
 impl InsertFilter for CountingQuotientFilter {
     fn insert(&mut self, key: u64) -> Result<()> {
         self.insert_count(key, 1)
@@ -427,12 +462,7 @@ impl CountingFilter for CountingQuotientFilter {
 
     fn count(&self, key: u64) -> u64 {
         let (quot, rem) = self.fingerprint(key);
-        let payloads = self.table.run_payloads(quot);
-        decode_counts(&payloads, self.r)
-            .into_iter()
-            .find(|&(x, _)| x == rem)
-            .map(|(_, c)| c)
-            .unwrap_or(0)
+        self.count_fp(quot, rem)
     }
 
     fn remove_count(&mut self, key: u64, count: u64) -> Result<()> {

@@ -179,6 +179,19 @@ impl SlotTable {
         }
     }
 
+    /// Prefetch the metadata and payload cache lines around quotient
+    /// `quot`'s home slot (the batch kernel's hash phase warms the
+    /// three metadata bitmaps plus the slot array before resolving).
+    /// Hint only; cluster walks that leave the home word still miss.
+    #[inline]
+    pub fn prefetch_home(&self, quot: u64) {
+        let i = quot as usize;
+        self.occupieds.prefetch_bit(i);
+        self.runends.prefetch_bit(i);
+        self.in_use.prefetch_bit(i);
+        self.slots.prefetch_field(i);
+    }
+
     /// Read the payloads of quotient `q`'s run (empty if unoccupied).
     pub fn run_payloads(&self, quot: u64) -> Vec<u64> {
         match self.find_run(quot) {

@@ -145,6 +145,11 @@ pub struct ServerMetrics {
     pub error_responses: AtomicU64,
     /// Keys processed across INSERT/CONTAINS/COUNT/DELETE batches.
     pub keys_processed: AtomicU64,
+    /// Keys that arrived in multi-key INSERT/CONTAINS requests and so
+    /// were served by the batched probe kernels rather than the scalar
+    /// path — `batched_ops / keys_processed` is the fraction of
+    /// traffic amortizing hash-hoisted, prefetched lookups.
+    pub batched_ops: AtomicU64,
     /// Payload bytes read.
     pub bytes_in: AtomicU64,
     /// Payload bytes written.
@@ -182,6 +187,7 @@ impl ServerMetrics {
             disconnects_mid_frame: self.disconnects_mid_frame.load(Ordering::Relaxed),
             error_responses: self.error_responses.load(Ordering::Relaxed),
             keys_processed: self.keys_processed.load(Ordering::Relaxed),
+            batched_ops: self.batched_ops.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             request_latency: self.request_latency.snapshot(),
@@ -208,6 +214,9 @@ pub struct CountersSnapshot {
     pub error_responses: u64,
     /// Keys processed across all batch operations.
     pub keys_processed: u64,
+    /// Keys served through the batched probe kernels (multi-key
+    /// INSERT/CONTAINS requests).
+    pub batched_ops: u64,
     /// Payload bytes read.
     pub bytes_in: u64,
     /// Payload bytes written.
@@ -227,6 +236,7 @@ impl CountersSnapshot {
             self.disconnects_mid_frame,
             self.error_responses,
             self.keys_processed,
+            self.batched_ops,
             self.bytes_in,
             self.bytes_out,
         ] {
@@ -245,6 +255,7 @@ impl CountersSnapshot {
             disconnects_mid_frame: r.take_u64()?,
             error_responses: r.take_u64()?,
             keys_processed: r.take_u64()?,
+            batched_ops: r.take_u64()?,
             bytes_in: r.take_u64()?,
             bytes_out: r.take_u64()?,
             request_latency: HistogramSnapshot::deserialize(r)?,
@@ -374,6 +385,7 @@ mod tests {
                 connections_opened: 5,
                 frames_received: 100,
                 keys_processed: 4096,
+                batched_ops: 4000,
                 request_latency: h.snapshot(),
                 ..Default::default()
             },

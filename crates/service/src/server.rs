@@ -565,6 +565,9 @@ fn handle_insert(shared: &Shared, name: &str, keys: &[u64]) -> Response {
         Err(resp) => return resp,
     };
     ServerMetrics::add(&shared.metrics.keys_processed, keys.len() as u64);
+    if keys.len() > 1 {
+        ServerMetrics::add(&shared.metrics.batched_ops, keys.len() as u64);
+    }
     match &*f {
         ServedFilter::Bloom(b) => {
             b.insert_batch(keys);
@@ -587,6 +590,9 @@ fn handle_contains(shared: &Shared, name: &str, keys: &[u64]) -> Response {
         Err(resp) => return resp,
     };
     ServerMetrics::add(&shared.metrics.keys_processed, keys.len() as u64);
+    if keys.len() > 1 {
+        ServerMetrics::add(&shared.metrics.batched_ops, keys.len() as u64);
+    }
     Response::Bools(match &*f {
         ServedFilter::Bloom(b) => b.contains_batch(keys),
         ServedFilter::Cuckoo(c) => c.contains_batch(keys),

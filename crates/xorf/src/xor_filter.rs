@@ -2,7 +2,7 @@
 //! algebraic static filter (§2.7), `1.22·n·lg(1/ε)` bits.
 
 use crate::peel::{peel, positions, segment_len};
-use filter_core::{Filter, FilterError, Hasher, PackedArray, Result};
+use filter_core::{BatchedFilter, Filter, FilterError, Hasher, PackedArray, Result, PROBE_CHUNK};
 
 /// Maximum construction attempts before giving up.
 const MAX_ATTEMPTS: u32 = 64;
@@ -133,6 +133,32 @@ impl Filter for XorFilter {
 
     fn size_in_bytes(&self) -> usize {
         self.table.size_in_bytes()
+    }
+}
+
+impl BatchedFilter for XorFilter {
+    /// Pipelined probe — the construction this technique was
+    /// published for (Graf & Lemire): each key reads exactly three
+    /// table positions in three disjoint segments, so a query is
+    /// three independent cache misses that overlap perfectly once
+    /// hoisted.
+    fn contains_chunk(&self, keys: &[u64], out: &mut [bool]) {
+        debug_assert!(keys.len() <= PROBE_CHUNK && keys.len() == out.len());
+        let mut probes = [([0usize; 3], 0u64); PROBE_CHUNK];
+        for (p, &key) in probes.iter_mut().zip(keys) {
+            *p = (
+                positions(&self.hasher, key, self.seg_len),
+                Self::fingerprint_of(&self.hasher, key, self.fp_bits),
+            );
+        }
+        for &(pos, _) in &probes[..keys.len()] {
+            for p in pos {
+                self.table.prefetch_field(p);
+            }
+        }
+        for (o, &([a, b, c], fp)) in out.iter_mut().zip(&probes[..keys.len()]) {
+            *o = fp == self.table.get(a) ^ self.table.get(b) ^ self.table.get(c);
+        }
     }
 }
 

@@ -369,6 +369,74 @@ proptest! {
         }
     }
 
+    /// Every filter overriding the batched probe kernel answers
+    /// `contains_many` exactly as pointwise `contains`, across the
+    /// chunk-boundary batch sizes (0, 1, 31, 32, 33, 65) where
+    /// remainder-chunk handling could go wrong.
+    #[test]
+    fn batched_kernels_match_pointwise(
+        keys in prop::collection::btree_set(any::<u64>(), 1..300),
+        extra in prop::collection::vec(any::<u64>(), 65..66),
+        n_idx in 0usize..BATCH_SIZES.len(),
+    ) {
+        let n = BATCH_SIZES[n_idx];
+        let keys: Vec<u64> = keys.into_iter().collect();
+        // Probe a mix of members and arbitrary keys, truncated to a
+        // chunk-boundary length (members first so small batches still
+        // exercise the positive path).
+        let mut probes: Vec<u64> = keys.iter().copied().chain(extra).collect();
+        probes.truncate(n);
+
+        let cap = keys.len().max(8);
+        let mut bloom = beyond_bloom::bloom::BloomFilter::with_seed(cap, 0.02, 7);
+        let mut blocked = beyond_bloom::bloom::BlockedBloomFilter::with_seed(cap, 0.02, 7);
+        let atomic = beyond_bloom::bloom::AtomicBlockedBloomFilter::with_seed(cap, 0.02, 7);
+        let mut cuckoo = beyond_bloom::cuckoo::CuckooFilter::new(2 * cap, 12);
+        let mut cqf = beyond_bloom::quotient::CountingQuotientFilter::for_capacity(cap, 0.01);
+        cqf.set_auto_expand(true);
+        for &k in &keys {
+            bloom.insert(k).unwrap();
+            blocked.insert(k).unwrap();
+            atomic.insert(k);
+            cuckoo.insert(k).unwrap();
+            cqf.insert(k).unwrap();
+        }
+        let xor = beyond_bloom::xorf::XorFilter::build(&keys, 8).unwrap();
+
+        batched_matches_pointwise("bloom", &bloom, &probes);
+        batched_matches_pointwise("blocked", &blocked, &probes);
+        batched_matches_pointwise("atomic-blocked", &atomic, &probes);
+        batched_matches_pointwise("cuckoo", &cuckoo, &probes);
+        batched_matches_pointwise("cqf", &cqf, &probes);
+        batched_matches_pointwise("xor", &xor, &probes);
+    }
+
+    /// `Sharded` batch membership restitches per-shard answers into
+    /// input order: position `i` of the result always answers key `i`,
+    /// including duplicated keys and empty shards.
+    #[test]
+    fn sharded_batch_preserves_input_order(
+        keys in prop::collection::vec(any::<u64>(), 0..300),
+        probes in prop::collection::vec(any::<u64>(), 0..150),
+        n_idx in 0usize..BATCH_SIZES.len(),
+    ) {
+        let n = BATCH_SIZES[n_idx];
+        use beyond_bloom::concurrent::Sharded;
+        let sharded: Sharded<beyond_bloom::bloom::BloomFilter> =
+            Sharded::new(3, |i| beyond_bloom::bloom::BloomFilter::with_seed(512, 0.02, i as u64));
+        for &k in &keys {
+            sharded.insert(k).unwrap();
+        }
+        // Duplicates land in the same shard; interleave them anyway.
+        let mut mixed: Vec<u64> = probes;
+        mixed.extend(keys.iter().take(40));
+        mixed.truncate(n);
+        let got = sharded.contains_batch(&mixed);
+        let want: Vec<bool> = mixed.iter().map(|&k| sharded.contains(k)).collect();
+        prop_assert_eq!(got, want);
+        batched_matches_pointwise("sharded-bloom", &sharded, &mixed);
+    }
+
     /// The dyadic-hierarchy range filters agree with ground truth on
     /// non-empty ranges under arbitrary key sets.
     #[test]
@@ -392,4 +460,30 @@ proptest! {
             prop_assert!(rencoder.may_contain_range(lo, hi));
         }
     }
+}
+
+/// Batch sizes straddling the probe-chunk boundary (`PROBE_CHUNK` is
+/// 32): empty, singleton, one-under, exact, one-over, two chunks + 1.
+const BATCH_SIZES: [usize; 6] = [0, 1, 31, 32, 33, 65];
+
+/// Check that a filter's batched membership paths (`contains_many` and
+/// the allocating `contains_batch`) agree bit-for-bit with pointwise
+/// `contains` — false positives included.
+fn batched_matches_pointwise<F: beyond_bloom::core::BatchedFilter>(
+    label: &str,
+    f: &F,
+    probes: &[u64],
+) {
+    let mut got = vec![false; probes.len()];
+    f.contains_many(probes, &mut got);
+    let want: Vec<bool> = probes.iter().map(|&k| f.contains(k)).collect();
+    assert_eq!(
+        got, want,
+        "{label}: contains_many diverges from scalar contains"
+    );
+    assert_eq!(
+        f.contains_batch(probes),
+        want,
+        "{label}: contains_batch diverges from scalar contains"
+    );
 }

@@ -163,6 +163,11 @@ fn crud_and_stats_roundtrip() {
     assert_eq!(stats.filters.len(), 4, "registry lists every instance");
     assert!(stats.filters.iter().any(|f| f.name == "shipped-cf"));
     assert!(stats.counters.keys_processed > 0);
+    // Every INSERT/CONTAINS above shipped multi-key requests, so all of
+    // that traffic went through the batched probe kernels — but DELETE
+    // and COUNT keys are counted in keys_processed only.
+    assert!(stats.counters.batched_ops > 0);
+    assert!(stats.counters.batched_ops <= stats.counters.keys_processed);
     assert!(stats.counters.request_latency.count() > 0);
 
     drop(c);
