@@ -10,9 +10,10 @@ pub mod expansion;
 pub mod maplets;
 pub mod range;
 pub mod service_exp;
+pub mod simd;
 pub mod space_fpr;
 
-/// Run one experiment by id (`e1`..`e20`), or `all`.
+/// Run one experiment by id (`e1`..`e21`), or `all`.
 pub fn run(id: &str) -> bool {
     match id {
         "e1" | "e1-space" => space_fpr::e1_space(),
@@ -35,10 +36,11 @@ pub fn run(id: &str) -> bool {
         "e18" | "e18-threads" => concurrency::e18_threads(),
         "e19" | "e19-service" => service_exp::e19_service(),
         "e20" | "e20-batched" => batched::e20_batched(),
+        "e21" | "e21-simd" => simd::e21_simd(),
         "all" => {
             for e in [
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "e15", "e16", "e17", "e18", "e19", "e20",
+                "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21",
             ] {
                 run(e);
                 println!();

@@ -25,10 +25,11 @@
 //! which for a Bloom filter can only delay a positive, never produce
 //! a false negative after publication.
 
+use filter_core::simd::{self, SimdLevel};
 use filter_core::{AtomicBitVec, BatchedFilter, Filter, Hasher, InsertFilter, Result, PROBE_CHUNK};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::blocked::{locate_block, probe_positions, BLOCK_WORDS};
+use crate::blocked::{locate_block, BLOCK_WORDS};
 
 /// A cache-blocked Bloom filter with lock-free `&self` inserts.
 ///
@@ -97,10 +98,7 @@ impl AtomicBlockedBloomFilter {
     /// touched word is OR-ed exactly once).
     pub fn insert(&self, key: u64) {
         let (b, h1, h2) = locate_block(&self.hasher, self.n_blocks, key);
-        let mut mask = [0u64; BLOCK_WORDS];
-        for (w, bit) in probe_positions(h1, h2, self.k) {
-            mask[w] |= 1 << bit;
-        }
+        let mask = simd::block_mask_512(h1, h2, self.k);
         let base = b * BLOCK_WORDS;
         for (w, &m) in mask.iter().enumerate() {
             if m != 0 {
@@ -120,19 +118,22 @@ impl AtomicBlockedBloomFilter {
     /// Membership query (never a false negative for published inserts).
     pub fn contains(&self, key: u64) -> bool {
         let (b, h1, h2) = locate_block(&self.hasher, self.n_blocks, key);
-        self.contains_located(b, h1, h2)
+        let mask = simd::block_mask_512(h1, h2, self.k);
+        self.contains_located(simd::active_level(), b, &mask)
     }
 
-    /// Resolve phase: membership from an already-located block.
+    /// Resolve phase: membership from an already-located block and a
+    /// pre-built probe mask. The whole 512-bit block is snapshotted
+    /// with relaxed word loads and tested against the mask in one
+    /// vectorised compare; words the mask does not touch are
+    /// trivially covered, so the result is identical to probing
+    /// word-by-word (and each word is still read at most once,
+    /// preserving the wait-free monotone-read argument in the module
+    /// docs).
     #[inline]
-    fn contains_located(&self, b: usize, h1: u64, h2: u64) -> bool {
-        let base = b * BLOCK_WORDS;
-        // Load each of the (at most 8) probed words once.
-        let mut loaded = [None::<u64>; BLOCK_WORDS];
-        probe_positions(h1, h2, self.k).all(|(w, bit)| {
-            let word = *loaded[w].get_or_insert_with(|| self.bits.load_word(base + w));
-            word >> bit & 1 == 1
-        })
+    fn contains_located(&self, level: SimdLevel, b: usize, mask: &[u64; BLOCK_WORDS]) -> bool {
+        let block: [u64; BLOCK_WORDS] = self.bits.load_block(b * BLOCK_WORDS);
+        simd::covered_512_at(level, &block, mask)
     }
 
     /// Batched membership query; results align with `keys`. Thin
@@ -144,22 +145,32 @@ impl AtomicBlockedBloomFilter {
 
 impl BatchedFilter for AtomicBlockedBloomFilter {
     /// Pipelined probe over the atomic words: locate every key's
-    /// block, prefetch both ends of each block (a 512-bit block can
+    /// block and prefetch both of its ends (a 512-bit block can
     /// straddle two lines — `Vec<AtomicU64>` is only 8-byte aligned),
-    /// then resolve. Prefetching has no memory-ordering effect.
+    /// then resolve with a mask build + snapshot + compare per key.
+    /// Unlike [`BlockedBloomFilter`](crate::BlockedBloomFilter)'s
+    /// kernel, the mask is built in the *resolve* phase: the atomic
+    /// snapshot is a serial word-copy the compiler may not vectorise,
+    /// and interleaving the mask arithmetic gives the out-of-order
+    /// core independent work to overlap with those loads. Prefetching
+    /// has no memory-ordering effect.
     fn contains_chunk(&self, keys: &[u64], out: &mut [bool]) {
         debug_assert!(keys.len() <= PROBE_CHUNK && keys.len() == out.len());
-        let mut loc = [(0usize, 0u64, 0u64); PROBE_CHUNK];
-        for (l, &key) in loc.iter_mut().zip(keys) {
-            *l = locate_block(&self.hasher, self.n_blocks, key);
-        }
-        for &(b, _, _) in &loc[..keys.len()] {
-            let base = b * BLOCK_WORDS;
+        let level = simd::active_level();
+        let mut blocks = [0usize; PROBE_CHUNK];
+        let mut bases = [(0u64, 0u64); PROBE_CHUNK];
+        for ((b, hh), &key) in blocks.iter_mut().zip(bases.iter_mut()).zip(keys) {
+            let (blk, h1, h2) = locate_block(&self.hasher, self.n_blocks, key);
+            *b = blk;
+            *hh = (h1, h2);
+            let base = blk * BLOCK_WORDS;
             self.bits.prefetch_word(base);
             self.bits.prefetch_word(base + BLOCK_WORDS - 1);
         }
-        for (o, &(b, h1, h2)) in out.iter_mut().zip(&loc[..keys.len()]) {
-            *o = self.contains_located(b, h1, h2);
+        let it = blocks[..keys.len()].iter().zip(&bases[..keys.len()]);
+        for (o, (&b, &(h1, h2))) in out.iter_mut().zip(it) {
+            let mask = simd::block_mask_512(h1, h2, self.k);
+            *o = self.contains_located(level, b, &mask);
         }
     }
 }

@@ -8,6 +8,7 @@
 //! performance baseline the fingerprint filters are compared against
 //! in the throughput experiments (E3).
 
+use filter_core::simd;
 use filter_core::{BatchedFilter, Filter, Hasher, InsertFilter, Result, PROBE_CHUNK};
 
 pub(crate) const BLOCK_WORDS: usize = 8; // 512 bits = one cache line
@@ -40,6 +41,11 @@ pub(crate) fn bit_in_block(h1: u64, h2: u64, i: u64) -> (usize, u32) {
 /// `(h1 + i·h2) mod 2⁶⁴ mod 512` distributes over the addition and
 /// the position advances by `(pos + step) & 511`. Bit-identical to
 /// [`bit_in_block`] (see `hoisted_positions_match_remixed`).
+///
+/// The production paths now fold these positions into one 8-word
+/// mask via [`filter_core::simd::block_mask_512`]; this iterator is
+/// retained as the specification that fold is pinned against.
+#[cfg(test)]
 #[inline]
 pub(crate) fn probe_positions(h1: u64, h2: u64, k: u32) -> impl Iterator<Item = (usize, u32)> {
     const MASK: u64 = BLOCK_WORDS as u64 * 64 - 1;
@@ -93,8 +99,8 @@ impl BlockedBloomFilter {
 impl Filter for BlockedBloomFilter {
     fn contains(&self, key: u64) -> bool {
         let (b, h1, h2) = self.locate(key);
-        let block = &self.blocks[b];
-        probe_positions(h1, h2, self.k).all(|(w, bit)| block[w] >> bit & 1 == 1)
+        let mask = simd::block_mask_512(h1, h2, self.k);
+        simd::covered_512(&self.blocks[b], &mask)
     }
 
     fn len(&self) -> usize {
@@ -109,18 +115,24 @@ impl Filter for BlockedBloomFilter {
 impl BatchedFilter for BlockedBloomFilter {
     /// Pipelined probe: one block — one line — per key, so one
     /// prefetch per key warms everything the resolve phase reads.
+    /// The mask build (the only per-key compute) happens in the
+    /// prefetch phase so it overlaps the memory latency; the resolve
+    /// phase is a single vectorised containment compare per key,
+    /// dispatch level read once.
     fn contains_chunk(&self, keys: &[u64], out: &mut [bool]) {
         debug_assert!(keys.len() <= PROBE_CHUNK && keys.len() == out.len());
-        let mut loc = [(0usize, 0u64, 0u64); PROBE_CHUNK];
-        for (l, &key) in loc.iter_mut().zip(keys) {
-            *l = self.locate(key);
+        let level = simd::active_level();
+        let mut blocks = [0usize; PROBE_CHUNK];
+        let mut masks = [[0u64; BLOCK_WORDS]; PROBE_CHUNK];
+        for ((b, m), &key) in blocks.iter_mut().zip(masks.iter_mut()).zip(keys) {
+            let (blk, h1, h2) = self.locate(key);
+            *b = blk;
+            filter_core::prefetch_read(&self.blocks, blk);
+            *m = simd::block_mask_512(h1, h2, self.k);
         }
-        for &(b, _, _) in &loc[..keys.len()] {
-            filter_core::prefetch_read(&self.blocks, b);
-        }
-        for (o, &(b, h1, h2)) in out.iter_mut().zip(&loc[..keys.len()]) {
-            let block = &self.blocks[b];
-            *o = probe_positions(h1, h2, self.k).all(|(w, bit)| block[w] >> bit & 1 == 1);
+        let it = blocks[..keys.len()].iter().zip(&masks[..keys.len()]);
+        for (o, (&b, m)) in out.iter_mut().zip(it) {
+            *o = simd::covered_512_at(level, &self.blocks[b], m);
         }
     }
 }
@@ -128,9 +140,10 @@ impl BatchedFilter for BlockedBloomFilter {
 impl InsertFilter for BlockedBloomFilter {
     fn insert(&mut self, key: u64) -> Result<()> {
         let (b, h1, h2) = self.locate(key);
+        let mask = simd::block_mask_512(h1, h2, self.k);
         let block = &mut self.blocks[b];
-        for (w, bit) in probe_positions(h1, h2, self.k) {
-            block[w] |= 1 << bit;
+        for (w, &m) in block.iter_mut().zip(&mask) {
+            *w |= m;
         }
         self.items += 1;
         Ok(())
@@ -201,6 +214,25 @@ mod tests {
         let f = BlockedBloomFilter::new(1000, 0.01);
         let (b1, _, _) = f.locate(42);
         assert!(b1 < f.blocks.len());
+    }
+
+    #[test]
+    fn engine_mask_folds_probe_positions() {
+        // The production paths replaced the per-probe loop with one
+        // engine-built 8-word mask; the mask must be exactly the OR
+        // of the probe positions for every base pair and k.
+        let h = Hasher::with_seed(8);
+        for key in unique_keys(16, 2_000) {
+            let (h1, h2) = h.hash_pair(&key);
+            let h1 = h1 >> 32;
+            for k in [1u32, 7, 8, 13] {
+                let mut folded = [0u64; BLOCK_WORDS];
+                for (w, bit) in probe_positions(h1, h2, k) {
+                    folded[w] |= 1 << bit;
+                }
+                assert_eq!(simd::block_mask_512(h1, h2, k), folded, "key {key} k {k}");
+            }
+        }
     }
 
     #[test]

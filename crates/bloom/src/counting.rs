@@ -9,7 +9,10 @@
 //! with wider counters. [`CountingBloomFilter::saturations`] exposes
 //! when a rebuild is needed.
 
-use filter_core::{CountingFilter, Filter, FilterError, Hasher, InsertFilter, PackedArray, Result};
+use filter_core::{
+    BatchedFilter, CountingFilter, Filter, FilterError, Hasher, InsertFilter, PackedArray, Result,
+    PROBE_CHUNK,
+};
 
 /// A counting Bloom filter with `counter_bits`-wide counters.
 #[derive(Debug, Clone)]
@@ -52,6 +55,27 @@ impl CountingBloomFilter {
         (0..self.k as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
     }
 
+    /// Membership resolve for a key whose first counter index is
+    /// already computed (and prefetched) and whose accumulator is
+    /// advanced past it — the batch kernel's second phase. Does the
+    /// scalar path's arithmetic exactly (`(h1 + i·h2) mod 2⁶⁴ mod m`
+    /// via iterated wrapping add), early-exiting on the first zero
+    /// counter, so answers are bit-identical to `contains`.
+    #[inline]
+    fn contains_prefetched(&self, first: usize, mut acc: u64, h2: u64) -> bool {
+        if self.counters.get(first) == 0 {
+            return false;
+        }
+        let m = self.counters.len() as u64;
+        for _ in 1..self.k {
+            if self.counters.get((acc % m) as usize) == 0 {
+                return false;
+            }
+            acc = acc.wrapping_add(h2);
+        }
+        true
+    }
+
     /// Number of counter-saturation events so far. Nonzero means
     /// deletes may no longer fully take effect and the structure
     /// should be rebuilt with wider counters.
@@ -76,6 +100,29 @@ impl Filter for CountingBloomFilter {
 
     fn size_in_bytes(&self) -> usize {
         self.counters.size_in_bytes()
+    }
+}
+
+impl BatchedFilter for CountingBloomFilter {
+    /// Pipelined probe, same shape as the plain Bloom kernel: derive
+    /// every key's base pair and first counter index, prefetch that
+    /// first field across the whole chunk, then resolve. Membership
+    /// is `min over k counters > 0`, which early-exits on the first
+    /// zero counter just like the bit filter's first unset bit, so
+    /// only the dominant first-probe miss is worth warming.
+    fn contains_chunk(&self, keys: &[u64], out: &mut [bool]) {
+        debug_assert!(keys.len() <= PROBE_CHUNK && keys.len() == out.len());
+        let m = self.counters.len() as u64;
+        let mut st = [(0usize, 0u64, 0u64); PROBE_CHUNK];
+        for (s, &key) in st.iter_mut().zip(keys) {
+            let (h1, h2) = self.hasher.hash_pair(&key);
+            let first = (h1 % m) as usize;
+            self.counters.prefetch_field(first);
+            *s = (first, h1.wrapping_add(h2), h2);
+        }
+        for (o, &(first, acc, h2)) in out.iter_mut().zip(&st[..keys.len()]) {
+            *o = self.contains_prefetched(first, acc, h2);
+        }
     }
 }
 

@@ -6,6 +6,7 @@
 //! |------|-----------|------|
 //! | [`BloomFilter`] | §1, §2 | the 1970 baseline, `1.44·n·lg(1/ε)` bits |
 //! | [`BlockedBloomFilter`] | §2 | cache-local variant, one line per op |
+//! | [`RegisterBlockedBloomFilter`] | §2 | 256-bit blocks, fixed k=8, one SIMD mask compare per op |
 //! | [`AtomicBlockedBloomFilter`] | §1 f.6 | wait-free concurrent variant |
 //! | [`CountingBloomFilter`] | §2.6 | multiset counts, saturating counters |
 //! | [`DLeftCountingFilter`] | §2.6 | d-left hashing, ~2× smaller than CBF |
@@ -22,6 +23,7 @@ pub mod counting;
 pub mod dleft;
 pub mod plain;
 pub mod prefix_bloom;
+pub mod register_blocked;
 pub mod scalable;
 pub mod spectral;
 
@@ -31,5 +33,6 @@ pub use counting::CountingBloomFilter;
 pub use dleft::DLeftCountingFilter;
 pub use plain::{optimal_bits, optimal_k, BloomFilter};
 pub use prefix_bloom::PrefixBloomFilter;
+pub use register_blocked::RegisterBlockedBloomFilter;
 pub use scalable::ScalableBloomFilter;
 pub use spectral::SpectralBloomFilter;

@@ -9,7 +9,7 @@
 //! per query for that experiment.
 
 use crate::plain::BloomFilter;
-use filter_core::{Filter, Hasher, InsertFilter, Result};
+use filter_core::{BatchedFilter, Filter, Hasher, InsertFilter, Result, PROBE_CHUNK};
 
 /// A chain of Bloom filters with geometric growth.
 #[derive(Debug, Clone)]
@@ -99,6 +99,31 @@ impl Filter for ScalableBloomFilter {
 
     fn size_in_bytes(&self) -> usize {
         self.stages.iter().map(|s| s.size_in_bytes()).sum()
+    }
+}
+
+impl BatchedFilter for ScalableBloomFilter {
+    /// Per-stage delegation: each stage's pipelined kernel runs over
+    /// the whole chunk (newest stage first, where recent keys live)
+    /// and the per-stage verdicts are OR-folded — the batch shape of
+    /// the scalar `any` over stages. Stops early once every key in
+    /// the chunk has resolved positive; negative chunks touch every
+    /// stage, exactly the E5 cost the scalar path pays.
+    fn contains_chunk(&self, keys: &[u64], out: &mut [bool]) {
+        debug_assert!(keys.len() <= PROBE_CHUNK && keys.len() == out.len());
+        out.fill(false);
+        let mut tmp = [false; PROBE_CHUNK];
+        for stage in self.stages.iter().rev() {
+            stage.contains_chunk(keys, &mut tmp[..keys.len()]);
+            let mut all_hit = true;
+            for (o, &t) in out.iter_mut().zip(&tmp[..keys.len()]) {
+                *o |= t;
+                all_hit &= *o;
+            }
+            if all_hit {
+                return;
+            }
+        }
     }
 }
 

@@ -92,6 +92,27 @@ impl AtomicBitVec {
         self.words[wi].load(Ordering::Relaxed)
     }
 
+    /// Snapshot `N` consecutive words starting at `base` with relaxed
+    /// loads. One bounds check covers the whole block, so the load
+    /// loop unrolls into plain word moves — the hot path for blocked
+    /// probes, where per-word indexing through [`load_word`] costs a
+    /// check per word with nothing else in flight to hide it.
+    ///
+    /// Each word is still a single atomic load: the snapshot may
+    /// interleave with concurrent `or_word`s, which for monotone
+    /// filter bits only ever delays a positive.
+    ///
+    /// [`load_word`]: AtomicBitVec::load_word
+    #[inline]
+    pub fn load_block<const N: usize>(&self, base: usize) -> [u64; N] {
+        let words = &self.words[base..base + N];
+        let mut out = [0u64; N];
+        for (o, w) in out.iter_mut().zip(words) {
+            *o = w.load(Ordering::Relaxed);
+        }
+        out
+    }
+
     /// Number of backing words.
     #[inline]
     pub fn word_len(&self) -> usize {
@@ -229,5 +250,26 @@ mod tests {
         assert_eq!(bv.load_word(1), 0xff00);
         assert!(bv.get(64 + 8));
         assert_eq!(bv.word_len(), 2);
+    }
+
+    #[test]
+    fn load_block_matches_load_word() {
+        let bv = AtomicBitVec::new(8 * 64);
+        for (i, m) in [(0, 1u64), (3, 0xdead_beef), (7, u64::MAX)] {
+            bv.or_word(i, m);
+        }
+        let block: [u64; 8] = bv.load_block(0);
+        for (w, &got) in block.iter().enumerate() {
+            assert_eq!(got, bv.load_word(w), "word {w}");
+        }
+        let tail: [u64; 2] = bv.load_block(6);
+        assert_eq!(tail, [0, u64::MAX]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn load_block_out_of_range_panics() {
+        let bv = AtomicBitVec::new(128);
+        let _: [u64; 4] = bv.load_block(0);
     }
 }

@@ -196,6 +196,78 @@ impl BitVec {
             word = !self.words[wi];
         }
     }
+
+    /// Index of the last zero bit at or before `from`, if any.
+    ///
+    /// The word-at-a-time mirror of [`BitVec::next_zero`]: the RSQF's
+    /// cluster-start scan (`while in_use[c-1] { c -= 1 }`) becomes
+    /// one inverted load plus a leading-zero count per 64 slots.
+    pub fn prev_zero(&self, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut wi = from >> 6;
+        // Mask off bits above `from` in the first word.
+        let keep = u64::MAX >> (63 - (from & 63));
+        let mut word = !self.words[wi] & keep;
+        loop {
+            if word != 0 {
+                return Some((wi << 6) + 63 - word.leading_zeros() as usize);
+            }
+            if wi == 0 {
+                return None;
+            }
+            wi -= 1;
+            word = !self.words[wi];
+        }
+    }
+
+    /// Number of set bits in positions `[from, to)`.
+    ///
+    /// Word-at-a-time popcounts; replaces bit-by-bit occupied scans
+    /// in the quotient-filter lookup path.
+    pub fn count_ones_range(&self, from: usize, to: usize) -> usize {
+        debug_assert!(from <= to && to <= self.len);
+        if from >= to {
+            return 0;
+        }
+        let (fw, tw) = (from >> 6, (to - 1) >> 6);
+        let head = u64::MAX << (from & 63);
+        let tail = u64::MAX >> (63 - ((to - 1) & 63));
+        if fw == tw {
+            return (self.words[fw] & head & tail).count_ones() as usize;
+        }
+        let mut n = (self.words[fw] & head).count_ones() as usize;
+        for w in &self.words[fw + 1..tw] {
+            n += w.count_ones() as usize;
+        }
+        n + (self.words[tw] & tail).count_ones() as usize
+    }
+
+    /// Index of the `k`-th (0-based) set bit at or after `from`, if
+    /// any — a running word scan finished by the probe engine's
+    /// branchless in-word select ([`crate::simd::select_word`]).
+    pub fn nth_one_from(&self, from: usize, mut k: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut wi = from >> 6;
+        let mut word = self.words[wi] & (u64::MAX << (from & 63));
+        loop {
+            let ones = word.count_ones() as usize;
+            if k < ones {
+                let bit = crate::simd::select_word(word, k as u32)?;
+                let i = (wi << 6) + bit as usize;
+                return (i < self.len).then_some(i);
+            }
+            k -= ones;
+            wi += 1;
+            if wi >= self.words.len() {
+                return None;
+            }
+            word = self.words[wi];
+        }
+    }
 }
 
 /// A packed array of fixed-width integer fields over a [`BitVec`].
@@ -333,6 +405,70 @@ mod tests {
         assert_eq!(bv.get_bits(10, 8), 0x0f);
         assert_eq!(bv.get_bits(0, 10), 0);
         assert_eq!(bv.get_bits(18, 8), 0);
+    }
+
+    #[test]
+    fn prev_zero_mirrors_scan() {
+        let mut bv = BitVec::new(300);
+        for i in [0, 1, 5, 63, 64, 65, 127, 128, 200, 299] {
+            bv.set(i);
+        }
+        let naive = |from: usize| (0..=from).rev().find(|&i| !bv.get(i));
+        for from in 0..300 {
+            assert_eq!(bv.prev_zero(from), naive(from), "from {from}");
+        }
+        assert_eq!(bv.prev_zero(300), None);
+        // Fully-set vector: no zero anywhere.
+        let mut full = BitVec::new(130);
+        for i in 0..130 {
+            full.set(i);
+        }
+        assert_eq!(full.prev_zero(129), None);
+    }
+
+    #[test]
+    fn count_ones_range_matches_scan() {
+        let mut bv = BitVec::new(400);
+        for i in (0..400).step_by(7) {
+            bv.set(i);
+        }
+        bv.set(63);
+        bv.set(64);
+        let naive = |a: usize, b: usize| (a..b).filter(|&i| bv.get(i)).count();
+        for (a, b) in [
+            (0, 0),
+            (0, 1),
+            (0, 64),
+            (0, 65),
+            (10, 55),
+            (60, 70),
+            (63, 64),
+            (64, 128),
+            (5, 399),
+            (0, 400),
+            (399, 400),
+        ] {
+            assert_eq!(bv.count_ones_range(a, b), naive(a, b), "[{a}, {b})");
+        }
+    }
+
+    #[test]
+    fn nth_one_from_matches_scan() {
+        let mut bv = BitVec::new(300);
+        for i in [2, 3, 64, 66, 130, 131, 132, 299] {
+            bv.set(i);
+        }
+        let naive = |from: usize, k: usize| (from..300).filter(|&i| bv.get(i)).nth(k);
+        for from in [0, 2, 3, 4, 64, 65, 130, 250, 299] {
+            for k in 0..9 {
+                assert_eq!(
+                    bv.nth_one_from(from, k),
+                    naive(from, k),
+                    "from {from} k {k}"
+                );
+            }
+        }
+        assert_eq!(bv.nth_one_from(300, 0), None);
     }
 
     #[test]

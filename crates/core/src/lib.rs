@@ -23,11 +23,17 @@
 //!   technique behind the fastest published filters).
 //! - [`prefetch`] — the safe software-prefetch wrapper the batch
 //!   kernels use to overlap DRAM misses.
+//! - [`simd`] — the runtime-dispatched vectorised probe engine:
+//!   register-blocked mask compute, 512-bit block containment, and
+//!   branchless in-word select (PDEP / Gog–Petri SWAR).
 //!
 //! Unsafe code policy: the crate denies `unsafe_code` everywhere
-//! except the [`prefetch`] module, whose single intrinsic call
-//! performs no architecturally visible memory access (see the module
-//! docs for the safety argument).
+//! except two modules — [`prefetch`], whose single intrinsic call
+//! performs no architecturally visible memory access, and [`simd`],
+//! whose `#[target_feature]` kernels are reachable only after
+//! `is_x86_feature_detected!` confirms the feature and whose loads
+//! all derive from in-bounds array references (see each module's
+//! safety argument).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -40,6 +46,7 @@ pub mod hash;
 pub mod prefetch;
 pub mod rank_select;
 pub mod serial;
+pub mod simd;
 pub mod traits;
 
 pub use atomic_bitvec::AtomicBitVec;
@@ -50,6 +57,7 @@ pub use hash::{quotienting, rem_mask, FilterKey, Hasher};
 pub use prefetch::prefetch_read;
 pub use rank_select::{rank_word, select_word, RankSelectVec};
 pub use serial::{ByteReader, ByteWriter, SerialError};
+pub use simd::SimdLevel;
 pub use traits::{
     AdaptiveFilter, CountingFilter, DynamicFilter, Expandable, Filter, FilterError, InsertFilter,
     Maplet, RangeFilter, Result,

@@ -21,17 +21,13 @@ pub fn rank_word(word: u64, i: u32) -> u32 {
 /// Position of the `k`-th (0-based) set bit of `word`, or `None` if
 /// fewer than `k + 1` bits are set.
 ///
-/// Uses the PDEP-free broadword loop: clear the lowest set bit `k`
-/// times, then take the trailing-zero count.
+/// Delegates to the probe engine ([`crate::simd::select_word`]):
+/// `PDEP` + `TZCNT` when BMI2 is available, the branchless Gog–Petri
+/// broadword routine otherwise. Replaces the clear-lowest-bit loop
+/// this function shipped with.
 #[inline]
-pub fn select_word(mut word: u64, k: u32) -> Option<u32> {
-    if word.count_ones() <= k {
-        return None;
-    }
-    for _ in 0..k {
-        word &= word - 1;
-    }
-    Some(word.trailing_zeros())
+pub fn select_word(word: u64, k: u32) -> Option<u32> {
+    crate::simd::select_word(word, k)
 }
 
 /// Bit vector with an auxiliary rank directory (one counter per 512-bit

@@ -104,14 +104,17 @@ impl SlotTable {
             + self.in_use.size_in_bytes()
     }
 
-    /// Start of the cluster containing slot `i` (walk back over
-    /// `in_use`).
+    /// Start of the cluster containing slot `i`: one past the last
+    /// zero in `in_use` strictly before `i` (word-level scan, not
+    /// bit-by-bit — see [`BitVec::prev_zero`]).
     fn cluster_start(&self, i: usize) -> usize {
-        let mut c = i;
-        while c > 0 && self.in_use.get(c - 1) {
-            c -= 1;
+        if i == 0 {
+            return 0;
         }
-        c
+        match self.in_use.prev_zero(i - 1) {
+            Some(z) => z + 1,
+            None => 0,
+        }
     }
 
     /// Decode the cluster starting at `c` (which must be a cluster
@@ -144,6 +147,14 @@ impl SlotTable {
     }
 
     /// Slot range `[start, end]` of quotient `q`'s run, if occupied.
+    ///
+    /// This is the RSQF lookup recipe (tutorial §2.1) in its
+    /// rank+select form, word-accelerated end to end: `rank` over
+    /// `occupieds[c..=q]` is a popcount scan
+    /// ([`BitVec::count_ones_range`]) and both "t-th runend after
+    /// `c`" selects go through the probe engine's branchless in-word
+    /// select ([`BitVec::nth_one_from`]) — no bit-by-bit loop
+    /// remains on the query path.
     fn find_run(&self, quot: u64) -> Option<(usize, usize)> {
         let qs = quot as usize;
         if !self.occupieds.get(qs) {
@@ -152,31 +163,25 @@ impl SlotTable {
         let c = self.cluster_start(qs);
         // t = number of occupied quotients in [c, qs] (1-based index
         // of qs's run within the cluster).
-        let mut t = 0usize;
-        for i in c..=qs {
-            if self.occupieds.get(i) {
-                t += 1;
-            }
-        }
-        // The t-th runend at or after c closes qs's run.
-        let mut seen = 0usize;
-        let mut prev_end: Option<usize> = None;
-        let mut i = c;
-        loop {
-            debug_assert!(self.in_use.get(i), "ran off cluster");
-            if self.runends.get(i) {
-                seen += 1;
-                if seen == t {
-                    let start = match prev_end {
-                        Some(p) => (p + 1).max(qs),
-                        None => c.max(qs),
-                    };
-                    return Some((start, i));
-                }
-                prev_end = Some(i);
-            }
-            i += 1;
-        }
+        let t = self.occupieds.count_ones_range(c, qs + 1);
+        debug_assert!(t >= 1, "occupied quotient lost its rank");
+        // The t-th runend at or after c closes qs's run; the (t-1)-th
+        // closes the previous run, bounding this run's start.
+        let end = self
+            .runends
+            .nth_one_from(c, t - 1)
+            .expect("occupied quotient has no runend");
+        let start = if t == 1 {
+            c.max(qs)
+        } else {
+            let prev_end = self
+                .runends
+                .nth_one_from(c, t - 2)
+                .expect("mid-cluster runend missing");
+            (prev_end + 1).max(qs)
+        };
+        debug_assert!(self.in_use.get(end), "runend outside cluster");
+        Some((start, end))
     }
 
     /// Prefetch the metadata and payload cache lines around quotient

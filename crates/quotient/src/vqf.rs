@@ -41,15 +41,29 @@ impl Default for Block {
 }
 
 /// Position of the `k`-th (0-based) zero bit of `x` (within 128 bits).
+///
+/// Delegates to the probe engine's branchless select
+/// ([`filter_core::simd::select0_u128`]: PDEP when available,
+/// Gog–Petri SWAR otherwise), replacing an open-coded version that
+/// split the halves by hand and `.expect("in range")`-ed each half's
+/// `select_word` result. On a half with no zeros, `select_word`
+/// returns `None` (`select_word(0, 0)` is `None` by contract), so
+/// whether the old code unwound hinged on a delimiter-math invariant
+/// it never stated. Stated now:
+///
+/// `meta` holds at most `SLOTS = 48` ones (one per stored remainder;
+/// `insert` is gated on `used < SLOTS`), so it always has ≥ 80
+/// zeros, and every caller passes `k < BUCKETS = 80` — the rank is
+/// always in range, and an all-ones half-word (64 ones in one half)
+/// would need 64 > 48 set bits and is unreachable. The engine
+/// routine is nevertheless total — out-of-range ranks and saturated
+/// half-words report `None` instead of unwinding mid-probe — so the
+/// single `expect` here documents the geometry invariant rather than
+/// masking a partial helper. `select0_total_on_saturated_words` pins
+/// the engine behaviour the old per-half code could not express.
 #[inline]
 fn select0_u128(x: u128, k: u32) -> u32 {
-    let lo = x as u64;
-    let lo_zeros = 64 - lo.count_ones();
-    if k < lo_zeros {
-        filter_core::select_word(!lo, k).expect("in range")
-    } else {
-        64 + filter_core::select_word(!((x >> 64) as u64), k - lo_zeros).expect("in range")
-    }
+    filter_core::simd::select0_u128(x, k).expect("delimiter rank exceeds zero count")
 }
 
 impl Block {
@@ -232,6 +246,28 @@ mod tests {
         // A zero in the high half.
         let y: u128 = !(1u128 << 100);
         assert_eq!(select0_u128(y, 0), 100);
+    }
+
+    #[test]
+    fn select0_total_on_saturated_words() {
+        // Regression for the engine routine this wrapper delegates
+        // to: a saturated (all-ones) low half has no zeros, and the
+        // old per-half select unwound there instead of carrying the
+        // rank into the high half. VQF metadata can never saturate a
+        // half (48 ones < 64), but the helper must be total anyway.
+        let low_saturated: u128 = u64::MAX as u128; // zeros are bits 64..128
+        assert_eq!(select0_u128(low_saturated, 0), 64);
+        assert_eq!(select0_u128(low_saturated, 63), 127);
+        // All zeros in the low half only: rank past them must report
+        // None at the engine layer, not panic inside select_word.
+        let high_saturated: u128 = !0u128 << 64; // zeros are bits 0..64
+        assert_eq!(select0_u128(high_saturated, 63), 63);
+        assert_eq!(
+            filter_core::simd::select0_u128(high_saturated, 64),
+            None,
+            "out-of-range rank must be None, not a panic"
+        );
+        assert_eq!(filter_core::simd::select0_u128(u128::MAX, 0), None);
     }
 
     #[test]

@@ -296,6 +296,7 @@ impl StatsReport {
                 crate::proto::Backend::AtomicBloom => 0,
                 crate::proto::Backend::ShardedCuckoo => 1,
                 crate::proto::Backend::ShardedCqf => 2,
+                crate::proto::Backend::RegisterBloom => 3,
             });
             w.put_u64(row.len);
             w.put_u64(row.size_in_bytes);
@@ -317,6 +318,7 @@ impl StatsReport {
                 0 => crate::proto::Backend::AtomicBloom,
                 1 => crate::proto::Backend::ShardedCuckoo,
                 2 => crate::proto::Backend::ShardedCqf,
+                3 => crate::proto::Backend::RegisterBloom,
                 _ => return Err(SerialError::Corrupt("stats backend")),
             };
             filters.push(FilterRow {

@@ -53,6 +53,9 @@ pub enum Backend {
     /// `Sharded<quotient::CountingQuotientFilter>`
     /// (insert/contains/count/delete).
     ShardedCqf,
+    /// `Sharded<bloom::RegisterBlockedBloomFilter>` — the SIMD
+    /// register-blocked backend (insert/contains).
+    RegisterBloom,
 }
 
 impl Backend {
@@ -61,6 +64,7 @@ impl Backend {
             Backend::AtomicBloom => 0,
             Backend::ShardedCuckoo => 1,
             Backend::ShardedCqf => 2,
+            Backend::RegisterBloom => 3,
         }
     }
 
@@ -69,6 +73,7 @@ impl Backend {
             0 => Ok(Backend::AtomicBloom),
             1 => Ok(Backend::ShardedCuckoo),
             2 => Ok(Backend::ShardedCqf),
+            3 => Ok(Backend::RegisterBloom),
             _ => Err(SerialError::Corrupt("unknown backend")),
         }
     }
@@ -79,6 +84,7 @@ impl Backend {
             Backend::AtomicBloom => "atomic-bloom",
             Backend::ShardedCuckoo => "sharded-cuckoo",
             Backend::ShardedCqf => "sharded-cqf",
+            Backend::RegisterBloom => "register-bloom",
         }
     }
 }

@@ -39,7 +39,7 @@ use crate::proto::{
     write_frame, Backend, ErrorCode, FrameError, FrameEvent, FrameReader, HeaderError, Request,
     Response, DEFAULT_MAX_FRAME,
 };
-use bloom::AtomicBlockedBloomFilter;
+use bloom::{AtomicBlockedBloomFilter, RegisterBlockedBloomFilter};
 use concurrent::{Sharded, MAX_SHARD_BITS};
 use cuckoo::CuckooFilter;
 use filter_core::{Filter, FilterError};
@@ -87,10 +87,11 @@ impl Default for ServerConfig {
 
 /// A filter instance the server can host.
 ///
-/// The three backends cover the tutorial's concurrency spectrum: a
+/// The four backends cover the tutorial's concurrency spectrum: a
 /// wait-free atomic blocked Bloom (insert/contains only), a sharded
-/// cuckoo filter (adds deletion), and a sharded counting quotient
-/// filter (adds multiplicity counts).
+/// cuckoo filter (adds deletion), a sharded counting quotient filter
+/// (adds multiplicity counts), and the SIMD register-blocked Bloom
+/// (insert/contains at one mask compare per key).
 pub enum ServedFilter {
     /// Wait-free insert/contains; no deletion, no counts.
     Bloom(AtomicBlockedBloomFilter),
@@ -98,6 +99,9 @@ pub enum ServedFilter {
     Cuckoo(Sharded<CuckooFilter>),
     /// Counting + deletable via sharded CQF.
     Cqf(Sharded<CountingQuotientFilter>),
+    /// Sharded register-blocked Bloom: insert/contains through the
+    /// vectorised probe engine; no deletion, no counts.
+    RegisterBloom(Sharded<RegisterBlockedBloomFilter>),
 }
 
 impl ServedFilter {
@@ -107,6 +111,7 @@ impl ServedFilter {
             ServedFilter::Bloom(_) => Backend::AtomicBloom,
             ServedFilter::Cuckoo(_) => Backend::ShardedCuckoo,
             ServedFilter::Cqf(_) => Backend::ShardedCqf,
+            ServedFilter::RegisterBloom(_) => Backend::RegisterBloom,
         }
     }
 
@@ -115,6 +120,7 @@ impl ServedFilter {
             ServedFilter::Bloom(f) => f.len(),
             ServedFilter::Cuckoo(f) => f.len(),
             ServedFilter::Cqf(f) => f.len(),
+            ServedFilter::RegisterBloom(f) => f.len(),
         }
     }
 
@@ -123,6 +129,7 @@ impl ServedFilter {
             ServedFilter::Bloom(f) => f.size_in_bytes(),
             ServedFilter::Cuckoo(f) => f.size_in_bytes(),
             ServedFilter::Cqf(f) => f.size_in_bytes(),
+            ServedFilter::RegisterBloom(f) => f.size_in_bytes(),
         }
     }
 }
@@ -179,6 +186,21 @@ pub fn build_sharded_cqf(
         let mut f = CountingQuotientFilter::with_seed(q, r, seed ^ (0xc0f0 + i as u64));
         f.set_auto_expand(true);
         f
+    })
+}
+
+/// Build the register-blocked Bloom backend exactly as the server
+/// does (per-shard seeds derived from `seed`, matching the other
+/// sharded builders so tests can construct bit-identical oracles).
+pub fn build_sharded_register_bloom(
+    capacity: u64,
+    eps: f64,
+    shard_bits: u32,
+    seed: u64,
+) -> Sharded<RegisterBlockedBloomFilter> {
+    let per_shard = ((capacity as usize) >> shard_bits).max(64);
+    Sharded::new(shard_bits, |i| {
+        RegisterBlockedBloomFilter::with_seed(per_shard, eps, seed ^ (0x4b10 + i as u64))
     })
 }
 
@@ -528,6 +550,9 @@ fn handle_create(
             Backend::ShardedCqf => {
                 ServedFilter::Cqf(build_sharded_cqf(capacity, eps, shard_bits, seed))
             }
+            Backend::RegisterBloom => ServedFilter::RegisterBloom(build_sharded_register_bloom(
+                capacity, eps, shard_bits, seed,
+            )),
         }
     } else {
         // A pre-built filter shipped over the wire; `from_bytes` does
@@ -546,6 +571,10 @@ fn handle_create(
             Backend::ShardedCqf => match CountingQuotientFilter::from_bytes(blob) {
                 Ok(f) => ServedFilter::Cqf(Sharded::from_shards(vec![f])),
                 Err(e) => return err(ErrorCode::Filter, format!("bad cqf blob: {e}")),
+            },
+            Backend::RegisterBloom => match RegisterBlockedBloomFilter::from_bytes(blob) {
+                Ok(f) => ServedFilter::RegisterBloom(Sharded::from_shards(vec![f])),
+                Err(e) => return err(ErrorCode::Filter, format!("bad register-bloom blob: {e}")),
             },
         }
     };
@@ -581,6 +610,10 @@ fn handle_insert(shared: &Shared, name: &str, keys: &[u64]) -> Response {
             Ok(()) => Response::Ok,
             Err(e) => filter_err(e),
         },
+        ServedFilter::RegisterBloom(r) => match r.insert_batch(keys) {
+            Ok(()) => Response::Ok,
+            Err(e) => filter_err(e),
+        },
     }
 }
 
@@ -597,6 +630,7 @@ fn handle_contains(shared: &Shared, name: &str, keys: &[u64]) -> Response {
         ServedFilter::Bloom(b) => b.contains_batch(keys),
         ServedFilter::Cuckoo(c) => c.contains_batch(keys),
         ServedFilter::Cqf(q) => q.contains_batch(keys),
+        ServedFilter::RegisterBloom(r) => r.contains_batch(keys),
     })
 }
 

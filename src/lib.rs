@@ -17,6 +17,7 @@
 //! | inserts + deletes | [`quotient::QuotientFilter`], [`cuckoo::CuckooFilter`] |
 //! | fast block-local inserts + deletes | [`quotient::VectorQuotientFilter`] |
 //! | one cache line per lookup | [`cuckoo::MortonFilter`], [`bloom::BlockedBloomFilter`] |
+//! | one SIMD compare per lookup | [`bloom::RegisterBlockedBloomFilter`] |
 //! | multiset counts | [`quotient::CountingQuotientFilter`] |
 //! | many threads | [`concurrent::Sharded`] (any filter), [`quotient::ConcurrentQuotientFilter`], [`bloom::AtomicBlockedBloomFilter`] |
 //! | grows forever | [`infini::InfiniFilter`] (deletes) / [`infini::TaffyCuckooFilter`] |

@@ -390,14 +390,24 @@ proptest! {
         let cap = keys.len().max(8);
         let mut bloom = beyond_bloom::bloom::BloomFilter::with_seed(cap, 0.02, 7);
         let mut blocked = beyond_bloom::bloom::BlockedBloomFilter::with_seed(cap, 0.02, 7);
+        let mut register = beyond_bloom::bloom::RegisterBlockedBloomFilter::with_seed(cap, 0.02, 7);
         let atomic = beyond_bloom::bloom::AtomicBlockedBloomFilter::with_seed(cap, 0.02, 7);
+        let mut counting = beyond_bloom::bloom::CountingBloomFilter::with_seed(cap, 0.02, 4, 7);
+        let mut spectral = beyond_bloom::bloom::SpectralBloomFilter::with_seed(cap, 0.02, 3, 7);
+        // Small initial stage so the chain actually grows mid-test.
+        let mut scalable =
+            beyond_bloom::bloom::ScalableBloomFilter::with_params(32, 0.02, 2, 0.5, 7);
         let mut cuckoo = beyond_bloom::cuckoo::CuckooFilter::new(2 * cap, 12);
         let mut cqf = beyond_bloom::quotient::CountingQuotientFilter::for_capacity(cap, 0.01);
         cqf.set_auto_expand(true);
         for &k in &keys {
             bloom.insert(k).unwrap();
             blocked.insert(k).unwrap();
+            register.insert(k).unwrap();
             atomic.insert(k);
+            counting.insert(k).unwrap();
+            spectral.insert(k).unwrap();
+            scalable.insert(k).unwrap();
             cuckoo.insert(k).unwrap();
             cqf.insert(k).unwrap();
         }
@@ -405,7 +415,11 @@ proptest! {
 
         batched_matches_pointwise("bloom", &bloom, &probes);
         batched_matches_pointwise("blocked", &blocked, &probes);
+        batched_matches_pointwise("register-blocked", &register, &probes);
         batched_matches_pointwise("atomic-blocked", &atomic, &probes);
+        batched_matches_pointwise("counting", &counting, &probes);
+        batched_matches_pointwise("spectral", &spectral, &probes);
+        batched_matches_pointwise("scalable", &scalable, &probes);
         batched_matches_pointwise("cuckoo", &cuckoo, &probes);
         batched_matches_pointwise("cqf", &cqf, &probes);
         batched_matches_pointwise("xor", &xor, &probes);

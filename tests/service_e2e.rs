@@ -10,8 +10,8 @@ use beyond_bloom::core::InsertFilter;
 use beyond_bloom::cuckoo::CuckooFilter;
 use beyond_bloom::quotient::CountingQuotientFilter;
 use beyond_bloom::service::{
-    build_atomic_bloom, build_sharded_cqf, build_sharded_cuckoo, Backend, ClientError, ErrorCode,
-    FilterClient, FilterServer, ServerConfig,
+    build_atomic_bloom, build_sharded_cqf, build_sharded_cuckoo, build_sharded_register_bloom,
+    Backend, ClientError, ErrorCode, FilterClient, FilterServer, ServerConfig,
 };
 use beyond_bloom::workloads::{disjoint_keys, unique_keys, zipf_keys};
 use std::io::Write;
@@ -74,6 +74,8 @@ fn wire_contains_matches_in_process_oracle() {
     cuckoo.insert_batch(&keys).unwrap();
     let cqf = build_sharded_cqf(CAP, EPS, 3, SEED);
     cqf.insert_batch(&keys).unwrap();
+    let regbloom = build_sharded_register_bloom(CAP, EPS, 3, SEED);
+    regbloom.insert_batch(&keys).unwrap();
 
     c.create("b", Backend::AtomicBloom, CAP, EPS, 3, SEED)
         .unwrap();
@@ -81,10 +83,13 @@ fn wire_contains_matches_in_process_oracle() {
         .unwrap();
     c.create("q", Backend::ShardedCqf, CAP, EPS, 3, SEED)
         .unwrap();
+    c.create("r", Backend::RegisterBloom, CAP, EPS, 3, SEED)
+        .unwrap();
     for chunk in keys.chunks(4096) {
         c.insert("b", chunk).unwrap();
         c.insert("c", chunk).unwrap();
         c.insert("q", chunk).unwrap();
+        c.insert("r", chunk).unwrap();
     }
 
     for chunk in all.chunks(1013) {
@@ -94,6 +99,10 @@ fn wire_contains_matches_in_process_oracle() {
             cuckoo.contains_batch(chunk)
         );
         assert_eq!(c.contains("q", chunk).unwrap(), cqf.contains_batch(chunk));
+        assert_eq!(
+            c.contains("r", chunk).unwrap(),
+            regbloom.contains_batch(chunk)
+        );
     }
     // Counting parity on a skewed multiset (CQF only).
     let dupes = zipf_keys(7_003, 1_000, 1.2, 0x5a17, 5_000);
@@ -159,8 +168,30 @@ fn crud_and_stats_roundtrip() {
         .iter()
         .all(|&b| b));
 
+    let mut built = beyond_bloom::bloom::RegisterBlockedBloomFilter::with_seed(5_000, 0.01, 21);
+    for &k in &keys[..2_000] {
+        built.insert(k).unwrap();
+    }
+    c.create_prebuilt("shipped-rb", Backend::RegisterBloom, built.to_bytes())
+        .unwrap();
+    let oracle: Vec<bool> = keys[..4_000].iter().map(|&k| built.contains(k)).collect();
+    assert_eq!(c.contains("shipped-rb", &keys[..4_000]).unwrap(), oracle);
+    // Membership-only backend: COUNT and DELETE are clean errors.
+    for e in [
+        c.count("shipped-rb", &keys[..4]).unwrap_err(),
+        c.delete("shipped-rb", &keys[..4]).unwrap_err(),
+    ] {
+        assert!(matches!(
+            e,
+            ClientError::Remote {
+                code: ErrorCode::Unsupported,
+                ..
+            }
+        ));
+    }
+
     let stats = c.stats().unwrap();
-    assert_eq!(stats.filters.len(), 4, "registry lists every instance");
+    assert_eq!(stats.filters.len(), 5, "registry lists every instance");
     assert!(stats.filters.iter().any(|f| f.name == "shipped-cf"));
     assert!(stats.counters.keys_processed > 0);
     // Every INSERT/CONTAINS above shipped multi-key requests, so all of
