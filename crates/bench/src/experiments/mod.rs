@@ -12,8 +12,9 @@ pub mod range;
 pub mod service_exp;
 pub mod simd;
 pub mod space_fpr;
+pub mod telemetry_exp;
 
-/// Run one experiment by id (`e1`..`e21`), or `all`.
+/// Run one experiment by id (`e1`..`e22`), or `all`.
 pub fn run(id: &str) -> bool {
     match id {
         "e1" | "e1-space" => space_fpr::e1_space(),
@@ -37,10 +38,11 @@ pub fn run(id: &str) -> bool {
         "e19" | "e19-service" => service_exp::e19_service(),
         "e20" | "e20-batched" => batched::e20_batched(),
         "e21" | "e21-simd" => simd::e21_simd(),
+        "e22" | "e22-telemetry" => telemetry_exp::e22_telemetry(),
         "all" => {
             for e in [
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21",
+                "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22",
             ] {
                 run(e);
                 println!();

@@ -27,6 +27,36 @@ pub mod register_blocked;
 pub mod scalable;
 pub mod spectral;
 
+use telemetry::{StaticCounter, StaticHistogram};
+
+/// Stages added by scalable Bloom filters (each addition is also an
+/// [`telemetry::EventKind::Expansion`] event).
+pub static SCALABLE_EXPANSIONS: StaticCounter = StaticCounter::new(
+    "bb_bloom_scalable_expansions_total",
+    "Stages added by scalable Bloom filters.",
+);
+
+/// Spectral-Bloom slots escalated to the escape-sentinel overflow
+/// table (counter outgrew its inline width).
+pub static SPECTRAL_ESCAPES: StaticCounter = StaticCounter::new(
+    "bb_bloom_spectral_escapes_total",
+    "Spectral Bloom slots escalated to the overflow table.",
+);
+
+/// Capacity of each stage added by scalable Bloom filters.
+pub static SCALABLE_STAGE_CAPACITY: StaticHistogram = StaticHistogram::new(
+    "bb_bloom_scalable_stage_capacity",
+    "Capacity of each stage added by scalable Bloom filters.",
+);
+
+/// Eagerly register this crate's metric families so they render in
+/// the exposition even before any traffic touches them.
+pub fn register_metrics() {
+    SCALABLE_EXPANSIONS.register();
+    SPECTRAL_ESCAPES.register();
+    SCALABLE_STAGE_CAPACITY.register();
+}
+
 pub use atomic_blocked::AtomicBlockedBloomFilter;
 pub use blocked::BlockedBloomFilter;
 pub use counting::CountingBloomFilter;

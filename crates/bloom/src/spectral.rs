@@ -69,7 +69,9 @@ impl SpectralBloomFilter {
     fn set_slot(&mut self, i: usize, v: u64) {
         if v >= self.escape {
             self.base.set(i, self.escape);
-            self.overflow.insert(i, v);
+            if self.overflow.insert(i, v).is_none() {
+                crate::SPECTRAL_ESCAPES.inc();
+            }
         } else {
             self.base.set(i, v);
             self.overflow.remove(&i);

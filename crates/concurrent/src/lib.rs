@@ -51,7 +51,28 @@
 use filter_core::{
     BatchedFilter, CountingFilter, DynamicFilter, Filter, Hasher, InsertFilter, Result,
 };
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use telemetry::StaticCounter;
+
+/// Shard mutexes recovered after their holder panicked (each recovery
+/// is also a [`telemetry::EventKind::ShardPoisonRecovered`] event).
+pub static POISON_RECOVERIES: StaticCounter = StaticCounter::new(
+    "bb_sharded_lock_poison_recoveries_total",
+    "Shard mutexes recovered after a holder thread panicked.",
+);
+
+/// Eagerly register this crate's metric families so they render in
+/// the exposition even before any traffic touches them.
+pub fn register_metrics() {
+    POISON_RECOVERIES.register();
+}
+
+/// One cache line per shard so op counters on neighbouring shards
+/// never false-share (the whole point of sharding is that threads on
+/// different shards do not touch the same lines).
+#[repr(align(64))]
+struct PaddedCounter(AtomicU64);
 
 /// Seed reserved for shard selection. No filter constructor in the
 /// workspace uses this seed for fingerprinting, upholding defence (1)
@@ -89,6 +110,7 @@ pub const MAX_SHARD_BITS: u32 = 12;
 /// ```
 pub struct Sharded<F> {
     shards: Vec<Mutex<F>>,
+    ops: Box<[PaddedCounter]>,
     hasher: Hasher,
     shard_bits: u32,
 }
@@ -105,8 +127,12 @@ impl<F> Sharded<F> {
             .map(build)
             .map(Mutex::new)
             .collect();
+        let ops = (0..shards.len())
+            .map(|_| PaddedCounter(AtomicU64::new(0)))
+            .collect();
         Sharded {
             shards,
+            ops,
             hasher: Hasher::with_seed(SHARD_SEED),
             shard_bits,
         }
@@ -128,8 +154,12 @@ impl<F> Sharded<F> {
             1usize << MAX_SHARD_BITS
         );
         let shard_bits = shards.len().trailing_zeros();
+        let ops = (0..shards.len())
+            .map(|_| PaddedCounter(AtomicU64::new(0)))
+            .collect();
         Sharded {
             shards: shards.into_iter().map(Mutex::new).collect(),
+            ops,
             hasher: Hasher::with_seed(SHARD_SEED),
             shard_bits,
         }
@@ -140,9 +170,14 @@ impl<F> Sharded<F> {
     pub fn into_shards(self) -> Vec<F> {
         self.shards
             .into_iter()
-            .map(|m| match m.into_inner() {
+            .enumerate()
+            .map(|(i, m)| match m.into_inner() {
                 Ok(f) => f,
-                Err(poisoned) => poisoned.into_inner(),
+                Err(poisoned) => {
+                    POISON_RECOVERIES.inc();
+                    telemetry::emit(telemetry::EventKind::ShardPoisonRecovered, i as u64, 0);
+                    poisoned.into_inner()
+                }
             })
             .collect()
     }
@@ -184,15 +219,39 @@ impl<F> Sharded<F> {
         (0..self.shards.len()).map(|i| f(&self.lock(i))).collect()
     }
 
+    /// Per-shard operation counts (one entry per shard, a racing
+    /// snapshot): every `lock()` acquisition bumps the owning shard's
+    /// counter while telemetry is enabled, so skewed key streams show
+    /// up as skewed shard loads in the exposition.
+    pub fn shard_ops(&self) -> Vec<u64> {
+        self.ops
+            .iter()
+            .map(|c| c.0.load(Ordering::Relaxed))
+            .collect()
+    }
+
     #[inline]
     fn lock(&self, i: usize) -> std::sync::MutexGuard<'_, F> {
         // A poisoned shard means another thread panicked mid-update;
         // filters hold no invariant that a completed panic unwinds, so
         // recover the guard rather than cascade the panic.
-        match self.shards[i].lock() {
+        let guard = match self.shards[i].lock() {
             Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
+            Err(poisoned) => {
+                POISON_RECOVERIES.inc();
+                telemetry::emit(telemetry::EventKind::ShardPoisonRecovered, i as u64, 0);
+                poisoned.into_inner()
+            }
+        };
+        if telemetry::enabled() {
+            // Bumped while holding the shard mutex, so every writer to
+            // ops[i] is serialized: a plain load+store cannot lose
+            // increments, and costs no locked RMW on the probe path
+            // (readers take a racing Relaxed snapshot).
+            let c = &self.ops[i].0;
+            c.store(c.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
         }
+        guard
     }
 
     /// Group `keys` by shard, preserving each key's original index.

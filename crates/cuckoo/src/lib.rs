@@ -19,6 +19,28 @@ pub mod adaptive;
 pub mod filter;
 pub mod morton;
 
+use telemetry::{StaticCounter, StaticHistogram};
+
+/// Eviction-chain length of each cuckoo insert that needed kicking
+/// (successful inserts only; value = number of evictions performed).
+pub static KICK_CHAIN_LEN: StaticHistogram = StaticHistogram::new(
+    "bb_cuckoo_kick_chain_length",
+    "Eviction-chain length of cuckoo inserts that needed kicking.",
+);
+
+/// Cuckoo inserts that hit the kick limit and failed.
+pub static INSERT_FAILURES: StaticCounter = StaticCounter::new(
+    "bb_cuckoo_insert_failures_total",
+    "Cuckoo inserts that hit the kick limit and failed.",
+);
+
+/// Eagerly register this crate's metric families so they render in
+/// the exposition even before any traffic touches them.
+pub fn register_metrics() {
+    KICK_CHAIN_LEN.register();
+    INSERT_FAILURES.register();
+}
+
 pub use adaptive::AdaptiveCuckooFilter;
 pub use filter::CuckooFilter;
 pub use morton::MortonFilter;

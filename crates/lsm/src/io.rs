@@ -28,16 +28,20 @@ impl IoCounter {
         Self::default()
     }
 
-    /// Record `n` block reads.
+    /// Record `n` block reads (also feeds the process-wide
+    /// [`crate::LSM_IO_READS`] telemetry family).
     #[inline]
     pub fn read(&self, n: u64) {
         self.reads.fetch_add(n, Ordering::Relaxed);
+        crate::LSM_IO_READS.add(n);
     }
 
-    /// Record `n` block writes.
+    /// Record `n` block writes (also feeds the process-wide
+    /// [`crate::LSM_IO_WRITES`] telemetry family).
     #[inline]
     pub fn write(&self, n: u64) {
         self.writes.fetch_add(n, Ordering::Relaxed);
+        crate::LSM_IO_WRITES.add(n);
     }
 
     /// Total block reads so far.

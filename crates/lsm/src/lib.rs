@@ -25,6 +25,27 @@ pub mod policy;
 pub mod run;
 pub mod tree;
 
+use telemetry::StaticCounter;
+
+/// Simulated block reads across every [`IoCounter`] in the process.
+pub static LSM_IO_READS: StaticCounter = StaticCounter::new(
+    "bb_lsm_io_reads_total",
+    "Simulated block reads across all LSM I/O counters.",
+);
+
+/// Simulated block writes across every [`IoCounter`] in the process.
+pub static LSM_IO_WRITES: StaticCounter = StaticCounter::new(
+    "bb_lsm_io_writes_total",
+    "Simulated block writes across all LSM I/O counters.",
+);
+
+/// Eagerly register this crate's metric families so they render in
+/// the exposition even before any traffic touches them.
+pub fn register_metrics() {
+    LSM_IO_READS.register();
+    LSM_IO_WRITES.register();
+}
+
 pub use cascade::CascadeFilter;
 pub use io::IoCounter;
 pub use join::{bloom_join, filtered_join, JoinStats};

@@ -385,6 +385,14 @@ impl CountingQuotientFilter {
             // padding (skewed multisets grow long variable-length
             // counter runs). The table rejects the edit *before*
             // writing anything, so expanding and retrying is safe.
+            if matches!(e, FilterError::CapacityExceeded) {
+                crate::CQF_CLUSTER_SPILLS.inc();
+                telemetry::emit(
+                    telemetry::EventKind::CqfClusterSpill,
+                    self.table.used_slots() as u64,
+                    self.table.capacity() as u64,
+                );
+            }
             if matches!(e, FilterError::CapacityExceeded) && self.auto_expand {
                 self.expand()?;
                 let old_q = self.table.q() - 1;
@@ -479,6 +487,7 @@ impl Expandable for CountingQuotientFilter {
         if self.r <= 2 {
             return Err(FilterError::ExpansionExhausted);
         }
+        let _span = crate::CQF_EXPAND_DURATION.span();
         let old_q = self.table.q();
         let old_r = self.r;
         let new_q = old_q + 1;
@@ -506,6 +515,12 @@ impl Expandable for CountingQuotientFilter {
         self.table = new_table;
         self.r = new_r;
         self.expansions += 1;
+        crate::CQF_EXPANSIONS.inc();
+        telemetry::emit(
+            telemetry::EventKind::Expansion,
+            new_q as u64,
+            self.table.capacity() as u64,
+        );
         // Distinct count may shrink on merges; recompute lazily is
         // costly, so recount during the rebuild instead.
         let mut distinct = 0usize;

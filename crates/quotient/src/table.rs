@@ -43,6 +43,12 @@ pub struct SlotTable {
     slots: PackedArray,
     used_slots: usize,
     physical: usize,
+    /// Rolling tick for 1-in-8 sampling of the cluster-length
+    /// telemetry observation: the histogram's shape, not its absolute
+    /// count, is the diagnostic, and sampling keeps the hot
+    /// `modify_run` path at a fraction of a percent of overhead.
+    /// Ephemeral statistics state — deliberately not serialized.
+    stat_tick: u8,
 }
 
 impl SlotTable {
@@ -63,6 +69,7 @@ impl SlotTable {
             slots: PackedArray::new(physical, width),
             used_slots: 0,
             physical,
+            stat_tick: 0,
         }
     }
 
@@ -271,6 +278,10 @@ impl SlotTable {
         let mut span_end;
         if self.in_use.get(c) {
             let (r, e) = self.decode_cluster(c);
+            self.stat_tick = self.stat_tick.wrapping_add(1);
+            if self.stat_tick.is_multiple_of(8) {
+                crate::CQF_CLUSTER_LEN.observe((e - c) as u64);
+            }
             runs = r;
             span_end = e;
         } else {

@@ -212,6 +212,18 @@ impl FilterClient {
         }
     }
 
+    /// Fetch the Prometheus-text metric exposition (the METRICS
+    /// opcode): every telemetry family, server request counters, the
+    /// filter inventory, and the slow-request log.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        let resp = self.call(&Request::Metrics)?;
+        match resp {
+            Response::Text(t) => Ok(t),
+            Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+            _ => Err(ClientError::Unexpected("wanted Text")),
+        }
+    }
+
     /// The underlying stream (tests use this to simulate abrupt
     /// disconnects and raw writes).
     pub fn stream(&mut self) -> &mut TcpStream {

@@ -11,9 +11,12 @@
 //!
 //! 1. **Offline-buildable.** The container has no crates.io access, so
 //!    the stack is `std::net` + threads: no async runtime, no serde,
-//!    no prometheus. Serialization reuses `filter_core::serial`, and
-//!    observability is an in-tree [`metrics`] module (atomic counters
-//!    + fixed-bucket latency histograms) exposed over a STATS frame.
+//!    no prometheus client. Serialization reuses
+//!    `filter_core::serial`, and observability is the in-tree
+//!    `telemetry` crate (atomic counters + fixed-bucket latency
+//!    histograms) exposed two ways: a compact binary STATS frame and
+//!    a Prometheus-text METRICS frame carrying every registered
+//!    family, the filter inventory, and the slow-request log.
 //! 2. **Batching as the unit of amortisation.** A frame carries a
 //!    whole batch of keys; the server answers a batch CONTAINS with
 //!    one registry lookup and one shard-grouped filter call
@@ -48,5 +51,5 @@ pub use metrics::{
 pub use proto::{Backend, ErrorCode, Request, Response, DEFAULT_MAX_FRAME, PROTO_VERSION};
 pub use server::{
     build_atomic_bloom, build_sharded_cqf, build_sharded_cuckoo, build_sharded_register_bloom,
-    cuckoo_fp_bits, FilterServer, ServedFilter, ServerConfig,
+    cuckoo_fp_bits, register_metrics, FilterServer, ServedFilter, ServerConfig,
 };

@@ -1,159 +1,82 @@
-//! In-tree observability: atomic counters and fixed-bucket latency
-//! histograms, exposed over the STATS frame.
+//! In-tree observability: the server's counter set and latency
+//! histogram, exposed over the STATS frame.
 //!
 //! The container builds offline, so there is no prometheus client to
-//! lean on; this module is the minimal subset a filter service needs
-//! to be operable — monotonic `Relaxed` counters (each is an
-//! independent statistic; cross-counter snapshots tolerate the same
-//! benign racing as `Sharded::len`) and a 40-bucket power-of-two
-//! latency histogram whose `record` is one `fetch_add` on the bucket
-//! selected by a leading-zero count. Quantiles are reconstructed from
+//! lean on; the value types now live in the `telemetry` crate and are
+//! shared with the filter-layer instrumentation — monotonic `Relaxed`
+//! counters (each is an independent statistic; cross-counter
+//! snapshots tolerate the same benign racing as `Sharded::len`) and a
+//! fixed-bucket power-of-two latency histogram with an explicit
+//! bucket for exactly-zero samples (a sub-resolution duration must
+//! not alias the 1 ns bucket). Quantiles are reconstructed from
 //! bucket boundaries, so a reported p99 is an upper bound within one
 //! power of two — the honest resolution for a histogram this cheap.
+//!
+//! The same counters also feed the Prometheus-text METRICS exposition
+//! (see `server::render_metrics`); STATS remains the compact binary
+//! path for programmatic clients.
 
 use filter_core::{ByteReader, ByteWriter, SerialError};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
 
-/// Number of histogram buckets: bucket `i` counts samples with
-/// `ns < 2^(i+1)` (and `>= 2^i` for `i > 0`); the last bucket absorbs
-/// everything ≥ ~9.2 minutes.
-pub const HISTOGRAM_BUCKETS: usize = 40;
+pub use telemetry::{Counter, HistogramSnapshot, HISTOGRAM_BUCKETS};
 
-/// A fixed-bucket latency histogram with wait-free recording.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+/// The latency histogram type (shared with the telemetry layer).
+pub type LatencyHistogram = telemetry::Histogram;
+
+/// Serialize a histogram snapshot for the STATS frame
+/// (length-prefixed bucket counts, then the running sum).
+pub fn serialize_histogram(snap: &HistogramSnapshot, w: &mut ByteWriter) {
+    w.put_u64_slice(snap.counts());
+    w.put_u64(snap.sum());
 }
 
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
+/// Deserialize a histogram snapshot from a STATS frame.
+pub fn deserialize_histogram(r: &mut ByteReader<'_>) -> Result<HistogramSnapshot, SerialError> {
+    let counts = r.take_u64_vec()?;
+    if counts.len() > HISTOGRAM_BUCKETS {
+        return Err(SerialError::Corrupt("histogram bucket count"));
     }
-}
-
-impl LatencyHistogram {
-    /// Fresh all-zero histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
-
-    /// Record one sample (one `fetch_add`).
-    pub fn record(&self, latency: Duration) {
-        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
-        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    #[inline]
-    fn bucket_of(ns: u64) -> usize {
-        // Index of the highest set bit, clamped to the bucket range;
-        // 0 and 1 ns share bucket 0.
-        (63 - ns.max(1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
-    }
-
-    /// Racing snapshot of the bucket counts.
-    pub fn snapshot(&self) -> HistogramSnapshot {
-        HistogramSnapshot {
-            counts: self
-                .buckets
-                .iter()
-                .map(|b| b.load(Ordering::Relaxed))
-                .collect(),
-        }
-    }
-}
-
-/// An owned copy of a histogram's bucket counts, serializable for the
-/// STATS frame.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct HistogramSnapshot {
-    counts: Vec<u64>,
-}
-
-impl HistogramSnapshot {
-    /// Total samples recorded.
-    pub fn count(&self) -> u64 {
-        self.counts.iter().sum()
-    }
-
-    /// Upper-bound estimate of the `q`-quantile in nanoseconds
-    /// (`q` in `[0, 1]`): the upper edge of the bucket holding the
-    /// `q`-th sample. Returns 0 for an empty histogram.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return 1u64 << (i + 1);
-            }
-        }
-        1u64 << HISTOGRAM_BUCKETS
-    }
-
-    /// Merge another snapshot into this one (bucketwise sum) — used by
-    /// the load generator to combine per-thread client histograms.
-    pub fn merge(&mut self, other: &HistogramSnapshot) {
-        if self.counts.len() < other.counts.len() {
-            self.counts.resize(other.counts.len(), 0);
-        }
-        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-    }
-
-    /// Serialize (length-prefixed bucket counts).
-    pub fn serialize(&self, w: &mut ByteWriter) {
-        w.put_u64_slice(&self.counts);
-    }
-
-    /// Deserialize.
-    pub fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, SerialError> {
-        let counts = r.take_u64_vec()?;
-        if counts.len() > HISTOGRAM_BUCKETS {
-            return Err(SerialError::Corrupt("histogram bucket count"));
-        }
-        Ok(HistogramSnapshot { counts })
-    }
+    let sum = r.take_u64()?;
+    Ok(HistogramSnapshot::from_parts(counts, sum))
 }
 
 /// The server-side counter set. All counters are monotone and
-/// `Relaxed`; a snapshot is a consistent-enough racing read.
+/// `Relaxed`; a snapshot is a consistent-enough racing read. These are
+/// *instance* values (not static registry handles) so every server in
+/// a process gets its own set — the METRICS renderer folds them into
+/// the exposition per server.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
     /// Connections accepted.
-    pub connections_opened: AtomicU64,
+    pub connections_opened: Counter,
     /// Connections fully torn down.
-    pub connections_closed: AtomicU64,
+    pub connections_closed: Counter,
     /// Complete frames received (well-formed or not).
-    pub frames_received: AtomicU64,
+    pub frames_received: Counter,
     /// Response frames written.
-    pub responses_sent: AtomicU64,
+    pub responses_sent: Counter,
     /// Malformed payloads, bad versions, unknown opcodes, and
     /// oversized length prefixes.
-    pub protocol_errors: AtomicU64,
+    pub protocol_errors: Counter,
     /// Peers that vanished in the middle of a frame.
-    pub disconnects_mid_frame: AtomicU64,
+    pub disconnects_mid_frame: Counter,
     /// Requests answered with an error response (includes protocol
     /// errors that could still be answered).
-    pub error_responses: AtomicU64,
+    pub error_responses: Counter,
     /// Keys processed across INSERT/CONTAINS/COUNT/DELETE batches.
-    pub keys_processed: AtomicU64,
+    pub keys_processed: Counter,
     /// Keys that arrived in multi-key INSERT/CONTAINS requests and so
     /// were served by the batched probe kernels rather than the scalar
     /// path — `batched_ops / keys_processed` is the fraction of
     /// traffic amortizing hash-hoisted, prefetched lookups.
-    pub batched_ops: AtomicU64,
+    pub batched_ops: Counter,
     /// Payload bytes read.
-    pub bytes_in: AtomicU64,
+    pub bytes_in: Counter,
     /// Payload bytes written.
-    pub bytes_out: AtomicU64,
+    pub bytes_out: Counter,
+    /// Requests whose service time exceeded the server's slow-request
+    /// threshold (each also lands in the slow-request log).
+    pub slow_requests: Counter,
     /// Server-side request service time (decode → response written).
     pub request_latency: LatencyHistogram,
 }
@@ -164,32 +87,21 @@ impl ServerMetrics {
         Self::default()
     }
 
-    /// Add one to a counter.
-    #[inline]
-    pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Add `n` to a counter.
-    #[inline]
-    pub fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
-    }
-
     /// Snapshot every counter plus the latency histogram.
     pub fn snapshot(&self) -> CountersSnapshot {
         CountersSnapshot {
-            connections_opened: self.connections_opened.load(Ordering::Relaxed),
-            connections_closed: self.connections_closed.load(Ordering::Relaxed),
-            frames_received: self.frames_received.load(Ordering::Relaxed),
-            responses_sent: self.responses_sent.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
-            disconnects_mid_frame: self.disconnects_mid_frame.load(Ordering::Relaxed),
-            error_responses: self.error_responses.load(Ordering::Relaxed),
-            keys_processed: self.keys_processed.load(Ordering::Relaxed),
-            batched_ops: self.batched_ops.load(Ordering::Relaxed),
-            bytes_in: self.bytes_in.load(Ordering::Relaxed),
-            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            connections_opened: self.connections_opened.get(),
+            connections_closed: self.connections_closed.get(),
+            frames_received: self.frames_received.get(),
+            responses_sent: self.responses_sent.get(),
+            protocol_errors: self.protocol_errors.get(),
+            disconnects_mid_frame: self.disconnects_mid_frame.get(),
+            error_responses: self.error_responses.get(),
+            keys_processed: self.keys_processed.get(),
+            batched_ops: self.batched_ops.get(),
+            bytes_in: self.bytes_in.get(),
+            bytes_out: self.bytes_out.get(),
+            slow_requests: self.slow_requests.get(),
             request_latency: self.request_latency.snapshot(),
         }
     }
@@ -221,6 +133,8 @@ pub struct CountersSnapshot {
     pub bytes_in: u64,
     /// Payload bytes written.
     pub bytes_out: u64,
+    /// Requests slower than the slow-request threshold.
+    pub slow_requests: u64,
     /// Server-side service-time histogram.
     pub request_latency: HistogramSnapshot,
 }
@@ -239,10 +153,11 @@ impl CountersSnapshot {
             self.batched_ops,
             self.bytes_in,
             self.bytes_out,
+            self.slow_requests,
         ] {
             w.put_u64(v);
         }
-        self.request_latency.serialize(w);
+        serialize_histogram(&self.request_latency, w);
     }
 
     fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, SerialError> {
@@ -258,7 +173,8 @@ impl CountersSnapshot {
             batched_ops: r.take_u64()?,
             bytes_in: r.take_u64()?,
             bytes_out: r.take_u64()?,
-            request_latency: HistogramSnapshot::deserialize(r)?,
+            slow_requests: r.take_u64()?,
+            request_latency: deserialize_histogram(r)?,
         })
     }
 }
@@ -335,15 +251,27 @@ impl StatsReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
-    fn bucket_selection() {
+    fn bucket_selection_has_explicit_zero_bucket() {
+        // Regression: 0 ns and 1 ns used to share a bucket, so a
+        // timer whose resolution rounded a fast request down to zero
+        // silently inflated the 1 ns bin. Pin the boundaries.
         assert_eq!(LatencyHistogram::bucket_of(0), 0);
-        assert_eq!(LatencyHistogram::bucket_of(1), 0);
-        assert_eq!(LatencyHistogram::bucket_of(2), 1);
-        assert_eq!(LatencyHistogram::bucket_of(3), 1);
-        assert_eq!(LatencyHistogram::bucket_of(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(4), 3);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 11);
         assert_eq!(LatencyHistogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_nanos(1));
+        let snap = h.snapshot();
+        assert_eq!(snap.counts()[0], 1);
+        assert_eq!(snap.counts()[1], 1);
+        assert_eq!(snap.quantile_ns(0.25), 0);
     }
 
     #[test]
@@ -382,14 +310,16 @@ mod tests {
     fn stats_report_roundtrip() {
         let h = LatencyHistogram::new();
         h.record(Duration::from_micros(3));
+        let m = ServerMetrics::new();
+        m.connections_opened.add(5);
+        m.frames_received.add(100);
+        m.keys_processed.add(4096);
+        m.batched_ops.add(4000);
+        m.slow_requests.inc();
         let report = StatsReport {
             counters: CountersSnapshot {
-                connections_opened: 5,
-                frames_received: 100,
-                keys_processed: 4096,
-                batched_ops: 4000,
                 request_latency: h.snapshot(),
-                ..Default::default()
+                ..m.snapshot()
             },
             filters: vec![FilterRow {
                 name: "urls".into(),
@@ -403,6 +333,8 @@ mod tests {
         let bytes = w.into_bytes();
         let back = StatsReport::deserialize(&mut ByteReader::new(&bytes)).unwrap();
         assert_eq!(back, report);
+        assert_eq!(back.counters.slow_requests, 1);
+        assert_eq!(back.counters.request_latency.sum(), 3_000);
         // Truncations error cleanly.
         for cut in 0..bytes.len() {
             assert!(StatsReport::deserialize(&mut ByteReader::new(&bytes[..cut])).is_err());

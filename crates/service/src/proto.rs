@@ -154,6 +154,7 @@ const OP_CONTAINS: u32 = 3;
 const OP_COUNT: u32 = 4;
 const OP_DELETE: u32 = 5;
 const OP_STATS: u32 = 6;
+const OP_METRICS: u32 = 7;
 
 // Response opcodes (high range).
 const OP_OK: u32 = 128;
@@ -161,6 +162,7 @@ const OP_BOOLS: u32 = 129;
 const OP_COUNTS: u32 = 130;
 const OP_STATS_REPORT: u32 = 131;
 const OP_ERROR: u32 = 132;
+const OP_TEXT: u32 = 133;
 
 /// A client request frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -219,6 +221,11 @@ pub enum Request {
     },
     /// Server metrics and the filter inventory.
     Stats,
+    /// Prometheus-text metric exposition (every registered telemetry
+    /// family, server request counters, the filter inventory as
+    /// labelled gauges, and the slow-request log); answered by
+    /// [`Response::Text`].
+    Metrics,
 }
 
 /// A server response frame.
@@ -232,6 +239,8 @@ pub enum Response {
     Counts(Vec<u64>),
     /// Metrics snapshot plus filter inventory.
     Stats(crate::metrics::StatsReport),
+    /// A UTF-8 text document (the METRICS exposition).
+    Text(String),
     /// The request failed.
     Error {
         /// Machine-readable class.
@@ -361,6 +370,7 @@ impl Request {
                 w.put_u64_slice(keys);
             }
             Request::Stats => put_header(&mut w, OP_STATS),
+            Request::Metrics => put_header(&mut w, OP_METRICS),
         }
         w.into_bytes()
     }
@@ -400,6 +410,7 @@ impl Request {
                     keys: r.take_u64_vec()?,
                 },
                 OP_STATS => Request::Stats,
+                OP_METRICS => Request::Metrics,
                 other => return Ok(Err(other)),
             }))
         })()
@@ -438,6 +449,10 @@ impl Response {
                 w.put_u32(code.to_u32());
                 w.put_bytes(message.as_bytes());
             }
+            Response::Text(text) => {
+                put_header(&mut w, OP_TEXT);
+                w.put_bytes(text.as_bytes());
+            }
         }
         w.into_bytes()
     }
@@ -460,6 +475,10 @@ impl Response {
                 message: String::from_utf8(r.take_bytes()?)
                     .map_err(|_| SerialError::Corrupt("error message not utf-8"))?,
             },
+            OP_TEXT => Response::Text(
+                String::from_utf8(r.take_bytes()?)
+                    .map_err(|_| SerialError::Corrupt("text body not utf-8"))?,
+            ),
             _ => return Err(SerialError::Corrupt("unknown response opcode")),
         })
     }
@@ -637,6 +656,7 @@ mod tests {
             keys: vec![u64::MAX],
         });
         roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Metrics);
     }
 
     #[test]
@@ -657,6 +677,13 @@ mod tests {
             Response::decode(&Response::Ok.encode()).unwrap(),
             Response::Ok
         );
+        let resp = Response::Text("# HELP x y\n# TYPE x counter\nx 1\n".into());
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        // Non-UTF-8 text bodies are rejected, not lossily decoded.
+        let mut bad = Response::Text("abc".into()).encode();
+        let n = bad.len();
+        bad[n - 1] = 0xff;
+        assert!(Response::decode(&bad).is_err());
     }
 
     #[test]

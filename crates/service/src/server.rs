@@ -53,6 +53,37 @@ use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use telemetry::expo::{FamilyKind, TextRenderer};
+use telemetry::{EventKind, EventRing, StaticCounter, StaticGauge};
+
+/// Requests fully served (response written), across every server in
+/// the process.
+pub static SERVICE_REQUESTS: StaticCounter = StaticCounter::new(
+    "bb_service_requests_total",
+    "Requests fully served across all filter servers in the process.",
+);
+
+/// Requests whose service time exceeded the configured slow-request
+/// threshold (each also lands in the per-server slow-request log).
+pub static SERVICE_SLOW_REQUESTS: StaticCounter = StaticCounter::new(
+    "bb_service_slow_requests_total",
+    "Requests slower than the configured slow-request threshold.",
+);
+
+/// Filters currently registered across every server in the process
+/// (wire CREATEs plus direct `register` calls).
+pub static FILTERS_REGISTERED: StaticGauge = StaticGauge::new(
+    "bb_service_filters_registered",
+    "Filters currently registered across all filter servers.",
+);
+
+/// Eagerly register this crate's metric families so they render in
+/// the exposition even before any traffic touches them.
+pub fn register_metrics() {
+    SERVICE_REQUESTS.register();
+    SERVICE_SLOW_REQUESTS.register();
+    FILTERS_REGISTERED.register();
+}
 
 /// Tuning knobs for [`FilterServer`].
 #[derive(Debug, Clone)]
@@ -71,6 +102,10 @@ pub struct ServerConfig {
     /// Largest `capacity` a CREATE may request (bounds server memory
     /// taken by one request).
     pub max_capacity: u64,
+    /// Requests slower than this land in the slow-request log (and
+    /// bump the slow-request counters). METRICS renders the log as
+    /// `# slow ...` comment lines with opcode/backend/batch context.
+    pub slow_request_threshold: Duration,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +116,7 @@ impl Default for ServerConfig {
             max_frame: DEFAULT_MAX_FRAME,
             read_timeout: Duration::from_millis(50),
             max_capacity: 1 << 28,
+            slow_request_threshold: Duration::from_millis(10),
         }
     }
 }
@@ -130,6 +166,80 @@ impl ServedFilter {
             ServedFilter::Cuckoo(f) => f.size_in_bytes(),
             ServedFilter::Cqf(f) => f.size_in_bytes(),
             ServedFilter::RegisterBloom(f) => f.size_in_bytes(),
+        }
+    }
+
+    /// Per-shard operation counts for the sharded backends (`None`
+    /// for the unsharded atomic Bloom). METRICS renders these as
+    /// `bb_filter_shard_ops_total{name,shard}` so skewed key streams
+    /// show up as skewed shard loads.
+    pub fn shard_ops(&self) -> Option<Vec<u64>> {
+        match self {
+            ServedFilter::Bloom(_) => None,
+            ServedFilter::Cuckoo(f) => Some(f.shard_ops()),
+            ServedFilter::Cqf(f) => Some(f.shard_ops()),
+            ServedFilter::RegisterBloom(f) => Some(f.shard_ops()),
+        }
+    }
+}
+
+/// Per-request context carried from dispatch to the slow-request log.
+#[derive(Clone, Copy)]
+struct ReqInfo {
+    /// Wire opcode (1..=7), or 0 when the payload failed decoding.
+    op: u8,
+    /// Backend the request resolved to, when it named a filter.
+    backend: Option<Backend>,
+    /// Keys carried by the request (batch size).
+    batch: u32,
+}
+
+impl ReqInfo {
+    fn bare(op: u8) -> ReqInfo {
+        ReqInfo {
+            op,
+            backend: None,
+            batch: 0,
+        }
+    }
+
+    /// Pack into the event ring's second payload slot:
+    /// `op << 56 | (backend_tag + 1) << 48 | batch` (backend 0 means
+    /// "none").
+    fn packed(self) -> u64 {
+        let be = match self.backend {
+            None => 0u64,
+            Some(Backend::AtomicBloom) => 1,
+            Some(Backend::ShardedCuckoo) => 2,
+            Some(Backend::ShardedCqf) => 3,
+            Some(Backend::RegisterBloom) => 4,
+        };
+        (self.op as u64) << 56 | be << 48 | self.batch as u64
+    }
+
+    /// Inverse of [`ReqInfo::packed`], for rendering the slow log.
+    fn unpack(b: u64) -> (u8, &'static str, u32) {
+        let op = (b >> 56) as u8;
+        let backend = match (b >> 48) & 0xff {
+            1 => "atomic-bloom",
+            2 => "sharded-cuckoo",
+            3 => "sharded-cqf",
+            4 => "register-bloom",
+            _ => "-",
+        };
+        (op, backend, b as u32)
+    }
+
+    fn op_name(op: u8) -> &'static str {
+        match op {
+            1 => "CREATE",
+            2 => "INSERT",
+            3 => "CONTAINS",
+            4 => "COUNT",
+            5 => "DELETE",
+            6 => "STATS",
+            7 => "METRICS",
+            _ => "BAD",
         }
     }
 }
@@ -207,6 +317,9 @@ pub fn build_sharded_register_bloom(
 struct Shared {
     registry: RwLock<BTreeMap<String, Arc<ServedFilter>>>,
     metrics: ServerMetrics,
+    /// Slow-request log: newest 256 requests over the threshold, with
+    /// packed opcode/backend/batch context (see [`ReqInfo::packed`]).
+    slowlog: EventRing,
     stop: AtomicBool,
     config: ServerConfig,
 }
@@ -234,9 +347,17 @@ impl FilterServer {
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<FilterServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        // Eager registration: every layer's families render in the
+        // METRICS exposition from the first scrape, traffic or not.
+        bloom::register_metrics();
+        cuckoo::register_metrics();
+        quotient::register_metrics();
+        concurrent::register_metrics();
+        register_metrics();
         let shared = Arc::new(Shared {
             registry: RwLock::new(BTreeMap::new()),
             metrics: ServerMetrics::new(),
+            slowlog: EventRing::new(256),
             stop: AtomicBool::new(false),
             config,
         });
@@ -289,9 +410,16 @@ impl FilterServer {
             Entry::Occupied(_) => false,
             Entry::Vacant(v) => {
                 v.insert(Arc::new(filter));
+                FILTERS_REGISTERED.add(1);
                 true
             }
         }
+    }
+
+    /// Render the same Prometheus-text exposition the METRICS opcode
+    /// serves (in-process scrape for tests and examples).
+    pub fn metrics_text(&self) -> String {
+        render_metrics(&self.shared)
     }
 
     /// Stop accepting, drain in-flight requests, join all threads.
@@ -330,7 +458,7 @@ fn accept_loop(
                     drop(stream);
                     break;
                 }
-                ServerMetrics::bump(&shared.metrics.connections_opened);
+                shared.metrics.connections_opened.inc();
                 if tx.send(stream).is_err() {
                     break;
                 }
@@ -361,7 +489,7 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
                     continue; // keep draining the queue until disconnect
                 }
                 serve_connection(shared, stream);
-                ServerMetrics::bump(&shared.metrics.connections_closed);
+                shared.metrics.connections_closed.inc();
             }
             Err(_) => break,
         }
@@ -382,14 +510,25 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     loop {
         match frames.read_frame() {
             Ok(FrameEvent::Frame(payload)) => {
-                ServerMetrics::bump(&m.frames_received);
-                ServerMetrics::add(&m.bytes_in, payload.len() as u64);
+                m.frames_received.inc();
+                m.bytes_in.add(payload.len() as u64);
                 let t0 = Instant::now();
-                let resp = dispatch(shared, &payload);
+                let (resp, info) = dispatch(shared, &payload);
                 if !write_response(shared, &mut stream, &resp) {
                     break;
                 }
-                m.request_latency.record(t0.elapsed());
+                let dt = t0.elapsed();
+                m.request_latency.record(dt);
+                SERVICE_REQUESTS.inc();
+                if dt >= shared.config.slow_request_threshold {
+                    m.slow_requests.inc();
+                    SERVICE_SLOW_REQUESTS.inc();
+                    shared.slowlog.emit(
+                        EventKind::SlowRequest,
+                        dt.as_nanos().min(u64::MAX as u128) as u64,
+                        info.packed(),
+                    );
+                }
                 if shared.stopping() {
                     break; // in-flight request drained; refuse further
                 }
@@ -403,7 +542,7 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
             Err(FrameError::Oversized(n)) => {
                 // The unread body makes stream resync impossible:
                 // answer with the reason, then close.
-                ServerMetrics::bump(&m.protocol_errors);
+                m.protocol_errors.inc();
                 let resp = Response::Error {
                     code: ErrorCode::BadFrame,
                     message: format!("frame length {n} exceeds limit {}", shared.config.max_frame),
@@ -412,7 +551,7 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
                 break;
             }
             Err(FrameError::Disconnected) => {
-                ServerMetrics::bump(&m.disconnects_mid_frame);
+                m.disconnects_mid_frame.inc();
                 break;
             }
             Err(FrameError::Io(_)) => break,
@@ -423,13 +562,13 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
 fn write_response(shared: &Shared, stream: &mut TcpStream, resp: &Response) -> bool {
     let m = &shared.metrics;
     if matches!(resp, Response::Error { .. }) {
-        ServerMetrics::bump(&m.error_responses);
+        m.error_responses.inc();
     }
     let bytes = resp.encode();
     match write_frame(stream, &bytes) {
         Ok(()) => {
-            ServerMetrics::bump(&m.responses_sent);
-            ServerMetrics::add(&m.bytes_out, bytes.len() as u64);
+            m.responses_sent.inc();
+            m.bytes_out.add(bytes.len() as u64);
             true
         }
         Err(_) => false,
@@ -448,27 +587,38 @@ fn filter_err(e: FilterError) -> Response {
 }
 
 /// Decode one frame payload and execute it against the registry.
-fn dispatch(shared: &Shared, payload: &[u8]) -> Response {
+/// Returns the response plus the request context the slow-request log
+/// records.
+fn dispatch(shared: &Shared, payload: &[u8]) -> (Response, ReqInfo) {
     let m = &shared.metrics;
     let req = match Request::decode(payload) {
         Ok(Ok(req)) => req,
         Ok(Err(op)) => {
-            ServerMetrics::bump(&m.protocol_errors);
-            return err(ErrorCode::UnknownOpcode, format!("unknown opcode {op}"));
+            m.protocol_errors.inc();
+            return (
+                err(ErrorCode::UnknownOpcode, format!("unknown opcode {op}")),
+                ReqInfo::bare(0),
+            );
         }
         Err(HeaderError::Version(v)) => {
-            ServerMetrics::bump(&m.protocol_errors);
-            return err(
-                ErrorCode::UnsupportedVersion,
-                format!(
-                    "version {v}, this server speaks {}",
-                    crate::proto::PROTO_VERSION
+            m.protocol_errors.inc();
+            return (
+                err(
+                    ErrorCode::UnsupportedVersion,
+                    format!(
+                        "version {v}, this server speaks {}",
+                        crate::proto::PROTO_VERSION
+                    ),
                 ),
+                ReqInfo::bare(0),
             );
         }
         Err(HeaderError::Serial(e)) => {
-            ServerMetrics::bump(&m.protocol_errors);
-            return err(ErrorCode::BadFrame, format!("malformed payload: {e}"));
+            m.protocol_errors.inc();
+            return (
+                err(ErrorCode::BadFrame, format!("malformed payload: {e}")),
+                ReqInfo::bare(0),
+            );
         }
     };
     match req {
@@ -480,14 +630,62 @@ fn dispatch(shared: &Shared, payload: &[u8]) -> Response {
             shard_bits,
             seed,
             blob,
-        } => handle_create(
-            shared, &name, backend, capacity, eps, shard_bits, seed, &blob,
+        } => (
+            handle_create(
+                shared, &name, backend, capacity, eps, shard_bits, seed, &blob,
+            ),
+            ReqInfo {
+                op: 1,
+                backend: Some(backend),
+                batch: 0,
+            },
         ),
-        Request::Insert { name, keys } => handle_insert(shared, &name, &keys),
-        Request::Contains { name, keys } => handle_contains(shared, &name, &keys),
-        Request::Count { name, keys } => handle_count(shared, &name, &keys),
-        Request::Delete { name, keys } => handle_delete(shared, &name, &keys),
-        Request::Stats => handle_stats(shared),
+        Request::Insert { name, keys } => {
+            let (resp, backend) = handle_insert(shared, &name, &keys);
+            (
+                resp,
+                ReqInfo {
+                    op: 2,
+                    backend,
+                    batch: keys.len() as u32,
+                },
+            )
+        }
+        Request::Contains { name, keys } => {
+            let (resp, backend) = handle_contains(shared, &name, &keys);
+            (
+                resp,
+                ReqInfo {
+                    op: 3,
+                    backend,
+                    batch: keys.len() as u32,
+                },
+            )
+        }
+        Request::Count { name, keys } => {
+            let (resp, backend) = handle_count(shared, &name, &keys);
+            (
+                resp,
+                ReqInfo {
+                    op: 4,
+                    backend,
+                    batch: keys.len() as u32,
+                },
+            )
+        }
+        Request::Delete { name, keys } => {
+            let (resp, backend) = handle_delete(shared, &name, &keys);
+            (
+                resp,
+                ReqInfo {
+                    op: 5,
+                    backend,
+                    batch: keys.len() as u32,
+                },
+            )
+        }
+        Request::Stats => (handle_stats(shared), ReqInfo::bare(6)),
+        Request::Metrics => (Response::Text(render_metrics(shared)), ReqInfo::bare(7)),
     }
 }
 
@@ -583,21 +781,23 @@ fn handle_create(
         Entry::Occupied(_) => err(ErrorCode::FilterExists, format!("'{name}' already exists")),
         Entry::Vacant(v) => {
             v.insert(Arc::new(filter));
+            FILTERS_REGISTERED.add(1);
             Response::Ok
         }
     }
 }
 
-fn handle_insert(shared: &Shared, name: &str, keys: &[u64]) -> Response {
+fn handle_insert(shared: &Shared, name: &str, keys: &[u64]) -> (Response, Option<Backend>) {
     let f = match lookup(shared, name) {
         Ok(f) => f,
-        Err(resp) => return resp,
+        Err(resp) => return (resp, None),
     };
-    ServerMetrics::add(&shared.metrics.keys_processed, keys.len() as u64);
+    let backend = Some(f.backend());
+    shared.metrics.keys_processed.add(keys.len() as u64);
     if keys.len() > 1 {
-        ServerMetrics::add(&shared.metrics.batched_ops, keys.len() as u64);
+        shared.metrics.batched_ops.add(keys.len() as u64);
     }
-    match &*f {
+    let resp = match &*f {
         ServedFilter::Bloom(b) => {
             b.insert_batch(keys);
             Response::Ok
@@ -614,58 +814,64 @@ fn handle_insert(shared: &Shared, name: &str, keys: &[u64]) -> Response {
             Ok(()) => Response::Ok,
             Err(e) => filter_err(e),
         },
-    }
+    };
+    (resp, backend)
 }
 
-fn handle_contains(shared: &Shared, name: &str, keys: &[u64]) -> Response {
+fn handle_contains(shared: &Shared, name: &str, keys: &[u64]) -> (Response, Option<Backend>) {
     let f = match lookup(shared, name) {
         Ok(f) => f,
-        Err(resp) => return resp,
+        Err(resp) => return (resp, None),
     };
-    ServerMetrics::add(&shared.metrics.keys_processed, keys.len() as u64);
+    let backend = Some(f.backend());
+    shared.metrics.keys_processed.add(keys.len() as u64);
     if keys.len() > 1 {
-        ServerMetrics::add(&shared.metrics.batched_ops, keys.len() as u64);
+        shared.metrics.batched_ops.add(keys.len() as u64);
     }
-    Response::Bools(match &*f {
+    let resp = Response::Bools(match &*f {
         ServedFilter::Bloom(b) => b.contains_batch(keys),
         ServedFilter::Cuckoo(c) => c.contains_batch(keys),
         ServedFilter::Cqf(q) => q.contains_batch(keys),
         ServedFilter::RegisterBloom(r) => r.contains_batch(keys),
-    })
+    });
+    (resp, backend)
 }
 
-fn handle_count(shared: &Shared, name: &str, keys: &[u64]) -> Response {
+fn handle_count(shared: &Shared, name: &str, keys: &[u64]) -> (Response, Option<Backend>) {
     let f = match lookup(shared, name) {
         Ok(f) => f,
-        Err(resp) => return resp,
+        Err(resp) => return (resp, None),
     };
-    match &*f {
+    let backend = Some(f.backend());
+    let resp = match &*f {
         ServedFilter::Cqf(q) => {
-            ServerMetrics::add(&shared.metrics.keys_processed, keys.len() as u64);
+            shared.metrics.keys_processed.add(keys.len() as u64);
             Response::Counts(q.count_batch(keys))
         }
         other => err(
             ErrorCode::Unsupported,
             format!("{} does not support COUNT", other.backend().name()),
         ),
-    }
+    };
+    (resp, backend)
 }
 
-fn handle_delete(shared: &Shared, name: &str, keys: &[u64]) -> Response {
+fn handle_delete(shared: &Shared, name: &str, keys: &[u64]) -> (Response, Option<Backend>) {
     let f = match lookup(shared, name) {
         Ok(f) => f,
-        Err(resp) => return resp,
+        Err(resp) => return (resp, None),
     };
-    match &*f {
+    let backend = Some(f.backend());
+    let resp = match &*f {
         ServedFilter::Cuckoo(c) => {
-            ServerMetrics::add(&shared.metrics.keys_processed, keys.len() as u64);
+            shared.metrics.keys_processed.add(keys.len() as u64);
             match c.remove_batch(keys) {
                 Ok(hits) => Response::Bools(hits),
                 Err(e) => filter_err(e),
             }
         }
         ServedFilter::Cqf(q) => {
-            ServerMetrics::add(&shared.metrics.keys_processed, keys.len() as u64);
+            shared.metrics.keys_processed.add(keys.len() as u64);
             // Remove one occurrence per listed key; a missing key
             // (`FilterError::NotFound`) is a per-key `false`, not a
             // request failure.
@@ -676,7 +882,158 @@ fn handle_delete(shared: &Shared, name: &str, keys: &[u64]) -> Response {
             ErrorCode::Unsupported,
             format!("{} does not support DELETE", other.backend().name()),
         ),
+    };
+    (resp, backend)
+}
+
+/// Most shards a single filter may render as per-shard series (a
+/// 4096-shard filter would otherwise dominate the scrape).
+const MAX_SHARD_SERIES: usize = 64;
+
+/// Assemble the full METRICS exposition: every registered telemetry
+/// family (filter-layer instrumentation), this server's request
+/// counters and latency histogram, the filter inventory as labelled
+/// gauges, per-shard op counts, and the slow-request log rendered as
+/// `# slow ...` comment lines (free-standing comments are legal
+/// Prometheus text).
+fn render_metrics(shared: &Shared) -> String {
+    let mut out = telemetry::render_registry();
+    let m = &shared.metrics;
+    let mut r = TextRenderer::new();
+    for (name, help, v) in [
+        (
+            "bb_server_connections_opened_total",
+            "Connections accepted.",
+            m.connections_opened.get(),
+        ),
+        (
+            "bb_server_connections_closed_total",
+            "Connections fully torn down.",
+            m.connections_closed.get(),
+        ),
+        (
+            "bb_server_frames_received_total",
+            "Complete frames received.",
+            m.frames_received.get(),
+        ),
+        (
+            "bb_server_responses_sent_total",
+            "Response frames written.",
+            m.responses_sent.get(),
+        ),
+        (
+            "bb_server_protocol_errors_total",
+            "Malformed payloads, bad versions, unknown opcodes, oversized frames.",
+            m.protocol_errors.get(),
+        ),
+        (
+            "bb_server_disconnects_mid_frame_total",
+            "Peers that vanished in the middle of a frame.",
+            m.disconnects_mid_frame.get(),
+        ),
+        (
+            "bb_server_error_responses_total",
+            "Requests answered with an error response.",
+            m.error_responses.get(),
+        ),
+        (
+            "bb_server_keys_processed_total",
+            "Keys processed across INSERT/CONTAINS/COUNT/DELETE batches.",
+            m.keys_processed.get(),
+        ),
+        (
+            "bb_server_batched_ops_total",
+            "Keys served through the batched probe kernels.",
+            m.batched_ops.get(),
+        ),
+        (
+            "bb_server_bytes_in_total",
+            "Payload bytes read.",
+            m.bytes_in.get(),
+        ),
+        (
+            "bb_server_bytes_out_total",
+            "Payload bytes written.",
+            m.bytes_out.get(),
+        ),
+        (
+            "bb_server_slow_requests_total",
+            "Requests slower than the slow-request threshold.",
+            m.slow_requests.get(),
+        ),
+    ] {
+        r.counter(name, help, v);
     }
+    r.histogram(
+        "bb_server_request_latency_ns",
+        "Server-side request service time (decode to response written).",
+        &m.request_latency.snapshot(),
+    );
+
+    // Inventory: one labelled series per registered filter, plus
+    // per-shard op counts for the sharded backends.
+    r.header(
+        "bb_filter_keys",
+        "Distinct keys represented per served filter.",
+        FamilyKind::Gauge,
+    );
+    let reg = read_lock(&shared.registry);
+    for (name, f) in reg.iter() {
+        r.sample(
+            "bb_filter_keys",
+            &[("name", name), ("backend", f.backend().name())],
+            f.len() as f64,
+        );
+    }
+    r.header(
+        "bb_filter_size_bytes",
+        "Heap bytes per served filter.",
+        FamilyKind::Gauge,
+    );
+    for (name, f) in reg.iter() {
+        r.sample(
+            "bb_filter_size_bytes",
+            &[("name", name), ("backend", f.backend().name())],
+            f.size_in_bytes() as f64,
+        );
+    }
+    r.header(
+        "bb_filter_shard_ops_total",
+        "Operations routed to each shard of a sharded filter.",
+        FamilyKind::Counter,
+    );
+    for (name, f) in reg.iter() {
+        let Some(ops) = f.shard_ops() else { continue };
+        if ops.len() > MAX_SHARD_SERIES {
+            continue;
+        }
+        for (i, &n) in ops.iter().enumerate() {
+            let shard = i.to_string();
+            r.sample(
+                "bb_filter_shard_ops_total",
+                &[("name", name), ("shard", &shard)],
+                n as f64,
+            );
+        }
+    }
+    drop(reg);
+
+    // Slow-request log, newest last. Comment lines parse as legal
+    // exposition text; scrapers that only want families skip them.
+    for ev in shared.slowlog.snapshot() {
+        let (op, backend, batch) = ReqInfo::unpack(ev.b);
+        r.comment(&format!(
+            "slow seq={} t_us={} op={} backend={} batch={} latency_ns={}",
+            ev.seq,
+            ev.t_us,
+            ReqInfo::op_name(op),
+            backend,
+            batch,
+            ev.a,
+        ));
+    }
+    out.push_str(&r.finish());
+    out
 }
 
 fn handle_stats(shared: &Shared) -> Response {

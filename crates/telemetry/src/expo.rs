@@ -1,0 +1,498 @@
+//! Prometheus text exposition: a renderer and a strict parser.
+//!
+//! The renderer emits the version-0.0.4 text format (`# HELP` /
+//! `# TYPE` headers, cumulative `le`-labelled histogram buckets,
+//! `_sum`/`_count` series). Histogram `le` labels are the *inclusive*
+//! integer upper bounds of the power-of-two buckets (`0`, `1`, `3`,
+//! `7`, …, `2^39-1`), with the absorbing last bucket rendered as
+//! `+Inf`. Free-standing `#` comment lines are legal in the format;
+//! the service uses them to append its slow-request log to a scrape
+//! without breaking parsers.
+//!
+//! The parser exists so tests (and the dashboard example) can verify a
+//! scrape end to end with no external prometheus client: it checks the
+//! grammar, that every sample belongs to a declared family, and that
+//! histogram buckets are cumulative and consistent with `_count`.
+
+use crate::value::{Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+
+/// Metric family kinds the exposition format distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamilyKind {
+    /// Monotone counter.
+    Counter,
+    /// Up/down gauge.
+    Gauge,
+    /// Cumulative-bucket histogram.
+    Histogram,
+}
+
+impl FamilyKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            FamilyKind::Counter => "counter",
+            FamilyKind::Gauge => "gauge",
+            FamilyKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Escape a label value per the exposition format (backslash, quote,
+/// newline).
+fn escape_label(v: &str, out: &mut String) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Incremental builder for an exposition document.
+#[derive(Debug, Default)]
+pub struct TextRenderer {
+    buf: String,
+}
+
+impl TextRenderer {
+    /// Empty document.
+    pub fn new() -> Self {
+        TextRenderer::default()
+    }
+
+    /// Emit a family's `# HELP` and `# TYPE` headers.
+    pub fn header(&mut self, name: &str, help: &str, kind: FamilyKind) {
+        self.buf.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} {}\n",
+            kind.as_str()
+        ));
+    }
+
+    /// Emit one sample line with optional labels.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.buf.push_str(name);
+        if !labels.is_empty() {
+            self.buf.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.buf.push(',');
+                }
+                self.buf.push_str(k);
+                self.buf.push_str("=\"");
+                escape_label(v, &mut self.buf);
+                self.buf.push('"');
+            }
+            self.buf.push('}');
+        }
+        if value.fract() == 0.0 && value.abs() < 9e15 {
+            self.buf.push_str(&format!(" {}\n", value as i64));
+        } else {
+            self.buf.push_str(&format!(" {value}\n"));
+        }
+    }
+
+    /// Emit a complete single-sample counter family.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, FamilyKind::Counter);
+        self.sample(name, &[], value as f64);
+    }
+
+    /// Emit a complete single-sample gauge family.
+    pub fn gauge(&mut self, name: &str, help: &str, value: i64) {
+        self.header(name, help, FamilyKind::Gauge);
+        self.sample(name, &[], value as f64);
+    }
+
+    /// Emit a complete histogram family from a snapshot: cumulative
+    /// `le` buckets, `+Inf`, `_sum`, `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, snap: &HistogramSnapshot) {
+        self.header(name, help, FamilyKind::Histogram);
+        let bucket = format!("{name}_bucket");
+        let mut cum = 0u64;
+        for (i, &c) in snap.counts().iter().enumerate() {
+            cum += c;
+            if let Some(hi) = Histogram::bucket_upper_bound(i) {
+                self.sample(&bucket, &[("le", &hi.to_string())], cum as f64);
+            }
+        }
+        let total = snap.count();
+        self.sample(&bucket, &[("le", "+Inf")], total as f64);
+        self.sample(&format!("{name}_sum"), &[], snap.sum() as f64);
+        self.sample(&format!("{name}_count"), &[], total as f64);
+    }
+
+    /// Emit a free-standing comment line (`# ...`) — legal anywhere in
+    /// the format; the service's slow-request log rides on these.
+    pub fn comment(&mut self, line: &str) {
+        self.buf.push_str("# ");
+        // A newline inside the comment would start a new (possibly
+        // invalid) line; flatten it.
+        self.buf.push_str(&line.replace('\n', " "));
+        self.buf.push('\n');
+    }
+
+    /// Finish, returning the document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Series name as written (e.g. `bb_x_bucket`).
+    pub name: String,
+    /// Raw label string between braces (empty when unlabelled).
+    pub labels: String,
+    /// Parsed value.
+    pub value: f64,
+}
+
+/// A declared metric family and its samples.
+#[derive(Debug, Clone)]
+pub struct Family {
+    /// Declared kind.
+    pub kind: FamilyKind,
+    /// `# HELP` text (empty if only TYPE was given).
+    pub help: String,
+    /// Samples belonging to this family, in document order.
+    pub samples: Vec<Sample>,
+}
+
+/// A parsed, validated exposition document.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    families: BTreeMap<String, Family>,
+}
+
+impl Exposition {
+    /// Number of declared metric families.
+    pub fn family_count(&self) -> usize {
+        self.families.len()
+    }
+
+    /// Whether `name` was declared via `# TYPE`.
+    pub fn has_family(&self, name: &str) -> bool {
+        self.families.contains_key(name)
+    }
+
+    /// Declared family names in sorted order.
+    pub fn family_names(&self) -> impl Iterator<Item = &str> {
+        self.families.keys().map(String::as_str)
+    }
+
+    /// The family record for `name`.
+    pub fn family(&self, name: &str) -> Option<&Family> {
+        self.families.get(name)
+    }
+
+    /// Value of the single unlabelled sample named exactly `name`
+    /// (counters, gauges, and histogram `_sum`/`_count` series).
+    pub fn value(&self, name: &str) -> Option<f64> {
+        let fam = self
+            .families
+            .get(name)
+            .or_else(|| self.families.get(base_name(name)))?;
+        fam.samples
+            .iter()
+            .find_map(|s| (s.name == name && s.labels.is_empty()).then_some(s.value))
+    }
+
+    /// Sum over every sample named exactly `name` whose label string
+    /// contains `label_substr` (e.g. `name="urls"`).
+    pub fn labeled_sum(&self, name: &str, label_substr: &str) -> f64 {
+        self.families
+            .get(name)
+            .map(|f| {
+                f.samples
+                    .iter()
+                    .filter(|s| s.name == name && s.labels.contains(label_substr))
+                    .map(|s| s.value)
+                    .sum()
+            })
+            .unwrap_or(0.0)
+    }
+
+    /// Reconstruct a histogram family's `q`-quantile upper bound from
+    /// its cumulative buckets (the scrape-side equivalent of
+    /// [`HistogramSnapshot::quantile_ns`]). `None` when `name` is not
+    /// a histogram or has no samples.
+    pub fn histogram_quantile(&self, name: &str, q: f64) -> Option<f64> {
+        let fam = self.families.get(name)?;
+        if fam.kind != FamilyKind::Histogram {
+            return None;
+        }
+        let bucket = format!("{name}_bucket");
+        let mut edges: Vec<(f64, f64)> = Vec::new(); // (le, cumulative)
+        for s in fam.samples.iter().filter(|s| s.name == bucket) {
+            let le = label_value(&s.labels, "le")?;
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().ok()?
+            };
+            edges.push((le, s.value));
+        }
+        let total = edges.last()?.1;
+        if total == 0.0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * total).ceil().max(1.0);
+        edges
+            .iter()
+            .find(|&&(_, cum)| cum >= target)
+            .map(|&(le, _)| le)
+    }
+}
+
+/// Extract a label's value from a raw label string.
+fn label_value(labels: &str, key: &str) -> Option<String> {
+    let pat = format!("{key}=\"");
+    let start = labels.find(&pat)? + pat.len();
+    let rest = &labels[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Strip the histogram-series suffix, returning the base family name.
+fn base_name(series: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = series.strip_suffix(suffix) {
+            return base;
+        }
+    }
+    series
+}
+
+/// Parse and validate an exposition document.
+///
+/// Enforced rules: header grammar, at most one `# TYPE` per family,
+/// every sample belongs to a declared family (histogram samples may
+/// use the `_bucket`/`_sum`/`_count` suffixes), values parse, and
+/// histogram buckets are cumulative with `+Inf` equal to `_count`.
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    let mut expo = Exposition::default();
+    let mut helps: BTreeMap<String, String> = BTreeMap::new();
+    let mut pending: Vec<Sample> = Vec::new();
+
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("HELP ") {
+                let (name, help) = decl
+                    .split_once(' ')
+                    .map(|(n, h)| (n, h.to_string()))
+                    .unwrap_or((decl, String::new()));
+                helps.insert(name.to_string(), help);
+            } else if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let (name, kind) = decl
+                    .split_once(' ')
+                    .ok_or_else(|| format!("line {ln}: TYPE missing kind"))?;
+                let kind = match kind.trim() {
+                    "counter" => FamilyKind::Counter,
+                    "gauge" => FamilyKind::Gauge,
+                    "histogram" => FamilyKind::Histogram,
+                    other => return Err(format!("line {ln}: unknown TYPE '{other}'")),
+                };
+                if expo.families.contains_key(name) {
+                    return Err(format!("line {ln}: duplicate TYPE for '{name}'"));
+                }
+                expo.families.insert(
+                    name.to_string(),
+                    Family {
+                        kind,
+                        help: helps.remove(name).unwrap_or_default(),
+                        samples: Vec::new(),
+                    },
+                );
+            }
+            // Any other comment line is legal and ignored.
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (series, labels, value_str) = match line.find('{') {
+            Some(b) => {
+                let close = line
+                    .rfind('}')
+                    .ok_or_else(|| format!("line {ln}: unclosed label braces"))?;
+                (
+                    &line[..b],
+                    line[b + 1..close].to_string(),
+                    line[close + 1..].trim(),
+                )
+            }
+            None => {
+                let (n, v) = line
+                    .split_once(' ')
+                    .ok_or_else(|| format!("line {ln}: sample missing value"))?;
+                (n, String::new(), v.trim())
+            }
+        };
+        if series.is_empty()
+            || !series
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("line {ln}: bad metric name '{series}'"));
+        }
+        let value: f64 = value_str
+            .parse()
+            .map_err(|_| format!("line {ln}: bad value '{value_str}'"))?;
+        pending.push(Sample {
+            name: series.to_string(),
+            labels,
+            value,
+        });
+    }
+
+    // Attach samples to families and check membership.
+    for s in pending {
+        let base = base_name(&s.name);
+        let fam = match expo.families.get_mut(&s.name) {
+            Some(f) => f,
+            None => expo
+                .families
+                .get_mut(base)
+                .filter(|f| f.kind == FamilyKind::Histogram)
+                .ok_or_else(|| format!("sample '{}' has no declared family", s.name))?,
+        };
+        fam.samples.push(s);
+    }
+
+    // Histogram consistency: buckets cumulative, +Inf == _count.
+    for (name, fam) in &expo.families {
+        if fam.kind != FamilyKind::Histogram {
+            continue;
+        }
+        let bucket = format!("{name}_bucket");
+        let mut prev = f64::NEG_INFINITY;
+        let mut inf = None;
+        for s in fam.samples.iter().filter(|s| s.name == bucket) {
+            if s.value < prev {
+                return Err(format!("histogram '{name}' buckets not cumulative"));
+            }
+            prev = s.value;
+            if label_value(&s.labels, "le").as_deref() == Some("+Inf") {
+                inf = Some(s.value);
+            }
+        }
+        let count = fam
+            .samples
+            .iter()
+            .find(|s| s.name == format!("{name}_count"))
+            .map(|s| s.value);
+        match (inf, count) {
+            (Some(i), Some(c)) if i == c => {}
+            (None, None) => {} // declared but unsampled family
+            _ => return Err(format!("histogram '{name}' +Inf bucket != _count")),
+        }
+    }
+    Ok(expo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_reparses_all_kinds() {
+        let h = Histogram::new();
+        h.observe(0);
+        h.observe(5);
+        h.observe(1_000_000);
+        let mut r = TextRenderer::new();
+        r.counter("bb_ops_total", "Total operations.", 7);
+        r.gauge("bb_live", "Live things.", -3);
+        r.histogram("bb_latency_ns", "Latency.", &h.snapshot());
+        r.header("bb_keys", "Keys per filter.", FamilyKind::Gauge);
+        r.sample("bb_keys", &[("name", "urls"), ("backend", "cqf")], 42.0);
+        r.comment("slow op=CONTAINS latency_ns=123456");
+        let text = r.finish();
+        let expo = parse(&text).unwrap();
+        assert_eq!(expo.family_count(), 4);
+        assert_eq!(expo.value("bb_ops_total"), Some(7.0));
+        assert_eq!(expo.value("bb_live"), Some(-3.0));
+        assert_eq!(expo.labeled_sum("bb_keys", "name=\"urls\""), 42.0);
+        assert_eq!(expo.value("bb_latency_ns_count"), Some(3.0));
+        let fam = expo.family("bb_latency_ns").unwrap();
+        assert_eq!(fam.kind, FamilyKind::Histogram);
+        // 3 samples: p50 upper bound covers the middle observation.
+        let p50 = expo.histogram_quantile("bb_latency_ns", 0.5).unwrap();
+        assert!((5.0..=7.0).contains(&p50), "p50 {p50}");
+        assert_eq!(expo.histogram_quantile("bb_latency_ns", 0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut r = TextRenderer::new();
+        r.header("bb_x", "x", FamilyKind::Gauge);
+        r.sample("bb_x", &[("name", "a\"b\\c")], 1.0);
+        let text = r.finish();
+        assert!(text.contains(r#"name="a\"b\\c""#), "{text}");
+        parse(&text).unwrap();
+    }
+
+    #[test]
+    fn undeclared_samples_rejected() {
+        let err = parse("bb_mystery 3\n").unwrap_err();
+        assert!(err.contains("no declared family"), "{err}");
+    }
+
+    #[test]
+    fn broken_cumulative_buckets_rejected() {
+        let text = "\
+# TYPE bb_h histogram
+bb_h_bucket{le=\"1\"} 5
+bb_h_bucket{le=\"3\"} 4
+bb_h_bucket{le=\"+Inf\"} 4
+bb_h_sum 9
+bb_h_count 4
+";
+        let err = parse(text).unwrap_err();
+        assert!(err.contains("not cumulative"), "{err}");
+    }
+
+    #[test]
+    fn inf_bucket_must_match_count() {
+        let text = "\
+# TYPE bb_h histogram
+bb_h_bucket{le=\"+Inf\"} 4
+bb_h_sum 9
+bb_h_count 5
+";
+        let err = parse(text).unwrap_err();
+        assert!(err.contains("+Inf"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_type_rejected() {
+        let err = parse("# TYPE bb_x counter\n# TYPE bb_x gauge\n").unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn empty_histogram_renders_consistently() {
+        let mut r = TextRenderer::new();
+        r.histogram("bb_h", "h", &Histogram::new().snapshot());
+        let expo = parse(&r.finish()).unwrap();
+        assert!(expo.has_family("bb_h"));
+        assert_eq!(expo.histogram_quantile("bb_h", 0.99), None);
+        // 40 finite le labels + +Inf for the 41-bucket layout.
+        let n_buckets = expo
+            .family("bb_h")
+            .unwrap()
+            .samples
+            .iter()
+            .filter(|s| s.name == "bb_h_bucket")
+            .count();
+        assert_eq!(n_buckets, crate::value::HISTOGRAM_BUCKETS);
+    }
+}

@@ -1,0 +1,63 @@
+//! In-tree observability layer: metric values, static registry
+//! handles, a lock-free structured event ring, and Prometheus-style
+//! text exposition — with zero external dependencies.
+//!
+//! # Layers
+//!
+//! - [`Counter`] / [`Gauge`] / [`Histogram`]: instance value types.
+//!   Always compiled (even under `telemetry-off`) because the service
+//!   embeds them in its wire-visible STATS report.
+//! - [`StaticCounter`] / [`StaticGauge`] / [`StaticHistogram`]:
+//!   named `static` handles that lazily self-register into a global
+//!   registry on first touch. [`render_registry`] walks the registry
+//!   and renders every family as Prometheus text (v0.0.4).
+//! - [`EventRing`] / [`emit`] / [`events`]: a fixed-size seqlock-style
+//!   ring for structured events (expansions, cuckoo kick chains, CQF
+//!   cluster spills, shard-poison recoveries, slow requests). Writers
+//!   are wait-free; readers skip torn slots.
+//! - [`StaticHistogram::span`]: a drop-timer that records elapsed
+//!   nanoseconds into a histogram, reading the clock only when the
+//!   layer is enabled.
+//! - [`expo`]: the text renderer plus a strict parser/validator used
+//!   by tests and the dashboard example.
+//!
+//! # Turning it off
+//!
+//! Two independent mechanisms:
+//!
+//! - **Runtime kill switch** — [`set_enabled`]`(false)` makes every
+//!   static handle, span, and global [`emit`] a single relaxed load
+//!   followed by a branch-not-taken. Instance value types are *not*
+//!   gated (the service's STATS path must keep counting).
+//! - **Compile-time** — the `telemetry-off` cargo feature swaps the
+//!   whole live layer for no-op stubs with identical signatures
+//!   ([`compiled_out`] reports which build this is). Filter behaviour
+//!   is bit-identical by construction: instrumentation observes,
+//!   never decides.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod events;
+mod value;
+
+pub mod expo;
+
+pub use events::{Event, EventKind};
+pub use value::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+
+#[cfg(not(feature = "telemetry-off"))]
+mod live;
+#[cfg(not(feature = "telemetry-off"))]
+pub use live::{
+    compiled_out, emit, enabled, events, render_registry, set_enabled, EventRing, Span,
+    StaticCounter, StaticGauge, StaticHistogram,
+};
+
+#[cfg(feature = "telemetry-off")]
+mod off;
+#[cfg(feature = "telemetry-off")]
+pub use off::{
+    compiled_out, emit, enabled, events, render_registry, set_enabled, EventRing, Span,
+    StaticCounter, StaticGauge, StaticHistogram,
+};

@@ -1,0 +1,175 @@
+//! No-op instrumentation layer (the `telemetry-off` feature).
+//!
+//! Every public item of the live layer exists here with the same
+//! signatures and empty `#[inline(always)]` bodies, so instrumented
+//! crates compile unchanged and the optimizer deletes every call
+//! site. `StaticCounter`/`StaticGauge`/`StaticHistogram` carry no
+//! atomics at all — a `static` declaration costs zero bytes of
+//! mutable state — and [`Span`] is a unit struct with no `Drop`.
+//!
+//! Filter *behaviour* is unaffected by construction: instrumentation
+//! only ever observes values the filters already computed; it never
+//! feeds back into hashing, placement, or expansion decisions. The
+//! `telemetry-matrix` CI job runs the full workspace test suite (all
+//! bit-exactness and oracle-parity properties included) against this
+//! build to keep that argument honest.
+
+use crate::events::{Event, EventKind};
+use std::time::Duration;
+
+/// Whether instrumentation was compiled out (`telemetry-off`).
+pub const fn compiled_out() -> bool {
+    true
+}
+
+/// No-op: the kill switch does not exist in this build.
+pub fn set_enabled(_on: bool) {}
+
+/// Always false: a `if telemetry::enabled() { ... }` guard compiles
+/// to nothing.
+#[inline(always)]
+pub fn enabled() -> bool {
+    false
+}
+
+/// Renders an empty document: nothing registers in this build.
+pub fn render_registry() -> String {
+    String::new()
+}
+
+/// Zero-state stand-in for the live registry counter.
+pub struct StaticCounter {
+    _priv: (),
+}
+
+impl StaticCounter {
+    /// Declare (carries no state).
+    pub const fn new(_name: &'static str, _help: &'static str) -> Self {
+        StaticCounter { _priv: () }
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn register(&'static self) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn inc(&'static self) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn add(&'static self, _n: u64) {}
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// Zero-state stand-in for the live registry gauge.
+pub struct StaticGauge {
+    _priv: (),
+}
+
+impl StaticGauge {
+    /// Declare (carries no state).
+    pub const fn new(_name: &'static str, _help: &'static str) -> Self {
+        StaticGauge { _priv: () }
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn register(&'static self) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn add(&'static self, _delta: i64) {}
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn get(&self) -> i64 {
+        0
+    }
+}
+
+/// Zero-state stand-in for the live registry histogram.
+pub struct StaticHistogram {
+    _priv: (),
+}
+
+impl StaticHistogram {
+    /// Declare (carries no state).
+    pub const fn new(_name: &'static str, _help: &'static str) -> Self {
+        StaticHistogram { _priv: () }
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn register(&'static self) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn observe(&'static self, _v: u64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn record(&'static self, _d: Duration) {}
+
+    /// An inert span (no clock read, no `Drop` work).
+    #[inline(always)]
+    pub fn span(&'static self) -> Span {
+        Span { _priv: () }
+    }
+
+    /// Always empty.
+    pub fn get(&self) -> crate::value::HistogramSnapshot {
+        crate::value::HistogramSnapshot::default()
+    }
+}
+
+/// Inert drop-timer.
+pub struct Span {
+    _priv: (),
+}
+
+/// Inert event ring: stores nothing, reports empty.
+pub struct EventRing {
+    _priv: (),
+}
+
+impl EventRing {
+    /// Inert ring (allocates nothing).
+    pub fn new(_capacity: usize) -> Self {
+        EventRing { _priv: () }
+    }
+
+    /// Always zero.
+    pub fn capacity(&self) -> usize {
+        0
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn emit(&self, _kind: EventKind, _a: u64, _b: u64) {}
+
+    /// Always zero.
+    pub fn emitted(&self) -> u64 {
+        0
+    }
+
+    /// Always empty.
+    pub fn snapshot(&self) -> Vec<Event> {
+        Vec::new()
+    }
+}
+
+/// The inert global ring.
+pub fn events() -> &'static EventRing {
+    static GLOBAL: EventRing = EventRing { _priv: () };
+    &GLOBAL
+}
+
+/// No-op.
+#[inline(always)]
+pub fn emit(_kind: EventKind, _a: u64, _b: u64) {}

@@ -63,5 +63,6 @@ pub use rangefilter;
 pub use ribbon;
 pub use service;
 pub use stacked;
+pub use telemetry;
 pub use workloads;
 pub use xorf;

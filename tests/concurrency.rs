@@ -219,3 +219,105 @@ fn batch_and_pointwise_agree_under_concurrency() {
         assert_eq!(concurrent_f.contains(k), serial_f.contains(k), "key {k}");
     }
 }
+
+#[test]
+fn poisoned_shard_recovery_emits_telemetry() {
+    // Satellite: a thread that panics while holding a shard lock
+    // poisons the mutex; the recovery path must both hand out the
+    // guard (no cascading panic) and record the recovery in the
+    // telemetry layer — counter and structured event.
+    if beyond_bloom::telemetry::compiled_out() {
+        return; // telemetry-off build: nothing to observe
+    }
+    let f: Sharded<BloomFilter> = Sharded::new(2, |i| {
+        BloomFilter::with_seed(1_000, 0.01, 0x9909 ^ i as u64)
+    });
+    let before = beyond_bloom::concurrent::POISON_RECOVERIES.get();
+    let victim = 42u64;
+    // Poison the shard holding `victim` from a scoped thread whose
+    // panic we swallow (and silence) at the join.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let joined = std::thread::scope(|s| {
+        s.spawn(|| {
+            f.with_shard(victim, |_| panic!("poison the shard"));
+        })
+        .join()
+    });
+    std::panic::set_hook(prev_hook);
+    assert!(joined.is_err(), "the poisoning thread must have panicked");
+    // The next operation on that shard recovers the poisoned lock.
+    f.insert(victim).unwrap();
+    assert!(f.contains(victim));
+    let after = beyond_bloom::concurrent::POISON_RECOVERIES.get();
+    assert!(
+        after > before,
+        "poison recovery counter did not move ({before} -> {after})"
+    );
+    let events = beyond_bloom::telemetry::events().snapshot();
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == beyond_bloom::telemetry::EventKind::ShardPoisonRecovered),
+        "no shard-poison-recovered event in the ring"
+    );
+}
+
+#[test]
+fn metrics_are_consistent_across_threads() {
+    // Satellite: N writer threads bump shared counters and
+    // histograms; the totals must equal the sum of per-thread oracle
+    // counts exactly — relaxed atomics lose no increments.
+    use beyond_bloom::telemetry::{Counter, Histogram};
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 50_000;
+    let counter = Counter::new();
+    let hist = Histogram::new();
+    let oracle_sums: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let (counter, hist) = (&counter, &hist);
+                s.spawn(move || {
+                    let mut local_sum = 0u64;
+                    for i in 0..PER_THREAD {
+                        counter.add(1 + (i % 3));
+                        let v = t * 1_000 + i % 7;
+                        hist.observe(v);
+                        local_sum += v;
+                    }
+                    local_sum
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Counter: each thread adds 1 + (i % 3) for i in 0..PER_THREAD.
+    let per_thread_counter: u64 = (0..PER_THREAD).map(|i| 1 + (i % 3)).sum();
+    assert_eq!(counter.get(), THREADS * per_thread_counter);
+    // Histogram: total count and sum match the oracle exactly.
+    let snap = hist.snapshot();
+    assert_eq!(snap.count(), THREADS * PER_THREAD);
+    assert_eq!(snap.sum(), oracle_sums.iter().sum::<u64>());
+    // Per-shard op counters on a sharded filter agree with the total
+    // number of pointwise operations issued.
+    if !beyond_bloom::telemetry::compiled_out() {
+        beyond_bloom::telemetry::set_enabled(true);
+        let f: Sharded<BloomFilter> = Sharded::new(3, |i| {
+            BloomFilter::with_seed(10_000, 0.01, 0x5eed ^ i as u64)
+        });
+        let keys = unique_keys(909, 8_000);
+        std::thread::scope(|s| {
+            for chunk in keys.chunks(2_000) {
+                let f = &f;
+                s.spawn(move || {
+                    for &k in chunk {
+                        f.insert(k).unwrap();
+                    }
+                });
+            }
+        });
+        let ops = f.shard_ops();
+        assert_eq!(ops.len(), 8);
+        assert_eq!(ops.iter().sum::<u64>(), 8_000);
+    }
+}

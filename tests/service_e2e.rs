@@ -413,3 +413,94 @@ fn shutdown_drains_in_flight_requests() {
     }
     drop(c);
 }
+
+#[test]
+fn metrics_exposition_is_valid_and_spans_layers() {
+    // The METRICS opcode must return parseable Prometheus text with
+    // families from every instrumented layer: bloom, cuckoo,
+    // quotient, concurrent, and the service itself. A zero
+    // slow-request threshold makes every request slow, so the
+    // slow-request log is guaranteed non-empty.
+    let server = FilterServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            read_timeout: Duration::from_millis(10),
+            slow_request_threshold: Duration::ZERO,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral");
+    let addr = server.local_addr();
+    let mut c = FilterClient::connect(addr).unwrap();
+    c.create("mx-cuckoo", Backend::ShardedCuckoo, 20_000, 0.01, 3, 11)
+        .unwrap();
+    c.create("mx-cqf", Backend::ShardedCqf, 20_000, 0.01, 3, 12)
+        .unwrap();
+    c.create("mx-bloom", Backend::AtomicBloom, 20_000, 0.01, 0, 13)
+        .unwrap();
+    let keys = unique_keys(910, 5_000);
+    c.insert("mx-cuckoo", &keys).unwrap();
+    c.insert("mx-cqf", &keys).unwrap();
+    c.insert("mx-bloom", &keys).unwrap();
+    let _ = c.contains("mx-cuckoo", &keys).unwrap();
+    let _ = c.count("mx-cqf", &keys[..100]).unwrap();
+
+    let text = c.metrics_text().unwrap();
+    let expo = beyond_bloom::telemetry::expo::parse(&text)
+        .unwrap_or_else(|e| panic!("exposition failed validation: {e}\n---\n{text}"));
+
+    // Acceptance: >= 10 distinct families spanning all five layers.
+    assert!(
+        expo.family_count() >= 10,
+        "only {} families:\n{}",
+        expo.family_count(),
+        expo.family_names().collect::<Vec<_>>().join("\n")
+    );
+    let compiled_out = beyond_bloom::telemetry::compiled_out();
+    if !compiled_out {
+        // Filter-layer families (registered eagerly at bind).
+        for fam in [
+            "bb_bloom_scalable_expansions_total",      // bloom
+            "bb_cuckoo_kick_chain_length",             // cuckoo
+            "bb_cqf_cluster_length",                   // quotient
+            "bb_sharded_lock_poison_recoveries_total", // concurrent
+            "bb_service_requests_total",               // service
+        ] {
+            assert!(expo.has_family(fam), "missing family {fam}:\n{text}");
+        }
+        assert!(expo.value("bb_service_requests_total").unwrap() > 0.0);
+        // The sharded inserts exercised per-shard op accounting.
+        assert!(expo.labeled_sum("bb_filter_shard_ops_total", "mx-cuckoo") > 0.0);
+    }
+    // Server families render regardless of build mode.
+    for fam in [
+        "bb_server_frames_received_total",
+        "bb_server_keys_processed_total",
+        "bb_server_request_latency_ns",
+        "bb_filter_keys",
+        "bb_filter_size_bytes",
+    ] {
+        assert!(expo.has_family(fam), "missing family {fam}");
+    }
+    assert!(expo.value("bb_server_keys_processed_total").unwrap() >= 15_000.0);
+    assert!(expo.value("bb_server_request_latency_ns_count").unwrap() > 0.0);
+    // Approximate: CQF key counts can undercount by fingerprint
+    // collisions merging distinct keys.
+    assert!(expo.labeled_sum("bb_filter_keys", "mx-cqf") >= 4_950.0);
+    // Zero threshold: every request is slow, so the slow counter
+    // moved (instance counters work in every build mode) and — when
+    // the event ring is compiled in — the log rendered entries.
+    let stats = c.stats().unwrap();
+    assert!(stats.counters.slow_requests > 0);
+    if !compiled_out {
+        assert!(
+            text.lines().any(|l| l.starts_with("# slow ")),
+            "no slow-request log lines:\n{text}"
+        );
+        // Slow entries carry decoded opcode context.
+        assert!(text.contains("op=INSERT") || text.contains("op=CREATE"));
+    }
+    drop(c);
+    server.shutdown();
+}
