@@ -8,7 +8,7 @@
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     if !bench::run(&arg) {
-        eprintln!("unknown experiment '{arg}'; use e1..e22 (e.g. e10-range) or 'all'");
+        eprintln!("unknown experiment '{arg}'; use e1..e23 (e.g. e10-range) or 'all'");
         std::process::exit(1);
     }
 }

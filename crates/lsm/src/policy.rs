@@ -105,8 +105,9 @@ pub fn build_filter(kind: FilterKind, keys: &[u64], eps: f64) -> Option<Box<dyn 
     }
 }
 
-/// Fingerprint bits achieving FPR ≈ `eps`.
-fn fp_bits_for(eps: f64) -> u32 {
+/// Fingerprint bits achieving FPR ≈ `eps` (shared with the
+/// `compacting` crate's static fuse tiers).
+pub fn fp_bits_for(eps: f64) -> u32 {
     ((1.0 / eps).log2().ceil() as u32).clamp(2, 32)
 }
 

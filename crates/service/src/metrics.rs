@@ -213,6 +213,7 @@ impl StatsReport {
                 crate::proto::Backend::ShardedCuckoo => 1,
                 crate::proto::Backend::ShardedCqf => 2,
                 crate::proto::Backend::RegisterBloom => 3,
+                crate::proto::Backend::Compacting => 4,
             });
             w.put_u64(row.len);
             w.put_u64(row.size_in_bytes);
@@ -235,6 +236,7 @@ impl StatsReport {
                 1 => crate::proto::Backend::ShardedCuckoo,
                 2 => crate::proto::Backend::ShardedCqf,
                 3 => crate::proto::Backend::RegisterBloom,
+                4 => crate::proto::Backend::Compacting,
                 _ => return Err(SerialError::Corrupt("stats backend")),
             };
             filters.push(FilterRow {

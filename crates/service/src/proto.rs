@@ -56,6 +56,10 @@ pub enum Backend {
     /// `Sharded<bloom::RegisterBlockedBloomFilter>` — the SIMD
     /// register-blocked backend (insert/contains).
     RegisterBloom,
+    /// `compacting::CompactingFilter` — Bloom memtable front with
+    /// background compaction into static fuse tiers
+    /// (insert/contains).
+    Compacting,
 }
 
 impl Backend {
@@ -65,6 +69,7 @@ impl Backend {
             Backend::ShardedCuckoo => 1,
             Backend::ShardedCqf => 2,
             Backend::RegisterBloom => 3,
+            Backend::Compacting => 4,
         }
     }
 
@@ -74,6 +79,7 @@ impl Backend {
             1 => Ok(Backend::ShardedCuckoo),
             2 => Ok(Backend::ShardedCqf),
             3 => Ok(Backend::RegisterBloom),
+            4 => Ok(Backend::Compacting),
             _ => Err(SerialError::Corrupt("unknown backend")),
         }
     }
@@ -85,6 +91,7 @@ impl Backend {
             Backend::ShardedCuckoo => "sharded-cuckoo",
             Backend::ShardedCqf => "sharded-cqf",
             Backend::RegisterBloom => "register-bloom",
+            Backend::Compacting => "compacting",
         }
     }
 }

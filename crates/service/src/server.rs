@@ -40,9 +40,10 @@ use crate::proto::{
     Response, DEFAULT_MAX_FRAME,
 };
 use bloom::{AtomicBlockedBloomFilter, RegisterBlockedBloomFilter};
+use compacting::{CompactingConfig, CompactingFilter};
 use concurrent::{Sharded, MAX_SHARD_BITS};
 use cuckoo::CuckooFilter;
-use filter_core::{Filter, FilterError};
+use filter_core::{BatchedFilter, Filter, FilterError};
 use quotient::CountingQuotientFilter;
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
@@ -123,11 +124,13 @@ impl Default for ServerConfig {
 
 /// A filter instance the server can host.
 ///
-/// The four backends cover the tutorial's concurrency spectrum: a
+/// The five backends cover the tutorial's concurrency spectrum: a
 /// wait-free atomic blocked Bloom (insert/contains only), a sharded
 /// cuckoo filter (adds deletion), a sharded counting quotient filter
-/// (adds multiplicity counts), and the SIMD register-blocked Bloom
-/// (insert/contains at one mask compare per key).
+/// (adds multiplicity counts), the SIMD register-blocked Bloom
+/// (insert/contains at one mask compare per key), and the compacting
+/// filter LSM (insert/contains at static-filter space, background
+/// compaction into fuse tiers).
 pub enum ServedFilter {
     /// Wait-free insert/contains; no deletion, no counts.
     Bloom(AtomicBlockedBloomFilter),
@@ -138,6 +141,9 @@ pub enum ServedFilter {
     /// Sharded register-blocked Bloom: insert/contains through the
     /// vectorised probe engine; no deletion, no counts.
     RegisterBloom(Sharded<RegisterBlockedBloomFilter>),
+    /// Compacting filter LSM: wait-free insert/contains, background
+    /// compaction into static fuse tiers; no deletion, no counts.
+    Compacting(CompactingFilter),
 }
 
 impl ServedFilter {
@@ -148,6 +154,7 @@ impl ServedFilter {
             ServedFilter::Cuckoo(_) => Backend::ShardedCuckoo,
             ServedFilter::Cqf(_) => Backend::ShardedCqf,
             ServedFilter::RegisterBloom(_) => Backend::RegisterBloom,
+            ServedFilter::Compacting(_) => Backend::Compacting,
         }
     }
 
@@ -157,6 +164,7 @@ impl ServedFilter {
             ServedFilter::Cuckoo(f) => f.len(),
             ServedFilter::Cqf(f) => f.len(),
             ServedFilter::RegisterBloom(f) => f.len(),
+            ServedFilter::Compacting(f) => f.len(),
         }
     }
 
@@ -166,6 +174,7 @@ impl ServedFilter {
             ServedFilter::Cuckoo(f) => f.size_in_bytes(),
             ServedFilter::Cqf(f) => f.size_in_bytes(),
             ServedFilter::RegisterBloom(f) => f.size_in_bytes(),
+            ServedFilter::Compacting(f) => f.size_in_bytes(),
         }
     }
 
@@ -179,6 +188,7 @@ impl ServedFilter {
             ServedFilter::Cuckoo(f) => Some(f.shard_ops()),
             ServedFilter::Cqf(f) => Some(f.shard_ops()),
             ServedFilter::RegisterBloom(f) => Some(f.shard_ops()),
+            ServedFilter::Compacting(_) => None,
         }
     }
 }
@@ -213,6 +223,7 @@ impl ReqInfo {
             Some(Backend::ShardedCuckoo) => 2,
             Some(Backend::ShardedCqf) => 3,
             Some(Backend::RegisterBloom) => 4,
+            Some(Backend::Compacting) => 5,
         };
         (self.op as u64) << 56 | be << 48 | self.batch as u64
     }
@@ -225,6 +236,7 @@ impl ReqInfo {
             2 => "sharded-cuckoo",
             3 => "sharded-cqf",
             4 => "register-bloom",
+            5 => "compacting",
             _ => "-",
         };
         (op, backend, b as u32)
@@ -314,6 +326,15 @@ pub fn build_sharded_register_bloom(
     })
 }
 
+/// Build the compacting backend exactly as the server does for a
+/// CREATE with these parameters. The memtable front holds 1/16th of
+/// the stated capacity (floored at 1024 keys) so steady-state space
+/// is dominated by the static fuse tiers, not the mutable front.
+pub fn build_compacting(capacity: u64, eps: f64, seed: u64) -> CompactingFilter {
+    let front = ((capacity as usize) / 16).max(1024);
+    CompactingFilter::new(CompactingConfig::new(front, eps, seed))
+}
+
 struct Shared {
     registry: RwLock<BTreeMap<String, Arc<ServedFilter>>>,
     metrics: ServerMetrics,
@@ -353,6 +374,7 @@ impl FilterServer {
         cuckoo::register_metrics();
         quotient::register_metrics();
         concurrent::register_metrics();
+        compacting::register_metrics();
         register_metrics();
         let shared = Arc::new(Shared {
             registry: RwLock::new(BTreeMap::new()),
@@ -751,6 +773,7 @@ fn handle_create(
             Backend::RegisterBloom => ServedFilter::RegisterBloom(build_sharded_register_bloom(
                 capacity, eps, shard_bits, seed,
             )),
+            Backend::Compacting => ServedFilter::Compacting(build_compacting(capacity, eps, seed)),
         }
     } else {
         // A pre-built filter shipped over the wire; `from_bytes` does
@@ -773,6 +796,10 @@ fn handle_create(
             Backend::RegisterBloom => match RegisterBlockedBloomFilter::from_bytes(blob) {
                 Ok(f) => ServedFilter::RegisterBloom(Sharded::from_shards(vec![f])),
                 Err(e) => return err(ErrorCode::Filter, format!("bad register-bloom blob: {e}")),
+            },
+            Backend::Compacting => match CompactingFilter::from_bytes(blob) {
+                Ok(f) => ServedFilter::Compacting(f),
+                Err(e) => return err(ErrorCode::Filter, format!("bad compacting blob: {e}")),
             },
         }
     };
@@ -814,6 +841,12 @@ fn handle_insert(shared: &Shared, name: &str, keys: &[u64]) -> (Response, Option
             Ok(()) => Response::Ok,
             Err(e) => filter_err(e),
         },
+        ServedFilter::Compacting(f) => {
+            for &k in keys {
+                f.insert(k);
+            }
+            Response::Ok
+        }
     };
     (resp, backend)
 }
@@ -833,6 +866,7 @@ fn handle_contains(shared: &Shared, name: &str, keys: &[u64]) -> (Response, Opti
         ServedFilter::Cuckoo(c) => c.contains_batch(keys),
         ServedFilter::Cqf(q) => q.contains_batch(keys),
         ServedFilter::RegisterBloom(r) => r.contains_batch(keys),
+        ServedFilter::Compacting(f) => f.contains_batch(keys),
     });
     (resp, backend)
 }

@@ -28,6 +28,12 @@ pub enum EventKind {
     /// A service request exceeded the slow-request threshold
     /// (`a` = latency ns, `b` = packed opcode/backend/batch context).
     SlowRequest = 7,
+    /// A compacting filter sealed its memtable front for background
+    /// compaction (`a` = keys sealed, `b` = epoch).
+    TierSealed = 8,
+    /// A background compaction installed a rebuilt static tier
+    /// (`a` = keys in the new tier, `b` = live tier count after).
+    TierCompacted = 9,
 }
 
 impl EventKind {
@@ -41,6 +47,8 @@ impl EventKind {
             5 => EventKind::CqfClusterSpill,
             6 => EventKind::ShardPoisonRecovered,
             7 => EventKind::SlowRequest,
+            8 => EventKind::TierSealed,
+            9 => EventKind::TierCompacted,
             _ => EventKind::Other,
         }
     }
@@ -56,6 +64,8 @@ impl EventKind {
             EventKind::CqfClusterSpill => "cqf-cluster-spill",
             EventKind::ShardPoisonRecovered => "shard-poison-recovered",
             EventKind::SlowRequest => "slow-request",
+            EventKind::TierSealed => "tier-sealed",
+            EventKind::TierCompacted => "tier-compacted",
         }
     }
 }

@@ -4,6 +4,9 @@
 //! (tutorial §2.7, §2.4):
 //!
 //! - [`XorFilter`] — static membership at `1.23·fp_bits` bits/key.
+//! - [`BinaryFuseFilter`] — the segmented successor (Graf & Lemire
+//!   2022): ~1.125× (3-wise) / ~1.075× (4-wise) expansion, ~9.0 /
+//!   ~8.6 bits/key at ε = 2⁻⁸.
 //! - [`BloomierFilter`] — static maplet with exact positive lookups
 //!   (PRS = 1) and in-place value updates.
 
@@ -11,8 +14,10 @@
 #![forbid(unsafe_code)]
 
 pub mod bloomier;
+pub mod fuse;
 pub mod peel;
 pub mod xor_filter;
 
 pub use bloomier::BloomierFilter;
+pub use fuse::{BinaryFuseFilter, FuseArity};
 pub use xor_filter::XorFilter;

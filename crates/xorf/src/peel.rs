@@ -27,8 +27,14 @@ pub fn positions(hasher: &Hasher, key: u64, seg_len: usize) -> [usize; 3] {
 }
 
 /// Segment length for `n` keys.
+///
+/// The floor of 16 over-provisions tiny sets so that a peel failure
+/// requires the two keys of a pair to collide in all three segment
+/// offsets (`≤ 16⁻³` per attempt) instead of the `(1/2)³` the old
+/// floor of 2 allowed — tiny builds succeed by construction rather
+/// than by retry luck, at a cost of at most `3·16` slots.
 pub fn segment_len(n: usize) -> usize {
-    (((n as f64 * EXPANSION).ceil() as usize) / 3 + 1).max(2)
+    (((n as f64 * EXPANSION).ceil() as usize) / 3 + 1).max(16)
 }
 
 /// Compute a peeling order for `keys` under `hasher`.

@@ -39,9 +39,38 @@ impl XorFilter {
     }
 
     /// As [`XorFilter::build`] with an explicit base seed.
+    ///
+    /// Small sets are deterministic, not lucky: duplicate keys are
+    /// rejected up front (`ConstructionFailed { attempts: 0 }` —
+    /// a duplicate pair is unpeelable under *every* seed, so retrying
+    /// would only burn the budget), an empty set builds an all-zero
+    /// table directly, and a single key is assigned directly (its
+    /// three positions land in three disjoint segments, so the
+    /// one-equation system is always satisfiable). Two distinct keys
+    /// fail an attempt only if they collide in all three segment
+    /// offsets (`≤ 16⁻³` per attempt given [`segment_len`]'s floor),
+    /// handled by the ordinary seed rotation.
     pub fn build_with_seed(keys: &[u64], fp_bits: u32, seed: u64) -> Result<Self> {
         assert!((1..=32).contains(&fp_bits));
         let seg_len = segment_len(keys.len());
+        if crate::fuse::has_duplicates(keys) {
+            return Err(FilterError::ConstructionFailed { attempts: 0 });
+        }
+        if keys.len() <= 1 {
+            let hasher = Hasher::with_seed(seed ^ filter_core::hash::mix64(1));
+            let mut table = PackedArray::new(3 * seg_len, fp_bits);
+            if let Some(&key) = keys.first() {
+                let [a, _, _] = positions(&hasher, key, seg_len);
+                table.set(a, Self::fingerprint_of(&hasher, key, fp_bits));
+            }
+            return Ok(XorFilter {
+                table,
+                seg_len,
+                fp_bits,
+                hasher,
+                items: keys.len(),
+            });
+        }
         for attempt in 0..MAX_ATTEMPTS {
             let hasher = Hasher::with_seed(seed ^ filter_core::hash::mix64(attempt as u64 + 1));
             let Some(stack) = peel(keys, &hasher, seg_len) else {
@@ -194,8 +223,12 @@ mod tests {
 
     #[test]
     fn duplicates_rejected() {
+        // Rejected up front, without burning the retry budget.
         let err = XorFilter::build(&[1, 2, 3, 1], 8).unwrap_err();
-        assert!(matches!(err, FilterError::ConstructionFailed { .. }));
+        assert!(matches!(
+            err,
+            FilterError::ConstructionFailed { attempts: 0 }
+        ));
     }
 
     #[test]
@@ -206,6 +239,20 @@ mod tests {
         assert!(f.contains(7));
         let f = XorFilter::build(&[1, 2, 3], 8).unwrap();
         assert!(f.contains(1) && f.contains(2) && f.contains(3));
+    }
+
+    #[test]
+    fn tiny_sets_are_deterministic_across_seeds() {
+        // 0-, 1- and 2-key builds must succeed for every seed — no
+        // peel luck (see build_with_seed's determinism notes).
+        for seed in 0..64u64 {
+            let f = XorFilter::build_with_seed(&[], 8, seed).unwrap();
+            assert_eq!(f.len(), 0);
+            let f = XorFilter::build_with_seed(&[seed ^ 3], 8, seed).unwrap();
+            assert!(f.contains(seed ^ 3));
+            let f = XorFilter::build_with_seed(&[seed, seed + 1], 8, seed).unwrap();
+            assert!(f.contains(seed) && f.contains(seed + 1));
+        }
     }
 
     #[test]

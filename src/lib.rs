@@ -28,6 +28,8 @@
 //! | string-keyed ranges | [`rangefilter::SurfBytes`] |
 //! | known hot negatives | [`stacked::StackedFilter`] |
 //! | learnable key distribution | [`stacked::LearnedFilter`] |
+//! | static set, minimal space + batch probes | [`xorf::BinaryFuseFilter`] |
+//! | mutable writes, static-filter space | [`compacting::CompactingFilter`] |
 //! | bigger than RAM | [`lsm::CascadeFilter`] |
 //!
 //! Application case studies live in [`lsm`] (storage engines),
@@ -50,6 +52,7 @@
 pub use adaptive;
 pub use biofilter;
 pub use bloom;
+pub use compacting;
 pub use concurrent;
 pub use cuckoo;
 pub use filter_core as core;

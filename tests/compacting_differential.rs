@@ -1,0 +1,212 @@
+//! Differential tests for the compacting filter LSM: every sequence
+//! of inserts, lookups, seals and compactions must agree with a
+//! `HashSet` oracle on the no-false-negative side, and stay within
+//! the configured false-positive budget after full compaction.
+//!
+//! The interleavings are driven by the in-tree `rand` shim with fixed
+//! seeds, so a failure replays exactly.
+
+use beyond_bloom::compacting::{CompactingConfig, CompactingFilter};
+use beyond_bloom::core::{BatchedFilter, Filter};
+use beyond_bloom::workloads::{disjoint_keys, unique_keys};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+const EPS: f64 = 1.0 / 256.0;
+
+fn cfg(front: usize, seed: u64) -> CompactingConfig {
+    CompactingConfig::new(front, EPS, seed)
+}
+
+/// Randomized op-sequence differential run: the filter must contain
+/// everything the oracle contains, at every step, across every tier
+/// rotation the sequence provokes.
+#[test]
+fn random_interleavings_match_oracle() {
+    for trial_seed in [1u64, 2, 3, 4] {
+        let mut rng = StdRng::seed_from_u64(0xd1ff_0000 + trial_seed);
+        // Small front so seals and compactions happen constantly.
+        let f = CompactingFilter::new(cfg(128, trial_seed));
+        let mut oracle: HashSet<u64> = HashSet::new();
+        let mut inserted: Vec<u64> = Vec::new();
+        for step in 0..6_000u32 {
+            match rng.gen_range(0..100u32) {
+                // Insert (dominant op; occasionally a duplicate).
+                0..=59 => {
+                    let key = if !inserted.is_empty() && rng.gen_bool(0.1) {
+                        inserted[rng.gen_range(0..inserted.len())]
+                    } else {
+                        rng.gen::<u64>()
+                    };
+                    f.insert(key);
+                    if oracle.insert(key) {
+                        inserted.push(key);
+                    }
+                    assert!(f.contains(key), "seed {trial_seed} step {step}: lost {key}");
+                }
+                // Point lookup of a known-present key.
+                60..=89 => {
+                    if !inserted.is_empty() {
+                        let key = inserted[rng.gen_range(0..inserted.len())];
+                        assert!(
+                            f.contains(key),
+                            "seed {trial_seed} step {step}: false negative on {key}"
+                        );
+                    }
+                }
+                // Explicit seal + drain.
+                90..=95 => f.flush(),
+                // Full collapse.
+                _ => f.compact_all(),
+            }
+        }
+        // Everything the oracle holds must still probe true, batched
+        // and pointwise.
+        f.compact_all();
+        let hits = f.contains_batch(&inserted);
+        for (&k, &hit) in inserted.iter().zip(&hits) {
+            assert!(hit, "seed {trial_seed}: batched false negative on {k}");
+            assert!(f.contains(k), "seed {trial_seed}: false negative on {k}");
+        }
+        let st = f.stats();
+        assert_eq!(st.tier_keys, oracle.len(), "seed {trial_seed}: dedup drift");
+        assert_eq!(st.failed_compactions, 0);
+    }
+}
+
+/// After a full compaction the structure is one fuse tier plus an
+/// empty front, and its measured FPR must stay within 1.5× the
+/// configured budget (fuse fingerprints are exactly ε = 2⁻⁸; the
+/// empty front Bloom adds nothing).
+#[test]
+fn fpr_within_budget_after_full_compaction() {
+    let f = CompactingFilter::new(cfg(2048, 99));
+    let keys = unique_keys(9_001, 50_000);
+    for &k in &keys {
+        f.insert(k);
+    }
+    f.compact_all();
+    assert!(keys.iter().all(|&k| f.contains(k)));
+    let neg = disjoint_keys(9_002, 200_000, &keys);
+    let fp = neg.iter().filter(|&&k| f.contains(k)).count();
+    let fpr = fp as f64 / neg.len() as f64;
+    assert!(fpr <= 1.5 * EPS, "fpr {fpr} > 1.5 x {EPS}");
+    // And batched probing agrees with pointwise on the same mix.
+    let mix: Vec<u64> = keys.iter().chain(neg.iter()).copied().take(8_192).collect();
+    let batched = f.contains_batch(&mix);
+    for (&k, &hit) in mix.iter().zip(&batched) {
+        assert_eq!(hit, f.contains(k), "batched/pointwise drift on {k}");
+    }
+}
+
+/// Concurrent differential: reader threads storm lookups of an
+/// ever-growing published prefix while the writer inserts and a
+/// background full compaction is repeatedly forced. Readers must
+/// never observe a false negative for a key published before their
+/// load of the prefix counter.
+#[test]
+fn readers_never_lose_keys_during_background_compaction() {
+    let f = CompactingFilter::new(cfg(256, 7_777));
+    let keys = unique_keys(9_003, 40_000);
+    let published = AtomicUsize::new(0);
+    let done = AtomicBool::new(false);
+    let false_neg = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        // Reader storm: each reader repeatedly samples random
+        // published keys (pointwise and batched) during rotations.
+        for r in 0..3u64 {
+            let (f, keys, published, done, false_neg) = (&f, &keys, &published, &done, &false_neg);
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xabcd + r);
+                let mut batch = Vec::with_capacity(64);
+                while !done.load(Ordering::Relaxed) {
+                    let p = published.load(Ordering::Acquire);
+                    if p == 0 {
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    batch.clear();
+                    for _ in 0..64 {
+                        batch.push(keys[rng.gen_range(0..p)]);
+                    }
+                    let hits = f.contains_batch(&batch);
+                    if hits.iter().any(|&h| !h) {
+                        false_neg.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    let k = keys[rng.gen_range(0..p)];
+                    if !f.contains(k) {
+                        false_neg.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            });
+        }
+        // Compactor agitator: force full collapses while the writer
+        // is mid-stream, so readers cross many epoch swaps.
+        s.spawn(|| {
+            while !done.load(Ordering::Relaxed) {
+                f.compact_all();
+                std::thread::yield_now();
+            }
+        });
+        // Writer: publish keys one at a time (Release pairs with the
+        // readers' Acquire: a published key is fully inserted).
+        for (i, &k) in keys.iter().enumerate() {
+            f.insert(k);
+            published.store(i + 1, Ordering::Release);
+            if false_neg.load(Ordering::Relaxed) {
+                break;
+            }
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+
+    assert!(
+        !false_neg.load(Ordering::Relaxed),
+        "a reader observed a false negative during background compaction"
+    );
+    // Post-mortem: the filter still holds every key, and rotations
+    // actually happened (the test would be vacuous otherwise).
+    f.compact_all();
+    assert!(keys.iter().all(|&k| f.contains(k)));
+    let st = f.stats();
+    assert!(
+        st.seals > 10,
+        "too few seals ({}) to stress rotation",
+        st.seals
+    );
+    assert!(
+        st.compactions > 2,
+        "too few compactions ({})",
+        st.compactions
+    );
+    assert_eq!(st.failed_compactions, 0);
+    assert_eq!(st.tier_keys, keys.len());
+}
+
+/// Snapshot round-trips taken mid-stream (tiers + sealed + front all
+/// populated) must preserve the oracle relationship.
+#[test]
+fn snapshot_roundtrip_matches_oracle_mid_stream() {
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    let f = CompactingFilter::new(cfg(512, 11));
+    let mut oracle: Vec<u64> = Vec::new();
+    for _ in 0..10_000 {
+        let k = rng.gen::<u64>();
+        f.insert(k);
+        oracle.push(k);
+    }
+    // No flush: the snapshot must capture tiers, sealed fronts and
+    // the live front alike.
+    let restored = CompactingFilter::from_bytes(&f.to_bytes()).unwrap();
+    for &k in &oracle {
+        assert!(restored.contains(k), "snapshot lost {k}");
+    }
+    drop(f);
+    restored.compact_all();
+    assert!(oracle.iter().all(|&k| restored.contains(k)));
+}

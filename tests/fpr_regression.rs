@@ -122,6 +122,59 @@ fn xor_fpr() {
 }
 
 #[test]
+fn fuse3_fpr() {
+    // Static filter: ε = 2^-fp_bits exactly by construction.
+    let fp_bits = 8u32;
+    let keys = unique_keys(1014, N);
+    let probes = disjoint_keys(1015, PROBES, &keys);
+    let f = beyond_bloom::xorf::BinaryFuseFilter::build_with_seed(
+        &keys,
+        beyond_bloom::xorf::FuseArity::Three,
+        fp_bits,
+        7,
+    )
+    .unwrap();
+    assert!(keys.iter().all(|&k| f.contains(k)));
+    let eps = 0.5f64.powi(fp_bits as i32);
+    assert_fpr_near("fuse3", measured_fpr(&probes, |k| f.contains(k)), eps);
+}
+
+#[test]
+fn fuse4_fpr() {
+    let fp_bits = 8u32;
+    let keys = unique_keys(1016, N);
+    let probes = disjoint_keys(1017, PROBES, &keys);
+    let f = beyond_bloom::xorf::BinaryFuseFilter::build_with_seed(
+        &keys,
+        beyond_bloom::xorf::FuseArity::Four,
+        fp_bits,
+        7,
+    )
+    .unwrap();
+    assert!(keys.iter().all(|&k| f.contains(k)));
+    let eps = 0.5f64.powi(fp_bits as i32);
+    assert_fpr_near("fuse4", measured_fpr(&probes, |k| f.contains(k)), eps);
+}
+
+#[test]
+fn compacting_fpr_after_full_compaction() {
+    // Post-compaction the keys live in one fuse tier (ε = 2^-8) plus
+    // an empty front Bloom that contributes nothing.
+    let eps = 1.0 / 256.0;
+    let keys = unique_keys(1018, N);
+    let probes = disjoint_keys(1019, PROBES, &keys);
+    let f = beyond_bloom::compacting::CompactingFilter::new(
+        beyond_bloom::compacting::CompactingConfig::new(4096, eps, 7),
+    );
+    for &k in &keys {
+        f.insert(k);
+    }
+    f.compact_all();
+    assert!(keys.iter().all(|&k| f.contains(k)));
+    assert_fpr_near("compacting", measured_fpr(&probes, |k| f.contains(k)), eps);
+}
+
+#[test]
 fn sharded_bloom_fpr_matches_unsharded_budget() {
     // Sharding must not change the rate: each shard is a Bloom filter
     // sized for its share of the keys at the same ε.

@@ -412,6 +412,9 @@ proptest! {
             cqf.insert(k).unwrap();
         }
         let xor = beyond_bloom::xorf::XorFilter::build(&keys, 8).unwrap();
+        use beyond_bloom::xorf::{BinaryFuseFilter, FuseArity};
+        let fuse3 = BinaryFuseFilter::build(&keys, FuseArity::Three, 8).unwrap();
+        let fuse4 = BinaryFuseFilter::build(&keys, FuseArity::Four, 8).unwrap();
 
         batched_matches_pointwise("bloom", &bloom, &probes);
         batched_matches_pointwise("blocked", &blocked, &probes);
@@ -423,6 +426,29 @@ proptest! {
         batched_matches_pointwise("cuckoo", &cuckoo, &probes);
         batched_matches_pointwise("cqf", &cqf, &probes);
         batched_matches_pointwise("xor", &xor, &probes);
+        batched_matches_pointwise("fuse3", &fuse3, &probes);
+        batched_matches_pointwise("fuse4", &fuse4, &probes);
+    }
+
+    /// Binary fuse construction: every inserted key probes true, for
+    /// both arities and both common fingerprint widths, on arbitrary
+    /// key sets.
+    #[test]
+    fn fuse_members_always_probe_true(
+        keys in prop::collection::btree_set(any::<u64>(), 0..600),
+        arity4 in any::<bool>(),
+        wide_fp in any::<bool>(),
+    ) {
+        use beyond_bloom::xorf::{BinaryFuseFilter, FuseArity};
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let arity = if arity4 { FuseArity::Four } else { FuseArity::Three };
+        let fp_bits = if wide_fp { 16 } else { 8 };
+        let f = BinaryFuseFilter::build(&keys, arity, fp_bits)
+            .expect("construction within seed budget");
+        prop_assert_eq!(f.len(), keys.len());
+        for &k in &keys {
+            prop_assert!(f.contains(k), "fuse {:?}/{} lost {:#x}", arity, fp_bits, k);
+        }
     }
 
     /// `Sharded` batch membership restitches per-shard answers into
@@ -479,6 +505,28 @@ proptest! {
 /// Batch sizes straddling the probe-chunk boundary (`PROBE_CHUNK` is
 /// 32): empty, singleton, one-under, exact, one-over, two chunks + 1.
 const BATCH_SIZES: [usize; 6] = [0, 1, 31, 32, 33, 65];
+
+/// Fuse construction succeeds within the seed budget at every awkward
+/// size: degenerate (0/1/2) and the power-of-two ± 1 neighbourhood
+/// where segment sizing is most brittle, for both arities.
+#[test]
+fn fuse_builds_at_degenerate_and_power_of_two_sizes() {
+    use beyond_bloom::xorf::{BinaryFuseFilter, FuseArity};
+    let mut sizes = vec![0usize, 1, 2];
+    for log2 in [4u32, 8, 12, 16] {
+        let p = 1usize << log2;
+        sizes.extend([p - 1, p, p + 1]);
+    }
+    for &n in &sizes {
+        let keys = beyond_bloom::workloads::unique_keys(0xf05e + n as u64, n);
+        for arity in [FuseArity::Three, FuseArity::Four] {
+            let f = BinaryFuseFilter::build(&keys, arity, 8)
+                .unwrap_or_else(|e| panic!("n={n} {arity:?}: {e:?}"));
+            assert_eq!(f.len(), n);
+            assert!(keys.iter().all(|&k| f.contains(k)), "n={n} {arity:?}: FN");
+        }
+    }
+}
 
 /// Check that a filter's batched membership paths (`contains_many` and
 /// the allocating `contains_batch`) agree bit-for-bit with pointwise

@@ -63,6 +63,85 @@ fn corrupted_inputs_rejected_not_panicking() {
 }
 
 #[test]
+fn fuse_roundtrip_both_arities() {
+    use beyond_bloom::xorf::{BinaryFuseFilter, FuseArity};
+    let keys = unique_keys(962, 50_000);
+    let probes = disjoint_keys(963, 20_000, &keys);
+    for arity in [FuseArity::Three, FuseArity::Four] {
+        let f = BinaryFuseFilter::build(&keys, arity, 8).unwrap();
+        let g = BinaryFuseFilter::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(g.len(), f.len());
+        assert_eq!(g.arity(), f.arity());
+        assert_eq!(g.size_in_bytes(), f.size_in_bytes());
+        for &k in keys.iter().chain(&probes) {
+            assert_eq!(f.contains(k), g.contains(k), "{arity:?} diverged at {k}");
+        }
+    }
+}
+
+#[test]
+fn fuse_corrupt_bytes_rejected() {
+    use beyond_bloom::xorf::{BinaryFuseFilter, FuseArity};
+    let keys = unique_keys(964, 2_000);
+    let f = BinaryFuseFilter::build(&keys, FuseArity::Four, 8).unwrap();
+    let bytes = f.to_bytes();
+    for cut in 0..bytes.len().min(80) {
+        assert!(BinaryFuseFilter::from_bytes(&bytes[..cut]).is_err());
+    }
+    let mut wrong = bytes.clone();
+    wrong[0] ^= 0xff;
+    assert!(BinaryFuseFilter::from_bytes(&wrong).is_err());
+    // Cross-family confusion: xor bytes are not a fuse and vice versa.
+    let xf = beyond_bloom::xorf::XorFilter::build(&keys, 8).unwrap();
+    assert!(BinaryFuseFilter::from_bytes(&xf.to_bytes()).is_err());
+    assert!(beyond_bloom::xorf::XorFilter::from_bytes(&bytes).is_err());
+}
+
+#[test]
+fn compacting_roundtrip_mid_lifecycle() {
+    use beyond_bloom::compacting::{CompactingConfig, CompactingFilter};
+    let keys = unique_keys(965, 30_000);
+    // Small front: the snapshot captures tiers + sealed fronts + a
+    // partially filled live front.
+    let f = CompactingFilter::new(CompactingConfig::new(1024, 1.0 / 256.0, 9));
+    for &k in &keys {
+        f.insert(k);
+    }
+    let g = CompactingFilter::from_bytes(&f.to_bytes()).unwrap();
+    assert_eq!(g.len(), f.len());
+    for &k in &keys {
+        assert!(g.contains(k), "snapshot lost {k}");
+    }
+    // A restored filter keeps compacting normally.
+    g.compact_all();
+    assert!(keys.iter().all(|&k| g.contains(k)));
+    assert_eq!(g.stats().tier_keys, keys.len());
+}
+
+#[test]
+fn compacting_corrupt_bytes_rejected() {
+    use beyond_bloom::compacting::{CompactingConfig, CompactingFilter};
+    let keys = unique_keys(966, 5_000);
+    let f = CompactingFilter::new(CompactingConfig::new(1024, 1.0 / 256.0, 9));
+    for &k in &keys {
+        f.insert(k);
+    }
+    f.flush();
+    let bytes = f.to_bytes();
+    for cut in 0..bytes.len().min(100) {
+        assert!(CompactingFilter::from_bytes(&bytes[..cut]).is_err());
+    }
+    let mut wrong = bytes.clone();
+    wrong[0] ^= 0xff;
+    assert!(CompactingFilter::from_bytes(&wrong).is_err());
+    // Cross-family confusion: a raw fuse blob is not a snapshot.
+    let fuse =
+        beyond_bloom::xorf::BinaryFuseFilter::build(&keys, beyond_bloom::xorf::FuseArity::Four, 8)
+            .unwrap();
+    assert!(CompactingFilter::from_bytes(&fuse.to_bytes()).is_err());
+}
+
+#[test]
 fn cuckoo_roundtrip() {
     let keys = unique_keys(957, 30_000);
     let mut f = beyond_bloom::cuckoo::CuckooFilter::new(30_000, 14);

@@ -5,8 +5,8 @@
 //! runs this file in `--release` so socket timing and codegen match
 //! production.
 
-use beyond_bloom::core::Filter;
 use beyond_bloom::core::InsertFilter;
+use beyond_bloom::core::{BatchedFilter, Filter};
 use beyond_bloom::cuckoo::CuckooFilter;
 use beyond_bloom::quotient::CountingQuotientFilter;
 use beyond_bloom::service::{
@@ -200,6 +200,121 @@ fn crud_and_stats_roundtrip() {
     assert!(stats.counters.batched_ops > 0);
     assert!(stats.counters.batched_ops <= stats.counters.keys_processed);
     assert!(stats.counters.request_latency.count() > 0);
+
+    drop(c);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------
+// The compacting backend over the wire: CREATE/INSERT/CONTAINS
+// parity with the in-process builder, blob-CREATE of a mid-lifecycle
+// snapshot, and clean Unsupported errors for COUNT/DELETE.
+// ---------------------------------------------------------------
+
+#[test]
+fn compacting_backend_over_the_wire() {
+    const CAP: u64 = 40_000;
+    const EPS: f64 = 1.0 / 256.0;
+    const SEED: u64 = 0xc0a7;
+    let keys = unique_keys(7_300, CAP as usize / 2);
+    let probes = disjoint_keys(7_301, 20_000, &keys);
+    let all: Vec<u64> = keys.iter().chain(&probes).copied().collect();
+
+    let (server, addr) = start();
+    let mut c = FilterClient::connect(addr).unwrap();
+
+    // Oracle: the same builder the server's CREATE path calls.
+    let oracle = beyond_bloom::service::build_compacting(CAP, EPS, SEED);
+    for &k in &keys {
+        oracle.insert(k);
+    }
+
+    c.create("lsm", Backend::Compacting, CAP, EPS, 0, SEED)
+        .unwrap();
+    for chunk in keys.chunks(4096) {
+        c.insert("lsm", chunk).unwrap();
+    }
+    // No-false-negative parity with the oracle for every inserted
+    // key. (Exact false-positive parity is NOT expected: background
+    // compaction timing decides which sealed fronts have merged into
+    // tiers at query time, and different tier partitions hash
+    // negatives differently.)
+    assert!(oracle.contains_batch(&keys).iter().all(|&b| b));
+    for chunk in keys.chunks(1013) {
+        assert!(c.contains("lsm", chunk).unwrap().iter().all(|&b| b));
+    }
+    // Negative probes stay near the configured budget even with the
+    // layered front + tiers each contributing their share.
+    let fp: usize = probes
+        .chunks(1013)
+        .map(|chunk| {
+            c.contains("lsm", chunk)
+                .unwrap()
+                .iter()
+                .filter(|&&b| b)
+                .count()
+        })
+        .sum();
+    let fpr = fp as f64 / probes.len() as f64;
+    assert!(fpr < 10.0 * EPS, "wire FPR {fpr} implausibly high");
+
+    // Mutability-only ops are clean errors, not panics.
+    for e in [
+        c.count("lsm", &keys[..4]).unwrap_err(),
+        c.delete("lsm", &keys[..4]).unwrap_err(),
+    ] {
+        assert!(matches!(
+            e,
+            ClientError::Remote {
+                code: ErrorCode::Unsupported,
+                ..
+            }
+        ));
+    }
+
+    // Blob CREATE: snapshot the oracle mid-lifecycle (insert more so
+    // the front and sealed queue are non-empty), ship it, and query.
+    let more = disjoint_keys(7_302, 5_000, &all);
+    for &k in &more {
+        oracle.insert(k);
+    }
+    c.create_prebuilt("shipped-lsm", Backend::Compacting, oracle.to_bytes())
+        .unwrap();
+    let shipped_probe: Vec<u64> = keys.iter().chain(&more).copied().collect();
+    assert!(c
+        .contains("shipped-lsm", &shipped_probe)
+        .unwrap()
+        .iter()
+        .all(|&b| b));
+    // And the restored instance keeps accepting inserts.
+    let extra = disjoint_keys(7_303, 1_000, &shipped_probe);
+    c.insert("shipped-lsm", &extra).unwrap();
+    assert!(c
+        .contains("shipped-lsm", &extra)
+        .unwrap()
+        .iter()
+        .all(|&b| b));
+
+    // Garbage blobs are a Filter error, not a crash.
+    match c.create_prebuilt("bad-lsm", Backend::Compacting, vec![0xde, 0xad, 0xbe]) {
+        Err(ClientError::Remote {
+            code: ErrorCode::Filter,
+            ..
+        }) => {}
+        other => panic!("expected Filter error, got {other:?}"),
+    }
+
+    // STATS reports the backend by name with a sane key count.
+    let stats = c.stats().unwrap();
+    let row = stats
+        .filters
+        .iter()
+        .find(|f| f.name == "lsm")
+        .expect("registry row");
+    assert_eq!(row.backend, Backend::Compacting);
+    assert_eq!(row.backend.name(), "compacting");
+    assert_eq!(row.len, keys.len() as u64);
+    assert!(row.size_in_bytes > 0);
 
     drop(c);
     server.shutdown();
