@@ -141,7 +141,69 @@ impl AtomicBlockedBloomFilter {
     pub fn contains_batch(&self, keys: &[u64]) -> Vec<bool> {
         BatchedFilter::contains_batch(self, keys)
     }
+
+    /// Serialize (magic-tagged, little-endian) for snapshot shipping.
+    /// The word reads race concurrent inserts the same benign way
+    /// `len` does: a snapshot taken while writers run is some valid
+    /// filter containing every insert that happened-before the call.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = filter_core::ByteWriter::new();
+        w.put_u32(ATOMIC_BLOOM_MAGIC);
+        w.put_u64(self.n_blocks as u64);
+        w.put_u32(self.k);
+        w.put_u64(self.hasher.seed());
+        w.put_u64(self.items.load(Ordering::Relaxed) as u64);
+        w.put_u64(self.bits.word_len() as u64);
+        for wi in 0..self.bits.word_len() {
+            w.put_u64(self.bits.load_word(wi));
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a [`AtomicBlockedBloomFilter::to_bytes`] image (checked:
+    /// corrupt input is an error, never a panic or over-read).
+    pub fn from_bytes(bytes: &[u8]) -> std::result::Result<Self, filter_core::SerialError> {
+        use filter_core::SerialError;
+        let mut r = filter_core::ByteReader::new(bytes);
+        if r.take_u32()? != ATOMIC_BLOOM_MAGIC {
+            return Err(SerialError::Corrupt("atomic-bloom magic"));
+        }
+        let n_blocks = r.take_u64()? as usize;
+        if n_blocks == 0 || n_blocks > (1 << 40) / (BLOCK_WORDS * 64) {
+            return Err(SerialError::Corrupt("atomic-bloom block count"));
+        }
+        let k = r.take_u32()?;
+        if !(1..=64).contains(&k) {
+            return Err(SerialError::Corrupt("atomic-bloom probe count"));
+        }
+        let seed = r.take_u64()?;
+        let items = r.take_u64()? as usize;
+        let n_words = r.take_u64()? as usize;
+        if n_words != n_blocks * BLOCK_WORDS {
+            return Err(SerialError::Corrupt("atomic-bloom word count"));
+        }
+        if r.remaining() < n_words * 8 {
+            return Err(SerialError::Truncated);
+        }
+        let bits = AtomicBitVec::new(n_words * 64);
+        for wi in 0..n_words {
+            let word = r.take_u64()?;
+            if word != 0 {
+                bits.or_word(wi, word);
+            }
+        }
+        Ok(AtomicBlockedBloomFilter {
+            bits,
+            n_blocks,
+            k,
+            hasher: Hasher::with_seed(seed),
+            items: AtomicUsize::new(items),
+        })
+    }
 }
+
+/// Serialization magic for [`AtomicBlockedBloomFilter`] images.
+const ATOMIC_BLOOM_MAGIC: u32 = 0xAB10_0512;
 
 impl BatchedFilter for AtomicBlockedBloomFilter {
     /// Pipelined probe over the atomic words: locate every key's
@@ -302,6 +364,28 @@ mod tests {
         }
         let dynf: &dyn Filter = &f;
         assert!(keys.iter().all(|&k| dynf.contains(k)));
+    }
+
+    #[test]
+    fn serialization_roundtrip_is_bit_identical() {
+        let f = AtomicBlockedBloomFilter::with_seed(8_000, 0.01, 99);
+        let keys = unique_keys(50, 8_000);
+        f.insert_batch(&keys);
+        let bytes = f.to_bytes();
+        let back = AtomicBlockedBloomFilter::from_bytes(&bytes).unwrap();
+        assert_eq!(Filter::len(&back), Filter::len(&f));
+        assert_eq!(back.seed(), f.seed());
+        let probes = unique_keys(51, 20_000);
+        for &k in keys.iter().chain(&probes) {
+            assert_eq!(back.contains(k), f.contains(k), "key {k}");
+        }
+        // Corrupt and truncated inputs are errors, not panics.
+        for cut in 0..bytes.len().min(64) {
+            assert!(AtomicBlockedBloomFilter::from_bytes(&bytes[..cut]).is_err());
+        }
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(AtomicBlockedBloomFilter::from_bytes(&bad).is_err());
     }
 
     #[test]

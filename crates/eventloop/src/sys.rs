@@ -1,0 +1,221 @@
+//! Raw x86_64 Linux syscalls for the epoll readiness API.
+//!
+//! The container builds with no crates.io access, so there is no
+//! `libc` to call through; this module invokes the kernel directly
+//! with the `syscall` instruction, the same offline-build discipline
+//! as the rand/proptest shims. Only five syscalls are wrapped —
+//! `epoll_create1`, `epoll_ctl`, `epoll_wait`, `close`, and
+//! `setsockopt` — and every wrapper is a thin, checked translation of
+//! the documented kernel ABI.
+//!
+//! # Safety argument
+//!
+//! This is one of the workspace's three audited `allow(unsafe_code)`
+//! islands (with `filter_core::prefetch` and `filter_core::simd`).
+//! The argument has three parts:
+//!
+//! 1. **Reachability.** The module only compiles on
+//!    `target_os = "linux"` + `target_arch = "x86_64"`, the exact ABI
+//!    the syscall numbers and register conventions below encode
+//!    (numbers from `asm/unistd_64.h`; arguments in
+//!    rdi/rsi/rdx/r10/r8, number in rax, kernel clobbers rcx/r11).
+//! 2. **Pointer discipline.** Every pointer handed to the kernel
+//!    refers to memory owned by the caller for the duration of the
+//!    call: `epoll_ctl` passes a stack-local [`EpollEvent`],
+//!    `epoll_wait` passes a caller-owned slice with its true length,
+//!    and `setsockopt` passes a stack-local `i32`. The kernel retains
+//!    none of them past the call (epoll copies the event record into
+//!    kernel space).
+//! 3. **Checked returns.** Raw returns are the kernel convention
+//!    (negative errno on failure); the private `check` helper
+//!    translates them into
+//!    `io::Result` before any caller sees a value, so an error can
+//!    never be misread as a count or fd.
+
+#![allow(unsafe_code)]
+
+use std::io;
+
+/// A raw file descriptor (kept as a plain `i32` so the crate's public
+/// API does not depend on unix-only std types).
+pub type OsFd = i32;
+
+const SYS_CLOSE: usize = 3;
+const SYS_SETSOCKOPT: usize = 54;
+const SYS_EPOLL_WAIT: usize = 232;
+const SYS_EPOLL_CTL: usize = 233;
+const SYS_EPOLL_CREATE1: usize = 291;
+
+/// Readable readiness.
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, no need to register).
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup (always reported, no need to register).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its write half (must be registered explicitly).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// `epoll_ctl` op: add an fd to the interest set.
+pub const EPOLL_CTL_ADD: i32 = 1;
+/// `epoll_ctl` op: remove an fd from the interest set.
+pub const EPOLL_CTL_DEL: i32 = 2;
+/// `epoll_ctl` op: change an fd's registered interests.
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLL_CLOEXEC: usize = 0x8_0000;
+
+/// The x86_64 kernel's epoll event record. `packed` matches the
+/// kernel's `__attribute__((packed))` layout on this architecture
+/// (12 bytes, no padding between `events` and `data`).
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// Caller-chosen cookie returned verbatim with each event.
+    pub data: u64,
+}
+
+#[inline]
+unsafe fn syscall4(n: usize, a1: usize, a2: usize, a3: usize, a4: usize) -> isize {
+    let ret: isize;
+    core::arch::asm!(
+        "syscall",
+        inlateout("rax") n as isize => ret,
+        in("rdi") a1,
+        in("rsi") a2,
+        in("rdx") a3,
+        in("r10") a4,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+#[inline]
+unsafe fn syscall5(n: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize) -> isize {
+    let ret: isize;
+    core::arch::asm!(
+        "syscall",
+        inlateout("rax") n as isize => ret,
+        in("rdi") a1,
+        in("rsi") a2,
+        in("rdx") a3,
+        in("r10") a4,
+        in("r8") a5,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+/// Kernel convention → `io::Result`: negative return is `-errno`.
+fn check(ret: isize) -> io::Result<usize> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+/// `epoll_create1(EPOLL_CLOEXEC)`: a fresh epoll instance.
+pub fn epoll_create1() -> io::Result<OsFd> {
+    check(unsafe { syscall4(SYS_EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0) }).map(|fd| fd as OsFd)
+}
+
+/// `epoll_ctl(epfd, op, fd, &event)`. For `EPOLL_CTL_DEL` the event
+/// record is ignored by any kernel ≥ 2.6.9 but still passed (the
+/// man page's portability note).
+pub fn epoll_ctl(epfd: OsFd, op: i32, fd: OsFd, events: u32, data: u64) -> io::Result<()> {
+    let ev = EpollEvent { events, data };
+    check(unsafe {
+        syscall4(
+            SYS_EPOLL_CTL,
+            epfd as usize,
+            op as usize,
+            fd as usize,
+            &ev as *const EpollEvent as usize,
+        )
+    })
+    .map(|_| ())
+}
+
+/// `epoll_wait(epfd, buf, buf.len(), timeout_ms)`; returns the number
+/// of records filled in at the front of `buf`. A `timeout_ms` of `-1`
+/// blocks indefinitely; `0` polls.
+pub fn epoll_wait(epfd: OsFd, buf: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    check(unsafe {
+        syscall4(
+            SYS_EPOLL_WAIT,
+            epfd as usize,
+            buf.as_mut_ptr() as usize,
+            buf.len(),
+            timeout_ms as usize,
+        )
+    })
+}
+
+/// `close(fd)`.
+pub fn close(fd: OsFd) {
+    let _ = check(unsafe { syscall4(SYS_CLOSE, fd as usize, 0, 0, 0) });
+}
+
+/// `setsockopt(fd, level, optname, &value, 4)` for an `int`-valued
+/// option (the only shape the servers need: `SO_REUSEADDR`,
+/// `TCP_NODELAY`).
+pub fn setsockopt_int(fd: OsFd, level: i32, optname: i32, value: i32) -> io::Result<()> {
+    check(unsafe {
+        syscall5(
+            SYS_SETSOCKOPT,
+            fd as usize,
+            level as usize,
+            optname as usize,
+            &value as *const i32 as usize,
+            core::mem::size_of::<i32>(),
+        )
+    })
+    .map(|_| ())
+}
+
+/// `SOL_SOCKET` option level.
+pub const SOL_SOCKET: i32 = 1;
+/// Allow rebinding a listener address still in `TIME_WAIT`.
+pub const SO_REUSEADDR: i32 = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn epoll_reports_readable_after_write() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+
+        let ep = epoll_create1().unwrap();
+        epoll_ctl(ep, EPOLL_CTL_ADD, server_side.as_raw_fd(), EPOLLIN, 0x5eed).unwrap();
+        let mut buf = [EpollEvent { events: 0, data: 0 }; 8];
+        // Nothing written yet: a zero-timeout poll is empty.
+        assert_eq!(epoll_wait(ep, &mut buf, 0).unwrap(), 0);
+        use std::io::Write;
+        client.write_all(b"x").unwrap();
+        let n = epoll_wait(ep, &mut buf, 1_000).unwrap();
+        assert_eq!(n, 1);
+        let ev = buf[0];
+        assert_eq!({ ev.data }, 0x5eed);
+        assert_ne!({ ev.events } & EPOLLIN, 0);
+        close(ep);
+    }
+
+    #[test]
+    fn bad_fd_is_an_error_not_a_crash() {
+        let e = epoll_ctl(-1, EPOLL_CTL_ADD, -1, EPOLLIN, 0).unwrap_err();
+        assert_eq!(e.raw_os_error(), Some(9)); // EBADF
+    }
+}

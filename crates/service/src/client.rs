@@ -224,6 +224,30 @@ impl FilterClient {
         }
     }
 
+    /// SNAPSHOT: serialize a served filter into a portable blob. The
+    /// returned `(backend, bytes)` pair feeds
+    /// [`FilterClient::create_prebuilt`] on another server — the
+    /// cluster layer's migration/replication primitive.
+    pub fn snapshot(&mut self, name: &str) -> Result<(Backend, Vec<u8>), ClientError> {
+        let resp = self.call(&Request::Snapshot {
+            name: name.to_string(),
+        })?;
+        match resp {
+            Response::Blob { backend, bytes } => Ok((backend, bytes)),
+            Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+            _ => Err(ClientError::Unexpected("wanted Blob")),
+        }
+    }
+
+    /// FORGET: unregister a filter and drop its memory (the inverse
+    /// of CREATE; used after a snapshot has been re-homed).
+    pub fn forget(&mut self, name: &str) -> Result<(), ClientError> {
+        let resp = self.call(&Request::Forget {
+            name: name.to_string(),
+        })?;
+        Self::expect_ok(resp)
+    }
+
     /// The underlying stream (tests use this to simulate abrupt
     /// disconnects and raw writes).
     pub fn stream(&mut self) -> &mut TcpStream {

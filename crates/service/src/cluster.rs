@@ -1,0 +1,474 @@
+//! Consistent-hash cluster mode: one logical filter namespace routed
+//! across N independent filter servers.
+//!
+//! Each server process stays exactly what it was — a single-node
+//! engine with a private registry. The [`ClusterClient`] layers a
+//! consistent-hash ring (virtual nodes, 64 per server by default)
+//! over the set of server addresses and routes every named-filter
+//! request to the name's owner. No server knows about any other: the
+//! cluster is a pure client-side construct, which is how memcached
+//! deployments scaled before servers grew gossip protocols.
+//!
+//! # Why consistent hashing
+//!
+//! With `hash(name) % N` routing, changing N remaps nearly every
+//! name. On the ring, a node's arrival or departure only remaps the
+//! ring arcs adjacent to its virtual points — an expected `K/N`
+//! fraction of the K filters — so elastic membership changes ship
+//! `K/N` snapshots, not K ([`ClusterClient::add_node`] asserts this
+//! "only affected arcs move" property in tests).
+//!
+//! # Migration
+//!
+//! Moving a filter is three wire calls built from existing protocol
+//! pieces: SNAPSHOT on the old owner (`to_bytes`/multi-shard
+//! envelope), blob-CREATE on the new owner (`from_bytes`), FORGET on
+//! the old owner. The blob preserves shard structure and per-shard
+//! seeds, so a migrated filter answers every probe bit-identically to
+//! the original. [`ClusterClient::replicate`] ships the same snapshot
+//! to ring successors instead, for read replicas.
+
+use crate::client::{ClientError, FilterClient};
+use crate::metrics::StatsReport;
+use crate::proto::Backend;
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+
+/// Virtual points each node contributes to the ring. More points →
+/// smoother load split and finer-grained remapping at membership
+/// changes, at O(vnodes · nodes) ring-build cost.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// FNV-1a over bytes, then a splitmix64-style finalizer. FNV alone
+/// clusters nearby keys; the avalanche spreads ring points uniformly.
+fn ring_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ h >> 31
+}
+
+/// A consistent-hash ring over node indices. Pure data structure —
+/// no sockets — so routing properties are unit-testable in isolation.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(ring position, node index)`, sorted by position.
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// Build a ring with `vnodes` virtual points per node. Points are
+    /// derived from each node's address string, so every client that
+    /// knows the same membership builds the same ring.
+    pub fn build(addrs: &[SocketAddr], vnodes: usize) -> HashRing {
+        let mut points = Vec::with_capacity(addrs.len() * vnodes);
+        for (i, addr) in addrs.iter().enumerate() {
+            let base = addr.to_string();
+            for v in 0..vnodes {
+                points.push((ring_hash(format!("{base}#{v}").as_bytes()), i));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points }
+    }
+
+    /// The node index owning `name`: the first ring point clockwise
+    /// from the name's hash (wrapping at the top).
+    pub fn owner(&self, name: &str) -> usize {
+        self.walk(name).next().expect("ring has at least one point")
+    }
+
+    /// Distinct node indices in ring order starting at `name`'s owner
+    /// — the owner first, then the replica candidates.
+    pub fn successors(&self, name: &str) -> Vec<usize> {
+        let mut seen = Vec::new();
+        for idx in self.walk(name) {
+            if !seen.contains(&idx) {
+                seen.push(idx);
+            }
+        }
+        seen
+    }
+
+    /// Walk ring points clockwise from `name`'s hash, yielding node
+    /// indices (with repeats; one full lap).
+    fn walk(&self, name: &str) -> impl Iterator<Item = usize> + '_ {
+        let h = ring_hash(name.as_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let n = self.points.len();
+        (0..n).map(move |i| self.points[(start + i) % n].1)
+    }
+}
+
+/// Why a cluster call failed.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The cluster has no nodes (or the last node was removed).
+    NoNodes,
+    /// The named node is not a cluster member.
+    UnknownNode(SocketAddr),
+    /// The node is already a member.
+    DuplicateNode(SocketAddr),
+    /// A wire call to a member failed.
+    Client(ClientError),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NoNodes => write!(f, "cluster has no nodes"),
+            ClusterError::UnknownNode(a) => write!(f, "no cluster node at {a}"),
+            ClusterError::DuplicateNode(a) => write!(f, "node {a} already in cluster"),
+            ClusterError::Client(e) => write!(f, "cluster member call failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<ClientError> for ClusterError {
+    fn from(e: ClientError) -> Self {
+        ClusterError::Client(e)
+    }
+}
+
+/// One filter moved by a membership change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Migration {
+    /// Filter name.
+    pub name: String,
+    /// Backend family (from the snapshot).
+    pub backend: Backend,
+    /// Node it left.
+    pub from: SocketAddr,
+    /// Node it landed on.
+    pub to: SocketAddr,
+}
+
+/// What a node add/remove actually shipped.
+#[derive(Debug, Clone, Default)]
+pub struct MigrationReport {
+    /// Filters re-homed (snapshot → blob-CREATE → forget).
+    pub moved: Vec<Migration>,
+    /// Filters whose owner arc was untouched and stayed put.
+    pub retained: usize,
+}
+
+struct Node {
+    addr: SocketAddr,
+    conn: Option<FilterClient>,
+}
+
+/// A client-side cluster: consistent-hash routing of named filters
+/// across independent filter servers, with snapshot-shipping
+/// migration on membership changes.
+pub struct ClusterClient {
+    nodes: Vec<Node>,
+    ring: HashRing,
+    vnodes: usize,
+}
+
+impl ClusterClient {
+    /// Assemble a cluster over running servers (connections open
+    /// lazily, on first use of each node).
+    pub fn new(addrs: Vec<SocketAddr>) -> Result<ClusterClient, ClusterError> {
+        Self::with_vnodes(addrs, DEFAULT_VNODES)
+    }
+
+    /// [`ClusterClient::new`] with an explicit virtual-node count.
+    pub fn with_vnodes(
+        addrs: Vec<SocketAddr>,
+        vnodes: usize,
+    ) -> Result<ClusterClient, ClusterError> {
+        if addrs.is_empty() {
+            return Err(ClusterError::NoNodes);
+        }
+        let ring = HashRing::build(&addrs, vnodes.max(1));
+        Ok(ClusterClient {
+            nodes: addrs
+                .into_iter()
+                .map(|addr| Node { addr, conn: None })
+                .collect(),
+            ring,
+            vnodes: vnodes.max(1),
+        })
+    }
+
+    /// Current member addresses, in join order.
+    pub fn node_addrs(&self) -> Vec<SocketAddr> {
+        self.nodes.iter().map(|n| n.addr).collect()
+    }
+
+    /// The address that owns `name` under the current ring.
+    pub fn owner_addr(&self, name: &str) -> SocketAddr {
+        self.nodes[self.ring.owner(name)].addr
+    }
+
+    /// Owner first, then replica-candidate addresses in ring order.
+    pub fn successor_addrs(&self, name: &str) -> Vec<SocketAddr> {
+        self.ring
+            .successors(name)
+            .into_iter()
+            .map(|i| self.nodes[i].addr)
+            .collect()
+    }
+
+    fn conn(&mut self, idx: usize) -> Result<&mut FilterClient, ClusterError> {
+        let node = &mut self.nodes[idx];
+        if node.conn.is_none() {
+            node.conn = Some(FilterClient::connect(node.addr).map_err(ClientError::Io)?);
+        }
+        Ok(node.conn.as_mut().expect("just connected"))
+    }
+
+    fn conn_for(&mut self, name: &str) -> Result<&mut FilterClient, ClusterError> {
+        let idx = self.ring.owner(name);
+        self.conn(idx)
+    }
+
+    /// CREATE on the name's owner.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create(
+        &mut self,
+        name: &str,
+        backend: Backend,
+        capacity: u64,
+        eps: f64,
+        shard_bits: u32,
+        seed: u64,
+    ) -> Result<(), ClusterError> {
+        Ok(self
+            .conn_for(name)?
+            .create(name, backend, capacity, eps, shard_bits, seed)?)
+    }
+
+    /// INSERT routed to the name's owner.
+    pub fn insert(&mut self, name: &str, keys: &[u64]) -> Result<(), ClusterError> {
+        Ok(self.conn_for(name)?.insert(name, keys)?)
+    }
+
+    /// CONTAINS routed to the name's owner.
+    pub fn contains(&mut self, name: &str, keys: &[u64]) -> Result<Vec<bool>, ClusterError> {
+        Ok(self.conn_for(name)?.contains(name, keys)?)
+    }
+
+    /// COUNT routed to the name's owner.
+    pub fn count(&mut self, name: &str, keys: &[u64]) -> Result<Vec<u64>, ClusterError> {
+        Ok(self.conn_for(name)?.count(name, keys)?)
+    }
+
+    /// DELETE routed to the name's owner.
+    pub fn delete(&mut self, name: &str, keys: &[u64]) -> Result<Vec<bool>, ClusterError> {
+        Ok(self.conn_for(name)?.delete(name, keys)?)
+    }
+
+    /// STATS from every member, keyed by address (the union is the
+    /// cluster's filter inventory).
+    pub fn stats_all(&mut self) -> Result<BTreeMap<SocketAddr, StatsReport>, ClusterError> {
+        let mut out = BTreeMap::new();
+        for idx in 0..self.nodes.len() {
+            let addr = self.nodes[idx].addr;
+            out.insert(addr, self.conn(idx)?.stats()?);
+        }
+        Ok(out)
+    }
+
+    /// Ship `name`'s snapshot to its next `copies` ring successors as
+    /// same-name read replicas (blob-CREATE under the identical
+    /// name on other nodes — registries are per-node, so names don't
+    /// collide). Returns the replica addresses. Replicas are static
+    /// copies: they serve reads if the owner is lost, but do not see
+    /// later inserts.
+    pub fn replicate(
+        &mut self,
+        name: &str,
+        copies: usize,
+    ) -> Result<Vec<SocketAddr>, ClusterError> {
+        let order = self.ring.successors(name);
+        let (backend, blob) = self.conn(order[0])?.snapshot(name)?;
+        let mut placed = Vec::new();
+        for &idx in order.iter().skip(1).take(copies) {
+            self.conn(idx)?
+                .create_prebuilt(name, backend, blob.clone())?;
+            placed.push(self.nodes[idx].addr);
+        }
+        Ok(placed)
+    }
+
+    /// Add a member: rebuild the ring, then migrate exactly the
+    /// filters whose owner arc moved onto the new node (an expected
+    /// `K/N` fraction — the consistent-hashing contract). Filters on
+    /// unaffected arcs are not touched, not even re-read.
+    pub fn add_node(&mut self, addr: SocketAddr) -> Result<MigrationReport, ClusterError> {
+        if self.nodes.iter().any(|n| n.addr == addr) {
+            return Err(ClusterError::DuplicateNode(addr));
+        }
+        self.nodes.push(Node { addr, conn: None });
+        let new_ring = HashRing::build(&self.node_addrs(), self.vnodes);
+        let report = self.rebalance(&new_ring)?;
+        self.ring = new_ring;
+        Ok(report)
+    }
+
+    /// Remove a member: migrate everything it holds to the ring's
+    /// remaining owners, then drop it. Other nodes' filters are
+    /// untouched (their arcs only grow).
+    pub fn remove_node(&mut self, addr: SocketAddr) -> Result<MigrationReport, ClusterError> {
+        let Some(pos) = self.nodes.iter().position(|n| n.addr == addr) else {
+            return Err(ClusterError::UnknownNode(addr));
+        };
+        if self.nodes.len() == 1 {
+            return Err(ClusterError::NoNodes);
+        }
+        let remaining: Vec<SocketAddr> = self
+            .nodes
+            .iter()
+            .filter(|n| n.addr != addr)
+            .map(|n| n.addr)
+            .collect();
+        let new_ring = HashRing::build(&remaining, self.vnodes);
+        // Map new-ring indices to current-node indices before the
+        // departing node is spliced out.
+        let index_map: Vec<usize> = (0..self.nodes.len()).filter(|&i| i != pos).collect();
+        let mut report = MigrationReport::default();
+        let rows = self.conn(pos)?.stats()?.filters;
+        for row in rows {
+            let new_owner = index_map[new_ring.owner(&row.name)];
+            report.moved.push(self.migrate(&row.name, pos, new_owner)?);
+        }
+        self.nodes.remove(pos);
+        self.ring = new_ring;
+        Ok(report)
+    }
+
+    /// Move every filter whose owner changes under `new_ring` (which
+    /// must be built over the current `self.nodes` order).
+    fn rebalance(&mut self, new_ring: &HashRing) -> Result<MigrationReport, ClusterError> {
+        // Snapshot every node's inventory BEFORE any migration: a
+        // filter that lands on a later-iterated node must not be
+        // re-read and double-counted when that node's turn comes.
+        let mut inventory: Vec<(usize, String)> = Vec::new();
+        for idx in 0..self.nodes.len() {
+            for row in self.conn(idx)?.stats()?.filters {
+                inventory.push((idx, row.name));
+            }
+        }
+        let mut report = MigrationReport::default();
+        for (idx, name) in inventory {
+            let new_owner = new_ring.owner(&name);
+            if new_owner == idx {
+                report.retained += 1;
+            } else {
+                report.moved.push(self.migrate(&name, idx, new_owner)?);
+            }
+        }
+        Ok(report)
+    }
+
+    /// snapshot → blob-CREATE → forget.
+    fn migrate(&mut self, name: &str, from: usize, to: usize) -> Result<Migration, ClusterError> {
+        let (backend, blob) = self.conn(from)?.snapshot(name)?;
+        self.conn(to)?.create_prebuilt(name, backend, blob)?;
+        self.conn(from)?.forget(name)?;
+        Ok(Migration {
+            name: name.to_string(),
+            backend,
+            from: self.nodes[from].addr,
+            to: self.nodes[to].addr,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<SocketAddr> {
+        (0..n)
+            .map(|i| format!("10.0.0.{}:7000", i + 1).parse().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn ring_is_deterministic_and_covers_all_nodes() {
+        let a = HashRing::build(&addrs(4), 64);
+        let b = HashRing::build(&addrs(4), 64);
+        let mut seen = [false; 4];
+        for i in 0..1_000 {
+            let name = format!("filter-{i}");
+            assert_eq!(a.owner(&name), b.owner(&name));
+            seen[a.owner(&name)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some node owns nothing: {seen:?}");
+    }
+
+    #[test]
+    fn ring_spreads_load_roughly_evenly() {
+        let ring = HashRing::build(&addrs(4), 64);
+        let mut counts = [0usize; 4];
+        for i in 0..10_000 {
+            counts[ring.owner(&format!("filter-{i}"))] += 1;
+        }
+        // With 64 vnodes the per-node share should be within a factor
+        // of ~2 of the 2500 ideal.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (1_000..5_000).contains(&c),
+                "node {i} owns {c} of 10000: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_node_only_remaps_affected_arcs() {
+        // The consistent-hashing contract: going 4 → 5 nodes moves
+        // about K/5 of the keys, and every key that moves, moves TO
+        // the new node (existing nodes never trade keys among
+        // themselves on an add).
+        let before = HashRing::build(&addrs(4), 64);
+        let after = HashRing::build(&addrs(5), 64);
+        let k = 10_000;
+        let mut moved = 0;
+        for i in 0..k {
+            let name = format!("filter-{i}");
+            let (b, a) = (before.owner(&name), after.owner(&name));
+            if b != a {
+                moved += 1;
+                assert_eq!(a, 4, "'{name}' moved {b}→{a}, not to the new node");
+            }
+        }
+        // Expected K/5 = 2000; allow generous slack for vnode
+        // placement variance.
+        assert!(
+            (500..4_000).contains(&moved),
+            "moved {moved} of {k} on a 4→5 add"
+        );
+    }
+
+    #[test]
+    fn successors_lead_with_owner_and_cover_every_node() {
+        let ring = HashRing::build(&addrs(4), 64);
+        for i in 0..100 {
+            let name = format!("f{i}");
+            let succ = ring.successors(&name);
+            assert_eq!(succ[0], ring.owner(&name));
+            let mut sorted = succ.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "successors {succ:?}");
+        }
+    }
+
+    #[test]
+    fn empty_cluster_is_refused() {
+        assert!(matches!(
+            ClusterClient::new(vec![]),
+            Err(ClusterError::NoNodes)
+        ));
+    }
+}

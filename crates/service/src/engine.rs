@@ -1,0 +1,1168 @@
+//! The filter-serving core shared by both transports.
+//!
+//! [`Engine`] owns everything that is *not* a socket: the named-filter
+//! registry, the per-server metrics set, the slow-request log, the
+//! shutdown flag, and the request dispatcher. The threaded server
+//! ([`crate::server::FilterServer`]) and the event-driven server
+//! ([`crate::evented::EventedFilterServer`]) are thin transports over
+//! one `Engine` each — they read frames differently, but every payload
+//! funnels through the same crate-private `dispatch`, so the two servers
+//! are response-for-response identical by construction (the e2e suite
+//! asserts this bit-for-bit).
+//!
+//! The registry is a `RwLock<BTreeMap<name, Arc<ServedFilter>>>`.
+//! Request handling clones the `Arc` and releases the registry lock
+//! before touching the filter — concurrency across requests to one
+//! filter is then governed by the filter's own synchronisation
+//! (wait-free atomics for the Bloom backend, per-shard mutexes for
+//! the sharded backends), exactly as measured in E14/E15.
+
+use crate::metrics::{FilterRow, ServerMetrics, StatsReport};
+use crate::proto::{Backend, ErrorCode, HeaderError, Request, Response, DEFAULT_MAX_FRAME};
+use bloom::{AtomicBlockedBloomFilter, RegisterBlockedBloomFilter};
+use compacting::{CompactingConfig, CompactingFilter};
+use concurrent::{Sharded, MAX_SHARD_BITS};
+use cuckoo::CuckooFilter;
+use filter_core::{BatchedFilter, ByteReader, ByteWriter, Filter, FilterError, SerialError};
+use quotient::CountingQuotientFilter;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+use telemetry::expo::{FamilyKind, TextRenderer};
+use telemetry::{EventKind, EventRing, StaticCounter, StaticGauge};
+
+/// Requests fully served (response written), across every server in
+/// the process.
+pub static SERVICE_REQUESTS: StaticCounter = StaticCounter::new(
+    "bb_service_requests_total",
+    "Requests fully served across all filter servers in the process.",
+);
+
+/// Requests whose service time exceeded the configured slow-request
+/// threshold (each also lands in the per-server slow-request log).
+pub static SERVICE_SLOW_REQUESTS: StaticCounter = StaticCounter::new(
+    "bb_service_slow_requests_total",
+    "Requests slower than the configured slow-request threshold.",
+);
+
+/// Filters currently registered across every server in the process
+/// (wire CREATEs plus direct `register` calls).
+pub static FILTERS_REGISTERED: StaticGauge = StaticGauge::new(
+    "bb_service_filters_registered",
+    "Filters currently registered across all filter servers.",
+);
+
+/// Eagerly register this crate's metric families so they render in
+/// the exposition even before any traffic touches them.
+pub fn register_metrics() {
+    SERVICE_REQUESTS.register();
+    SERVICE_SLOW_REQUESTS.register();
+    FILTERS_REGISTERED.register();
+}
+
+/// Register every layer's metric families (filter crates + this one)
+/// so the first scrape renders them all, traffic or not. Both servers
+/// call this from `bind`.
+pub(crate) fn register_all_layers() {
+    bloom::register_metrics();
+    cuckoo::register_metrics();
+    quotient::register_metrics();
+    concurrent::register_metrics();
+    compacting::register_metrics();
+    register_metrics();
+}
+
+/// Tuning knobs shared by [`crate::server::FilterServer`] and
+/// [`crate::evented::EventedFilterServer`]. Fields that only apply to
+/// one transport say so.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (concurrently served connections). Threaded
+    /// server only; the evented server serves every connection from
+    /// one readiness loop.
+    pub workers: usize,
+    /// Accepted connections that may queue for a free worker before
+    /// the accept thread itself blocks. Threaded server only.
+    pub backlog: usize,
+    /// Per-connection frame payload limit; larger length prefixes are
+    /// refused before allocation.
+    pub max_frame: u32,
+    /// Socket read timeout — the cadence at which idle workers poll
+    /// the shutdown flag (threaded), and the readiness-wait tick on
+    /// which the evented loop polls it.
+    pub read_timeout: Duration,
+    /// Largest `capacity` a CREATE may request (bounds server memory
+    /// taken by one request).
+    pub max_capacity: u64,
+    /// Requests slower than this land in the slow-request log (and
+    /// bump the slow-request counters). METRICS renders the log as
+    /// `# slow ...` comment lines with opcode/backend/batch context.
+    pub slow_request_threshold: Duration,
+    /// Close a connection that has not delivered a complete frame for
+    /// this long (`None` disables the deadline). Dribbling bytes of a
+    /// frame still counts as progress only when a frame completes —
+    /// this is the slow-loris backstop, not a per-read timeout.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            backlog: 64,
+            max_frame: DEFAULT_MAX_FRAME,
+            read_timeout: Duration::from_millis(50),
+            max_capacity: 1 << 28,
+            slow_request_threshold: Duration::from_millis(10),
+            idle_timeout: None,
+        }
+    }
+}
+
+/// A filter instance the server can host.
+///
+/// The five backends cover the tutorial's concurrency spectrum: a
+/// wait-free atomic blocked Bloom (insert/contains only), a sharded
+/// cuckoo filter (adds deletion), a sharded counting quotient filter
+/// (adds multiplicity counts), the SIMD register-blocked Bloom
+/// (insert/contains at one mask compare per key), and the compacting
+/// filter LSM (insert/contains at static-filter space, background
+/// compaction into fuse tiers).
+pub enum ServedFilter {
+    /// Wait-free insert/contains; no deletion, no counts.
+    Bloom(AtomicBlockedBloomFilter),
+    /// Deletable membership via sharded cuckoo.
+    Cuckoo(Sharded<CuckooFilter>),
+    /// Counting + deletable via sharded CQF.
+    Cqf(Sharded<CountingQuotientFilter>),
+    /// Sharded register-blocked Bloom: insert/contains through the
+    /// vectorised probe engine; no deletion, no counts.
+    RegisterBloom(Sharded<RegisterBlockedBloomFilter>),
+    /// Compacting filter LSM: wait-free insert/contains, background
+    /// compaction into static fuse tiers; no deletion, no counts.
+    Compacting(CompactingFilter),
+}
+
+impl ServedFilter {
+    /// Which wire-protocol backend tag this instance answers to.
+    pub fn backend(&self) -> Backend {
+        match self {
+            ServedFilter::Bloom(_) => Backend::AtomicBloom,
+            ServedFilter::Cuckoo(_) => Backend::ShardedCuckoo,
+            ServedFilter::Cqf(_) => Backend::ShardedCqf,
+            ServedFilter::RegisterBloom(_) => Backend::RegisterBloom,
+            ServedFilter::Compacting(_) => Backend::Compacting,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ServedFilter::Bloom(f) => f.len(),
+            ServedFilter::Cuckoo(f) => f.len(),
+            ServedFilter::Cqf(f) => f.len(),
+            ServedFilter::RegisterBloom(f) => f.len(),
+            ServedFilter::Compacting(f) => f.len(),
+        }
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        match self {
+            ServedFilter::Bloom(f) => f.size_in_bytes(),
+            ServedFilter::Cuckoo(f) => f.size_in_bytes(),
+            ServedFilter::Cqf(f) => f.size_in_bytes(),
+            ServedFilter::RegisterBloom(f) => f.size_in_bytes(),
+            ServedFilter::Compacting(f) => f.size_in_bytes(),
+        }
+    }
+
+    /// Per-shard operation counts for the sharded backends (`None`
+    /// for the unsharded atomic Bloom). METRICS renders these as
+    /// `bb_filter_shard_ops_total{name,shard}` so skewed key streams
+    /// show up as skewed shard loads.
+    pub fn shard_ops(&self) -> Option<Vec<u64>> {
+        match self {
+            ServedFilter::Bloom(_) => None,
+            ServedFilter::Cuckoo(f) => Some(f.shard_ops()),
+            ServedFilter::Cqf(f) => Some(f.shard_ops()),
+            ServedFilter::RegisterBloom(f) => Some(f.shard_ops()),
+            ServedFilter::Compacting(_) => None,
+        }
+    }
+
+    /// Serialize into a portable blob a blob-CREATE on any node can
+    /// rebuild: raw `to_bytes` for the unsharded backends, the
+    /// multi-shard envelope for the sharded ones (preserving shard
+    /// structure and per-shard seeds across migration).
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        match self {
+            ServedFilter::Bloom(f) => f.to_bytes(),
+            ServedFilter::Cuckoo(f) => encode_shard_envelope(&f.for_each_shard(|s| s.to_bytes())),
+            ServedFilter::Cqf(f) => encode_shard_envelope(&f.for_each_shard(|s| s.to_bytes())),
+            ServedFilter::RegisterBloom(f) => {
+                encode_shard_envelope(&f.for_each_shard(|s| s.to_bytes()))
+            }
+            ServedFilter::Compacting(f) => f.to_bytes(),
+        }
+    }
+}
+
+/// Magic prefix of the multi-shard snapshot envelope. Chosen to
+/// collide with none of the per-filter serialization magics, so
+/// blob-CREATE can sniff envelope vs raw single-filter blob.
+pub(crate) const SHARD_ENVELOPE_MAGIC: u32 = 0x5AED_B10C;
+
+/// `magic | u32 shard count | count × length-prefixed shard blobs`.
+fn encode_shard_envelope(shards: &[Vec<u8>]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(SHARD_ENVELOPE_MAGIC);
+    w.put_u32(shards.len() as u32);
+    for blob in shards {
+        w.put_bytes(blob);
+    }
+    w.into_bytes()
+}
+
+/// Split an envelope back into per-shard blobs. `None` when the bytes
+/// do not start with the envelope magic (caller falls back to the raw
+/// single-filter path); `Some(Err)` when the envelope itself is
+/// malformed.
+fn decode_shard_envelope(bytes: &[u8]) -> Option<Result<Vec<Vec<u8>>, SerialError>> {
+    if bytes.len() < 4 || bytes[..4] != SHARD_ENVELOPE_MAGIC.to_le_bytes() {
+        return None;
+    }
+    Some((|| {
+        let mut r = ByteReader::new(bytes);
+        r.take_u32()?; // magic, checked above
+        let n = r.take_u32()? as usize;
+        if n == 0 || !n.is_power_of_two() || n > 1 << MAX_SHARD_BITS {
+            return Err(SerialError::Corrupt("envelope shard count"));
+        }
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            shards.push(r.take_bytes()?);
+        }
+        if r.remaining() != 0 {
+            return Err(SerialError::Corrupt("trailing bytes after envelope"));
+        }
+        Ok(shards)
+    })())
+}
+
+/// Per-request context carried from dispatch to the slow-request log.
+#[derive(Clone, Copy)]
+pub(crate) struct ReqInfo {
+    /// Wire opcode (1..=9), or 0 when the payload failed decoding.
+    op: u8,
+    /// Backend the request resolved to, when it named a filter.
+    backend: Option<Backend>,
+    /// Keys carried by the request (batch size).
+    batch: u32,
+}
+
+impl ReqInfo {
+    fn bare(op: u8) -> ReqInfo {
+        ReqInfo {
+            op,
+            backend: None,
+            batch: 0,
+        }
+    }
+
+    /// Pack into the event ring's second payload slot:
+    /// `op << 56 | (backend_tag + 1) << 48 | batch` (backend 0 means
+    /// "none").
+    fn packed(self) -> u64 {
+        let be = match self.backend {
+            None => 0u64,
+            Some(Backend::AtomicBloom) => 1,
+            Some(Backend::ShardedCuckoo) => 2,
+            Some(Backend::ShardedCqf) => 3,
+            Some(Backend::RegisterBloom) => 4,
+            Some(Backend::Compacting) => 5,
+        };
+        (self.op as u64) << 56 | be << 48 | self.batch as u64
+    }
+
+    /// Inverse of [`ReqInfo::packed`], for rendering the slow log.
+    fn unpack(b: u64) -> (u8, &'static str, u32) {
+        let op = (b >> 56) as u8;
+        let backend = match (b >> 48) & 0xff {
+            1 => "atomic-bloom",
+            2 => "sharded-cuckoo",
+            3 => "sharded-cqf",
+            4 => "register-bloom",
+            5 => "compacting",
+            _ => "-",
+        };
+        (op, backend, b as u32)
+    }
+
+    fn op_name(op: u8) -> &'static str {
+        match op {
+            1 => "CREATE",
+            2 => "INSERT",
+            3 => "CONTAINS",
+            4 => "COUNT",
+            5 => "DELETE",
+            6 => "STATS",
+            7 => "METRICS",
+            8 => "SNAPSHOT",
+            9 => "FORGET",
+            _ => "BAD",
+        }
+    }
+}
+
+/// Cuckoo fingerprint width hitting a target FPR: the filter's false
+/// positive rate is ≈ `2b / 2^f` with `b = 4` slots per bucket, so
+/// `f = ceil(log2(8 / eps))`, clamped to the implementation's 2..=32.
+pub fn cuckoo_fp_bits(eps: f64) -> u32 {
+    ((8.0 / eps).log2().ceil() as u32).clamp(2, 32)
+}
+
+/// Build the Bloom backend exactly as the server does for a CREATE
+/// with these parameters — tests use this to construct a bit-identical
+/// in-process oracle.
+pub fn build_atomic_bloom(capacity: u64, eps: f64, seed: u64) -> AtomicBlockedBloomFilter {
+    AtomicBlockedBloomFilter::with_seed(capacity as usize, eps, seed)
+}
+
+/// Build the sharded-cuckoo backend exactly as the server does
+/// (per-shard seeds derived from `seed` so shards stay decorrelated
+/// but the whole construction is reproducible).
+pub fn build_sharded_cuckoo(
+    capacity: u64,
+    eps: f64,
+    shard_bits: u32,
+    seed: u64,
+) -> Sharded<CuckooFilter> {
+    let per_shard = ((capacity as usize) >> shard_bits).max(64);
+    let fp_bits = cuckoo_fp_bits(eps);
+    Sharded::new(shard_bits, |i| {
+        CuckooFilter::with_params(
+            per_shard,
+            fp_bits,
+            cuckoo::filter::BUCKET_SIZE,
+            seed ^ (0xcc00 + i as u64),
+        )
+    })
+}
+
+/// Build the sharded-CQF backend exactly as the server does. Shards
+/// auto-expand, so a CREATE capacity is a sizing hint rather than a
+/// hard limit (matching the CQF's own `for_capacity` contract).
+pub fn build_sharded_cqf(
+    capacity: u64,
+    eps: f64,
+    shard_bits: u32,
+    seed: u64,
+) -> Sharded<CountingQuotientFilter> {
+    let per_shard = ((capacity as usize) >> shard_bits).max(64);
+    let slots = (per_shard as f64 / quotient::qf::DEFAULT_MAX_LOAD).ceil() as usize;
+    let q = slots.next_power_of_two().trailing_zeros().max(4);
+    let r = ((1.0 / eps).log2().ceil() as u32).clamp(2, 60.min(64 - q));
+    Sharded::new(shard_bits, |i| {
+        let mut f = CountingQuotientFilter::with_seed(q, r, seed ^ (0xc0f0 + i as u64));
+        f.set_auto_expand(true);
+        f
+    })
+}
+
+/// Build the register-blocked Bloom backend exactly as the server
+/// does (per-shard seeds derived from `seed`, matching the other
+/// sharded builders so tests can construct bit-identical oracles).
+pub fn build_sharded_register_bloom(
+    capacity: u64,
+    eps: f64,
+    shard_bits: u32,
+    seed: u64,
+) -> Sharded<RegisterBlockedBloomFilter> {
+    let per_shard = ((capacity as usize) >> shard_bits).max(64);
+    Sharded::new(shard_bits, |i| {
+        RegisterBlockedBloomFilter::with_seed(per_shard, eps, seed ^ (0x4b10 + i as u64))
+    })
+}
+
+/// Build the compacting backend exactly as the server does for a
+/// CREATE with these parameters. The memtable front holds 1/16th of
+/// the stated capacity (floored at 1024 keys) so steady-state space
+/// is dominated by the static fuse tiers, not the mutable front.
+pub fn build_compacting(capacity: u64, eps: f64, seed: u64) -> CompactingFilter {
+    let front = ((capacity as usize) / 16).max(1024);
+    CompactingFilter::new(CompactingConfig::new(front, eps, seed))
+}
+
+/// Everything a filter server is apart from its sockets: registry,
+/// metrics, slow-request log, shutdown flag, config, dispatcher. Each
+/// running server owns one.
+pub struct Engine {
+    pub(crate) registry: RwLock<BTreeMap<String, Arc<ServedFilter>>>,
+    pub(crate) metrics: ServerMetrics,
+    /// Slow-request log: newest 256 requests over the threshold, with
+    /// packed opcode/backend/batch context (see [`ReqInfo::packed`]).
+    pub(crate) slowlog: EventRing,
+    pub(crate) stop: AtomicBool,
+    pub(crate) config: ServerConfig,
+}
+
+impl Engine {
+    /// Fresh engine with an empty registry.
+    pub fn new(config: ServerConfig) -> Engine {
+        Engine {
+            registry: RwLock::new(BTreeMap::new()),
+            metrics: ServerMetrics::new(),
+            slowlog: EventRing::new(256),
+            stop: AtomicBool::new(false),
+            config,
+        }
+    }
+
+    /// Has shutdown been requested?
+    pub(crate) fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// The per-server metrics set (same data STATS serves).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// Install a filter directly, bypassing the wire CREATE. Returns
+    /// `false` when the name is already taken.
+    pub fn register(&self, name: &str, filter: ServedFilter) -> bool {
+        let mut reg = write_lock(&self.registry);
+        match reg.entry(name.to_string()) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(v) => {
+                v.insert(Arc::new(filter));
+                FILTERS_REGISTERED.add(1);
+                true
+            }
+        }
+    }
+
+    /// Account one fully-served request: latency histogram, process
+    /// counters, and the slow-request log. Both transports call this
+    /// with the same ordering (after the response is written or
+    /// queued), which is what keeps their STATS deltas identical.
+    pub(crate) fn record_request(&self, dt: Duration, info: ReqInfo) {
+        self.metrics.request_latency.record(dt);
+        SERVICE_REQUESTS.inc();
+        if dt >= self.config.slow_request_threshold {
+            self.metrics.slow_requests.inc();
+            SERVICE_SLOW_REQUESTS.inc();
+            self.slowlog.emit(
+                EventKind::SlowRequest,
+                dt.as_nanos().min(u64::MAX as u128) as u64,
+                info.packed(),
+            );
+        }
+    }
+}
+
+pub(crate) fn read_lock<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|p| p.into_inner())
+}
+
+pub(crate) fn write_lock<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|p| p.into_inner())
+}
+
+pub(crate) fn err(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+fn filter_err(e: FilterError) -> Response {
+    err(ErrorCode::Filter, e.to_string())
+}
+
+/// Decode one frame payload and execute it against the registry.
+/// Returns the response plus the request context the slow-request log
+/// records.
+pub(crate) fn dispatch(engine: &Engine, payload: &[u8]) -> (Response, ReqInfo) {
+    let m = &engine.metrics;
+    let req = match Request::decode(payload) {
+        Ok(Ok(req)) => req,
+        Ok(Err(op)) => {
+            m.protocol_errors.inc();
+            return (
+                err(ErrorCode::UnknownOpcode, format!("unknown opcode {op}")),
+                ReqInfo::bare(0),
+            );
+        }
+        Err(HeaderError::Version(v)) => {
+            m.protocol_errors.inc();
+            return (
+                err(
+                    ErrorCode::UnsupportedVersion,
+                    format!(
+                        "version {v}, this server speaks {}",
+                        crate::proto::PROTO_VERSION
+                    ),
+                ),
+                ReqInfo::bare(0),
+            );
+        }
+        Err(HeaderError::Serial(e)) => {
+            m.protocol_errors.inc();
+            return (
+                err(ErrorCode::BadFrame, format!("malformed payload: {e}")),
+                ReqInfo::bare(0),
+            );
+        }
+    };
+    match req {
+        Request::Create {
+            name,
+            backend,
+            capacity,
+            eps,
+            shard_bits,
+            seed,
+            blob,
+        } => (
+            handle_create(
+                engine, &name, backend, capacity, eps, shard_bits, seed, &blob,
+            ),
+            ReqInfo {
+                op: 1,
+                backend: Some(backend),
+                batch: 0,
+            },
+        ),
+        Request::Insert { name, keys } => {
+            let (resp, backend) = handle_insert(engine, &name, &keys);
+            (
+                resp,
+                ReqInfo {
+                    op: 2,
+                    backend,
+                    batch: keys.len() as u32,
+                },
+            )
+        }
+        Request::Contains { name, keys } => {
+            let (resp, backend) = handle_contains(engine, &name, &keys);
+            (
+                resp,
+                ReqInfo {
+                    op: 3,
+                    backend,
+                    batch: keys.len() as u32,
+                },
+            )
+        }
+        Request::Count { name, keys } => {
+            let (resp, backend) = handle_count(engine, &name, &keys);
+            (
+                resp,
+                ReqInfo {
+                    op: 4,
+                    backend,
+                    batch: keys.len() as u32,
+                },
+            )
+        }
+        Request::Delete { name, keys } => {
+            let (resp, backend) = handle_delete(engine, &name, &keys);
+            (
+                resp,
+                ReqInfo {
+                    op: 5,
+                    backend,
+                    batch: keys.len() as u32,
+                },
+            )
+        }
+        Request::Stats => (handle_stats(engine), ReqInfo::bare(6)),
+        Request::Metrics => (Response::Text(render_metrics(engine)), ReqInfo::bare(7)),
+        Request::Snapshot { name } => {
+            let (resp, backend) = handle_snapshot(engine, &name);
+            (
+                resp,
+                ReqInfo {
+                    op: 8,
+                    backend,
+                    batch: 0,
+                },
+            )
+        }
+        Request::Forget { name } => (handle_forget(engine, &name), ReqInfo::bare(9)),
+    }
+}
+
+// `Response` is as large as its Stats variant; error responses here
+// are always the small Error variant and are immediately serialised,
+// so boxing would only add an allocation to the hot error path.
+#[allow(clippy::result_large_err)]
+fn lookup(engine: &Engine, name: &str) -> Result<Arc<ServedFilter>, Response> {
+    read_lock(&engine.registry)
+        .get(name)
+        .cloned()
+        .ok_or_else(|| err(ErrorCode::NoSuchFilter, format!("no filter named '{name}'")))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_create(
+    engine: &Engine,
+    name: &str,
+    backend: Backend,
+    capacity: u64,
+    eps: f64,
+    shard_bits: u32,
+    seed: u64,
+    blob: &[u8],
+) -> Response {
+    if !name.chars().all(|c| c.is_ascii_graphic()) {
+        return err(
+            ErrorCode::BadName,
+            "filter names must be printable ASCII without spaces",
+        );
+    }
+    // Fast-path duplicate check without building anything.
+    if read_lock(&engine.registry).contains_key(name) {
+        return err(ErrorCode::FilterExists, format!("'{name}' already exists"));
+    }
+    let filter = if blob.is_empty() {
+        if capacity == 0 || capacity > engine.config.max_capacity {
+            return err(
+                ErrorCode::Filter,
+                format!(
+                    "capacity {capacity} outside 1..={}",
+                    engine.config.max_capacity
+                ),
+            );
+        }
+        if !(eps.is_finite() && eps > 0.0 && eps <= 0.5) {
+            return err(ErrorCode::Filter, format!("eps {eps} outside (0, 0.5]"));
+        }
+        if shard_bits > MAX_SHARD_BITS {
+            return err(
+                ErrorCode::Filter,
+                format!("shard_bits {shard_bits} > {MAX_SHARD_BITS}"),
+            );
+        }
+        match backend {
+            Backend::AtomicBloom => ServedFilter::Bloom(build_atomic_bloom(capacity, eps, seed)),
+            Backend::ShardedCuckoo => {
+                ServedFilter::Cuckoo(build_sharded_cuckoo(capacity, eps, shard_bits, seed))
+            }
+            Backend::ShardedCqf => {
+                ServedFilter::Cqf(build_sharded_cqf(capacity, eps, shard_bits, seed))
+            }
+            Backend::RegisterBloom => ServedFilter::RegisterBloom(build_sharded_register_bloom(
+                capacity, eps, shard_bits, seed,
+            )),
+            Backend::Compacting => ServedFilter::Compacting(build_compacting(capacity, eps, seed)),
+        }
+    } else {
+        // A pre-built filter shipped over the wire; `from_bytes` does
+        // the structural validation (untrusted input). Sharded
+        // backends also accept the multi-shard envelope SNAPSHOT
+        // produces, rebuilding the original shard structure.
+        match build_from_blob(backend, blob) {
+            Ok(f) => f,
+            Err(resp) => return resp,
+        }
+    };
+    // Re-check under the write lock: a racing CREATE may have won.
+    match write_lock(&engine.registry).entry(name.to_string()) {
+        Entry::Occupied(_) => err(ErrorCode::FilterExists, format!("'{name}' already exists")),
+        Entry::Vacant(v) => {
+            v.insert(Arc::new(filter));
+            FILTERS_REGISTERED.add(1);
+            Response::Ok
+        }
+    }
+}
+
+/// Rebuild a [`ServedFilter`] from an untrusted blob: the inverse of
+/// [`ServedFilter::snapshot_bytes`], also accepting a raw single
+/// `to_bytes` image for the sharded backends (pre-envelope clients).
+#[allow(clippy::result_large_err)]
+fn build_from_blob(backend: Backend, blob: &[u8]) -> Result<ServedFilter, Response> {
+    fn shards_from<F>(
+        backend_name: &str,
+        blob: &[u8],
+        from: impl Fn(&[u8]) -> Result<F, SerialError>,
+    ) -> Result<Sharded<F>, Response> {
+        match decode_shard_envelope(blob) {
+            Some(Ok(shard_blobs)) => {
+                let mut shards = Vec::with_capacity(shard_blobs.len());
+                for sb in &shard_blobs {
+                    shards.push(from(sb).map_err(|e| {
+                        err(
+                            ErrorCode::Filter,
+                            format!("bad {backend_name} shard blob: {e}"),
+                        )
+                    })?);
+                }
+                Ok(Sharded::from_shards(shards))
+            }
+            Some(Err(e)) => Err(err(
+                ErrorCode::Filter,
+                format!("bad {backend_name} envelope: {e}"),
+            )),
+            None => from(blob)
+                .map(|f| Sharded::from_shards(vec![f]))
+                .map_err(|e| err(ErrorCode::Filter, format!("bad {backend_name} blob: {e}"))),
+        }
+    }
+    Ok(match backend {
+        Backend::AtomicBloom => match AtomicBlockedBloomFilter::from_bytes(blob) {
+            Ok(f) => ServedFilter::Bloom(f),
+            Err(e) => {
+                return Err(err(
+                    ErrorCode::Filter,
+                    format!("bad atomic-bloom blob: {e}"),
+                ))
+            }
+        },
+        Backend::ShardedCuckoo => {
+            ServedFilter::Cuckoo(shards_from("cuckoo", blob, CuckooFilter::from_bytes)?)
+        }
+        Backend::ShardedCqf => ServedFilter::Cqf(shards_from(
+            "cqf",
+            blob,
+            CountingQuotientFilter::from_bytes,
+        )?),
+        Backend::RegisterBloom => ServedFilter::RegisterBloom(shards_from(
+            "register-bloom",
+            blob,
+            RegisterBlockedBloomFilter::from_bytes,
+        )?),
+        Backend::Compacting => match CompactingFilter::from_bytes(blob) {
+            Ok(f) => ServedFilter::Compacting(f),
+            Err(e) => return Err(err(ErrorCode::Filter, format!("bad compacting blob: {e}"))),
+        },
+    })
+}
+
+fn handle_insert(engine: &Engine, name: &str, keys: &[u64]) -> (Response, Option<Backend>) {
+    let f = match lookup(engine, name) {
+        Ok(f) => f,
+        Err(resp) => return (resp, None),
+    };
+    let backend = Some(f.backend());
+    engine.metrics.keys_processed.add(keys.len() as u64);
+    if keys.len() > 1 {
+        engine.metrics.batched_ops.add(keys.len() as u64);
+    }
+    let resp = match &*f {
+        ServedFilter::Bloom(b) => {
+            b.insert_batch(keys);
+            Response::Ok
+        }
+        ServedFilter::Cuckoo(c) => match c.insert_batch(keys) {
+            Ok(()) => Response::Ok,
+            Err(e) => filter_err(e),
+        },
+        ServedFilter::Cqf(q) => match q.insert_batch(keys) {
+            Ok(()) => Response::Ok,
+            Err(e) => filter_err(e),
+        },
+        ServedFilter::RegisterBloom(r) => match r.insert_batch(keys) {
+            Ok(()) => Response::Ok,
+            Err(e) => filter_err(e),
+        },
+        ServedFilter::Compacting(f) => {
+            for &k in keys {
+                f.insert(k);
+            }
+            Response::Ok
+        }
+    };
+    (resp, backend)
+}
+
+fn handle_contains(engine: &Engine, name: &str, keys: &[u64]) -> (Response, Option<Backend>) {
+    let f = match lookup(engine, name) {
+        Ok(f) => f,
+        Err(resp) => return (resp, None),
+    };
+    let backend = Some(f.backend());
+    engine.metrics.keys_processed.add(keys.len() as u64);
+    if keys.len() > 1 {
+        engine.metrics.batched_ops.add(keys.len() as u64);
+    }
+    let resp = Response::Bools(match &*f {
+        ServedFilter::Bloom(b) => b.contains_batch(keys),
+        ServedFilter::Cuckoo(c) => c.contains_batch(keys),
+        ServedFilter::Cqf(q) => q.contains_batch(keys),
+        ServedFilter::RegisterBloom(r) => r.contains_batch(keys),
+        ServedFilter::Compacting(f) => f.contains_batch(keys),
+    });
+    (resp, backend)
+}
+
+fn handle_count(engine: &Engine, name: &str, keys: &[u64]) -> (Response, Option<Backend>) {
+    let f = match lookup(engine, name) {
+        Ok(f) => f,
+        Err(resp) => return (resp, None),
+    };
+    let backend = Some(f.backend());
+    let resp = match &*f {
+        ServedFilter::Cqf(q) => {
+            engine.metrics.keys_processed.add(keys.len() as u64);
+            Response::Counts(q.count_batch(keys))
+        }
+        other => err(
+            ErrorCode::Unsupported,
+            format!("{} does not support COUNT", other.backend().name()),
+        ),
+    };
+    (resp, backend)
+}
+
+fn handle_delete(engine: &Engine, name: &str, keys: &[u64]) -> (Response, Option<Backend>) {
+    let f = match lookup(engine, name) {
+        Ok(f) => f,
+        Err(resp) => return (resp, None),
+    };
+    let backend = Some(f.backend());
+    let resp = match &*f {
+        ServedFilter::Cuckoo(c) => {
+            engine.metrics.keys_processed.add(keys.len() as u64);
+            match c.remove_batch(keys) {
+                Ok(hits) => Response::Bools(hits),
+                Err(e) => filter_err(e),
+            }
+        }
+        ServedFilter::Cqf(q) => {
+            engine.metrics.keys_processed.add(keys.len() as u64);
+            // Remove one occurrence per listed key; a missing key
+            // (`FilterError::NotFound`) is a per-key `false`, not a
+            // request failure.
+            let hits = keys.iter().map(|&k| q.remove_count(k, 1).is_ok()).collect();
+            Response::Bools(hits)
+        }
+        other => err(
+            ErrorCode::Unsupported,
+            format!("{} does not support DELETE", other.backend().name()),
+        ),
+    };
+    (resp, backend)
+}
+
+fn handle_snapshot(engine: &Engine, name: &str) -> (Response, Option<Backend>) {
+    let f = match lookup(engine, name) {
+        Ok(f) => f,
+        Err(resp) => return (resp, None),
+    };
+    let backend = f.backend();
+    (
+        Response::Blob {
+            backend,
+            bytes: f.snapshot_bytes(),
+        },
+        Some(backend),
+    )
+}
+
+fn handle_forget(engine: &Engine, name: &str) -> Response {
+    match write_lock(&engine.registry).remove(name) {
+        Some(_) => {
+            FILTERS_REGISTERED.add(-1);
+            Response::Ok
+        }
+        None => err(ErrorCode::NoSuchFilter, format!("no filter named '{name}'")),
+    }
+}
+
+/// Most shards a single filter may render as per-shard series (a
+/// 4096-shard filter would otherwise dominate the scrape).
+const MAX_SHARD_SERIES: usize = 64;
+
+/// Assemble the full METRICS exposition: every registered telemetry
+/// family (filter-layer instrumentation), this server's request
+/// counters and latency histogram, connection gauges, the filter
+/// inventory as labelled gauges, per-shard op counts, and the
+/// slow-request log rendered as `# slow ...` comment lines
+/// (free-standing comments are legal Prometheus text).
+pub(crate) fn render_metrics(engine: &Engine) -> String {
+    let mut out = telemetry::render_registry();
+    let m = &engine.metrics;
+    let mut r = TextRenderer::new();
+    for (name, help, v) in [
+        (
+            "bb_server_connections_opened_total",
+            "Connections accepted.",
+            m.connections_opened.get(),
+        ),
+        (
+            "bb_server_connections_closed_total",
+            "Connections fully torn down.",
+            m.connections_closed.get(),
+        ),
+        (
+            "bb_server_frames_received_total",
+            "Complete frames received.",
+            m.frames_received.get(),
+        ),
+        (
+            "bb_server_responses_sent_total",
+            "Response frames written.",
+            m.responses_sent.get(),
+        ),
+        (
+            "bb_server_protocol_errors_total",
+            "Malformed payloads, bad versions, unknown opcodes, oversized frames.",
+            m.protocol_errors.get(),
+        ),
+        (
+            "bb_server_disconnects_mid_frame_total",
+            "Peers that vanished in the middle of a frame.",
+            m.disconnects_mid_frame.get(),
+        ),
+        (
+            "bb_server_error_responses_total",
+            "Requests answered with an error response.",
+            m.error_responses.get(),
+        ),
+        (
+            "bb_server_keys_processed_total",
+            "Keys processed across INSERT/CONTAINS/COUNT/DELETE batches.",
+            m.keys_processed.get(),
+        ),
+        (
+            "bb_server_batched_ops_total",
+            "Keys served through the batched probe kernels.",
+            m.batched_ops.get(),
+        ),
+        (
+            "bb_server_bytes_in_total",
+            "Payload bytes read.",
+            m.bytes_in.get(),
+        ),
+        (
+            "bb_server_bytes_out_total",
+            "Payload bytes written.",
+            m.bytes_out.get(),
+        ),
+        (
+            "bb_server_slow_requests_total",
+            "Requests slower than the slow-request threshold.",
+            m.slow_requests.get(),
+        ),
+        (
+            "bb_server_accept_errors_total",
+            "accept(2) calls that returned a real error.",
+            m.accept_errors.get(),
+        ),
+    ] {
+        r.counter(name, help, v);
+    }
+    r.gauge(
+        "bb_server_open_connections",
+        "Connections currently open on this server.",
+        m.open_connections.get(),
+    );
+    r.gauge(
+        "bb_server_pipelined_depth",
+        "Deepest single-drain pipelining observed on any connection.",
+        m.pipelined_depth.get(),
+    );
+    r.histogram(
+        "bb_server_request_latency_ns",
+        "Server-side request service time (decode to response written).",
+        &m.request_latency.snapshot(),
+    );
+
+    // Inventory: one labelled series per registered filter, plus
+    // per-shard op counts for the sharded backends.
+    r.header(
+        "bb_filter_keys",
+        "Distinct keys represented per served filter.",
+        FamilyKind::Gauge,
+    );
+    let reg = read_lock(&engine.registry);
+    for (name, f) in reg.iter() {
+        r.sample(
+            "bb_filter_keys",
+            &[("name", name), ("backend", f.backend().name())],
+            f.len() as f64,
+        );
+    }
+    r.header(
+        "bb_filter_size_bytes",
+        "Heap bytes per served filter.",
+        FamilyKind::Gauge,
+    );
+    for (name, f) in reg.iter() {
+        r.sample(
+            "bb_filter_size_bytes",
+            &[("name", name), ("backend", f.backend().name())],
+            f.size_in_bytes() as f64,
+        );
+    }
+    r.header(
+        "bb_filter_shard_ops_total",
+        "Operations routed to each shard of a sharded filter.",
+        FamilyKind::Counter,
+    );
+    for (name, f) in reg.iter() {
+        let Some(ops) = f.shard_ops() else { continue };
+        if ops.len() > MAX_SHARD_SERIES {
+            continue;
+        }
+        for (i, &n) in ops.iter().enumerate() {
+            let shard = i.to_string();
+            r.sample(
+                "bb_filter_shard_ops_total",
+                &[("name", name), ("shard", &shard)],
+                n as f64,
+            );
+        }
+    }
+    drop(reg);
+
+    // Slow-request log, newest last. Comment lines parse as legal
+    // exposition text; scrapers that only want families skip them.
+    for ev in engine.slowlog.snapshot() {
+        let (op, backend, batch) = ReqInfo::unpack(ev.b);
+        r.comment(&format!(
+            "slow seq={} t_us={} op={} backend={} batch={} latency_ns={}",
+            ev.seq,
+            ev.t_us,
+            ReqInfo::op_name(op),
+            backend,
+            batch,
+            ev.a,
+        ));
+    }
+    out.push_str(&r.finish());
+    out
+}
+
+fn handle_stats(engine: &Engine) -> Response {
+    let filters = read_lock(&engine.registry)
+        .iter()
+        .map(|(name, f)| FilterRow {
+            name: name.clone(),
+            backend: f.backend(),
+            len: f.len() as u64,
+            size_in_bytes: f.size_in_bytes() as u64,
+        })
+        .collect();
+    Response::Stats(StatsReport {
+        counters: engine.metrics.snapshot(),
+        filters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_envelope_roundtrips() {
+        let shards: Vec<Vec<u8>> = vec![vec![1, 2, 3], vec![], vec![0xff; 100], vec![7]];
+        let env = encode_shard_envelope(&shards);
+        let back = decode_shard_envelope(&env).unwrap().unwrap();
+        assert_eq!(back, shards);
+        // Non-envelope bytes are not misdetected.
+        assert!(decode_shard_envelope(b"raw filter bytes").is_none());
+        assert!(decode_shard_envelope(&[]).is_none());
+        // Truncated envelopes error rather than panic.
+        for cut in 4..env.len() {
+            assert!(decode_shard_envelope(&env[..cut]).unwrap().is_err());
+        }
+        // A corrupt shard count errors.
+        let mut bad = env.clone();
+        bad[4..8].copy_from_slice(&3u32.to_le_bytes()); // not a power of two
+        assert!(decode_shard_envelope(&bad).unwrap().is_err());
+    }
+
+    #[test]
+    fn snapshot_roundtrips_preserve_answers_for_every_backend() {
+        let keys: Vec<u64> = (0..2_000).map(|i| i * 2 + 1).collect();
+        let probes: Vec<u64> = (0..4_000).collect();
+        let engine = Engine::new(ServerConfig::default());
+        let builds: Vec<(&str, ServedFilter)> = vec![
+            (
+                "ab",
+                ServedFilter::Bloom(build_atomic_bloom(4_096, 0.01, 7)),
+            ),
+            (
+                "ck",
+                ServedFilter::Cuckoo(build_sharded_cuckoo(4_096, 0.01, 2, 7)),
+            ),
+            (
+                "qf",
+                ServedFilter::Cqf(build_sharded_cqf(4_096, 0.01, 2, 7)),
+            ),
+            (
+                "rb",
+                ServedFilter::RegisterBloom(build_sharded_register_bloom(4_096, 0.01, 2, 7)),
+            ),
+            (
+                "cp",
+                ServedFilter::Compacting(build_compacting(16_384, 0.01, 7)),
+            ),
+        ];
+        for (name, f) in builds {
+            engine.register(name, f);
+            let (resp, _) = dispatch(
+                &engine,
+                &Request::Insert {
+                    name: name.into(),
+                    keys: keys.clone(),
+                }
+                .encode(),
+            );
+            assert!(matches!(resp, Response::Ok), "{name}: {resp:?}");
+            let (resp, _) = dispatch(&engine, &Request::Snapshot { name: name.into() }.encode());
+            let Response::Blob { backend, bytes } = resp else {
+                panic!("{name}: wanted Blob, got {resp:?}");
+            };
+            // Rebuild under a new name from the blob and compare
+            // every probe answer bit-for-bit.
+            let rebuilt = format!("{name}2");
+            let (resp, _) = dispatch(
+                &engine,
+                &Request::Create {
+                    name: rebuilt.clone(),
+                    backend,
+                    capacity: 0,
+                    eps: 0.0,
+                    shard_bits: 0,
+                    seed: 0,
+                    blob: bytes,
+                }
+                .encode(),
+            );
+            assert!(matches!(resp, Response::Ok), "{name}: {resp:?}");
+            let ask = |n: &str| {
+                let (resp, _) = dispatch(
+                    &engine,
+                    &Request::Contains {
+                        name: n.into(),
+                        keys: probes.clone(),
+                    }
+                    .encode(),
+                );
+                match resp {
+                    Response::Bools(b) => b,
+                    other => panic!("wanted Bools, got {other:?}"),
+                }
+            };
+            assert_eq!(ask(name), ask(&rebuilt), "{name}: snapshot changed answers");
+        }
+        // FORGET removes, second FORGET reports NoSuchFilter.
+        let (resp, _) = dispatch(&engine, &Request::Forget { name: "ab2".into() }.encode());
+        assert!(matches!(resp, Response::Ok));
+        let (resp, _) = dispatch(&engine, &Request::Forget { name: "ab2".into() }.encode());
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::NoSuchFilter,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,568 @@
+//! The event-driven filter server: every connection served from one
+//! nonblocking readiness loop ([`eventloop::Poller`] — raw-syscall
+//! epoll on x86_64 Linux, the scan fallback elsewhere).
+//!
+//! # Why a second transport
+//!
+//! The threaded server pins one worker per live connection, so its
+//! concurrency is the pool size and each idle connection costs a
+//! blocked thread. The evented server inverts that: one loop thread
+//! owns every socket, sleeping in `epoll_wait` until some socket has
+//! bytes, so thousands of mostly-idle connections cost one thread and
+//! a few KB of buffers each — the classic C10K argument, applied to a
+//! filter sidecar whose requests are microseconds long (dispatching
+//! inline on the loop thread is *cheaper* than handing off to a pool
+//! for work this small).
+//!
+//! # Pipelining
+//!
+//! Each connection keeps a rolling inbound buffer. One readiness
+//! drain reads until `WouldBlock`, then dispatches **every** complete
+//! frame in the buffer, appending responses in request order to a
+//! per-connection outbound buffer — many in-flight frames per socket,
+//! responses strictly ordered. Frames are parsed in place
+//! (`&ibuf[start..start+len]` straight into the engine's dispatch) —
+//! no per-frame allocation or copy on the request path.
+//!
+//! # Parity
+//!
+//! Both servers funnel every payload through `engine::dispatch` and
+//! count through the same [`crate::metrics::ServerMetrics`] in the
+//! same order, so for any scripted request sequence the responses and
+//! the deterministic STATS counters are bit-identical across
+//! transports (`tests/service_e2e.rs` asserts exactly this). The
+//! drain contract is also the threaded one: shutdown stops accepting,
+//! finishes writing responses already queued, and closes — buffered
+//! but undispatched frames are dropped, just as the threaded worker
+//! drops frames it has not started reading.
+//!
+//! # Safety
+//!
+//! This module is pure safe code (`service` forbids unsafe); all fd
+//! handling lives behind `eventloop`'s audited syscall island. The
+//! loop tolerates spurious readiness by construction — every read and
+//! write runs until `WouldBlock` — which is exactly the contract the
+//! scan-fallback poller needs, and why `BEYOND_BLOOM_FORCE_POLL=1`
+//! runs the full e2e suite unchanged.
+
+use crate::engine::{dispatch, render_metrics, Engine, ServerConfig};
+use crate::proto::{ErrorCode, Response};
+use eventloop::{net, os_fd, BackendKind, Event, Interest, Poller, Token};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Token 0 is the listener; connection n lives at token n + 1.
+const LISTENER: Token = Token(0);
+
+/// Per-connection state: the socket plus rolling I/O buffers.
+struct Conn {
+    stream: TcpStream,
+    /// Inbound bytes not yet parsed into frames. `start` is the parse
+    /// cursor; `ibuf[start..]` is unconsumed.
+    ibuf: Vec<u8>,
+    start: usize,
+    /// Responses serialized and not yet fully written. `osent` is the
+    /// flushed prefix.
+    obuf: Vec<u8>,
+    osent: usize,
+    /// Whether the poller currently watches this fd for writability.
+    want_write: bool,
+    /// Close once `obuf` drains (protocol error or peer EOF).
+    close_after_flush: bool,
+    /// Peer sent EOF on a clean frame boundary.
+    peer_closed: bool,
+    /// Last time a complete frame arrived (idle-deadline clock — the
+    /// same "frames, not bytes" progress rule as the threaded server).
+    last_frame: Instant,
+}
+
+/// An event-driven [`FilterServer`](crate::server::FilterServer)
+/// equivalent: same engine, same wire protocol, same drain semantics,
+/// one readiness loop instead of a thread pool.
+pub struct EventedFilterServer {
+    engine: Arc<Engine>,
+    addr: SocketAddr,
+    backend: BackendKind,
+    looper: Option<JoinHandle<()>>,
+}
+
+impl EventedFilterServer {
+    /// Bind `addr` (port 0 for ephemeral) and start the loop thread.
+    /// Takes the same [`ServerConfig`] as the threaded server
+    /// (`workers`/`backlog` are ignored; the loop serves everyone).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        net::set_reuseaddr(&listener)?;
+        listener.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        let backend = poller.kind();
+        crate::engine::register_all_layers();
+        let engine = Arc::new(Engine::new(config));
+        let looper = {
+            let engine = Arc::clone(&engine);
+            std::thread::Builder::new()
+                .name("filter-evented".into())
+                .spawn(move || event_loop(&engine, listener, poller))
+                .expect("spawn evented loop")
+        };
+        Ok(EventedFilterServer {
+            engine,
+            addr: local,
+            backend,
+            looper: Some(looper),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Which readiness backend the loop runs on (epoll or the
+    /// portable scan fallback).
+    pub fn poll_backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Racing snapshot of the server metrics (same data STATS serves).
+    pub fn metrics(&self) -> &crate::metrics::ServerMetrics {
+        self.engine.metrics()
+    }
+
+    /// Install a filter directly, bypassing the wire CREATE. Returns
+    /// `false` when the name is already taken.
+    pub fn register(&self, name: &str, filter: crate::engine::ServedFilter) -> bool {
+        self.engine.register(name, filter)
+    }
+
+    /// Render the METRICS exposition in-process.
+    pub fn metrics_text(&self) -> String {
+        render_metrics(&self.engine)
+    }
+
+    /// Stop accepting, flush queued responses, close every
+    /// connection, join the loop thread. The loop observes the flag
+    /// within one readiness-wait tick, so no wake-up connection is
+    /// needed.
+    pub fn shutdown(mut self) {
+        self.engine.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.looper.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// How much to read per `read()` call while draining a socket.
+const READ_CHUNK: usize = 64 * 1024;
+
+fn event_loop(engine: &Engine, listener: TcpListener, mut poller: Poller) {
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: VecDeque<usize> = VecDeque::new();
+    let mut events: Vec<Event> = Vec::new();
+    if poller
+        .register(os_fd(&listener), LISTENER, Interest::READABLE)
+        .is_err()
+    {
+        return;
+    }
+    let tick = engine.config.read_timeout;
+    loop {
+        if engine.stopping() {
+            break;
+        }
+        if poller.wait(&mut events, Some(tick)).is_err() {
+            break;
+        }
+        for ev in &events {
+            if ev.token == LISTENER {
+                accept_ready(engine, &listener, &mut poller, &mut conns, &mut free);
+            } else {
+                let idx = ev.token.0 - 1;
+                // A slot freed earlier in this same batch can leave a
+                // stale event behind; with level-triggered readiness
+                // and drain-until-WouldBlock, skipping or spuriously
+                // servicing a reused slot are both harmless.
+                let mut closed = false;
+                if let Some(Some(conn)) = conns.get_mut(idx) {
+                    if ev.readable || ev.hangup {
+                        closed = conn_readable(engine, conn);
+                    }
+                    if !closed && (ev.writable || !conn.obuf.is_empty()) {
+                        closed = conn_flush(conn, &mut poller, ev.token);
+                    }
+                }
+                if closed {
+                    close_conn(engine, &mut poller, &mut conns, &mut free, idx);
+                }
+            }
+        }
+        // Idle sweep: close connections that have gone too long
+        // without completing a frame. Dribbled bytes don't reset the
+        // clock — only whole frames do (slow-loris backstop).
+        if let Some(idle) = engine.config.idle_timeout {
+            for idx in 0..conns.len() {
+                let expired = match &conns[idx] {
+                    Some(c) => c.last_frame.elapsed() >= idle,
+                    None => false,
+                };
+                if expired {
+                    close_conn(engine, &mut poller, &mut conns, &mut free, idx);
+                }
+            }
+        }
+    }
+    // Drain: stop accepting (loop exited), finish writing whatever is
+    // already queued with a bounded blocking flush, close everything.
+    poller.deregister(os_fd(&listener), LISTENER).ok();
+    for idx in 0..conns.len() {
+        if let Some(conn) = &mut conns[idx] {
+            if conn.osent < conn.obuf.len() {
+                // Bounded blocking flush (bytes/counters were already
+                // accounted at queue time).
+                let _ = conn.stream.set_nonblocking(false);
+                let _ = conn
+                    .stream
+                    .set_write_timeout(Some(tick.max(std::time::Duration::from_millis(100))));
+                let pending = std::mem::take(&mut conn.obuf);
+                let _ = conn.stream.write_all(&pending[conn.osent..]);
+                conn.osent = 0;
+            }
+        }
+        if conns[idx].is_some() {
+            close_conn(engine, &mut poller, &mut conns, &mut free, idx);
+        }
+    }
+}
+
+/// Accept until `WouldBlock`, registering each new socket.
+fn accept_ready(
+    engine: &Engine,
+    listener: &TcpListener,
+    poller: &mut Poller,
+    conns: &mut Vec<Option<Conn>>,
+    free: &mut VecDeque<usize>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if engine.stopping() {
+                    drop(stream);
+                    return;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    engine.metrics.accept_errors.inc();
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let idx = free.pop_front().unwrap_or_else(|| {
+                    conns.push(None);
+                    conns.len() - 1
+                });
+                let token = Token(idx + 1);
+                if poller
+                    .register(os_fd(&stream), token, Interest::READABLE)
+                    .is_err()
+                {
+                    engine.metrics.accept_errors.inc();
+                    free.push_back(idx);
+                    continue;
+                }
+                engine.metrics.connections_opened.inc();
+                engine.metrics.open_connections.add(1);
+                conns[idx] = Some(Conn {
+                    stream,
+                    ibuf: Vec::new(),
+                    start: 0,
+                    obuf: Vec::new(),
+                    osent: 0,
+                    want_write: false,
+                    close_after_flush: false,
+                    peer_closed: false,
+                    last_frame: Instant::now(),
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                engine.metrics.accept_errors.inc();
+                return;
+            }
+        }
+    }
+}
+
+/// Drain the socket, dispatch every complete frame, queue responses.
+/// Returns `true` when the connection should be closed immediately.
+fn conn_readable(engine: &Engine, conn: &mut Conn) -> bool {
+    let m = &engine.metrics;
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.peer_closed = true;
+                break;
+            }
+            Ok(n) => conn.ibuf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+
+    // Dispatch every complete frame in arrival order; this count is
+    // the pipelining depth of the drain.
+    let mut depth: i64 = 0;
+    while !conn.close_after_flush {
+        let avail = conn.ibuf.len() - conn.start;
+        if avail < 4 {
+            break;
+        }
+        let len = u32::from_le_bytes(
+            conn.ibuf[conn.start..conn.start + 4]
+                .try_into()
+                .expect("4-byte slice"),
+        );
+        if len > engine.config.max_frame {
+            // Same contract as the threaded path: answer with the
+            // reason, then close — the unread body defeats resync.
+            m.protocol_errors.inc();
+            queue_response(
+                engine,
+                conn,
+                &Response::Error {
+                    code: ErrorCode::BadFrame,
+                    message: format!(
+                        "frame length {len} exceeds limit {}",
+                        engine.config.max_frame
+                    ),
+                },
+            );
+            conn.close_after_flush = true;
+            break;
+        }
+        if avail < 4 + len as usize {
+            break; // partial frame: wait for more bytes
+        }
+        let frame_end = conn.start + 4 + len as usize;
+        m.frames_received.inc();
+        m.bytes_in.add(len as u64);
+        let t0 = Instant::now();
+        // In-place dispatch: the payload slice borrows the inbound
+        // buffer directly.
+        let (resp, info) = dispatch(engine, &conn.ibuf[conn.start + 4..frame_end]);
+        queue_response(engine, conn, &resp);
+        engine.record_request(t0.elapsed(), info);
+        conn.start = frame_end;
+        conn.last_frame = Instant::now();
+        depth += 1;
+        if engine.stopping() {
+            // Drain contract: finish nothing more once stopping; the
+            // shutdown path flushes what is already queued.
+            break;
+        }
+    }
+    if depth > 0 {
+        m.raise_pipelined_depth(depth);
+    }
+
+    // Compact the consumed prefix so the buffer doesn't grow without
+    // bound across drains.
+    if conn.start == conn.ibuf.len() {
+        conn.ibuf.clear();
+        conn.start = 0;
+    } else if conn.start > 4096 {
+        conn.ibuf.drain(..conn.start);
+        conn.start = 0;
+    }
+
+    if conn.peer_closed {
+        if conn.ibuf.len() - conn.start > 0 && !conn.close_after_flush {
+            // EOF with a partial frame buffered: the peer vanished
+            // mid-frame.
+            m.disconnects_mid_frame.inc();
+            return true;
+        }
+        // Clean boundary: deliver queued responses, then close.
+        conn.close_after_flush = true;
+    }
+    false
+}
+
+/// Serialize a response into the connection's outbound buffer,
+/// counting exactly as the threaded `write_response` does (queueing
+/// into the kernel-bound buffer is this transport's "written").
+fn queue_response(engine: &Engine, conn: &mut Conn, resp: &Response) {
+    let m = &engine.metrics;
+    if matches!(resp, Response::Error { .. }) {
+        m.error_responses.inc();
+    }
+    let bytes = resp.encode();
+    conn.obuf
+        .extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    conn.obuf.extend_from_slice(&bytes);
+    m.responses_sent.inc();
+    m.bytes_out.add(bytes.len() as u64);
+}
+
+/// Write pending output until done or `WouldBlock`, managing the
+/// writable-interest registration. Returns `true` when the connection
+/// should close (flush finished after a close was requested, or the
+/// write errored).
+fn conn_flush(conn: &mut Conn, poller: &mut Poller, token: Token) -> bool {
+    while conn.osent < conn.obuf.len() {
+        match conn.stream.write(&conn.obuf[conn.osent..]) {
+            Ok(0) => return true,
+            Ok(n) => conn.osent += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+    if conn.osent == conn.obuf.len() {
+        conn.obuf.clear();
+        conn.osent = 0;
+        if conn.want_write {
+            conn.want_write = false;
+            let _ = poller.modify(os_fd(&conn.stream), token, Interest::READABLE);
+        }
+        return conn.close_after_flush;
+    }
+    // Output still pending: make sure the poller wakes us to finish.
+    if !conn.want_write {
+        conn.want_write = true;
+        let _ = poller.modify(os_fd(&conn.stream), token, Interest::BOTH);
+    }
+    false
+}
+
+fn close_conn(
+    engine: &Engine,
+    poller: &mut Poller,
+    conns: &mut [Option<Conn>],
+    free: &mut VecDeque<usize>,
+    idx: usize,
+) {
+    if let Some(conn) = conns[idx].take() {
+        let _ = poller.deregister(os_fd(&conn.stream), Token(idx + 1));
+        drop(conn);
+        engine.metrics.connections_closed.inc();
+        engine.metrics.open_connections.add(-1);
+        free.push_back(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::FilterClient;
+    use crate::proto::{Backend, FrameEvent, FrameReader};
+    use std::time::Duration;
+
+    fn quick_config() -> ServerConfig {
+        ServerConfig {
+            read_timeout: Duration::from_millis(10),
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn serve_create_insert_query_shutdown() {
+        let server = EventedFilterServer::bind("127.0.0.1:0", quick_config()).unwrap();
+        let mut c = FilterClient::connect(server.local_addr()).unwrap();
+        c.create("t", Backend::AtomicBloom, 10_000, 0.01, 0, 7)
+            .unwrap();
+        c.insert("t", &[1, 2, 3]).unwrap();
+        let got = c.contains("t", &[1, 2, 3, 999_999]).unwrap();
+        assert_eq!(&got[..3], &[true, true, true]);
+        let stats = c.stats().unwrap();
+        assert_eq!(stats.filters.len(), 1);
+        assert!(stats.counters.frames_received >= 3);
+        assert_eq!(stats.counters.open_connections, 1);
+        drop(c);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_frames_answered_in_order() {
+        use crate::proto::{write_frame, Request};
+        let server = EventedFilterServer::bind("127.0.0.1:0", quick_config()).unwrap();
+        let mut c = FilterClient::connect(server.local_addr()).unwrap();
+        c.create("p", Backend::ShardedCqf, 10_000, 0.01, 2, 7)
+            .unwrap();
+        drop(c);
+        // Raw pipelining: many request frames in one burst, no reads
+        // in between, then collect the responses in order. TCP may
+        // deliver a burst in pieces under load (one frame per
+        // readable event keeps the watermark at 1), so retry until a
+        // burst lands in one drain — one attempt almost always does.
+        let mut attempts = 0;
+        while server.metrics().pipelined_depth.get() <= 1 {
+            attempts += 1;
+            assert!(attempts <= 20, "no burst ever drained as a pipeline");
+            let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+            let n = 32;
+            let mut wire = Vec::new();
+            for i in 0..n {
+                let req = Request::Insert {
+                    name: "p".into(),
+                    keys: vec![i, i + 1_000],
+                };
+                write_frame(&mut wire, &req.encode()).unwrap();
+            }
+            let probe = Request::Count {
+                name: "p".into(),
+                keys: (0..n).collect(),
+            };
+            write_frame(&mut wire, &probe.encode()).unwrap();
+            stream.write_all(&wire).unwrap();
+            let mut frames =
+                FrameReader::new(stream.try_clone().unwrap(), crate::proto::DEFAULT_MAX_FRAME);
+            for _ in 0..n {
+                match frames.read_frame().unwrap() {
+                    FrameEvent::Frame(p) => {
+                        assert_eq!(Response::decode(&p).unwrap(), Response::Ok)
+                    }
+                    FrameEvent::Closed => panic!("closed early"),
+                }
+            }
+            match frames.read_frame().unwrap() {
+                FrameEvent::Frame(p) => match Response::decode(&p).unwrap() {
+                    Response::Counts(c) => assert!(c.iter().all(|&v| v >= 1)),
+                    other => panic!("wanted Counts, got {other:?}"),
+                },
+                FrameEvent::Closed => panic!("closed early"),
+            }
+        }
+        assert!(server.metrics().pipelined_depth.get() > 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_prefix_answered_then_closed() {
+        let server = EventedFilterServer::bind("127.0.0.1:0", quick_config()).unwrap();
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        stream.write_all(&[0u8; 64]).unwrap();
+        let mut frames =
+            FrameReader::new(stream.try_clone().unwrap(), crate::proto::DEFAULT_MAX_FRAME);
+        match frames.read_frame().unwrap() {
+            FrameEvent::Frame(p) => match Response::decode(&p).unwrap() {
+                Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadFrame),
+                other => panic!("wanted Error, got {other:?}"),
+            },
+            FrameEvent::Closed => panic!("closed without answering"),
+        }
+        // Then the server closes.
+        assert!(matches!(
+            frames.read_frame(),
+            Ok(FrameEvent::Closed) | Err(_)
+        ));
+        server.shutdown();
+    }
+}

@@ -32,19 +32,27 @@
 //! [`SerialError`]: filter_core::SerialError
 //!
 //! Module map: [`proto`] (framing + request/response codec),
-//! [`server`] (registry, worker pool, graceful shutdown), [`client`]
-//! (blocking request/response client), [`metrics`] (counters,
-//! histograms, STATS report).
+//! [`engine`] (registry + dispatch core shared by both transports),
+//! [`server`] (threaded transport: worker pool, graceful shutdown),
+//! [`evented`] (readiness-loop transport: epoll, pipelining),
+//! [`cluster`] (consistent-hash routing + snapshot migration),
+//! [`client`] (blocking request/response client), [`metrics`]
+//! (counters, histograms, STATS report).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod cluster;
+pub mod engine;
+pub mod evented;
 pub mod metrics;
 pub mod proto;
 pub mod server;
 
 pub use client::{ClientError, FilterClient};
+pub use cluster::{ClusterClient, ClusterError, HashRing, MigrationReport};
+pub use evented::EventedFilterServer;
 pub use metrics::{
     CountersSnapshot, FilterRow, HistogramSnapshot, LatencyHistogram, ServerMetrics, StatsReport,
 };

@@ -18,7 +18,7 @@
 
 use filter_core::{ByteReader, ByteWriter, SerialError};
 
-pub use telemetry::{Counter, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use telemetry::{Counter, Gauge, HistogramSnapshot, HISTOGRAM_BUCKETS};
 
 /// The latency histogram type (shared with the telemetry layer).
 pub type LatencyHistogram = telemetry::Histogram;
@@ -77,6 +77,17 @@ pub struct ServerMetrics {
     /// Requests whose service time exceeded the server's slow-request
     /// threshold (each also lands in the slow-request log).
     pub slow_requests: Counter,
+    /// `accept(2)` calls that returned a real error (not
+    /// `WouldBlock`): fd exhaustion, aborted handshakes.
+    pub accept_errors: Counter,
+    /// Connections currently open (accepted and not yet torn down).
+    pub open_connections: Gauge,
+    /// High-watermark of complete frames dispatched from one
+    /// connection in a single readiness drain — the observed
+    /// pipelining depth. The threaded server reads one frame per
+    /// blocking read loop, so its watermark is pinned at 1; the
+    /// evented server reports how deep clients actually pipeline.
+    pub pipelined_depth: Gauge,
     /// Server-side request service time (decode → response written).
     pub request_latency: LatencyHistogram,
 }
@@ -102,7 +113,19 @@ impl ServerMetrics {
             bytes_in: self.bytes_in.get(),
             bytes_out: self.bytes_out.get(),
             slow_requests: self.slow_requests.get(),
+            accept_errors: self.accept_errors.get(),
+            open_connections: self.open_connections.get(),
+            pipelined_depth: self.pipelined_depth.get(),
             request_latency: self.request_latency.snapshot(),
+        }
+    }
+
+    /// Raise a watermark gauge to at least `v`. Racing updates can
+    /// settle slightly low under contention; a watermark read as a
+    /// lower bound tolerates that.
+    pub fn raise_pipelined_depth(&self, v: i64) {
+        if v > self.pipelined_depth.get() {
+            self.pipelined_depth.set(v);
         }
     }
 }
@@ -135,6 +158,12 @@ pub struct CountersSnapshot {
     pub bytes_out: u64,
     /// Requests slower than the slow-request threshold.
     pub slow_requests: u64,
+    /// Failed `accept(2)` calls.
+    pub accept_errors: u64,
+    /// Connections open at snapshot time.
+    pub open_connections: i64,
+    /// Deepest single-drain pipelining observed on any connection.
+    pub pipelined_depth: i64,
     /// Server-side service-time histogram.
     pub request_latency: HistogramSnapshot,
 }
@@ -158,6 +187,11 @@ impl CountersSnapshot {
             w.put_u64(v);
         }
         serialize_histogram(&self.request_latency, w);
+        // Appended after the histogram so the field block above keeps
+        // its original offsets (wire-compatible extension).
+        w.put_u64(self.accept_errors);
+        w.put_u64(self.open_connections as u64);
+        w.put_u64(self.pipelined_depth as u64);
     }
 
     fn deserialize(r: &mut ByteReader<'_>) -> Result<Self, SerialError> {
@@ -175,6 +209,9 @@ impl CountersSnapshot {
             bytes_out: r.take_u64()?,
             slow_requests: r.take_u64()?,
             request_latency: deserialize_histogram(r)?,
+            accept_errors: r.take_u64()?,
+            open_connections: r.take_u64()? as i64,
+            pipelined_depth: r.take_u64()? as i64,
         })
     }
 }
@@ -318,6 +355,10 @@ mod tests {
         m.keys_processed.add(4096);
         m.batched_ops.add(4000);
         m.slow_requests.inc();
+        m.accept_errors.inc();
+        m.open_connections.add(3);
+        m.raise_pipelined_depth(7);
+        m.raise_pipelined_depth(2); // watermark: lower values don't regress it
         let report = StatsReport {
             counters: CountersSnapshot {
                 request_latency: h.snapshot(),
@@ -336,6 +377,9 @@ mod tests {
         let back = StatsReport::deserialize(&mut ByteReader::new(&bytes)).unwrap();
         assert_eq!(back, report);
         assert_eq!(back.counters.slow_requests, 1);
+        assert_eq!(back.counters.accept_errors, 1);
+        assert_eq!(back.counters.open_connections, 3);
+        assert_eq!(back.counters.pipelined_depth, 7);
         assert_eq!(back.counters.request_latency.sum(), 3_000);
         // Truncations error cleanly.
         for cut in 0..bytes.len() {

@@ -162,6 +162,8 @@ const OP_COUNT: u32 = 4;
 const OP_DELETE: u32 = 5;
 const OP_STATS: u32 = 6;
 const OP_METRICS: u32 = 7;
+const OP_SNAPSHOT: u32 = 8;
+const OP_FORGET: u32 = 9;
 
 // Response opcodes (high range).
 const OP_OK: u32 = 128;
@@ -170,6 +172,7 @@ const OP_COUNTS: u32 = 130;
 const OP_STATS_REPORT: u32 = 131;
 const OP_ERROR: u32 = 132;
 const OP_TEXT: u32 = 133;
+const OP_BLOB: u32 = 134;
 
 /// A client request frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -233,6 +236,20 @@ pub enum Request {
     /// labelled gauges, and the slow-request log); answered by
     /// [`Response::Text`].
     Metrics,
+    /// Serialize a registered filter into a portable blob; answered
+    /// by [`Response::Blob`]. Pairs with blob-CREATE on another node
+    /// to ship a filter across the cluster (migration/replication).
+    Snapshot {
+        /// Filter to serialize.
+        name: String,
+    },
+    /// Unregister a filter and drop its memory. The inverse of
+    /// CREATE; used by the cluster client after a snapshot has been
+    /// re-homed on its new owner.
+    Forget {
+        /// Filter to unregister.
+        name: String,
+    },
 }
 
 /// A server response frame.
@@ -248,6 +265,15 @@ pub enum Response {
     Stats(crate::metrics::StatsReport),
     /// A UTF-8 text document (the METRICS exposition).
     Text(String),
+    /// A serialized filter (the SNAPSHOT answer): the backend tag the
+    /// blob rebuilds into, and the bytes blob-CREATE accepts.
+    Blob {
+        /// Backend family the blob encodes.
+        backend: Backend,
+        /// Serialized filter (single `to_bytes` image or the
+        /// multi-shard envelope for sharded backends).
+        bytes: Vec<u8>,
+    },
     /// The request failed.
     Error {
         /// Machine-readable class.
@@ -378,6 +404,14 @@ impl Request {
             }
             Request::Stats => put_header(&mut w, OP_STATS),
             Request::Metrics => put_header(&mut w, OP_METRICS),
+            Request::Snapshot { name } => {
+                put_header(&mut w, OP_SNAPSHOT);
+                put_name(&mut w, name);
+            }
+            Request::Forget { name } => {
+                put_header(&mut w, OP_FORGET);
+                put_name(&mut w, name);
+            }
         }
         w.into_bytes()
     }
@@ -418,6 +452,12 @@ impl Request {
                 },
                 OP_STATS => Request::Stats,
                 OP_METRICS => Request::Metrics,
+                OP_SNAPSHOT => Request::Snapshot {
+                    name: take_name(&mut r)?,
+                },
+                OP_FORGET => Request::Forget {
+                    name: take_name(&mut r)?,
+                },
                 other => return Ok(Err(other)),
             }))
         })()
@@ -460,6 +500,11 @@ impl Response {
                 put_header(&mut w, OP_TEXT);
                 w.put_bytes(text.as_bytes());
             }
+            Response::Blob { backend, bytes } => {
+                put_header(&mut w, OP_BLOB);
+                w.put_u32(backend.to_u32());
+                w.put_bytes(bytes);
+            }
         }
         w.into_bytes()
     }
@@ -486,6 +531,10 @@ impl Response {
                 String::from_utf8(r.take_bytes()?)
                     .map_err(|_| SerialError::Corrupt("text body not utf-8"))?,
             ),
+            OP_BLOB => Response::Blob {
+                backend: Backend::from_u32(r.take_u32()?)?,
+                bytes: r.take_bytes()?,
+            },
             _ => return Err(SerialError::Corrupt("unknown response opcode")),
         })
     }
@@ -664,6 +713,8 @@ mod tests {
         });
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Metrics);
+        roundtrip_request(Request::Snapshot { name: "f".into() });
+        roundtrip_request(Request::Forget { name: "f".into() });
     }
 
     #[test]
@@ -685,6 +736,11 @@ mod tests {
             Response::Ok
         );
         let resp = Response::Text("# HELP x y\n# TYPE x counter\nx 1\n".into());
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        let resp = Response::Blob {
+            backend: Backend::Compacting,
+            bytes: vec![0xde, 0xad, 0xbe, 0xef],
+        };
         assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         // Non-UTF-8 text bodies are rejected, not lossily decoded.
         let mut bad = Response::Text("abc".into()).encode();

@@ -1,5 +1,5 @@
-//! The filter server: a thread-pooled `std::net` TCP server hosting
-//! named filter instances behind the wire protocol of [`crate::proto`].
+//! The threaded filter server: a thread-pooled `std::net` TCP
+//! transport over the shared [`crate::engine::Engine`] core.
 //!
 //! # Threading model
 //!
@@ -10,12 +10,17 @@
 //! pool — the classic shape for a filter sidecar where connections are
 //! few and long-lived). There is no async runtime: the container
 //! builds offline and the paper's measurements concern filter
-//! throughput, not connection scaling.
+//! throughput, not connection scaling. For connection scaling, see
+//! [`crate::evented::EventedFilterServer`], which serves the same
+//! engine from a readiness loop.
 //!
 //! Workers read with a short socket timeout. [`crate::proto::FrameReader`]
 //! retains partial progress across timeouts, so the timeout is purely
 //! a tick on which the worker polls the shutdown flag — it never
-//! corrupts the stream position of a slow writer.
+//! corrupts the stream position of a slow writer. When
+//! [`ServerConfig::idle_timeout`] is set, those ticks also feed an
+//! idle deadline: a connection that goes too long without completing
+//! a frame is closed (the slow-loris backstop).
 //!
 //! # Shutdown
 //!
@@ -23,340 +28,31 @@
 //! awake with a self-connection, and joins everything. Workers finish
 //! the request they are executing (its response is written) and then
 //! close; queued-but-unserved connections are dropped. That is the
-//! "drain in-flight, refuse new" contract.
-//!
-//! # Registry
-//!
-//! Filters live in a `RwLock<BTreeMap<name, Arc<ServedFilter>>>`.
-//! Request handling clones the `Arc` and releases the registry lock
-//! before touching the filter — concurrency across requests to one
-//! filter is then governed by the filter's own synchronisation
-//! (wait-free atomics for the Bloom backend, per-shard mutexes for
-//! the sharded backends), exactly as measured in E14/E15.
+//! "drain in-flight, refuse new" contract, and the evented server
+//! implements the same one.
 
-use crate::metrics::{FilterRow, ServerMetrics, StatsReport};
-use crate::proto::{
-    write_frame, Backend, ErrorCode, FrameError, FrameEvent, FrameReader, HeaderError, Request,
-    Response, DEFAULT_MAX_FRAME,
-};
-use bloom::{AtomicBlockedBloomFilter, RegisterBlockedBloomFilter};
-use compacting::{CompactingConfig, CompactingFilter};
-use concurrent::{Sharded, MAX_SHARD_BITS};
-use cuckoo::CuckooFilter;
-use filter_core::{BatchedFilter, Filter, FilterError};
-use quotient::CountingQuotientFilter;
-use std::collections::btree_map::Entry;
-use std::collections::BTreeMap;
+use crate::engine::{dispatch, render_metrics, Engine};
+use crate::proto::{write_frame, ErrorCode, FrameError, FrameEvent, FrameReader, Response};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, Receiver};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
-use telemetry::expo::{FamilyKind, TextRenderer};
-use telemetry::{EventKind, EventRing, StaticCounter, StaticGauge};
+use std::time::Instant;
 
-/// Requests fully served (response written), across every server in
-/// the process.
-pub static SERVICE_REQUESTS: StaticCounter = StaticCounter::new(
-    "bb_service_requests_total",
-    "Requests fully served across all filter servers in the process.",
-);
-
-/// Requests whose service time exceeded the configured slow-request
-/// threshold (each also lands in the per-server slow-request log).
-pub static SERVICE_SLOW_REQUESTS: StaticCounter = StaticCounter::new(
-    "bb_service_slow_requests_total",
-    "Requests slower than the configured slow-request threshold.",
-);
-
-/// Filters currently registered across every server in the process
-/// (wire CREATEs plus direct `register` calls).
-pub static FILTERS_REGISTERED: StaticGauge = StaticGauge::new(
-    "bb_service_filters_registered",
-    "Filters currently registered across all filter servers.",
-);
-
-/// Eagerly register this crate's metric families so they render in
-/// the exposition even before any traffic touches them.
-pub fn register_metrics() {
-    SERVICE_REQUESTS.register();
-    SERVICE_SLOW_REQUESTS.register();
-    FILTERS_REGISTERED.register();
-}
-
-/// Tuning knobs for [`FilterServer`].
-#[derive(Debug, Clone)]
-pub struct ServerConfig {
-    /// Worker threads (concurrently served connections).
-    pub workers: usize,
-    /// Accepted connections that may queue for a free worker before
-    /// the accept thread itself blocks.
-    pub backlog: usize,
-    /// Per-connection frame payload limit; larger length prefixes are
-    /// refused before allocation.
-    pub max_frame: u32,
-    /// Socket read timeout — the cadence at which idle workers poll
-    /// the shutdown flag.
-    pub read_timeout: Duration,
-    /// Largest `capacity` a CREATE may request (bounds server memory
-    /// taken by one request).
-    pub max_capacity: u64,
-    /// Requests slower than this land in the slow-request log (and
-    /// bump the slow-request counters). METRICS renders the log as
-    /// `# slow ...` comment lines with opcode/backend/batch context.
-    pub slow_request_threshold: Duration,
-}
-
-impl Default for ServerConfig {
-    fn default() -> Self {
-        ServerConfig {
-            workers: 4,
-            backlog: 64,
-            max_frame: DEFAULT_MAX_FRAME,
-            read_timeout: Duration::from_millis(50),
-            max_capacity: 1 << 28,
-            slow_request_threshold: Duration::from_millis(10),
-        }
-    }
-}
-
-/// A filter instance the server can host.
-///
-/// The five backends cover the tutorial's concurrency spectrum: a
-/// wait-free atomic blocked Bloom (insert/contains only), a sharded
-/// cuckoo filter (adds deletion), a sharded counting quotient filter
-/// (adds multiplicity counts), the SIMD register-blocked Bloom
-/// (insert/contains at one mask compare per key), and the compacting
-/// filter LSM (insert/contains at static-filter space, background
-/// compaction into fuse tiers).
-pub enum ServedFilter {
-    /// Wait-free insert/contains; no deletion, no counts.
-    Bloom(AtomicBlockedBloomFilter),
-    /// Deletable membership via sharded cuckoo.
-    Cuckoo(Sharded<CuckooFilter>),
-    /// Counting + deletable via sharded CQF.
-    Cqf(Sharded<CountingQuotientFilter>),
-    /// Sharded register-blocked Bloom: insert/contains through the
-    /// vectorised probe engine; no deletion, no counts.
-    RegisterBloom(Sharded<RegisterBlockedBloomFilter>),
-    /// Compacting filter LSM: wait-free insert/contains, background
-    /// compaction into static fuse tiers; no deletion, no counts.
-    Compacting(CompactingFilter),
-}
-
-impl ServedFilter {
-    /// Which wire-protocol backend tag this instance answers to.
-    pub fn backend(&self) -> Backend {
-        match self {
-            ServedFilter::Bloom(_) => Backend::AtomicBloom,
-            ServedFilter::Cuckoo(_) => Backend::ShardedCuckoo,
-            ServedFilter::Cqf(_) => Backend::ShardedCqf,
-            ServedFilter::RegisterBloom(_) => Backend::RegisterBloom,
-            ServedFilter::Compacting(_) => Backend::Compacting,
-        }
-    }
-
-    fn len(&self) -> usize {
-        match self {
-            ServedFilter::Bloom(f) => f.len(),
-            ServedFilter::Cuckoo(f) => f.len(),
-            ServedFilter::Cqf(f) => f.len(),
-            ServedFilter::RegisterBloom(f) => f.len(),
-            ServedFilter::Compacting(f) => f.len(),
-        }
-    }
-
-    fn size_in_bytes(&self) -> usize {
-        match self {
-            ServedFilter::Bloom(f) => f.size_in_bytes(),
-            ServedFilter::Cuckoo(f) => f.size_in_bytes(),
-            ServedFilter::Cqf(f) => f.size_in_bytes(),
-            ServedFilter::RegisterBloom(f) => f.size_in_bytes(),
-            ServedFilter::Compacting(f) => f.size_in_bytes(),
-        }
-    }
-
-    /// Per-shard operation counts for the sharded backends (`None`
-    /// for the unsharded atomic Bloom). METRICS renders these as
-    /// `bb_filter_shard_ops_total{name,shard}` so skewed key streams
-    /// show up as skewed shard loads.
-    pub fn shard_ops(&self) -> Option<Vec<u64>> {
-        match self {
-            ServedFilter::Bloom(_) => None,
-            ServedFilter::Cuckoo(f) => Some(f.shard_ops()),
-            ServedFilter::Cqf(f) => Some(f.shard_ops()),
-            ServedFilter::RegisterBloom(f) => Some(f.shard_ops()),
-            ServedFilter::Compacting(_) => None,
-        }
-    }
-}
-
-/// Per-request context carried from dispatch to the slow-request log.
-#[derive(Clone, Copy)]
-struct ReqInfo {
-    /// Wire opcode (1..=7), or 0 when the payload failed decoding.
-    op: u8,
-    /// Backend the request resolved to, when it named a filter.
-    backend: Option<Backend>,
-    /// Keys carried by the request (batch size).
-    batch: u32,
-}
-
-impl ReqInfo {
-    fn bare(op: u8) -> ReqInfo {
-        ReqInfo {
-            op,
-            backend: None,
-            batch: 0,
-        }
-    }
-
-    /// Pack into the event ring's second payload slot:
-    /// `op << 56 | (backend_tag + 1) << 48 | batch` (backend 0 means
-    /// "none").
-    fn packed(self) -> u64 {
-        let be = match self.backend {
-            None => 0u64,
-            Some(Backend::AtomicBloom) => 1,
-            Some(Backend::ShardedCuckoo) => 2,
-            Some(Backend::ShardedCqf) => 3,
-            Some(Backend::RegisterBloom) => 4,
-            Some(Backend::Compacting) => 5,
-        };
-        (self.op as u64) << 56 | be << 48 | self.batch as u64
-    }
-
-    /// Inverse of [`ReqInfo::packed`], for rendering the slow log.
-    fn unpack(b: u64) -> (u8, &'static str, u32) {
-        let op = (b >> 56) as u8;
-        let backend = match (b >> 48) & 0xff {
-            1 => "atomic-bloom",
-            2 => "sharded-cuckoo",
-            3 => "sharded-cqf",
-            4 => "register-bloom",
-            5 => "compacting",
-            _ => "-",
-        };
-        (op, backend, b as u32)
-    }
-
-    fn op_name(op: u8) -> &'static str {
-        match op {
-            1 => "CREATE",
-            2 => "INSERT",
-            3 => "CONTAINS",
-            4 => "COUNT",
-            5 => "DELETE",
-            6 => "STATS",
-            7 => "METRICS",
-            _ => "BAD",
-        }
-    }
-}
-
-/// Cuckoo fingerprint width hitting a target FPR: the filter's false
-/// positive rate is ≈ `2b / 2^f` with `b = 4` slots per bucket, so
-/// `f = ceil(log2(8 / eps))`, clamped to the implementation's 2..=32.
-pub fn cuckoo_fp_bits(eps: f64) -> u32 {
-    ((8.0 / eps).log2().ceil() as u32).clamp(2, 32)
-}
-
-/// Build the Bloom backend exactly as the server does for a CREATE
-/// with these parameters — tests use this to construct a bit-identical
-/// in-process oracle.
-pub fn build_atomic_bloom(capacity: u64, eps: f64, seed: u64) -> AtomicBlockedBloomFilter {
-    AtomicBlockedBloomFilter::with_seed(capacity as usize, eps, seed)
-}
-
-/// Build the sharded-cuckoo backend exactly as the server does
-/// (per-shard seeds derived from `seed` so shards stay decorrelated
-/// but the whole construction is reproducible).
-pub fn build_sharded_cuckoo(
-    capacity: u64,
-    eps: f64,
-    shard_bits: u32,
-    seed: u64,
-) -> Sharded<CuckooFilter> {
-    let per_shard = ((capacity as usize) >> shard_bits).max(64);
-    let fp_bits = cuckoo_fp_bits(eps);
-    Sharded::new(shard_bits, |i| {
-        CuckooFilter::with_params(
-            per_shard,
-            fp_bits,
-            cuckoo::filter::BUCKET_SIZE,
-            seed ^ (0xcc00 + i as u64),
-        )
-    })
-}
-
-/// Build the sharded-CQF backend exactly as the server does. Shards
-/// auto-expand, so a CREATE capacity is a sizing hint rather than a
-/// hard limit (matching the CQF's own `for_capacity` contract).
-pub fn build_sharded_cqf(
-    capacity: u64,
-    eps: f64,
-    shard_bits: u32,
-    seed: u64,
-) -> Sharded<CountingQuotientFilter> {
-    let per_shard = ((capacity as usize) >> shard_bits).max(64);
-    let slots = (per_shard as f64 / quotient::qf::DEFAULT_MAX_LOAD).ceil() as usize;
-    let q = slots.next_power_of_two().trailing_zeros().max(4);
-    let r = ((1.0 / eps).log2().ceil() as u32).clamp(2, 60.min(64 - q));
-    Sharded::new(shard_bits, |i| {
-        let mut f = CountingQuotientFilter::with_seed(q, r, seed ^ (0xc0f0 + i as u64));
-        f.set_auto_expand(true);
-        f
-    })
-}
-
-/// Build the register-blocked Bloom backend exactly as the server
-/// does (per-shard seeds derived from `seed`, matching the other
-/// sharded builders so tests can construct bit-identical oracles).
-pub fn build_sharded_register_bloom(
-    capacity: u64,
-    eps: f64,
-    shard_bits: u32,
-    seed: u64,
-) -> Sharded<RegisterBlockedBloomFilter> {
-    let per_shard = ((capacity as usize) >> shard_bits).max(64);
-    Sharded::new(shard_bits, |i| {
-        RegisterBlockedBloomFilter::with_seed(per_shard, eps, seed ^ (0x4b10 + i as u64))
-    })
-}
-
-/// Build the compacting backend exactly as the server does for a
-/// CREATE with these parameters. The memtable front holds 1/16th of
-/// the stated capacity (floored at 1024 keys) so steady-state space
-/// is dominated by the static fuse tiers, not the mutable front.
-pub fn build_compacting(capacity: u64, eps: f64, seed: u64) -> CompactingFilter {
-    let front = ((capacity as usize) / 16).max(1024);
-    CompactingFilter::new(CompactingConfig::new(front, eps, seed))
-}
-
-struct Shared {
-    registry: RwLock<BTreeMap<String, Arc<ServedFilter>>>,
-    metrics: ServerMetrics,
-    /// Slow-request log: newest 256 requests over the threshold, with
-    /// packed opcode/backend/batch context (see [`ReqInfo::packed`]).
-    slowlog: EventRing,
-    stop: AtomicBool,
-    config: ServerConfig,
-}
-
-impl Shared {
-    fn stopping(&self) -> bool {
-        self.stop.load(Ordering::Relaxed)
-    }
-}
+pub use crate::engine::{
+    build_atomic_bloom, build_compacting, build_sharded_cqf, build_sharded_cuckoo,
+    build_sharded_register_bloom, cuckoo_fp_bits, register_metrics, ServedFilter, ServerConfig,
+    FILTERS_REGISTERED, SERVICE_REQUESTS, SERVICE_SLOW_REQUESTS,
+};
 
 /// A running filter server. Dropping the handle without calling
 /// [`FilterServer::shutdown`] detaches the threads (they keep serving
 /// until the process exits); tests and the load generator call
 /// `shutdown` for a deterministic drain.
 pub struct FilterServer {
-    shared: Arc<Shared>,
+    engine: Arc<Engine>,
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -368,45 +64,38 @@ impl FilterServer {
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<FilterServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        // Belt-and-braces: std sets SO_REUSEADDR before binding on
+        // unix; this asserts it at the kernel so a quick restart can
+        // rebind through TIME_WAIT.
+        eventloop::net::set_reuseaddr(&listener)?;
         // Eager registration: every layer's families render in the
         // METRICS exposition from the first scrape, traffic or not.
-        bloom::register_metrics();
-        cuckoo::register_metrics();
-        quotient::register_metrics();
-        concurrent::register_metrics();
-        compacting::register_metrics();
-        register_metrics();
-        let shared = Arc::new(Shared {
-            registry: RwLock::new(BTreeMap::new()),
-            metrics: ServerMetrics::new(),
-            slowlog: EventRing::new(256),
-            stop: AtomicBool::new(false),
-            config,
-        });
+        crate::engine::register_all_layers();
+        let engine = Arc::new(Engine::new(config));
 
-        let (tx, rx) = sync_channel::<TcpStream>(shared.config.backlog.max(1));
+        let (tx, rx) = sync_channel::<TcpStream>(engine.config.backlog.max(1));
         let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..shared.config.workers.max(1))
+        let workers = (0..engine.config.workers.max(1))
             .map(|i| {
-                let shared = Arc::clone(&shared);
+                let engine = Arc::clone(&engine);
                 let rx = Arc::clone(&rx);
                 std::thread::Builder::new()
                     .name(format!("filter-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &rx))
+                    .spawn(move || worker_loop(&engine, &rx))
                     .expect("spawn worker")
             })
             .collect();
 
         let accept = {
-            let shared = Arc::clone(&shared);
+            let engine = Arc::clone(&engine);
             std::thread::Builder::new()
                 .name("filter-accept".into())
-                .spawn(move || accept_loop(&shared, &listener, tx))
+                .spawn(move || accept_loop(&engine, &listener, tx))
                 .expect("spawn accept thread")
         };
 
         Ok(FilterServer {
-            shared,
+            engine,
             addr: local,
             accept: Some(accept),
             workers,
@@ -419,34 +108,26 @@ impl FilterServer {
     }
 
     /// Racing snapshot of the server metrics (same data STATS serves).
-    pub fn metrics(&self) -> &ServerMetrics {
-        &self.shared.metrics
+    pub fn metrics(&self) -> &crate::metrics::ServerMetrics {
+        self.engine.metrics()
     }
 
     /// Install a filter directly, bypassing the wire CREATE (used by
     /// the example and by tests seeding large filters in-process).
     /// Returns `false` when the name is already taken.
     pub fn register(&self, name: &str, filter: ServedFilter) -> bool {
-        let mut reg = write_lock(&self.shared.registry);
-        match reg.entry(name.to_string()) {
-            Entry::Occupied(_) => false,
-            Entry::Vacant(v) => {
-                v.insert(Arc::new(filter));
-                FILTERS_REGISTERED.add(1);
-                true
-            }
-        }
+        self.engine.register(name, filter)
     }
 
     /// Render the same Prometheus-text exposition the METRICS opcode
     /// serves (in-process scrape for tests and examples).
     pub fn metrics_text(&self) -> String {
-        render_metrics(&self.shared)
+        render_metrics(&self.engine)
     }
 
     /// Stop accepting, drain in-flight requests, join all threads.
     pub fn shutdown(mut self) {
-        self.shared.stop.store(true, Ordering::Relaxed);
+        self.engine.stop.store(true, Ordering::Relaxed);
         // Wake the accept thread out of its blocking accept().
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept.take() {
@@ -458,39 +139,33 @@ impl FilterServer {
     }
 }
 
-fn read_lock<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
-    l.read().unwrap_or_else(|p| p.into_inner())
-}
-
-fn write_lock<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
-    l.write().unwrap_or_else(|p| p.into_inner())
-}
-
 fn accept_loop(
-    shared: &Shared,
+    engine: &Engine,
     listener: &TcpListener,
     tx: std::sync::mpsc::SyncSender<TcpStream>,
 ) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
-                if shared.stopping() {
+                if engine.stopping() {
                     // The wake-up self-connection (or a late client)
                     // lands here; refuse and exit.
                     drop(stream);
                     break;
                 }
-                shared.metrics.connections_opened.inc();
+                engine.metrics.connections_opened.inc();
+                engine.metrics.open_connections.add(1);
                 if tx.send(stream).is_err() {
                     break;
                 }
             }
             Err(_) => {
-                if shared.stopping() {
+                if engine.stopping() {
                     break;
                 }
                 // Transient accept errors (e.g. ECONNABORTED) are not
                 // fatal to the listener.
+                engine.metrics.accept_errors.inc();
             }
         }
     }
@@ -498,7 +173,7 @@ fn accept_loop(
     // queue is empty.
 }
 
-fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+fn worker_loop(engine: &Engine, rx: &Mutex<Receiver<TcpStream>>) {
     loop {
         let next = {
             let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
@@ -506,12 +181,14 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
         };
         match next {
             Ok(stream) => {
-                if shared.stopping() {
+                if engine.stopping() {
                     drop(stream);
+                    engine.metrics.open_connections.add(-1);
                     continue; // keep draining the queue until disconnect
                 }
-                serve_connection(shared, stream);
-                shared.metrics.connections_closed.inc();
+                serve_connection(engine, stream);
+                engine.metrics.connections_closed.inc();
+                engine.metrics.open_connections.add(-1);
             }
             Err(_) => break,
         }
@@ -519,46 +196,49 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
 }
 
 /// Serve one connection to completion: frame in, response out, until
-/// the peer closes, errors, or the server drains for shutdown.
-fn serve_connection(shared: &Shared, mut stream: TcpStream) {
-    let m = &shared.metrics;
+/// the peer closes, errors, idles past the deadline, or the server
+/// drains for shutdown.
+fn serve_connection(engine: &Engine, mut stream: TcpStream) {
+    let m = &engine.metrics;
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_read_timeout(Some(engine.config.read_timeout));
     let read_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
-    let mut frames = FrameReader::new(read_half, shared.config.max_frame);
+    let mut frames = FrameReader::new(read_half, engine.config.max_frame);
+    // The idle clock restarts on every *completed* frame, so a peer
+    // dribbling one byte per read timeout still hits the deadline
+    // unless its frames actually finish (slow-loris hardening).
+    let mut last_frame = Instant::now();
     loop {
         match frames.read_frame() {
             Ok(FrameEvent::Frame(payload)) => {
+                last_frame = Instant::now();
                 m.frames_received.inc();
                 m.bytes_in.add(payload.len() as u64);
                 let t0 = Instant::now();
-                let (resp, info) = dispatch(shared, &payload);
-                if !write_response(shared, &mut stream, &resp) {
+                let (resp, info) = dispatch(engine, &payload);
+                if !write_response(engine, &mut stream, &resp) {
                     break;
                 }
-                let dt = t0.elapsed();
-                m.request_latency.record(dt);
-                SERVICE_REQUESTS.inc();
-                if dt >= shared.config.slow_request_threshold {
-                    m.slow_requests.inc();
-                    SERVICE_SLOW_REQUESTS.inc();
-                    shared.slowlog.emit(
-                        EventKind::SlowRequest,
-                        dt.as_nanos().min(u64::MAX as u128) as u64,
-                        info.packed(),
-                    );
-                }
-                if shared.stopping() {
+                // One frame per blocking read loop: the threaded
+                // server's pipelining depth is 1 by construction.
+                m.raise_pipelined_depth(1);
+                engine.record_request(t0.elapsed(), info);
+                if engine.stopping() {
                     break; // in-flight request drained; refuse further
                 }
             }
             Ok(FrameEvent::Closed) => break,
             Err(FrameError::Timeout) => {
-                if shared.stopping() {
+                if engine.stopping() {
                     break;
+                }
+                if let Some(idle) = engine.config.idle_timeout {
+                    if last_frame.elapsed() >= idle {
+                        break;
+                    }
                 }
             }
             Err(FrameError::Oversized(n)) => {
@@ -567,9 +247,9 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
                 m.protocol_errors.inc();
                 let resp = Response::Error {
                     code: ErrorCode::BadFrame,
-                    message: format!("frame length {n} exceeds limit {}", shared.config.max_frame),
+                    message: format!("frame length {n} exceeds limit {}", engine.config.max_frame),
                 };
-                write_response(shared, &mut stream, &resp);
+                write_response(engine, &mut stream, &resp);
                 break;
             }
             Err(FrameError::Disconnected) => {
@@ -581,515 +261,29 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     }
 }
 
-fn write_response(shared: &Shared, stream: &mut TcpStream, resp: &Response) -> bool {
-    let m = &shared.metrics;
+fn write_response(engine: &Engine, stream: &mut TcpStream, resp: &Response) -> bool {
+    let m = &engine.metrics;
     if matches!(resp, Response::Error { .. }) {
         m.error_responses.inc();
     }
     let bytes = resp.encode();
-    match write_frame(stream, &bytes) {
-        Ok(()) => {
-            m.responses_sent.inc();
-            m.bytes_out.add(bytes.len() as u64);
-            true
-        }
-        Err(_) => false,
-    }
-}
-
-fn err(code: ErrorCode, message: impl Into<String>) -> Response {
-    Response::Error {
-        code,
-        message: message.into(),
-    }
-}
-
-fn filter_err(e: FilterError) -> Response {
-    err(ErrorCode::Filter, e.to_string())
-}
-
-/// Decode one frame payload and execute it against the registry.
-/// Returns the response plus the request context the slow-request log
-/// records.
-fn dispatch(shared: &Shared, payload: &[u8]) -> (Response, ReqInfo) {
-    let m = &shared.metrics;
-    let req = match Request::decode(payload) {
-        Ok(Ok(req)) => req,
-        Ok(Err(op)) => {
-            m.protocol_errors.inc();
-            return (
-                err(ErrorCode::UnknownOpcode, format!("unknown opcode {op}")),
-                ReqInfo::bare(0),
-            );
-        }
-        Err(HeaderError::Version(v)) => {
-            m.protocol_errors.inc();
-            return (
-                err(
-                    ErrorCode::UnsupportedVersion,
-                    format!(
-                        "version {v}, this server speaks {}",
-                        crate::proto::PROTO_VERSION
-                    ),
-                ),
-                ReqInfo::bare(0),
-            );
-        }
-        Err(HeaderError::Serial(e)) => {
-            m.protocol_errors.inc();
-            return (
-                err(ErrorCode::BadFrame, format!("malformed payload: {e}")),
-                ReqInfo::bare(0),
-            );
-        }
-    };
-    match req {
-        Request::Create {
-            name,
-            backend,
-            capacity,
-            eps,
-            shard_bits,
-            seed,
-            blob,
-        } => (
-            handle_create(
-                shared, &name, backend, capacity, eps, shard_bits, seed, &blob,
-            ),
-            ReqInfo {
-                op: 1,
-                backend: Some(backend),
-                batch: 0,
-            },
-        ),
-        Request::Insert { name, keys } => {
-            let (resp, backend) = handle_insert(shared, &name, &keys);
-            (
-                resp,
-                ReqInfo {
-                    op: 2,
-                    backend,
-                    batch: keys.len() as u32,
-                },
-            )
-        }
-        Request::Contains { name, keys } => {
-            let (resp, backend) = handle_contains(shared, &name, &keys);
-            (
-                resp,
-                ReqInfo {
-                    op: 3,
-                    backend,
-                    batch: keys.len() as u32,
-                },
-            )
-        }
-        Request::Count { name, keys } => {
-            let (resp, backend) = handle_count(shared, &name, &keys);
-            (
-                resp,
-                ReqInfo {
-                    op: 4,
-                    backend,
-                    batch: keys.len() as u32,
-                },
-            )
-        }
-        Request::Delete { name, keys } => {
-            let (resp, backend) = handle_delete(shared, &name, &keys);
-            (
-                resp,
-                ReqInfo {
-                    op: 5,
-                    backend,
-                    batch: keys.len() as u32,
-                },
-            )
-        }
-        Request::Stats => (handle_stats(shared), ReqInfo::bare(6)),
-        Request::Metrics => (Response::Text(render_metrics(shared)), ReqInfo::bare(7)),
-    }
-}
-
-// `Response` is as large as its Stats variant; error responses here
-// are always the small Error variant and are immediately serialised,
-// so boxing would only add an allocation to the hot error path.
-#[allow(clippy::result_large_err)]
-fn lookup(shared: &Shared, name: &str) -> Result<Arc<ServedFilter>, Response> {
-    read_lock(&shared.registry)
-        .get(name)
-        .cloned()
-        .ok_or_else(|| err(ErrorCode::NoSuchFilter, format!("no filter named '{name}'")))
-}
-
-#[allow(clippy::too_many_arguments)]
-fn handle_create(
-    shared: &Shared,
-    name: &str,
-    backend: Backend,
-    capacity: u64,
-    eps: f64,
-    shard_bits: u32,
-    seed: u64,
-    blob: &[u8],
-) -> Response {
-    if !name.chars().all(|c| c.is_ascii_graphic()) {
-        return err(
-            ErrorCode::BadName,
-            "filter names must be printable ASCII without spaces",
-        );
-    }
-    // Fast-path duplicate check without building anything.
-    if read_lock(&shared.registry).contains_key(name) {
-        return err(ErrorCode::FilterExists, format!("'{name}' already exists"));
-    }
-    let filter = if blob.is_empty() {
-        if capacity == 0 || capacity > shared.config.max_capacity {
-            return err(
-                ErrorCode::Filter,
-                format!(
-                    "capacity {capacity} outside 1..={}",
-                    shared.config.max_capacity
-                ),
-            );
-        }
-        if !(eps.is_finite() && eps > 0.0 && eps <= 0.5) {
-            return err(ErrorCode::Filter, format!("eps {eps} outside (0, 0.5]"));
-        }
-        if shard_bits > MAX_SHARD_BITS {
-            return err(
-                ErrorCode::Filter,
-                format!("shard_bits {shard_bits} > {MAX_SHARD_BITS}"),
-            );
-        }
-        match backend {
-            Backend::AtomicBloom => ServedFilter::Bloom(build_atomic_bloom(capacity, eps, seed)),
-            Backend::ShardedCuckoo => {
-                ServedFilter::Cuckoo(build_sharded_cuckoo(capacity, eps, shard_bits, seed))
-            }
-            Backend::ShardedCqf => {
-                ServedFilter::Cqf(build_sharded_cqf(capacity, eps, shard_bits, seed))
-            }
-            Backend::RegisterBloom => ServedFilter::RegisterBloom(build_sharded_register_bloom(
-                capacity, eps, shard_bits, seed,
-            )),
-            Backend::Compacting => ServedFilter::Compacting(build_compacting(capacity, eps, seed)),
-        }
-    } else {
-        // A pre-built filter shipped over the wire; `from_bytes` does
-        // the structural validation (untrusted input).
-        match backend {
-            Backend::AtomicBloom => {
-                return err(
-                    ErrorCode::Unsupported,
-                    "atomic-bloom does not support pre-built blobs",
-                )
-            }
-            Backend::ShardedCuckoo => match CuckooFilter::from_bytes(blob) {
-                Ok(f) => ServedFilter::Cuckoo(Sharded::from_shards(vec![f])),
-                Err(e) => return err(ErrorCode::Filter, format!("bad cuckoo blob: {e}")),
-            },
-            Backend::ShardedCqf => match CountingQuotientFilter::from_bytes(blob) {
-                Ok(f) => ServedFilter::Cqf(Sharded::from_shards(vec![f])),
-                Err(e) => return err(ErrorCode::Filter, format!("bad cqf blob: {e}")),
-            },
-            Backend::RegisterBloom => match RegisterBlockedBloomFilter::from_bytes(blob) {
-                Ok(f) => ServedFilter::RegisterBloom(Sharded::from_shards(vec![f])),
-                Err(e) => return err(ErrorCode::Filter, format!("bad register-bloom blob: {e}")),
-            },
-            Backend::Compacting => match CompactingFilter::from_bytes(blob) {
-                Ok(f) => ServedFilter::Compacting(f),
-                Err(e) => return err(ErrorCode::Filter, format!("bad compacting blob: {e}")),
-            },
-        }
-    };
-    // Re-check under the write lock: a racing CREATE may have won.
-    match write_lock(&shared.registry).entry(name.to_string()) {
-        Entry::Occupied(_) => err(ErrorCode::FilterExists, format!("'{name}' already exists")),
-        Entry::Vacant(v) => {
-            v.insert(Arc::new(filter));
-            FILTERS_REGISTERED.add(1);
-            Response::Ok
-        }
-    }
-}
-
-fn handle_insert(shared: &Shared, name: &str, keys: &[u64]) -> (Response, Option<Backend>) {
-    let f = match lookup(shared, name) {
-        Ok(f) => f,
-        Err(resp) => return (resp, None),
-    };
-    let backend = Some(f.backend());
-    shared.metrics.keys_processed.add(keys.len() as u64);
-    if keys.len() > 1 {
-        shared.metrics.batched_ops.add(keys.len() as u64);
-    }
-    let resp = match &*f {
-        ServedFilter::Bloom(b) => {
-            b.insert_batch(keys);
-            Response::Ok
-        }
-        ServedFilter::Cuckoo(c) => match c.insert_batch(keys) {
-            Ok(()) => Response::Ok,
-            Err(e) => filter_err(e),
-        },
-        ServedFilter::Cqf(q) => match q.insert_batch(keys) {
-            Ok(()) => Response::Ok,
-            Err(e) => filter_err(e),
-        },
-        ServedFilter::RegisterBloom(r) => match r.insert_batch(keys) {
-            Ok(()) => Response::Ok,
-            Err(e) => filter_err(e),
-        },
-        ServedFilter::Compacting(f) => {
-            for &k in keys {
-                f.insert(k);
-            }
-            Response::Ok
-        }
-    };
-    (resp, backend)
-}
-
-fn handle_contains(shared: &Shared, name: &str, keys: &[u64]) -> (Response, Option<Backend>) {
-    let f = match lookup(shared, name) {
-        Ok(f) => f,
-        Err(resp) => return (resp, None),
-    };
-    let backend = Some(f.backend());
-    shared.metrics.keys_processed.add(keys.len() as u64);
-    if keys.len() > 1 {
-        shared.metrics.batched_ops.add(keys.len() as u64);
-    }
-    let resp = Response::Bools(match &*f {
-        ServedFilter::Bloom(b) => b.contains_batch(keys),
-        ServedFilter::Cuckoo(c) => c.contains_batch(keys),
-        ServedFilter::Cqf(q) => q.contains_batch(keys),
-        ServedFilter::RegisterBloom(r) => r.contains_batch(keys),
-        ServedFilter::Compacting(f) => f.contains_batch(keys),
-    });
-    (resp, backend)
-}
-
-fn handle_count(shared: &Shared, name: &str, keys: &[u64]) -> (Response, Option<Backend>) {
-    let f = match lookup(shared, name) {
-        Ok(f) => f,
-        Err(resp) => return (resp, None),
-    };
-    let backend = Some(f.backend());
-    let resp = match &*f {
-        ServedFilter::Cqf(q) => {
-            shared.metrics.keys_processed.add(keys.len() as u64);
-            Response::Counts(q.count_batch(keys))
-        }
-        other => err(
-            ErrorCode::Unsupported,
-            format!("{} does not support COUNT", other.backend().name()),
-        ),
-    };
-    (resp, backend)
-}
-
-fn handle_delete(shared: &Shared, name: &str, keys: &[u64]) -> (Response, Option<Backend>) {
-    let f = match lookup(shared, name) {
-        Ok(f) => f,
-        Err(resp) => return (resp, None),
-    };
-    let backend = Some(f.backend());
-    let resp = match &*f {
-        ServedFilter::Cuckoo(c) => {
-            shared.metrics.keys_processed.add(keys.len() as u64);
-            match c.remove_batch(keys) {
-                Ok(hits) => Response::Bools(hits),
-                Err(e) => filter_err(e),
-            }
-        }
-        ServedFilter::Cqf(q) => {
-            shared.metrics.keys_processed.add(keys.len() as u64);
-            // Remove one occurrence per listed key; a missing key
-            // (`FilterError::NotFound`) is a per-key `false`, not a
-            // request failure.
-            let hits = keys.iter().map(|&k| q.remove_count(k, 1).is_ok()).collect();
-            Response::Bools(hits)
-        }
-        other => err(
-            ErrorCode::Unsupported,
-            format!("{} does not support DELETE", other.backend().name()),
-        ),
-    };
-    (resp, backend)
-}
-
-/// Most shards a single filter may render as per-shard series (a
-/// 4096-shard filter would otherwise dominate the scrape).
-const MAX_SHARD_SERIES: usize = 64;
-
-/// Assemble the full METRICS exposition: every registered telemetry
-/// family (filter-layer instrumentation), this server's request
-/// counters and latency histogram, the filter inventory as labelled
-/// gauges, per-shard op counts, and the slow-request log rendered as
-/// `# slow ...` comment lines (free-standing comments are legal
-/// Prometheus text).
-fn render_metrics(shared: &Shared) -> String {
-    let mut out = telemetry::render_registry();
-    let m = &shared.metrics;
-    let mut r = TextRenderer::new();
-    for (name, help, v) in [
-        (
-            "bb_server_connections_opened_total",
-            "Connections accepted.",
-            m.connections_opened.get(),
-        ),
-        (
-            "bb_server_connections_closed_total",
-            "Connections fully torn down.",
-            m.connections_closed.get(),
-        ),
-        (
-            "bb_server_frames_received_total",
-            "Complete frames received.",
-            m.frames_received.get(),
-        ),
-        (
-            "bb_server_responses_sent_total",
-            "Response frames written.",
-            m.responses_sent.get(),
-        ),
-        (
-            "bb_server_protocol_errors_total",
-            "Malformed payloads, bad versions, unknown opcodes, oversized frames.",
-            m.protocol_errors.get(),
-        ),
-        (
-            "bb_server_disconnects_mid_frame_total",
-            "Peers that vanished in the middle of a frame.",
-            m.disconnects_mid_frame.get(),
-        ),
-        (
-            "bb_server_error_responses_total",
-            "Requests answered with an error response.",
-            m.error_responses.get(),
-        ),
-        (
-            "bb_server_keys_processed_total",
-            "Keys processed across INSERT/CONTAINS/COUNT/DELETE batches.",
-            m.keys_processed.get(),
-        ),
-        (
-            "bb_server_batched_ops_total",
-            "Keys served through the batched probe kernels.",
-            m.batched_ops.get(),
-        ),
-        (
-            "bb_server_bytes_in_total",
-            "Payload bytes read.",
-            m.bytes_in.get(),
-        ),
-        (
-            "bb_server_bytes_out_total",
-            "Payload bytes written.",
-            m.bytes_out.get(),
-        ),
-        (
-            "bb_server_slow_requests_total",
-            "Requests slower than the slow-request threshold.",
-            m.slow_requests.get(),
-        ),
-    ] {
-        r.counter(name, help, v);
-    }
-    r.histogram(
-        "bb_server_request_latency_ns",
-        "Server-side request service time (decode to response written).",
-        &m.request_latency.snapshot(),
-    );
-
-    // Inventory: one labelled series per registered filter, plus
-    // per-shard op counts for the sharded backends.
-    r.header(
-        "bb_filter_keys",
-        "Distinct keys represented per served filter.",
-        FamilyKind::Gauge,
-    );
-    let reg = read_lock(&shared.registry);
-    for (name, f) in reg.iter() {
-        r.sample(
-            "bb_filter_keys",
-            &[("name", name), ("backend", f.backend().name())],
-            f.len() as f64,
-        );
-    }
-    r.header(
-        "bb_filter_size_bytes",
-        "Heap bytes per served filter.",
-        FamilyKind::Gauge,
-    );
-    for (name, f) in reg.iter() {
-        r.sample(
-            "bb_filter_size_bytes",
-            &[("name", name), ("backend", f.backend().name())],
-            f.size_in_bytes() as f64,
-        );
-    }
-    r.header(
-        "bb_filter_shard_ops_total",
-        "Operations routed to each shard of a sharded filter.",
-        FamilyKind::Counter,
-    );
-    for (name, f) in reg.iter() {
-        let Some(ops) = f.shard_ops() else { continue };
-        if ops.len() > MAX_SHARD_SERIES {
-            continue;
-        }
-        for (i, &n) in ops.iter().enumerate() {
-            let shard = i.to_string();
-            r.sample(
-                "bb_filter_shard_ops_total",
-                &[("name", name), ("shard", &shard)],
-                n as f64,
-            );
-        }
-    }
-    drop(reg);
-
-    // Slow-request log, newest last. Comment lines parse as legal
-    // exposition text; scrapers that only want families skip them.
-    for ev in shared.slowlog.snapshot() {
-        let (op, backend, batch) = ReqInfo::unpack(ev.b);
-        r.comment(&format!(
-            "slow seq={} t_us={} op={} backend={} batch={} latency_ns={}",
-            ev.seq,
-            ev.t_us,
-            ReqInfo::op_name(op),
-            backend,
-            batch,
-            ev.a,
-        ));
-    }
-    out.push_str(&r.finish());
-    out
-}
-
-fn handle_stats(shared: &Shared) -> Response {
-    let filters = read_lock(&shared.registry)
-        .iter()
-        .map(|(name, f)| FilterRow {
-            name: name.clone(),
-            backend: f.backend(),
-            len: f.len() as u64,
-            size_in_bytes: f.size_in_bytes() as u64,
-        })
-        .collect();
-    Response::Stats(StatsReport {
-        counters: shared.metrics.snapshot(),
-        filters,
-    })
+    // Counted at commit time, BEFORE the write syscall — the same
+    // instant the evented transport counts (when the response enters
+    // its outbound buffer). Counting after the write would let a peer
+    // read its answer and observe a STATS snapshot in which that
+    // answer is not yet counted; commit-time counting keeps the two
+    // transports' deterministic counters bit-identical.
+    m.responses_sent.inc();
+    m.bytes_out.add(bytes.len() as u64);
+    write_frame(stream, &bytes).is_ok()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::client::FilterClient;
+    use crate::proto::Backend;
+    use std::time::Duration;
 
     fn quick_config() -> ServerConfig {
         ServerConfig {
@@ -1112,6 +306,8 @@ mod tests {
         assert_eq!(stats.filters.len(), 1);
         assert_eq!(stats.filters[0].name, "t");
         assert!(stats.counters.frames_received >= 3);
+        assert_eq!(stats.counters.open_connections, 1);
+        assert_eq!(stats.counters.pipelined_depth, 1);
         drop(c);
         server.shutdown();
     }
@@ -1141,6 +337,29 @@ mod tests {
             }
         ));
         drop(c);
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_timeout_closes_silent_connections() {
+        let server = FilterServer::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                read_timeout: Duration::from_millis(5),
+                idle_timeout: Some(Duration::from_millis(40)),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut c = FilterClient::connect(server.local_addr()).unwrap();
+        // Active clients are untouched by the deadline.
+        c.create("t", Backend::AtomicBloom, 1_000, 0.01, 0, 7)
+            .unwrap();
+        // Then go silent: the server closes us, observable as the
+        // next call failing rather than hanging.
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(c.insert("t", &[1]).is_err());
         server.shutdown();
     }
 }

@@ -55,6 +55,7 @@ pub use bloom;
 pub use compacting;
 pub use concurrent;
 pub use cuckoo;
+pub use eventloop;
 pub use filter_core as core;
 pub use infini;
 pub use lsm;

@@ -9,13 +9,15 @@ use beyond_bloom::core::InsertFilter;
 use beyond_bloom::core::{BatchedFilter, Filter};
 use beyond_bloom::cuckoo::CuckooFilter;
 use beyond_bloom::quotient::CountingQuotientFilter;
+use beyond_bloom::service::proto::{write_frame, FrameEvent, FrameReader};
 use beyond_bloom::service::{
     build_atomic_bloom, build_sharded_cqf, build_sharded_cuckoo, build_sharded_register_bloom,
-    Backend, ClientError, ErrorCode, FilterClient, FilterServer, ServerConfig,
+    Backend, ClientError, ClusterClient, CountersSnapshot, ErrorCode, EventedFilterServer,
+    FilterClient, FilterServer, Request, Response, ServerConfig, DEFAULT_MAX_FRAME,
 };
 use beyond_bloom::workloads::{disjoint_keys, unique_keys, zipf_keys};
-use std::io::Write;
-use std::net::TcpStream;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 fn test_config() -> ServerConfig {
@@ -355,12 +357,14 @@ fn error_codes_are_precise() {
         remote_code(c.delete("a", &[1]).map(|_| ())),
         ErrorCode::Unsupported
     );
+    // Atomic-bloom blobs ARE supported (snapshot migration relies on
+    // them), so garbage is a decode failure, not Unsupported.
     assert_eq!(
         remote_code(
             c.create_prebuilt("blob-bloom", Backend::AtomicBloom, vec![1, 2, 3])
                 .map(|_| ())
         ),
-        ErrorCode::Unsupported
+        ErrorCode::Filter
     );
     assert_eq!(
         remote_code(
@@ -593,11 +597,19 @@ fn metrics_exposition_is_valid_and_spans_layers() {
         "bb_server_frames_received_total",
         "bb_server_keys_processed_total",
         "bb_server_request_latency_ns",
+        "bb_server_accept_errors_total",
+        "bb_server_open_connections",
+        "bb_server_pipelined_depth",
         "bb_filter_keys",
         "bb_filter_size_bytes",
     ] {
         assert!(expo.has_family(fam), "missing family {fam}");
     }
+    // Our own connection is open while METRICS renders, and every
+    // serviced frame raises the pipelining watermark to at least 1.
+    assert!(expo.value("bb_server_open_connections").unwrap() >= 1.0);
+    assert!(expo.value("bb_server_pipelined_depth").unwrap() >= 1.0);
+    assert_eq!(expo.value("bb_server_accept_errors_total").unwrap(), 0.0);
     assert!(expo.value("bb_server_keys_processed_total").unwrap() >= 15_000.0);
     assert!(expo.value("bb_server_request_latency_ns_count").unwrap() > 0.0);
     // Approximate: CQF key counts can undercount by fingerprint
@@ -618,4 +630,502 @@ fn metrics_exposition_is_valid_and_spans_layers() {
     }
     drop(c);
     server.shutdown();
+
+    // The evented transport renders the same exposition through the
+    // same engine: spot-check the server families over its wire.
+    let server = EventedFilterServer::bind("127.0.0.1:0", test_config()).expect("bind evented");
+    let mut c = FilterClient::connect(server.local_addr()).unwrap();
+    c.create("mx-ev", Backend::AtomicBloom, 10_000, 0.01, 0, 14)
+        .unwrap();
+    c.insert("mx-ev", &unique_keys(911, 1_000)).unwrap();
+    let text = c.metrics_text().unwrap();
+    let expo = beyond_bloom::telemetry::expo::parse(&text)
+        .unwrap_or_else(|e| panic!("evented exposition failed validation: {e}\n---\n{text}"));
+    for fam in [
+        "bb_server_frames_received_total",
+        "bb_server_accept_errors_total",
+        "bb_server_open_connections",
+        "bb_server_pipelined_depth",
+    ] {
+        assert!(expo.has_family(fam), "missing family {fam}");
+    }
+    assert!(expo.value("bb_server_open_connections").unwrap() >= 1.0);
+    drop(c);
+    server.shutdown();
+}
+
+// ===============================================================
+// Threaded-vs-evented equivalence: one scripted CRUD + batch +
+// adversarial sequence, run verbatim against both transports, must
+// produce byte-identical response frames and identical deltas for
+// every deterministic counter. Parity is by construction (both
+// transports funnel through `engine::dispatch`); this test pins it.
+// ===============================================================
+
+/// A raw frame-level connection: lets the script control exactly
+/// what bytes hit the wire and capture exactly what comes back.
+struct RawConn {
+    stream: TcpStream,
+    reader: FrameReader<TcpStream>,
+}
+
+impl RawConn {
+    fn connect(addr: SocketAddr) -> RawConn {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        let reader = FrameReader::new(stream.try_clone().unwrap(), DEFAULT_MAX_FRAME);
+        RawConn { stream, reader }
+    }
+
+    fn send(&mut self, req: &Request) {
+        write_frame(&mut self.stream, &req.encode()).expect("send frame");
+    }
+
+    fn recv(&mut self) -> Vec<u8> {
+        match self.reader.read_frame().expect("read frame") {
+            FrameEvent::Frame(payload) => payload,
+            FrameEvent::Closed => panic!("server closed mid-script"),
+        }
+    }
+
+    fn call(&mut self, req: &Request) -> Vec<u8> {
+        self.send(req);
+        self.recv()
+    }
+}
+
+fn create_req(name: &str, backend: Backend, shard_bits: u32) -> Request {
+    Request::Create {
+        name: name.to_string(),
+        backend,
+        capacity: 10_000,
+        eps: 1.0 / 128.0,
+        shard_bits,
+        seed: 0x5eed,
+        blob: Vec::new(),
+    }
+}
+
+fn blob_req(name: &str, backend: Backend, blob: Vec<u8>) -> Request {
+    Request::Create {
+        name: name.to_string(),
+        backend,
+        capacity: 0,
+        eps: 0.0,
+        shard_bits: 0,
+        seed: 0,
+        blob,
+    }
+}
+
+/// The deterministic counters a scripted workload must move
+/// identically on both transports. Latency, slow-request, and
+/// connection-lifecycle counters are excluded: they depend on timing,
+/// not on what was served.
+fn deterministic_counters(c: &CountersSnapshot) -> [u64; 8] {
+    [
+        c.frames_received,
+        c.responses_sent,
+        c.protocol_errors,
+        c.error_responses,
+        c.keys_processed,
+        c.batched_ops,
+        c.bytes_in,
+        c.bytes_out,
+    ]
+}
+
+/// Run the scripted workload against a server and return every raw
+/// response payload plus the deterministic-counter delta it caused.
+fn equivalence_script(addr: SocketAddr) -> (Vec<Vec<u8>>, [u64; 8]) {
+    let mut out: Vec<Vec<u8>> = Vec::new();
+    let mut poll = FilterClient::connect(addr).expect("poll client");
+
+    // Adversarial prologue: a peer that announces a frame, sends a
+    // fragment, and vanishes. Detection is asynchronous, so it runs
+    // before the baseline snapshot and is asserted as an absolute.
+    {
+        let mut rude = TcpStream::connect(addr).unwrap();
+        rude.write_all(&512u32.to_le_bytes()).unwrap();
+        rude.write_all(&[0x5a; 8]).unwrap();
+    }
+    let s = wait_for_stats(&mut poll, |s| s.counters.disconnects_mid_frame >= 1);
+    assert_eq!(s.counters.disconnects_mid_frame, 1, "exactly one rude peer");
+    let base = deterministic_counters(&poll.stats().unwrap().counters);
+
+    let keys = unique_keys(0xe2_4001, 4_000);
+    let probes = disjoint_keys(0xe2_4002, 2_000, &keys);
+    let all: Vec<u64> = keys.iter().chain(&probes).copied().collect();
+
+    let mut c = RawConn::connect(addr);
+
+    // CREATE one instance of every backend family.
+    for (name, backend, bits) in [
+        ("eq-b", Backend::AtomicBloom, 0),
+        ("eq-c", Backend::ShardedCuckoo, 2),
+        ("eq-q", Backend::ShardedCqf, 2),
+        ("eq-r", Backend::RegisterBloom, 2),
+        ("eq-l", Backend::Compacting, 0),
+    ] {
+        let p = c.call(&create_req(name, backend, bits));
+        out.push(p);
+    }
+
+    // Pipelined burst: 20 INSERT frames written back-to-back before
+    // any response is read. The threaded transport serves them
+    // sequentially; the evented transport drains them as pipelined
+    // work. In-order responses are part of the wire contract.
+    let mut burst = Vec::new();
+    for name in ["eq-b", "eq-c", "eq-q", "eq-r", "eq-l"] {
+        for chunk in keys.chunks(1_000) {
+            let payload = Request::Insert {
+                name: name.to_string(),
+                keys: chunk.to_vec(),
+            }
+            .encode();
+            burst.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            burst.extend_from_slice(&payload);
+        }
+    }
+    c.stream.write_all(&burst).unwrap();
+    for _ in 0..20 {
+        out.push(c.recv());
+    }
+
+    // Batched reads across every backend. The compacting backend is
+    // probed with inserted keys only: its negative-probe answers
+    // depend on background compaction timing and are the one part of
+    // the state space that is deliberately not bit-stable.
+    for name in ["eq-b", "eq-c", "eq-q", "eq-r"] {
+        out.push(c.call(&Request::Contains {
+            name: name.to_string(),
+            keys: all.clone(),
+        }));
+    }
+    out.push(c.call(&Request::Contains {
+        name: "eq-l".to_string(),
+        keys: keys.clone(),
+    }));
+    out.push(c.call(&Request::Count {
+        name: "eq-q".to_string(),
+        keys: keys[..500].to_vec(),
+    }));
+    out.push(c.call(&Request::Delete {
+        name: "eq-c".to_string(),
+        keys: keys[..500].to_vec(),
+    }));
+
+    // Error paths: every code the dispatcher can produce.
+    out.push(c.call(&Request::Insert {
+        name: "ghost".to_string(),
+        keys: vec![1],
+    }));
+    out.push(c.call(&create_req("eq-b", Backend::AtomicBloom, 0)));
+    out.push(c.call(&Request::Count {
+        name: "eq-b".to_string(),
+        keys: vec![1],
+    }));
+    out.push(c.call(&create_req("bad name", Backend::AtomicBloom, 0)));
+    out.push(c.call(&blob_req(
+        "eq-bad",
+        Backend::ShardedCuckoo,
+        vec![0xde, 0xad],
+    )));
+    out.push(c.call(&blob_req("eq-bad2", Backend::AtomicBloom, vec![1, 2, 3])));
+
+    // Snapshot round-trip over the wire: SNAPSHOT → blob-CREATE →
+    // identical answers under the new name.
+    let blob_b = c.call(&Request::Snapshot {
+        name: "eq-b".to_string(),
+    });
+    let blob_c = c.call(&Request::Snapshot {
+        name: "eq-c".to_string(),
+    });
+    let unpack = |payload: &[u8], want: Backend| match Response::decode(payload).unwrap() {
+        Response::Blob { backend, bytes } => {
+            assert_eq!(backend, want);
+            bytes
+        }
+        other => panic!("expected blob, got {other:?}"),
+    };
+    let (bloom_bytes, cuckoo_bytes) = (
+        unpack(&blob_b, Backend::AtomicBloom),
+        unpack(&blob_c, Backend::ShardedCuckoo),
+    );
+    out.push(blob_b);
+    out.push(blob_c);
+    out.push(c.call(&blob_req("eq-b2", Backend::AtomicBloom, bloom_bytes)));
+    out.push(c.call(&blob_req("eq-c2", Backend::ShardedCuckoo, cuckoo_bytes)));
+    for name in ["eq-b2", "eq-c2"] {
+        out.push(c.call(&Request::Contains {
+            name: name.to_string(),
+            keys: all.clone(),
+        }));
+    }
+    out.push(c.call(&Request::Forget {
+        name: "eq-c".to_string(),
+    }));
+    let gone = c.call(&Request::Contains {
+        name: "eq-c".to_string(),
+        keys: vec![1],
+    });
+    match Response::decode(&gone).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::NoSuchFilter),
+        other => panic!("expected NoSuchFilter, got {other:?}"),
+    }
+    out.push(gone);
+
+    // A well-framed garbage payload: BadFrame answer, framing stays
+    // in sync, connection survives.
+    write_frame(&mut c.stream, &[0u8; 16]).unwrap();
+    out.push(c.recv());
+    out.push(c.call(&Request::Contains {
+        name: "eq-b".to_string(),
+        keys: keys[..10].to_vec(),
+    }));
+    drop(c);
+
+    // An absurd length prefix on its own connection: answered with
+    // BadFrame, counted, then closed. Reading the answer makes the
+    // counting synchronous.
+    let mut rude = RawConn::connect(addr);
+    rude.stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    out.push(rude.recv());
+    drop(rude);
+
+    let fin = poll.stats().unwrap().counters;
+    assert_eq!(fin.disconnects_mid_frame, 1);
+    let finals = deterministic_counters(&fin);
+    let mut delta = [0u64; 8];
+    for i in 0..8 {
+        delta[i] = finals[i] - base[i];
+    }
+    (out, delta)
+}
+
+#[test]
+fn threaded_and_evented_transports_are_bit_identical() {
+    // Four workers: the script holds a poll client and a scripted
+    // connection open while transient adversarial peers connect.
+    let config = || ServerConfig {
+        workers: 4,
+        read_timeout: Duration::from_millis(10),
+        ..ServerConfig::default()
+    };
+
+    let threaded = FilterServer::bind("127.0.0.1:0", config()).expect("bind threaded");
+    let (t_resp, t_delta) = equivalence_script(threaded.local_addr());
+    threaded.shutdown();
+
+    let evented = EventedFilterServer::bind("127.0.0.1:0", config()).expect("bind evented");
+    let (e_resp, e_delta) = equivalence_script(evented.local_addr());
+    evented.shutdown();
+
+    assert_eq!(t_resp.len(), e_resp.len(), "response count diverged");
+    for (i, (t, e)) in t_resp.iter().zip(&e_resp).enumerate() {
+        assert_eq!(t, e, "response #{i} diverged between transports");
+    }
+    assert_eq!(
+        t_delta, e_delta,
+        "deterministic STATS deltas diverged \
+         [frames, responses, proto_errs, err_responses, keys, batched, bytes_in, bytes_out]"
+    );
+}
+
+// ===============================================================
+// Slow-loris hardening: a peer dribbling a valid frame one byte at a
+// time across many read timeouts is served; a peer that stalls past
+// the idle deadline is evicted.
+// ===============================================================
+
+#[test]
+fn byte_dribbled_frame_survives_read_timeouts_on_both_transports() {
+    let config = || ServerConfig {
+        workers: 2,
+        read_timeout: Duration::from_millis(5),
+        idle_timeout: Some(Duration::from_secs(10)),
+        ..ServerConfig::default()
+    };
+    let threaded = FilterServer::bind("127.0.0.1:0", config()).expect("bind threaded");
+    let evented = EventedFilterServer::bind("127.0.0.1:0", config()).expect("bind evented");
+
+    for addr in [threaded.local_addr(), evented.local_addr()] {
+        let mut c = RawConn::connect(addr);
+        let payload = Request::Stats.encode();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&payload);
+        // Each byte lands several read-timeout periods after the
+        // last: the server sees WouldBlock over and over mid-frame
+        // and must keep waiting, because bytes ARE arriving before
+        // the idle deadline.
+        for &b in &wire {
+            c.stream.write_all(&[b]).unwrap();
+            std::thread::sleep(Duration::from_millis(15));
+        }
+        match Response::decode(&c.recv()).unwrap() {
+            Response::Stats(s) => assert!(s.counters.frames_received >= 1),
+            other => panic!("expected stats answer to dribbled frame, got {other:?}"),
+        }
+    }
+    threaded.shutdown();
+    evented.shutdown();
+}
+
+#[test]
+fn idle_deadline_evicts_stalled_connections_on_both_transports() {
+    let config = || ServerConfig {
+        workers: 2,
+        read_timeout: Duration::from_millis(5),
+        idle_timeout: Some(Duration::from_millis(60)),
+        ..ServerConfig::default()
+    };
+    let threaded = FilterServer::bind("127.0.0.1:0", config()).expect("bind threaded");
+    let evented = EventedFilterServer::bind("127.0.0.1:0", config()).expect("bind evented");
+
+    for addr in [threaded.local_addr(), evented.local_addr()] {
+        let mut stalled = TcpStream::connect(addr).unwrap();
+        stalled.write_all(&[0x01, 0x02]).unwrap(); // partial prefix, then silence
+        stalled
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut byte = [0u8; 1];
+        // The server must close us: EOF or reset, never a response
+        // (we never completed a frame) and never a 5s hang.
+        let t0 = Instant::now();
+        match stalled.read(&mut byte) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("server answered {n} bytes to an incomplete frame"),
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(4),
+            "idle eviction did not happen before the read timeout"
+        );
+        // The server is still accepting and serving after eviction.
+        let mut fresh = FilterClient::connect(addr).unwrap();
+        assert!(fresh.stats().is_ok());
+    }
+    threaded.shutdown();
+    evented.shutdown();
+}
+
+// ===============================================================
+// Cluster mode: consistent-hash routing across live servers (mixed
+// transports), node add with shard migration, node removal, and
+// replication — the filter keeps answering correctly throughout.
+// ===============================================================
+
+#[test]
+fn cluster_routes_migrates_and_replicates_across_live_servers() {
+    let config = || ServerConfig {
+        workers: 4,
+        read_timeout: Duration::from_millis(10),
+        ..ServerConfig::default()
+    };
+    // Mixed transports on purpose: the cluster client must not be
+    // able to tell a threaded member from an evented one.
+    let node_a = FilterServer::bind("127.0.0.1:0", config()).expect("bind a");
+    let node_b = EventedFilterServer::bind("127.0.0.1:0", config()).expect("bind b");
+    let (addr_a, addr_b) = (node_a.local_addr(), node_b.local_addr());
+
+    let mut cluster = ClusterClient::new(vec![addr_a, addr_b]).expect("cluster");
+
+    // 24 filters across three backend families, each with its own
+    // keyset. Ephemeral ports randomize the ring layout per run, so
+    // assertions are about totals and invariants, not placements.
+    let backends = [
+        Backend::AtomicBloom,
+        Backend::ShardedCuckoo,
+        Backend::ShardedCqf,
+    ];
+    let mut keysets: Vec<(String, Vec<u64>)> = Vec::new();
+    for i in 0..24 {
+        let name = format!("shard-{i:02}");
+        let keys = unique_keys(9_000 + i, 300);
+        cluster
+            .create(&name, backends[i as usize % 3], 5_000, 0.01, 1, 7 + i)
+            .unwrap();
+        cluster.insert(&name, &keys).unwrap();
+        keysets.push((name, keys));
+    }
+    let verify_all = |cluster: &mut ClusterClient, keysets: &[(String, Vec<u64>)]| {
+        for (name, keys) in keysets {
+            assert!(
+                cluster.contains(name, keys).unwrap().iter().all(|&b| b),
+                "{name} lost keys"
+            );
+        }
+    };
+    verify_all(&mut cluster, &keysets);
+    let all_stats = cluster.stats_all().unwrap();
+    let total: usize = all_stats.values().map(|s| s.filters.len()).sum();
+    assert_eq!(
+        total,
+        24,
+        "every filter lives on exactly one node; layout: {:?}",
+        all_stats
+            .iter()
+            .map(|(a, s)| (
+                *a,
+                s.filters.iter().map(|f| f.name.clone()).collect::<Vec<_>>()
+            ))
+            .collect::<Vec<_>>()
+    );
+
+    // Grow the cluster: only the arcs now owned by the new node move,
+    // every migration lands on it, and nothing is lost.
+    let node_c = EventedFilterServer::bind("127.0.0.1:0", config()).expect("bind c");
+    let addr_c = node_c.local_addr();
+    let report = cluster.add_node(addr_c).expect("add node");
+    assert_eq!(report.moved.len() + report.retained, 24);
+    for m in &report.moved {
+        assert_eq!(m.to, addr_c, "adds may only move filters TO the new node");
+        assert_eq!(
+            cluster.owner_addr(&m.name),
+            addr_c,
+            "moved filter must be owned by the new node"
+        );
+    }
+    verify_all(&mut cluster, &keysets);
+    // The migrated filters genuinely live on the new node (and were
+    // forgotten at the source): the node's own registry lists them.
+    let mut direct_c = FilterClient::connect(addr_c).unwrap();
+    let on_c = direct_c.stats().unwrap();
+    for m in &report.moved {
+        assert!(
+            on_c.filters.iter().any(|f| f.name == m.name),
+            "{} not found on the new node",
+            m.name
+        );
+    }
+    let total: usize = cluster
+        .stats_all()
+        .unwrap()
+        .values()
+        .map(|s| s.filters.len())
+        .sum();
+    assert_eq!(total, 24, "migration must move, not copy");
+
+    // Shrink the cluster: everything the departing node held is
+    // re-homed, and the cluster still serves every filter.
+    let report = cluster.remove_node(addr_a).expect("remove node");
+    for m in &report.moved {
+        assert_eq!(m.from, addr_a, "removes only move filters OFF the leaver");
+    }
+    assert_eq!(cluster.node_addrs(), vec![addr_b, addr_c]);
+    verify_all(&mut cluster, &keysets);
+
+    // Replication: a same-name copy on the owner's successor answers
+    // reads on its own.
+    let (name, keys) = &keysets[0];
+    let placed = cluster.replicate(name, 1).expect("replicate");
+    assert_eq!(placed.len(), 1);
+    assert_ne!(placed[0], cluster.owner_addr(name));
+    let mut replica = FilterClient::connect(placed[0]).unwrap();
+    assert!(replica.contains(name, keys).unwrap().iter().all(|&b| b));
+
+    drop((cluster, direct_c, replica));
+    node_a.shutdown();
+    node_b.shutdown();
+    node_c.shutdown();
 }
