@@ -7,6 +7,7 @@
 //! | [`BloomFilter`] | §1, §2 | the 1970 baseline, `1.44·n·lg(1/ε)` bits |
 //! | [`BlockedBloomFilter`] | §2 | cache-local variant, one line per op |
 //! | [`RegisterBlockedBloomFilter`] | §2 | 256-bit blocks, fixed k=8, one SIMD mask compare per op |
+//! | [`TwoChoiceRegisterBloomFilter`] | §2 | two candidate blocks, emptier-block placement, OR of two probes |
 //! | [`AtomicBlockedBloomFilter`] | §1 f.6 | wait-free concurrent variant |
 //! | [`CountingBloomFilter`] | §2.6 | multiset counts, saturating counters |
 //! | [`DLeftCountingFilter`] | §2.6 | d-left hashing, ~2× smaller than CBF |
@@ -26,6 +27,7 @@ pub mod prefix_bloom;
 pub mod register_blocked;
 pub mod scalable;
 pub mod spectral;
+pub mod two_choice;
 
 use telemetry::{StaticCounter, StaticHistogram};
 
@@ -66,3 +68,4 @@ pub use prefix_bloom::PrefixBloomFilter;
 pub use register_blocked::RegisterBlockedBloomFilter;
 pub use scalable::ScalableBloomFilter;
 pub use spectral::SpectralBloomFilter;
+pub use two_choice::TwoChoiceRegisterBloomFilter;

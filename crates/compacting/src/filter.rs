@@ -510,12 +510,21 @@ impl Inner {
             sealed,
             tiers: cur.tiers.clone(),
         });
+        // Count the seal while still holding the state write lock:
+        // if the front became visible before `pending += 1` landed,
+        // a compaction snapshotting in the window would drain it and
+        // decrement `pending` by a seal that was never counted —
+        // `saturating_sub` clamps at 0, the late increment then
+        // strands `pending` at 1 with nothing sealed, and the worker
+        // busy-loops while `flush`/`compact_all` wait forever.
+        {
+            let mut s = lock(&self.sync);
+            s.pending += 1;
+        }
         drop(guard);
         self.seals.fetch_add(1, Ordering::Relaxed);
         crate::SEALS.inc();
         telemetry::emit(EventKind::TierSealed, n_keys as u64, epoch);
-        let mut s = lock(&self.sync);
-        s.pending += 1;
         self.cv.notify_all();
         true
     }
@@ -876,7 +885,10 @@ mod tests {
         for &k in &keys {
             f.insert(k);
         }
-        f.flush();
+        // Collapse to one deterministic tier: after a mere flush() the
+        // tier structure (and so the measured FPR below) depends on
+        // how the background thread happened to group seals.
+        f.compact_all();
         for k in 0..300u64 {
             f.insert(k | 1 << 63); // loose tail in the front
         }

@@ -19,7 +19,7 @@
 
 use crate::metrics::{FilterRow, ServerMetrics, StatsReport};
 use crate::proto::{Backend, ErrorCode, HeaderError, Request, Response, DEFAULT_MAX_FRAME};
-use bloom::{AtomicBlockedBloomFilter, RegisterBlockedBloomFilter};
+use bloom::{AtomicBlockedBloomFilter, RegisterBlockedBloomFilter, TwoChoiceRegisterBloomFilter};
 use compacting::{CompactingConfig, CompactingFilter};
 use concurrent::{Sharded, MAX_SHARD_BITS};
 use cuckoo::CuckooFilter;
@@ -54,12 +54,27 @@ pub static FILTERS_REGISTERED: StaticGauge = StaticGauge::new(
     "Filters currently registered across all filter servers.",
 );
 
+/// SIMD dispatch tier this process probes at, as the stable numeric
+/// code of [`filter_core::SimdLevel::code`] (1=swar, 2=sse2, 3=avx2,
+/// 4=avx512, 5=neon). An info-style gauge: set once at registry init
+/// so a METRICS scrape shows which tier a server actually runs.
+pub static SIMD_LEVEL: StaticGauge = StaticGauge::new(
+    "bb_simd_level",
+    "Active SIMD dispatch tier (1=swar, 2=sse2, 3=avx2, 4=avx512, 5=neon).",
+);
+
 /// Eagerly register this crate's metric families so they render in
 /// the exposition even before any traffic touches them.
 pub fn register_metrics() {
     SERVICE_REQUESTS.register();
     SERVICE_SLOW_REQUESTS.register();
     FILTERS_REGISTERED.register();
+    SIMD_LEVEL.register();
+    // Idempotent absolute set: the gauge only moves if the dispatch
+    // level changed since the last registration (e.g. a test forced
+    // a tier between binds).
+    let code = filter_core::simd::active_level().code() as i64;
+    SIMD_LEVEL.add(code - SIMD_LEVEL.get());
 }
 
 /// Register every layer's metric families (filter crates + this one)
@@ -123,13 +138,15 @@ impl Default for ServerConfig {
 
 /// A filter instance the server can host.
 ///
-/// The five backends cover the tutorial's concurrency spectrum: a
+/// The six backends cover the tutorial's concurrency spectrum: a
 /// wait-free atomic blocked Bloom (insert/contains only), a sharded
 /// cuckoo filter (adds deletion), a sharded counting quotient filter
 /// (adds multiplicity counts), the SIMD register-blocked Bloom
-/// (insert/contains at one mask compare per key), and the compacting
+/// (insert/contains at one mask compare per key), the compacting
 /// filter LSM (insert/contains at static-filter space, background
-/// compaction into fuse tiers).
+/// compaction into fuse tiers), and the two-choice register-blocked
+/// Bloom (emptier-block placement for one-choice FPR at ~2 extra
+/// bits/key).
 pub enum ServedFilter {
     /// Wait-free insert/contains; no deletion, no counts.
     Bloom(AtomicBlockedBloomFilter),
@@ -143,6 +160,10 @@ pub enum ServedFilter {
     /// Compacting filter LSM: wait-free insert/contains, background
     /// compaction into static fuse tiers; no deletion, no counts.
     Compacting(CompactingFilter),
+    /// Sharded two-choice register-blocked Bloom: insert places into
+    /// the emptier of two candidate blocks, contains ORs two probes;
+    /// no deletion, no counts.
+    TwoChoice(Sharded<TwoChoiceRegisterBloomFilter>),
 }
 
 impl ServedFilter {
@@ -154,6 +175,7 @@ impl ServedFilter {
             ServedFilter::Cqf(_) => Backend::ShardedCqf,
             ServedFilter::RegisterBloom(_) => Backend::RegisterBloom,
             ServedFilter::Compacting(_) => Backend::Compacting,
+            ServedFilter::TwoChoice(_) => Backend::TwoChoiceBloom,
         }
     }
 
@@ -164,6 +186,7 @@ impl ServedFilter {
             ServedFilter::Cqf(f) => f.len(),
             ServedFilter::RegisterBloom(f) => f.len(),
             ServedFilter::Compacting(f) => f.len(),
+            ServedFilter::TwoChoice(f) => f.len(),
         }
     }
 
@@ -174,6 +197,7 @@ impl ServedFilter {
             ServedFilter::Cqf(f) => f.size_in_bytes(),
             ServedFilter::RegisterBloom(f) => f.size_in_bytes(),
             ServedFilter::Compacting(f) => f.size_in_bytes(),
+            ServedFilter::TwoChoice(f) => f.size_in_bytes(),
         }
     }
 
@@ -188,6 +212,7 @@ impl ServedFilter {
             ServedFilter::Cqf(f) => Some(f.shard_ops()),
             ServedFilter::RegisterBloom(f) => Some(f.shard_ops()),
             ServedFilter::Compacting(_) => None,
+            ServedFilter::TwoChoice(f) => Some(f.shard_ops()),
         }
     }
 
@@ -204,6 +229,9 @@ impl ServedFilter {
                 encode_shard_envelope(&f.for_each_shard(|s| s.to_bytes()))
             }
             ServedFilter::Compacting(f) => f.to_bytes(),
+            ServedFilter::TwoChoice(f) => {
+                encode_shard_envelope(&f.for_each_shard(|s| s.to_bytes()))
+            }
         }
     }
 }
@@ -281,6 +309,7 @@ impl ReqInfo {
             Some(Backend::ShardedCqf) => 3,
             Some(Backend::RegisterBloom) => 4,
             Some(Backend::Compacting) => 5,
+            Some(Backend::TwoChoiceBloom) => 6,
         };
         (self.op as u64) << 56 | be << 48 | self.batch as u64
     }
@@ -294,6 +323,7 @@ impl ReqInfo {
             3 => "sharded-cqf",
             4 => "register-bloom",
             5 => "compacting",
+            6 => "two-choice-bloom",
             _ => "-",
         };
         (op, backend, b as u32)
@@ -382,6 +412,22 @@ pub fn build_sharded_register_bloom(
     let per_shard = ((capacity as usize) >> shard_bits).max(64);
     Sharded::new(shard_bits, |i| {
         RegisterBlockedBloomFilter::with_seed(per_shard, eps, seed ^ (0x4b10 + i as u64))
+    })
+}
+
+/// Build the two-choice register-blocked Bloom backend exactly as
+/// the server does (per-shard seeds derived from `seed`, matching the
+/// other sharded builders so tests can construct bit-identical
+/// oracles).
+pub fn build_sharded_two_choice(
+    capacity: u64,
+    eps: f64,
+    shard_bits: u32,
+    seed: u64,
+) -> Sharded<TwoChoiceRegisterBloomFilter> {
+    let per_shard = ((capacity as usize) >> shard_bits).max(64);
+    Sharded::new(shard_bits, |i| {
+        TwoChoiceRegisterBloomFilter::with_seed(per_shard, eps, seed ^ (0x2c10 + i as u64))
     })
 }
 
@@ -659,6 +705,9 @@ fn handle_create(
                 capacity, eps, shard_bits, seed,
             )),
             Backend::Compacting => ServedFilter::Compacting(build_compacting(capacity, eps, seed)),
+            Backend::TwoChoiceBloom => {
+                ServedFilter::TwoChoice(build_sharded_two_choice(capacity, eps, shard_bits, seed))
+            }
         }
     } else {
         // A pre-built filter shipped over the wire; `from_bytes` does
@@ -740,6 +789,11 @@ fn build_from_blob(backend: Backend, blob: &[u8]) -> Result<ServedFilter, Respon
             Ok(f) => ServedFilter::Compacting(f),
             Err(e) => return Err(err(ErrorCode::Filter, format!("bad compacting blob: {e}"))),
         },
+        Backend::TwoChoiceBloom => ServedFilter::TwoChoice(shards_from(
+            "two-choice-bloom",
+            blob,
+            TwoChoiceRegisterBloomFilter::from_bytes,
+        )?),
     })
 }
 
@@ -776,6 +830,10 @@ fn handle_insert(engine: &Engine, name: &str, keys: &[u64]) -> (Response, Option
             }
             Response::Ok
         }
+        ServedFilter::TwoChoice(t) => match t.insert_batch(keys) {
+            Ok(()) => Response::Ok,
+            Err(e) => filter_err(e),
+        },
     };
     (resp, backend)
 }
@@ -796,6 +854,7 @@ fn handle_contains(engine: &Engine, name: &str, keys: &[u64]) -> (Response, Opti
         ServedFilter::Cqf(q) => q.contains_batch(keys),
         ServedFilter::RegisterBloom(r) => r.contains_batch(keys),
         ServedFilter::Compacting(f) => f.contains_batch(keys),
+        ServedFilter::TwoChoice(t) => t.contains_batch(keys),
     });
     (resp, backend)
 }
@@ -1104,6 +1163,10 @@ mod tests {
                 "cp",
                 ServedFilter::Compacting(build_compacting(16_384, 0.01, 7)),
             ),
+            (
+                "tc",
+                ServedFilter::TwoChoice(build_sharded_two_choice(4_096, 0.01, 2, 7)),
+            ),
         ];
         for (name, f) in builds {
             engine.register(name, f);
@@ -1116,6 +1179,15 @@ mod tests {
                 .encode(),
             );
             assert!(matches!(resp, Response::Ok), "{name}: {resp:?}");
+            // Quiesce the compacting backend before snapshotting:
+            // background compaction would otherwise race the
+            // snapshot/query pair below — the blob freezes the
+            // point-in-time shape while the original keeps
+            // compacting, and the two shapes disagree on false
+            // positives.
+            if let ServedFilter::Compacting(c) = &*lookup(&engine, name).unwrap() {
+                c.compact_all();
+            }
             let (resp, _) = dispatch(&engine, &Request::Snapshot { name: name.into() }.encode());
             let Response::Blob { backend, bytes } = resp else {
                 panic!("{name}: wanted Blob, got {resp:?}");

@@ -59,6 +59,6 @@ pub use metrics::{
 pub use proto::{Backend, ErrorCode, Request, Response, DEFAULT_MAX_FRAME, PROTO_VERSION};
 pub use server::{
     build_atomic_bloom, build_compacting, build_sharded_cqf, build_sharded_cuckoo,
-    build_sharded_register_bloom, cuckoo_fp_bits, register_metrics, FilterServer, ServedFilter,
-    ServerConfig,
+    build_sharded_register_bloom, build_sharded_two_choice, cuckoo_fp_bits, register_metrics,
+    FilterServer, ServedFilter, ServerConfig,
 };

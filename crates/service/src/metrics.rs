@@ -251,6 +251,7 @@ impl StatsReport {
                 crate::proto::Backend::ShardedCqf => 2,
                 crate::proto::Backend::RegisterBloom => 3,
                 crate::proto::Backend::Compacting => 4,
+                crate::proto::Backend::TwoChoiceBloom => 5,
             });
             w.put_u64(row.len);
             w.put_u64(row.size_in_bytes);
@@ -274,6 +275,7 @@ impl StatsReport {
                 2 => crate::proto::Backend::ShardedCqf,
                 3 => crate::proto::Backend::RegisterBloom,
                 4 => crate::proto::Backend::Compacting,
+                5 => crate::proto::Backend::TwoChoiceBloom,
                 _ => return Err(SerialError::Corrupt("stats backend")),
             };
             filters.push(FilterRow {

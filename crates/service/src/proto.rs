@@ -60,6 +60,9 @@ pub enum Backend {
     /// background compaction into static fuse tiers
     /// (insert/contains).
     Compacting,
+    /// `Sharded<bloom::TwoChoiceRegisterBloomFilter>` — the
+    /// two-choice register-blocked backend (insert/contains).
+    TwoChoiceBloom,
 }
 
 impl Backend {
@@ -70,6 +73,7 @@ impl Backend {
             Backend::ShardedCqf => 2,
             Backend::RegisterBloom => 3,
             Backend::Compacting => 4,
+            Backend::TwoChoiceBloom => 5,
         }
     }
 
@@ -80,6 +84,7 @@ impl Backend {
             2 => Ok(Backend::ShardedCqf),
             3 => Ok(Backend::RegisterBloom),
             4 => Ok(Backend::Compacting),
+            5 => Ok(Backend::TwoChoiceBloom),
             _ => Err(SerialError::Corrupt("unknown backend")),
         }
     }
@@ -92,6 +97,7 @@ impl Backend {
             Backend::ShardedCqf => "sharded-cqf",
             Backend::RegisterBloom => "register-bloom",
             Backend::Compacting => "compacting",
+            Backend::TwoChoiceBloom => "two-choice-bloom",
         }
     }
 }

@@ -43,8 +43,8 @@ use std::time::Instant;
 
 pub use crate::engine::{
     build_atomic_bloom, build_compacting, build_sharded_cqf, build_sharded_cuckoo,
-    build_sharded_register_bloom, cuckoo_fp_bits, register_metrics, ServedFilter, ServerConfig,
-    FILTERS_REGISTERED, SERVICE_REQUESTS, SERVICE_SLOW_REQUESTS,
+    build_sharded_register_bloom, build_sharded_two_choice, cuckoo_fp_bits, register_metrics,
+    ServedFilter, ServerConfig, FILTERS_REGISTERED, SERVICE_REQUESTS, SERVICE_SLOW_REQUESTS,
 };
 
 /// A running filter server. Dropping the handle without calling

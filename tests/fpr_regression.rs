@@ -80,6 +80,21 @@ fn atomic_blocked_bloom_fpr() {
 }
 
 #[test]
+fn two_choice_bloom_fpr() {
+    // Two-choice placement plus ~2 extra bits/key keeps the register
+    // -blocked layout (fixed k=8) inside the same 1.5×ε budget.
+    let eps = 0.01;
+    let keys = unique_keys(1020, N);
+    let probes = disjoint_keys(1021, PROBES, &keys);
+    let mut f = beyond_bloom::bloom::TwoChoiceRegisterBloomFilter::with_seed(N, eps, 7);
+    for &k in &keys {
+        f.insert(k).unwrap();
+    }
+    assert!(keys.iter().all(|&k| f.contains(k)));
+    assert_fpr_near("two-choice", measured_fpr(&probes, |k| f.contains(k)), eps);
+}
+
+#[test]
 fn cuckoo_fpr() {
     // Configured rate at the achieved load: 2·b·2^-fp_bits·load.
     let keys = unique_keys(1006, N);

@@ -391,6 +391,8 @@ proptest! {
         let mut bloom = beyond_bloom::bloom::BloomFilter::with_seed(cap, 0.02, 7);
         let mut blocked = beyond_bloom::bloom::BlockedBloomFilter::with_seed(cap, 0.02, 7);
         let mut register = beyond_bloom::bloom::RegisterBlockedBloomFilter::with_seed(cap, 0.02, 7);
+        let mut two_choice =
+            beyond_bloom::bloom::TwoChoiceRegisterBloomFilter::with_seed(cap, 0.02, 7);
         let atomic = beyond_bloom::bloom::AtomicBlockedBloomFilter::with_seed(cap, 0.02, 7);
         let mut counting = beyond_bloom::bloom::CountingBloomFilter::with_seed(cap, 0.02, 4, 7);
         let mut spectral = beyond_bloom::bloom::SpectralBloomFilter::with_seed(cap, 0.02, 3, 7);
@@ -404,6 +406,7 @@ proptest! {
             bloom.insert(k).unwrap();
             blocked.insert(k).unwrap();
             register.insert(k).unwrap();
+            two_choice.insert(k).unwrap();
             atomic.insert(k);
             counting.insert(k).unwrap();
             spectral.insert(k).unwrap();
@@ -419,6 +422,7 @@ proptest! {
         batched_matches_pointwise("bloom", &bloom, &probes);
         batched_matches_pointwise("blocked", &blocked, &probes);
         batched_matches_pointwise("register-blocked", &register, &probes);
+        batched_matches_pointwise("two-choice", &two_choice, &probes);
         batched_matches_pointwise("atomic-blocked", &atomic, &probes);
         batched_matches_pointwise("counting", &counting, &probes);
         batched_matches_pointwise("spectral", &spectral, &probes);

@@ -21,6 +21,39 @@ fn bloom_roundtrip() {
 }
 
 #[test]
+fn two_choice_bloom_roundtrip_and_corruption() {
+    let keys = unique_keys(967, 20_000);
+    let mut f = beyond_bloom::bloom::TwoChoiceRegisterBloomFilter::with_seed(20_000, 0.01, 5);
+    for &k in &keys {
+        f.insert(k).unwrap();
+    }
+    let bytes = f.to_bytes();
+    let g = beyond_bloom::bloom::TwoChoiceRegisterBloomFilter::from_bytes(&bytes).unwrap();
+    assert_eq!(g.len(), f.len());
+    let probes = disjoint_keys(968, 20_000, &keys);
+    for &k in keys.iter().chain(&probes) {
+        assert_eq!(f.contains(k), g.contains(k), "behaviour diverged at {k}");
+    }
+    // Truncations and a flipped magic must error, never panic.
+    for cut in 0..bytes.len().min(64) {
+        assert!(
+            beyond_bloom::bloom::TwoChoiceRegisterBloomFilter::from_bytes(&bytes[..cut]).is_err()
+        );
+    }
+    let mut wrong = bytes.clone();
+    wrong[0] ^= 0xff;
+    assert!(beyond_bloom::bloom::TwoChoiceRegisterBloomFilter::from_bytes(&wrong).is_err());
+    // Cross-family confusion: one-choice register blobs are not
+    // two-choice blobs and vice versa (distinct magics).
+    let mut rb = beyond_bloom::bloom::RegisterBlockedBloomFilter::with_seed(20_000, 0.01, 5);
+    for &k in &keys {
+        rb.insert(k).unwrap();
+    }
+    assert!(beyond_bloom::bloom::TwoChoiceRegisterBloomFilter::from_bytes(&rb.to_bytes()).is_err());
+    assert!(beyond_bloom::bloom::RegisterBlockedBloomFilter::from_bytes(&bytes).is_err());
+}
+
+#[test]
 fn xor_roundtrip() {
     let keys = unique_keys(952, 50_000);
     let f = beyond_bloom::xorf::XorFilter::build(&keys, 12).unwrap();

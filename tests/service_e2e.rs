@@ -12,8 +12,9 @@ use beyond_bloom::quotient::CountingQuotientFilter;
 use beyond_bloom::service::proto::{write_frame, FrameEvent, FrameReader};
 use beyond_bloom::service::{
     build_atomic_bloom, build_sharded_cqf, build_sharded_cuckoo, build_sharded_register_bloom,
-    Backend, ClientError, ClusterClient, CountersSnapshot, ErrorCode, EventedFilterServer,
-    FilterClient, FilterServer, Request, Response, ServerConfig, DEFAULT_MAX_FRAME,
+    build_sharded_two_choice, Backend, ClientError, ClusterClient, CountersSnapshot, ErrorCode,
+    EventedFilterServer, FilterClient, FilterServer, Request, Response, ServerConfig,
+    DEFAULT_MAX_FRAME,
 };
 use beyond_bloom::workloads::{disjoint_keys, unique_keys, zipf_keys};
 use std::io::{Read, Write};
@@ -78,6 +79,8 @@ fn wire_contains_matches_in_process_oracle() {
     cqf.insert_batch(&keys).unwrap();
     let regbloom = build_sharded_register_bloom(CAP, EPS, 3, SEED);
     regbloom.insert_batch(&keys).unwrap();
+    let twochoice = build_sharded_two_choice(CAP, EPS, 3, SEED);
+    twochoice.insert_batch(&keys).unwrap();
 
     c.create("b", Backend::AtomicBloom, CAP, EPS, 3, SEED)
         .unwrap();
@@ -87,11 +90,14 @@ fn wire_contains_matches_in_process_oracle() {
         .unwrap();
     c.create("r", Backend::RegisterBloom, CAP, EPS, 3, SEED)
         .unwrap();
+    c.create("t", Backend::TwoChoiceBloom, CAP, EPS, 3, SEED)
+        .unwrap();
     for chunk in keys.chunks(4096) {
         c.insert("b", chunk).unwrap();
         c.insert("c", chunk).unwrap();
         c.insert("q", chunk).unwrap();
         c.insert("r", chunk).unwrap();
+        c.insert("t", chunk).unwrap();
     }
 
     for chunk in all.chunks(1013) {
@@ -104,6 +110,10 @@ fn wire_contains_matches_in_process_oracle() {
         assert_eq!(
             c.contains("r", chunk).unwrap(),
             regbloom.contains_batch(chunk)
+        );
+        assert_eq!(
+            c.contains("t", chunk).unwrap(),
+            twochoice.contains_batch(chunk)
         );
     }
     // Counting parity on a skewed multiset (CQF only).
@@ -192,8 +202,17 @@ fn crud_and_stats_roundtrip() {
         ));
     }
 
+    let mut built = beyond_bloom::bloom::TwoChoiceRegisterBloomFilter::with_seed(5_000, 0.01, 22);
+    for &k in &keys[..2_000] {
+        built.insert(k).unwrap();
+    }
+    c.create_prebuilt("shipped-tc", Backend::TwoChoiceBloom, built.to_bytes())
+        .unwrap();
+    let oracle: Vec<bool> = keys[..4_000].iter().map(|&k| built.contains(k)).collect();
+    assert_eq!(c.contains("shipped-tc", &keys[..4_000]).unwrap(), oracle);
+
     let stats = c.stats().unwrap();
-    assert_eq!(stats.filters.len(), 5, "registry lists every instance");
+    assert_eq!(stats.filters.len(), 6, "registry lists every instance");
     assert!(stats.filters.iter().any(|f| f.name == "shipped-cf"));
     assert!(stats.counters.keys_processed > 0);
     // Every INSERT/CONTAINS above shipped multi-key requests, so all of
@@ -605,6 +624,13 @@ fn metrics_exposition_is_valid_and_spans_layers() {
     ] {
         assert!(expo.has_family(fam), "missing family {fam}");
     }
+    // The SIMD tier info gauge is exported at registry init and
+    // matches the level the dispatcher actually resolved.
+    assert_eq!(
+        expo.value("bb_simd_level").unwrap(),
+        beyond_bloom::core::simd::active_level().code() as f64,
+        "bb_simd_level must report the active dispatch tier"
+    );
     // Our own connection is open while METRICS renders, and every
     // serviced frame raises the pipelining watermark to at least 1.
     assert!(expo.value("bb_server_open_connections").unwrap() >= 1.0);
@@ -650,6 +676,11 @@ fn metrics_exposition_is_valid_and_spans_layers() {
         assert!(expo.has_family(fam), "missing family {fam}");
     }
     assert!(expo.value("bb_server_open_connections").unwrap() >= 1.0);
+    assert_eq!(
+        expo.value("bb_simd_level").unwrap(),
+        beyond_bloom::core::simd::active_level().code() as f64,
+        "evented transport must export the same SIMD tier gauge"
+    );
     drop(c);
     server.shutdown();
 }
@@ -765,18 +796,19 @@ fn equivalence_script(addr: SocketAddr) -> (Vec<Vec<u8>>, [u64; 8]) {
         ("eq-c", Backend::ShardedCuckoo, 2),
         ("eq-q", Backend::ShardedCqf, 2),
         ("eq-r", Backend::RegisterBloom, 2),
+        ("eq-t", Backend::TwoChoiceBloom, 2),
         ("eq-l", Backend::Compacting, 0),
     ] {
         let p = c.call(&create_req(name, backend, bits));
         out.push(p);
     }
 
-    // Pipelined burst: 20 INSERT frames written back-to-back before
+    // Pipelined burst: 24 INSERT frames written back-to-back before
     // any response is read. The threaded transport serves them
     // sequentially; the evented transport drains them as pipelined
     // work. In-order responses are part of the wire contract.
     let mut burst = Vec::new();
-    for name in ["eq-b", "eq-c", "eq-q", "eq-r", "eq-l"] {
+    for name in ["eq-b", "eq-c", "eq-q", "eq-r", "eq-t", "eq-l"] {
         for chunk in keys.chunks(1_000) {
             let payload = Request::Insert {
                 name: name.to_string(),
@@ -788,7 +820,7 @@ fn equivalence_script(addr: SocketAddr) -> (Vec<Vec<u8>>, [u64; 8]) {
         }
     }
     c.stream.write_all(&burst).unwrap();
-    for _ in 0..20 {
+    for _ in 0..24 {
         out.push(c.recv());
     }
 
@@ -796,7 +828,7 @@ fn equivalence_script(addr: SocketAddr) -> (Vec<Vec<u8>>, [u64; 8]) {
     // probed with inserted keys only: its negative-probe answers
     // depend on background compaction timing and are the one part of
     // the state space that is deliberately not bit-stable.
-    for name in ["eq-b", "eq-c", "eq-q", "eq-r"] {
+    for name in ["eq-b", "eq-c", "eq-q", "eq-r", "eq-t"] {
         out.push(c.call(&Request::Contains {
             name: name.to_string(),
             keys: all.clone(),

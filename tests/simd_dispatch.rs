@@ -1,13 +1,14 @@
 //! Cross-dispatch equivalence for the SIMD probe engine.
 //!
 //! The module's load-bearing invariant is that every dispatch tier —
-//! portable SWAR, SSE2, AVX2 (and PDEP vs Gog–Petri select) — is
-//! bit-identical on every input, so runtime dispatch can never
-//! change a filter's answers, only its speed. These tests hammer the
-//! level-explicit `*_at` entry points with 10k+ random inputs per
-//! primitive across every tier the host supports, and pin the
+//! portable SWAR, NEON, SSE2, AVX2, AVX-512 (and PDEP vs Gog–Petri
+//! select) — is bit-identical on every input, so runtime dispatch
+//! can never change a filter's answers, only its speed. These tests
+//! hammer the level-explicit `*_at` entry points with 10k+ random
+//! inputs per primitive across every tier the host supports
+//! (`usable_levels` skips undetected tiers gracefully), and pin the
 //! `BEYOND_BLOOM_FORCE_SCALAR` / `force_level` knobs the CI
-//! `simd-matrix` job and the E21 harness rely on.
+//! `simd-matrix` job and the E21/E25 harnesses rely on.
 
 use beyond_bloom::core::simd::{self, SimdLevel};
 use beyond_bloom::core::{BatchedFilter, Filter, InsertFilter};
@@ -23,11 +24,13 @@ fn stream(mut seed: u64) -> impl Iterator<Item = u64> {
     })
 }
 
+/// Every tier that genuinely executes on this machine, ascending —
+/// tiers the hardware lacks (e.g. AVX-512 on an older x86, NEON on
+/// x86 at all) are skipped rather than failed.
 fn levels() -> Vec<SimdLevel> {
-    let all = [SimdLevel::Swar, SimdLevel::Sse2, SimdLevel::Avx2];
-    all.into_iter()
-        .filter(|&l| l <= simd::detected_level())
-        .collect()
+    let l = simd::usable_levels();
+    assert_eq!(l[0], SimdLevel::Swar, "SWAR is always usable");
+    l
 }
 
 #[test]
@@ -68,6 +71,18 @@ fn covered_and_testzero_256_identical_across_levels() {
             assert_eq!(simd::covered_256_at(l, &block, &mask), want_cov, "at {l:?}");
             assert_eq!(simd::testzero_256_at(l, &block), want_zero, "at {l:?}");
         }
+        // The two-choice pair probe must agree with the OR of two
+        // single-block probes, at every tier. A sibling block built
+        // from an unrelated mask makes roughly half the pairs differ
+        // between halves.
+        let sibling = simd::block_mask_256(it.next().unwrap() as u32);
+        for pair in [[block, sibling], [sibling, block], [block, block]] {
+            let want = simd::covered_256_at(SimdLevel::Swar, &pair[0], &mask)
+                | simd::covered_256_at(SimdLevel::Swar, &pair[1], &mask);
+            for &l in &levels {
+                assert_eq!(simd::covered_pair_256_at(l, &pair, &mask), want, "at {l:?}");
+            }
+        }
     }
 }
 
@@ -90,6 +105,35 @@ fn covered_512_identical_across_levels() {
         let want = simd::covered_512_at(SimdLevel::Swar, &block, &mask);
         for &l in &levels[1..] {
             assert_eq!(simd::covered_512_at(l, &block, &mask), want, "at {l:?}");
+        }
+    }
+}
+
+#[test]
+fn block_mask_512_and_testzero_512_identical_across_levels() {
+    let levels = levels();
+    let mut it = stream(808);
+    for _ in 0..10_000 {
+        let (h1, h2) = (it.next().unwrap(), it.next().unwrap());
+        let k = (h1 % 16) as u32 + 1;
+        let want_mask = simd::block_mask_512_at(SimdLevel::Swar, h1, h2, k);
+        for &l in &levels[1..] {
+            assert_eq!(
+                simd::block_mask_512_at(l, h1, h2, k),
+                want_mask,
+                "mask h1 {h1:#x} h2 {h2:#x} k {k} at {l:?}"
+            );
+        }
+        let mut rnd = [0u64; 8];
+        for w in &mut rnd {
+            *w = it.next().unwrap();
+        }
+        // Empty, one-mask, random, and saturated blocks.
+        for block in [[0u64; 8], want_mask, rnd, [u64::MAX; 8]] {
+            let want = simd::testzero_512_at(SimdLevel::Swar, &block);
+            for &l in &levels[1..] {
+                assert_eq!(simd::testzero_512_at(l, &block), want, "at {l:?}");
+            }
         }
     }
 }
@@ -152,13 +196,16 @@ fn filters_answer_identically_under_forced_levels() {
     let mut blocked = beyond_bloom::bloom::BlockedBloomFilter::with_seed(4_000, 0.01, 3);
     let mut register = beyond_bloom::bloom::RegisterBlockedBloomFilter::with_seed(4_000, 0.01, 3);
     let atomic = beyond_bloom::bloom::AtomicBlockedBloomFilter::with_seed(4_000, 0.01, 3);
+    let mut two_choice =
+        beyond_bloom::bloom::TwoChoiceRegisterBloomFilter::with_seed(4_000, 0.01, 3);
     for &k in &keys {
         blocked.insert(k).unwrap();
         register.insert(k).unwrap();
         atomic.insert(k);
+        two_choice.insert(k).unwrap();
     }
 
-    let reference: Vec<(bool, bool, bool)> = {
+    let reference: Vec<(bool, bool, bool, bool)> = {
         simd::force_level(Some(SimdLevel::Swar));
         let r = probes
             .iter()
@@ -167,6 +214,7 @@ fn filters_answer_identically_under_forced_levels() {
                     blocked.contains(p),
                     register.contains(p),
                     atomic.contains(p),
+                    two_choice.contains(p),
                 )
             })
             .collect();
@@ -181,11 +229,20 @@ fn filters_answer_identically_under_forced_levels() {
             assert_eq!(blocked.contains(p), reference[i].0, "blocked at {l:?}");
             assert_eq!(register.contains(p), reference[i].1, "register at {l:?}");
             assert_eq!(atomic.contains(p), reference[i].2, "atomic at {l:?}");
+            assert_eq!(
+                two_choice.contains(p),
+                reference[i].3,
+                "two-choice at {l:?}"
+            );
         }
         // Batched paths too (they hoist the level once per chunk).
         register.contains_many(&probes, &mut out);
         for (i, &o) in out.iter().enumerate() {
             assert_eq!(o, reference[i].1, "register batched at {l:?}");
+        }
+        two_choice.contains_many(&probes, &mut out);
+        for (i, &o) in out.iter().enumerate() {
+            assert_eq!(o, reference[i].3, "two-choice batched at {l:?}");
         }
         simd::force_level(None);
     }
@@ -195,7 +252,9 @@ fn filters_answer_identically_under_forced_levels() {
 /// of dispatching into unsupported instructions.
 #[test]
 fn force_level_clamps_to_detected() {
-    simd::force_level(Some(SimdLevel::Avx2));
-    assert!(simd::active_level() <= simd::detected_level());
-    simd::force_level(None);
+    for l in [SimdLevel::Avx2, SimdLevel::Avx512] {
+        simd::force_level(Some(l));
+        assert!(simd::active_level() <= simd::detected_level());
+        simd::force_level(None);
+    }
 }
