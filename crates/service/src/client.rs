@@ -180,6 +180,21 @@ impl FilterClient {
         Self::expect_bools(resp)
     }
 
+    /// Batched MULTI_CONTAINS: which filters (across the whole
+    /// registry, via the server's Bloofi index) contain each key?
+    /// `out[i]` is the sorted list of matching filter names for
+    /// `keys[i]`.
+    pub fn multi_contains(&mut self, keys: &[u64]) -> Result<Vec<Vec<String>>, ClientError> {
+        let resp = self.call(&Request::MultiContains {
+            keys: keys.to_vec(),
+        })?;
+        match resp {
+            Response::NameLists(lists) => Ok(lists),
+            Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+            _ => Err(ClientError::Unexpected("wanted NameLists")),
+        }
+    }
+
     /// Batched COUNT (CQF backend only); `out[i]` answers `keys[i]`.
     pub fn count(&mut self, name: &str, keys: &[u64]) -> Result<Vec<u64>, ClientError> {
         let resp = self.call(&Request::Count {

@@ -279,6 +279,27 @@ impl ClusterClient {
         Ok(out)
     }
 
+    /// MULTI_CONTAINS across the whole cluster: every node owns a
+    /// disjoint slice of the name space, so the query fans out to
+    /// each node's Bloofi index and the per-key name lists are
+    /// merged (sorted, deduplicated — replicas of a filter on
+    /// several nodes still answer once). `out[i]` answers `keys[i]`
+    /// over every filter registered anywhere in the cluster.
+    pub fn multi_contains(&mut self, keys: &[u64]) -> Result<Vec<Vec<String>>, ClusterError> {
+        let mut merged: Vec<Vec<String>> = vec![Vec::new(); keys.len()];
+        for idx in 0..self.nodes.len() {
+            let lists = self.conn(idx)?.multi_contains(keys)?;
+            for (m, names) in merged.iter_mut().zip(lists) {
+                m.extend(names);
+            }
+        }
+        for m in &mut merged {
+            m.sort_unstable();
+            m.dedup();
+        }
+        Ok(merged)
+    }
+
     /// Ship `name`'s snapshot to its next `copies` ring successors as
     /// same-name read replicas (blob-CREATE under the identical
     /// name on other nodes — registries are per-node, so names don't

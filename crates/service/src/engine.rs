@@ -19,6 +19,7 @@
 
 use crate::metrics::{FilterRow, ServerMetrics, StatsReport};
 use crate::proto::{Backend, ErrorCode, HeaderError, Request, Response, DEFAULT_MAX_FRAME};
+use bloofi::{BloofiConfig, BloofiIndex};
 use bloom::{AtomicBlockedBloomFilter, RegisterBlockedBloomFilter, TwoChoiceRegisterBloomFilter};
 use compacting::{CompactingConfig, CompactingFilter};
 use concurrent::{Sharded, MAX_SHARD_BITS};
@@ -54,6 +55,19 @@ pub static FILTERS_REGISTERED: StaticGauge = StaticGauge::new(
     "Filters currently registered across all filter servers.",
 );
 
+/// MULTI_CONTAINS requests served (each fans one key batch across
+/// the whole registry through the Bloofi index).
+pub static MULTI_CONTAINS_REQUESTS: StaticCounter = StaticCounter::new(
+    "bb_multi_contains_requests_total",
+    "MULTI_CONTAINS requests served.",
+);
+
+/// Keys looked up across the registry by MULTI_CONTAINS requests.
+pub static MULTI_CONTAINS_KEYS: StaticCounter = StaticCounter::new(
+    "bb_multi_contains_keys_total",
+    "Keys looked up across the registry by MULTI_CONTAINS.",
+);
+
 /// SIMD dispatch tier this process probes at, as the stable numeric
 /// code of [`filter_core::SimdLevel::code`] (1=swar, 2=sse2, 3=avx2,
 /// 4=avx512, 5=neon). An info-style gauge: set once at registry init
@@ -69,6 +83,8 @@ pub fn register_metrics() {
     SERVICE_REQUESTS.register();
     SERVICE_SLOW_REQUESTS.register();
     FILTERS_REGISTERED.register();
+    MULTI_CONTAINS_REQUESTS.register();
+    MULTI_CONTAINS_KEYS.register();
     SIMD_LEVEL.register();
     // Idempotent absolute set: the gauge only moves if the dispatch
     // level changed since the last registration (e.g. a test forced
@@ -86,6 +102,7 @@ pub(crate) fn register_all_layers() {
     quotient::register_metrics();
     concurrent::register_metrics();
     compacting::register_metrics();
+    bloofi::register_metrics();
     register_metrics();
 }
 
@@ -176,6 +193,19 @@ impl ServedFilter {
             ServedFilter::RegisterBloom(_) => Backend::RegisterBloom,
             ServedFilter::Compacting(_) => Backend::Compacting,
             ServedFilter::TwoChoice(_) => Backend::TwoChoiceBloom,
+        }
+    }
+
+    /// Single-key membership, whatever the backend — the
+    /// MULTI_CONTAINS candidate-confirmation probe.
+    pub fn contains_one(&self, key: u64) -> bool {
+        match self {
+            ServedFilter::Bloom(f) => f.contains(key),
+            ServedFilter::Cuckoo(f) => f.contains(key),
+            ServedFilter::Cqf(f) => f.contains(key),
+            ServedFilter::RegisterBloom(f) => f.contains(key),
+            ServedFilter::Compacting(f) => f.contains(key),
+            ServedFilter::TwoChoice(f) => f.contains(key),
         }
     }
 
@@ -340,6 +370,7 @@ impl ReqInfo {
             7 => "METRICS",
             8 => "SNAPSHOT",
             9 => "FORGET",
+            10 => "MULTI_CONTAINS",
             _ => "BAD",
         }
     }
@@ -445,6 +476,12 @@ pub fn build_compacting(capacity: u64, eps: f64, seed: u64) -> CompactingFilter 
 /// running server owns one.
 pub struct Engine {
     pub(crate) registry: RwLock<BTreeMap<String, Arc<ServedFilter>>>,
+    /// Bloofi index over the registry: MULTI_CONTAINS descends this
+    /// tree instead of scanning every filter. Kept coherent with the
+    /// registry under a strict lock order (registry before index);
+    /// key inserts hit the index *before* the filter, so the index is
+    /// always a superset of filter contents — never a false negative.
+    pub(crate) index: RwLock<BloofiIndex>,
     pub(crate) metrics: ServerMetrics,
     /// Slow-request log: newest 256 requests over the threshold, with
     /// packed opcode/backend/batch context (see [`ReqInfo::packed`]).
@@ -458,6 +495,7 @@ impl Engine {
     pub fn new(config: ServerConfig) -> Engine {
         Engine {
             registry: RwLock::new(BTreeMap::new()),
+            index: RwLock::new(BloofiIndex::new(BloofiConfig::default())),
             metrics: ServerMetrics::new(),
             slowlog: EventRing::new(256),
             stop: AtomicBool::new(false),
@@ -484,9 +522,110 @@ impl Engine {
             Entry::Vacant(v) => {
                 v.insert(Arc::new(filter));
                 FILTERS_REGISTERED.add(1);
+                // The filter arrived pre-built, so its key set is
+                // unknown: index a saturated leaf (conservative —
+                // always descended, never a false negative).
+                let mut idx = write_lock(&self.index);
+                idx.add_filter(name);
+                idx.saturate_filter(name);
+                idx.publish_gauges();
                 true
             }
         }
+    }
+
+    /// Install a filter directly *with* its key inventory: the index
+    /// gets an exact tracked leaf instead of a saturated one, so
+    /// MULTI_CONTAINS can prune this filter. The caller warrants that
+    /// `keys` is exactly the set inserted into `filter` — missing
+    /// keys would surface as index false negatives. Returns `false`
+    /// when the name is already taken.
+    pub fn register_tracked(&self, name: &str, filter: ServedFilter, keys: &[u64]) -> bool {
+        let mut reg = write_lock(&self.registry);
+        match reg.entry(name.to_string()) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(v) => {
+                v.insert(Arc::new(filter));
+                FILTERS_REGISTERED.add(1);
+                let mut idx = write_lock(&self.index);
+                let mut leaf = idx.config().leaf_summary();
+                for &k in keys {
+                    leaf.insert(k);
+                }
+                idx.add_filter_with(name, Some(&leaf));
+                idx.publish_gauges();
+                true
+            }
+        }
+    }
+
+    /// Rebuild the Bloofi index from the current registry in one
+    /// balanced bottom-up pass ([`BloofiIndex::build_from`]). Every
+    /// leaf is saturated (the registry cannot enumerate its keys), so
+    /// this trades per-leaf selectivity for a balanced tree — useful
+    /// after bulk [`register`](Self::register) loading; filters
+    /// created over the wire already maintain exact summaries
+    /// incrementally.
+    pub fn rebuild_index(&self) {
+        let reg = read_lock(&self.registry);
+        let mut idx = write_lock(&self.index);
+        let cfg = idx.config();
+        let entries = reg.keys().map(|name| {
+            let mut s = cfg.leaf_summary();
+            s.saturate();
+            (name.clone(), s)
+        });
+        *idx = BloofiIndex::build_from(cfg, entries.collect::<Vec<_>>());
+        idx.publish_gauges();
+    }
+
+    /// Which registered filters (probably) contain each key — the
+    /// MULTI_CONTAINS core. Candidates come from an O(d·log N) Bloofi
+    /// descent per key (hash-hoisted in 32-key chunks), then each
+    /// candidate is confirmed against the actual filter: no false
+    /// negatives (the index covers every inserted key), and false
+    /// positives only where a leaf filter itself false-positives.
+    /// The answer is a subset of the flat scan's — a leaf filter
+    /// false-positive the index never proposed is (correctly) never
+    /// reported. Per-key lists are sorted.
+    pub fn multi_contains(&self, keys: &[u64]) -> Vec<Vec<String>> {
+        // Lock order: registry before index, matching every
+        // structural site, so CREATE/FORGET can never deadlock
+        // against a concurrent MULTI_CONTAINS.
+        let reg = read_lock(&self.registry);
+        let idx = read_lock(&self.index);
+        let mut out = Vec::with_capacity(keys.len());
+        let mut candidates = Vec::new();
+        for chunk in keys.chunks(filter_core::PROBE_CHUNK) {
+            idx.multi_contains_chunk(chunk, &mut candidates);
+            for (&key, leaf_ids) in chunk.iter().zip(&candidates) {
+                let mut names: Vec<String> = leaf_ids
+                    .iter()
+                    .map(|&id| idx.leaf_name(id))
+                    .filter(|name| reg.get(*name).is_some_and(|f| f.contains_one(key)))
+                    .map(str::to_string)
+                    .collect();
+                names.sort_unstable();
+                out.push(names);
+            }
+        }
+        out
+    }
+
+    /// The flat-registry answer to the same question: probe every
+    /// filter for every key. This is the oracle MULTI_CONTAINS is
+    /// measured against (experiment E26) and must stay semantically
+    /// identical to [`multi_contains`](Self::multi_contains).
+    pub fn multi_contains_flat(&self, keys: &[u64]) -> Vec<Vec<String>> {
+        let reg = read_lock(&self.registry);
+        keys.iter()
+            .map(|&key| {
+                reg.iter()
+                    .filter(|(_, f)| f.contains_one(key))
+                    .map(|(name, _)| name.clone())
+                    .collect()
+            })
+            .collect()
     }
 
     /// Account one fully-served request: latency histogram, process
@@ -639,6 +778,17 @@ pub(crate) fn dispatch(engine: &Engine, payload: &[u8]) -> (Response, ReqInfo) {
             )
         }
         Request::Forget { name } => (handle_forget(engine, &name), ReqInfo::bare(9)),
+        Request::MultiContains { keys } => {
+            let resp = handle_multi_contains(engine, &keys);
+            (
+                resp,
+                ReqInfo {
+                    op: 10,
+                    backend: None,
+                    batch: keys.len() as u32,
+                },
+            )
+        }
     }
 }
 
@@ -725,6 +875,17 @@ fn handle_create(
         Entry::Vacant(v) => {
             v.insert(Arc::new(filter));
             FILTERS_REGISTERED.add(1);
+            // Index the newcomer while still holding the registry
+            // write lock (registry-before-index order). A blob
+            // arrived pre-populated with keys we cannot enumerate,
+            // so its leaf is saturated; a parameter build starts
+            // empty and accumulates from wire INSERTs.
+            let mut idx = write_lock(&engine.index);
+            idx.add_filter(name);
+            if !blob.is_empty() {
+                idx.saturate_filter(name);
+            }
+            idx.publish_gauges();
             Response::Ok
         }
     }
@@ -807,6 +968,12 @@ fn handle_insert(engine: &Engine, name: &str, keys: &[u64]) -> (Response, Option
     if keys.len() > 1 {
         engine.metrics.batched_ops.add(keys.len() as u64);
     }
+    // Index first, filter second: a concurrent MULTI_CONTAINS then
+    // sees the index as a superset of every filter's contents, so a
+    // candidate miss is equivalent to linearising before this insert
+    // — never a false negative. (A failed filter insert below leaves
+    // harmless extra index bits.)
+    read_lock(&engine.index).insert_keys(name, keys);
     let resp = match &*f {
         ServedFilter::Bloom(b) => {
             b.insert_batch(keys);
@@ -924,18 +1091,39 @@ fn handle_snapshot(engine: &Engine, name: &str) -> (Response, Option<Backend>) {
 }
 
 fn handle_forget(engine: &Engine, name: &str) -> Response {
-    match write_lock(&engine.registry).remove(name) {
+    let mut reg = write_lock(&engine.registry);
+    match reg.remove(name) {
         Some(_) => {
             FILTERS_REGISTERED.add(-1);
+            let mut idx = write_lock(&engine.index);
+            idx.remove_filter(name);
+            idx.publish_gauges();
             Response::Ok
         }
         None => err(ErrorCode::NoSuchFilter, format!("no filter named '{name}'")),
     }
 }
 
+fn handle_multi_contains(engine: &Engine, keys: &[u64]) -> Response {
+    MULTI_CONTAINS_REQUESTS.inc();
+    MULTI_CONTAINS_KEYS.add(keys.len() as u64);
+    engine.metrics.keys_processed.add(keys.len() as u64);
+    if keys.len() > 1 {
+        engine.metrics.batched_ops.add(keys.len() as u64);
+    }
+    Response::NameLists(engine.multi_contains(keys))
+}
+
 /// Most shards a single filter may render as per-shard series (a
 /// 4096-shard filter would otherwise dominate the scrape).
 const MAX_SHARD_SERIES: usize = 64;
+
+/// Most filters the per-filter inventory gauges render as labelled
+/// series — a 100k-tenant registry must not turn a METRICS scrape
+/// into a megabyte document. The overflow count is exposed as the
+/// `bb_filter_inventory_truncated` gauge so the cap is observable,
+/// not silent.
+const MAX_INVENTORY_SERIES: usize = 64;
 
 /// Assemble the full METRICS exposition: every registered telemetry
 /// family (filter-layer instrumentation), this server's request
@@ -1040,7 +1228,7 @@ pub(crate) fn render_metrics(engine: &Engine) -> String {
         FamilyKind::Gauge,
     );
     let reg = read_lock(&engine.registry);
-    for (name, f) in reg.iter() {
+    for (name, f) in reg.iter().take(MAX_INVENTORY_SERIES) {
         r.sample(
             "bb_filter_keys",
             &[("name", name), ("backend", f.backend().name())],
@@ -1052,19 +1240,27 @@ pub(crate) fn render_metrics(engine: &Engine) -> String {
         "Heap bytes per served filter.",
         FamilyKind::Gauge,
     );
-    for (name, f) in reg.iter() {
+    for (name, f) in reg.iter().take(MAX_INVENTORY_SERIES) {
         r.sample(
             "bb_filter_size_bytes",
             &[("name", name), ("backend", f.backend().name())],
             f.size_in_bytes() as f64,
         );
     }
+    // The cap above is load-bearing, so make it observable: how many
+    // registered filters the inventory gauges omitted (0 when all
+    // fit).
+    r.gauge(
+        "bb_filter_inventory_truncated",
+        "Registered filters omitted from the per-filter inventory gauges by the series cap.",
+        reg.len().saturating_sub(MAX_INVENTORY_SERIES) as i64,
+    );
     r.header(
         "bb_filter_shard_ops_total",
         "Operations routed to each shard of a sharded filter.",
         FamilyKind::Counter,
     );
-    for (name, f) in reg.iter() {
+    for (name, f) in reg.iter().take(MAX_INVENTORY_SERIES) {
         let Some(ops) = f.shard_ops() else { continue };
         if ops.len() > MAX_SHARD_SERIES {
             continue;
@@ -1236,5 +1432,157 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    /// The tree answer must be a subset of the flat scan (every
+    /// match is confirmed by that filter, so any extra flat-scan
+    /// entry is a pure filter false-positive the index pruned) and
+    /// sorted per key.
+    fn assert_tree_within_flat(tree: &[Vec<String>], flat: &[Vec<String>]) {
+        assert_eq!(tree.len(), flat.len());
+        for (t, f) in tree.iter().zip(flat) {
+            assert!(t.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+            for name in t {
+                assert!(
+                    f.contains(name),
+                    "tree match '{name}' missing from flat scan"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_contains_matches_flat_scan_and_survives_forget() {
+        let engine = Engine::new(ServerConfig::default());
+        let backends = [
+            Backend::AtomicBloom,
+            Backend::ShardedCuckoo,
+            Backend::ShardedCqf,
+            Backend::RegisterBloom,
+            Backend::Compacting,
+            Backend::TwoChoiceBloom,
+        ];
+        for (i, &backend) in backends.iter().enumerate() {
+            let name = format!("mc-{}", backend.name());
+            let (resp, _) = dispatch(
+                &engine,
+                &Request::Create {
+                    name: name.clone(),
+                    backend,
+                    capacity: 4_096,
+                    eps: 0.01,
+                    shard_bits: 2,
+                    seed: 11,
+                    blob: vec![],
+                }
+                .encode(),
+            );
+            assert_eq!(resp, Response::Ok);
+            let keys: Vec<u64> = (0..64).map(|j| (i as u64) * 100_000 + j).collect();
+            let (resp, _) = dispatch(&engine, &Request::Insert { name, keys }.encode());
+            assert_eq!(resp, Response::Ok);
+        }
+        let probes: Vec<u64> = (0..600_000).step_by(997).collect();
+        let (resp, info) = dispatch(
+            &engine,
+            &Request::MultiContains {
+                keys: probes.clone(),
+            }
+            .encode(),
+        );
+        assert_eq!(info.op, 10);
+        assert_eq!(info.batch, probes.len() as u32);
+        let Response::NameLists(lists) = resp else {
+            panic!("wanted NameLists, got {resp:?}")
+        };
+        // The tree prunes filter false-positives the index never
+        // proposed (a strict improvement over the flat scan), so the
+        // oracle relation is subset + zero false negatives, not
+        // equality.
+        assert_tree_within_flat(&lists, &engine.multi_contains_flat(&probes));
+        // Every inserted key names its own filter (no false negative).
+        for (i, &backend) in backends.iter().enumerate() {
+            let name = format!("mc-{}", backend.name());
+            let keys: Vec<u64> = (0..64).map(|j| (i as u64) * 100_000 + j).collect();
+            for names in engine.multi_contains(&keys) {
+                assert!(names.contains(&name), "false negative in {name}");
+            }
+        }
+        let (resp, _) = dispatch(
+            &engine,
+            &Request::MultiContains {
+                keys: vec![0, 100_001, 500_063],
+            }
+            .encode(),
+        );
+        let Response::NameLists(lists) = resp else {
+            panic!("wanted NameLists")
+        };
+        assert!(lists[0].contains(&"mc-atomic-bloom".to_string()));
+        assert!(lists[1].contains(&"mc-sharded-cuckoo".to_string()));
+        assert!(lists[2].contains(&"mc-two-choice-bloom".to_string()));
+        // Forget drops the filter from the answers too.
+        let (resp, _) = dispatch(
+            &engine,
+            &Request::Forget {
+                name: "mc-atomic-bloom".into(),
+            }
+            .encode(),
+        );
+        assert_eq!(resp, Response::Ok);
+        assert!(!read_lock(&engine.index).contains_filter("mc-atomic-bloom"));
+        let after = engine.multi_contains(&probes);
+        assert_tree_within_flat(&after, &engine.multi_contains_flat(&probes));
+        assert!(after
+            .iter()
+            .all(|l| !l.contains(&"mc-atomic-bloom".to_string())));
+        // Surviving filters still resolve their inserted keys.
+        assert!(engine.multi_contains(&[100_001])[0].contains(&"mc-sharded-cuckoo".to_string()));
+    }
+
+    #[test]
+    fn blob_created_filters_are_saturated_and_rebuild_keeps_parity() {
+        let engine = Engine::new(ServerConfig::default());
+        // Ship a pre-built filter as a blob: the server cannot
+        // enumerate its keys, so the index must treat it as
+        // match-anything and let the filter itself confirm.
+        let pre = build_atomic_bloom(1_024, 0.01, 3);
+        for k in 500..600u64 {
+            pre.insert(k);
+        }
+        let blob = pre.to_bytes();
+        let (resp, _) = dispatch(
+            &engine,
+            &Request::Create {
+                name: "shipped".into(),
+                backend: Backend::AtomicBloom,
+                capacity: 0,
+                eps: 0.0,
+                shard_bits: 0,
+                seed: 0,
+                blob,
+            }
+            .encode(),
+        );
+        assert_eq!(resp, Response::Ok);
+        // Direct registration has unknown keys too.
+        let direct = build_atomic_bloom(1_024, 0.01, 5);
+        direct.insert(42);
+        assert!(engine.register("direct", ServedFilter::Bloom(direct)));
+        let probes: Vec<u64> = (0..1_000).collect();
+        assert_eq!(
+            engine.multi_contains(&probes),
+            engine.multi_contains_flat(&probes)
+        );
+        assert!(engine.multi_contains(&[550])[0].contains(&"shipped".to_string()));
+        assert!(engine.multi_contains(&[42])[0].contains(&"direct".to_string()));
+        // A bulk rebuild keeps the same answers (all leaves
+        // saturated: pure candidate generation, filters confirm).
+        engine.rebuild_index();
+        read_lock(&engine.index).check_invariants();
+        assert_eq!(
+            engine.multi_contains(&probes),
+            engine.multi_contains_flat(&probes)
+        );
     }
 }

@@ -170,6 +170,7 @@ const OP_STATS: u32 = 6;
 const OP_METRICS: u32 = 7;
 const OP_SNAPSHOT: u32 = 8;
 const OP_FORGET: u32 = 9;
+const OP_MULTI_CONTAINS: u32 = 10;
 
 // Response opcodes (high range).
 const OP_OK: u32 = 128;
@@ -179,6 +180,7 @@ const OP_STATS_REPORT: u32 = 131;
 const OP_ERROR: u32 = 132;
 const OP_TEXT: u32 = 133;
 const OP_BLOB: u32 = 134;
+const OP_NAME_LISTS: u32 = 135;
 
 /// A client request frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -256,6 +258,14 @@ pub enum Request {
         /// Filter to unregister.
         name: String,
     },
+    /// "Which filters contain each of these keys?" — the multi-tenant
+    /// query, answered across the whole registry through the Bloofi
+    /// index in O(d·log N) summary probes per key instead of a flat
+    /// scan; answered by [`Response::NameLists`].
+    MultiContains {
+        /// Keys to look up across every registered filter.
+        keys: Vec<u64>,
+    },
 }
 
 /// A server response frame.
@@ -287,6 +297,10 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+    /// Per-key lists of matching filter names, aligned with the
+    /// request's keys (the MULTI_CONTAINS answer); each list is
+    /// sorted and duplicate-free.
+    NameLists(Vec<Vec<String>>),
 }
 
 fn put_header(w: &mut ByteWriter, opcode: u32) {
@@ -418,6 +432,10 @@ impl Request {
                 put_header(&mut w, OP_FORGET);
                 put_name(&mut w, name);
             }
+            Request::MultiContains { keys } => {
+                put_header(&mut w, OP_MULTI_CONTAINS);
+                w.put_u64_slice(keys);
+            }
         }
         w.into_bytes()
     }
@@ -463,6 +481,9 @@ impl Request {
                 },
                 OP_FORGET => Request::Forget {
                     name: take_name(&mut r)?,
+                },
+                OP_MULTI_CONTAINS => Request::MultiContains {
+                    keys: r.take_u64_vec()?,
                 },
                 other => return Ok(Err(other)),
             }))
@@ -511,6 +532,16 @@ impl Response {
                 w.put_u32(backend.to_u32());
                 w.put_bytes(bytes);
             }
+            Response::NameLists(lists) => {
+                put_header(&mut w, OP_NAME_LISTS);
+                w.put_u64(lists.len() as u64);
+                for names in lists {
+                    w.put_u32(names.len() as u32);
+                    for name in names {
+                        put_name(&mut w, name);
+                    }
+                }
+            }
         }
         w.into_bytes()
     }
@@ -541,6 +572,28 @@ impl Response {
                 backend: Backend::from_u32(r.take_u32()?)?,
                 bytes: r.take_bytes()?,
             },
+            OP_NAME_LISTS => {
+                let n = r.take_u64()? as usize;
+                // Every key costs at least the u32 list length on the
+                // wire, so an honest count can't exceed the bytes left.
+                if n > r.remaining() / 4 {
+                    return Err(SerialError::Truncated);
+                }
+                let mut lists = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let m = r.take_u32()? as usize;
+                    // Each name costs at least its u32 length prefix.
+                    if m > r.remaining() / 4 {
+                        return Err(SerialError::Truncated);
+                    }
+                    let mut names = Vec::with_capacity(m);
+                    for _ in 0..m {
+                        names.push(take_name(&mut r)?);
+                    }
+                    lists.push(names);
+                }
+                Response::NameLists(lists)
+            }
             _ => return Err(SerialError::Corrupt("unknown response opcode")),
         })
     }
@@ -721,6 +774,10 @@ mod tests {
         roundtrip_request(Request::Metrics);
         roundtrip_request(Request::Snapshot { name: "f".into() });
         roundtrip_request(Request::Forget { name: "f".into() });
+        roundtrip_request(Request::MultiContains {
+            keys: vec![0, 42, u64::MAX],
+        });
+        roundtrip_request(Request::MultiContains { keys: vec![] });
     }
 
     #[test]
@@ -748,6 +805,23 @@ mod tests {
             bytes: vec![0xde, 0xad, 0xbe, 0xef],
         };
         assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        let resp = Response::NameLists(vec![
+            vec!["a".into(), "bb".into()],
+            vec![],
+            vec!["zz".into()],
+        ]);
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        let resp = Response::NameLists(vec![]);
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        // A truncated name-lists body is rejected, not panicking —
+        // including an honest-looking but oversized key count.
+        let good = Response::NameLists(vec![vec!["abc".into()]; 3]).encode();
+        for cut in 12..good.len() {
+            assert!(Response::decode(&good[..cut]).is_err());
+        }
+        let mut bad = good.clone();
+        bad[12] = 0xff;
+        assert!(Response::decode(&bad).is_err());
         // Non-UTF-8 text bodies are rejected, not lossily decoded.
         let mut bad = Response::Text("abc".into()).encode();
         let n = bad.len();

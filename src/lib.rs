@@ -51,6 +51,7 @@
 
 pub use adaptive;
 pub use biofilter;
+pub use bloofi;
 pub use bloom;
 pub use compacting;
 pub use concurrent;

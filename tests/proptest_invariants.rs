@@ -553,3 +553,125 @@ fn batched_matches_pointwise<F: beyond_bloom::core::BatchedFilter>(
         "{label}: contains_batch diverges from scalar contains"
     );
 }
+
+// ===============================================================
+// Bloofi hierarchical index vs flat-scan oracle (over the wire)
+// ===============================================================
+
+proptest! {
+    // Each case boots a real threaded server, so fewer cases than the
+    // in-process suites above — the op interleavings inside a case do
+    // the exploring.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random CREATE/INSERT/FORGET interleavings over mixed backends:
+    /// MULTI_CONTAINS (Bloofi descent + leaf confirmation) must name
+    /// every filter that truly holds a key (zero false negatives),
+    /// and may name a filter only when that filter itself answers
+    /// positive (false positives only where a leaf false-positives).
+    /// The compacting backend is excluded: its false-positive answers
+    /// shift with background compaction timing, which would race the
+    /// oracle re-probe.
+    #[test]
+    fn bloofi_matches_flat_scan(
+        ops in prop::collection::vec(
+            (0u8..8, 0usize..5, prop::collection::vec(any::<u64>(), 1..24)),
+            1..40,
+        ),
+        probes in prop::collection::vec(any::<u64>(), 1..64),
+    ) {
+        use beyond_bloom::service::{Backend, FilterClient, FilterServer, ServerConfig};
+        let backends = [
+            Backend::AtomicBloom,
+            Backend::ShardedCuckoo,
+            Backend::ShardedCqf,
+            Backend::RegisterBloom,
+            Backend::TwoChoiceBloom,
+        ];
+        let server = FilterServer::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind ephemeral");
+        let mut c = FilterClient::connect(server.local_addr()).unwrap();
+        let mut model: HashMap<String, BTreeSet<u64>> = HashMap::new();
+        for (kind, slot, keys) in ops {
+            let name = format!("pf-{slot}");
+            let create = |c: &mut FilterClient| {
+                c.create(&name, backends[slot], 4_096, 0.01, 2, slot as u64)
+            };
+            match kind {
+                // FORGET when the filter exists (tree node removal).
+                0 => {
+                    if model.remove(&name).is_some() {
+                        c.forget(&name).unwrap();
+                    }
+                }
+                // Bare CREATE (empty tracked leaf).
+                1 | 2 => {
+                    if let std::collections::hash_map::Entry::Vacant(e) =
+                        model.entry(name.clone())
+                    {
+                        create(&mut c).unwrap();
+                        e.insert(BTreeSet::new());
+                    }
+                }
+                // INSERT a batch, creating on demand so inserts
+                // dominate the interleaving. Keys already present are
+                // skipped: the model then matches the filter exactly,
+                // and no backend sees pathological duplicate floods.
+                _ => {
+                    if !model.contains_key(&name) {
+                        create(&mut c).unwrap();
+                        model.insert(name.clone(), BTreeSet::new());
+                    }
+                    let inserted = model.get_mut(&name).unwrap();
+                    let fresh: Vec<u64> =
+                        keys.iter().copied().filter(|k| inserted.insert(*k)).collect();
+                    if !fresh.is_empty() {
+                        c.insert(&name, &fresh).unwrap();
+                    }
+                }
+            }
+        }
+        // Probe every key ever inserted (the no-false-negative side)
+        // plus random keys (the false-positive side).
+        let mut all_probes: Vec<u64> = model.values().flatten().copied().collect();
+        all_probes.extend(&probes);
+        all_probes.sort_unstable();
+        all_probes.dedup();
+        let lists = c.multi_contains(&all_probes).unwrap();
+        prop_assert_eq!(lists.len(), all_probes.len());
+        // Flat-scan oracle: each surviving filter answers pointwise.
+        let mut flat: HashMap<String, Vec<bool>> = HashMap::new();
+        for name in model.keys() {
+            flat.insert(name.clone(), c.contains(name, &all_probes).unwrap());
+        }
+        for (i, (&key, names)) in all_probes.iter().zip(&lists).enumerate() {
+            for (name, inserted) in &model {
+                if inserted.contains(&key) {
+                    prop_assert!(
+                        names.contains(name),
+                        "false negative: {} holds {} but MULTI_CONTAINS omitted it",
+                        name,
+                        key
+                    );
+                }
+            }
+            for name in names {
+                prop_assert_eq!(
+                    flat.get(name).map(|b| b[i]),
+                    Some(true),
+                    "{} reported for {} without the filter confirming",
+                    name,
+                    key
+                );
+            }
+        }
+        drop(c);
+        server.shutdown();
+    }
+}

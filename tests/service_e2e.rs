@@ -621,9 +621,16 @@ fn metrics_exposition_is_valid_and_spans_layers() {
         "bb_server_pipelined_depth",
         "bb_filter_keys",
         "bb_filter_size_bytes",
+        "bb_filter_inventory_truncated",
+        "bb_bloofi_depth",
+        "bb_bloofi_nodes",
     ] {
         assert!(expo.has_family(fam), "missing family {fam}");
     }
+    // Three filters fit comfortably under the inventory series cap.
+    assert_eq!(expo.value("bb_filter_inventory_truncated").unwrap(), 0.0);
+    // The hierarchical index tracks every registered filter.
+    assert!(expo.value("bb_bloofi_nodes").unwrap() >= 1.0);
     // The SIMD tier info gauge is exported at registry init and
     // matches the level the dispatcher actually resolved.
     assert_eq!(
@@ -664,6 +671,20 @@ fn metrics_exposition_is_valid_and_spans_layers() {
     c.create("mx-ev", Backend::AtomicBloom, 10_000, 0.01, 0, 14)
         .unwrap();
     c.insert("mx-ev", &unique_keys(911, 1_000)).unwrap();
+    // Push the registry past the inventory series cap: the per-filter
+    // gauges stop at 64 series and the overflow is reported, not
+    // silently dropped.
+    for i in 0..70 {
+        c.create(
+            &format!("mx-cap-{i:03}"),
+            Backend::AtomicBloom,
+            64,
+            0.01,
+            0,
+            i,
+        )
+        .unwrap();
+    }
     let text = c.metrics_text().unwrap();
     let expo = beyond_bloom::telemetry::expo::parse(&text)
         .unwrap_or_else(|e| panic!("evented exposition failed validation: {e}\n---\n{text}"));
@@ -680,6 +701,18 @@ fn metrics_exposition_is_valid_and_spans_layers() {
         expo.value("bb_simd_level").unwrap(),
         beyond_bloom::core::simd::active_level().code() as f64,
         "evented transport must export the same SIMD tier gauge"
+    );
+    // 71 registered filters, 64-series inventory cap: exactly 7
+    // omitted, and the gauge says so.
+    assert_eq!(
+        expo.value("bb_filter_inventory_truncated").unwrap(),
+        7.0,
+        "inventory truncation gauge must count omitted filters"
+    );
+    assert_eq!(
+        text.matches("bb_filter_keys{").count(),
+        64,
+        "per-filter inventory must stop at the series cap"
     );
     drop(c);
     server.shutdown();
@@ -837,6 +870,14 @@ fn equivalence_script(addr: SocketAddr) -> (Vec<Vec<u8>>, [u64; 8]) {
     out.push(c.call(&Request::Contains {
         name: "eq-l".to_string(),
         keys: keys.clone(),
+    }));
+    // MULTI_CONTAINS over inserted keys: every key was inserted into
+    // all six filters, so the per-key name lists are exact and
+    // bit-stable on both transports. Negative probes are excluded —
+    // a compacting-backend false positive would depend on background
+    // compaction timing.
+    out.push(c.call(&Request::MultiContains {
+        keys: keys[..500].to_vec(),
     }));
     out.push(c.call(&Request::Count {
         name: "eq-q".to_string(),
