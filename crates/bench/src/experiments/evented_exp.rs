@@ -120,7 +120,7 @@ fn drive(
                         }
                         for m in &mut muxes {
                             match m.reader.read_frame().expect("read") {
-                                FrameEvent::Frame(p) => {
+                                FrameEvent::Frame(p, _) => {
                                     hist.record(m.sent_at.elapsed());
                                     std::hint::black_box(p);
                                 }

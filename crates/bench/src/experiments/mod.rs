@@ -16,9 +16,10 @@ pub mod service_exp;
 pub mod simd;
 pub mod space_fpr;
 pub mod telemetry_exp;
+pub mod trace_exp;
 pub mod two_choice_exp;
 
-/// Run one experiment by id (`e1`..`e26`), or `all`.
+/// Run one experiment by id (`e1`..`e27`), or `all`.
 pub fn run(id: &str) -> bool {
     match id {
         "e1" | "e1-space" => space_fpr::e1_space(),
@@ -47,11 +48,12 @@ pub fn run(id: &str) -> bool {
         "e24" | "e24-evented" => evented_exp::e24_evented(),
         "e25" | "e25-two-choice" => two_choice_exp::e25_two_choice(),
         "e26" | "e26-bloofi" => bloofi_exp::e26_bloofi(),
+        "e27" | "e27-trace" => trace_exp::e27_trace(),
         "all" => {
             for e in [
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
                 "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25",
-                "e26",
+                "e26", "e27",
             ] {
                 run(e);
                 println!();

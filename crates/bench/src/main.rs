@@ -21,7 +21,7 @@ fn main() {
     };
     if !ok {
         eprintln!(
-            "unknown experiment '{arg}'; use e1..e26 (e.g. e10-range), 'all', \
+            "unknown experiment '{arg}'; use e1..e27 (e.g. e10-range), 'all', \
              or 'serve <threaded|evented>'"
         );
         std::process::exit(1);

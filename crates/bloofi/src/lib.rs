@@ -705,6 +705,8 @@ impl BloofiIndex {
     /// key (resolve names with [`leaf_name`](Self::leaf_name)); the
     /// descent-width histogram records probes per key.
     pub fn multi_contains_chunk(&self, keys: &[u64], out: &mut Vec<Vec<u32>>) {
+        let descent_sp = telemetry::trace::span("bloofi:descent");
+        let mut total_probes = 0u64;
         out.resize_with(keys.len(), Vec::new);
         for v in out.iter_mut() {
             v.clear();
@@ -770,7 +772,9 @@ impl BloofiIndex {
                 std::mem::swap(&mut frontier, &mut next);
             }
             DESCENT_WIDTH.observe(probes);
+            total_probes += probes;
         }
+        descent_sp.annotate(u64::from(self.depth()), total_probes);
     }
 
     /// Candidate leaves for a single key (convenience wrapper over

@@ -119,6 +119,11 @@ struct Front {
 struct FrontLog {
     keys: Vec<u64>,
     sealed: bool,
+    /// Trace handoff captured at seal time on the sealing thread: if
+    /// the seal happened inside a traced request, the background
+    /// compaction that drains this front records a span linked back
+    /// to that request's trace.
+    handoff: Option<telemetry::trace::SpanHandoff>,
 }
 
 impl Front {
@@ -132,6 +137,7 @@ impl Front {
             log: Mutex::new(FrontLog {
                 keys: Vec::with_capacity(cfg.front_capacity),
                 sealed: false,
+                handoff: None,
             }),
         }
     }
@@ -500,6 +506,10 @@ impl Inner {
                 return false;
             }
             log.sealed = true;
+            // The sealing thread is the request thread (seal runs
+            // inline from insert/flush), so its thread-local trace —
+            // if any — is the request this seal belongs to.
+            log.handoff = telemetry::trace::handoff();
             n_keys = log.keys.len();
         }
         let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
@@ -565,6 +575,7 @@ fn plan_merge(tiers: &[Arc<Tier>], incoming: usize, cfg: &CompactingConfig) -> u
 /// exactly one mutator. Returns the number of fronts drained.
 fn compact_once(inner: &Inner, full: bool) -> usize {
     let _t = crate::COMPACTION_NS.span();
+    let t0 = std::time::Instant::now();
     let state = inner.snapshot();
     let drained = state.sealed.clone();
     if drained.is_empty() && !(full && state.tiers.len() > 1) {
@@ -573,8 +584,11 @@ fn compact_once(inner: &Inner, full: bool) -> usize {
     // Everything below — clone, sort, dedup, fuse build — happens
     // outside every lock; readers keep probing the old state.
     let mut keys: Vec<u64> = Vec::new();
+    let mut handoffs: Vec<telemetry::trace::SpanHandoff> = Vec::new();
     for f in &drained {
-        keys.extend_from_slice(&lock(&f.log).keys);
+        let mut log = lock(&f.log);
+        keys.extend_from_slice(&log.keys);
+        handoffs.extend(log.handoff.take());
     }
     let merged = if full {
         state.tiers.len()
@@ -633,6 +647,19 @@ fn compact_once(inner: &Inner, full: bool) -> usize {
     crate::COMPACTIONS.inc();
     crate::TIERS.add(n_tiers as i64 - cur.tiers.len() as i64);
     telemetry::emit(EventKind::TierCompacted, tier_keys as u64, n_tiers as u64);
+    // Link the compaction back to every traced request whose seal it
+    // drained — the cross-thread half of the trace (rendered as a
+    // flow arrow in the Chrome trace viewer).
+    let dur = t0.elapsed();
+    for h in handoffs {
+        telemetry::trace::record_linked(
+            h,
+            "compacting:compact",
+            dur,
+            tier_keys as u64,
+            n_tiers as u64,
+        );
+    }
     drained.len()
 }
 

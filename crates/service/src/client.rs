@@ -8,11 +8,12 @@
 
 use crate::metrics::StatsReport;
 use crate::proto::{
-    write_frame, Backend, ErrorCode, FrameError, FrameEvent, FrameReader, Request, Response,
+    write_frame_traced, Backend, ErrorCode, FrameError, FrameEvent, FrameReader, Request, Response,
     DEFAULT_MAX_FRAME,
 };
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use telemetry::trace::{Trace, TraceContext};
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -83,10 +84,23 @@ impl FilterClient {
 
     /// Send one request and block for its response.
     pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.stream, &req.encode())?;
+        self.call_traced(req, None)
+    }
+
+    /// Send one request carrying an optional trace context and block
+    /// for its response. With `ctx: None` the frame is byte-identical
+    /// to an untraced [`FilterClient::call`]; with `Some` the server
+    /// joins the caller's trace (its root span parents onto
+    /// `ctx.span_id`).
+    pub fn call_traced(
+        &mut self,
+        req: &Request,
+        ctx: Option<TraceContext>,
+    ) -> Result<Response, ClientError> {
+        write_frame_traced(&mut self.stream, &req.encode(), ctx.as_ref())?;
         loop {
             match self.frames.read_frame() {
-                Ok(FrameEvent::Frame(payload)) => {
+                Ok(FrameEvent::Frame(payload, _)) => {
                     return Response::decode(&payload).map_err(ClientError::Protocol)
                 }
                 Ok(FrameEvent::Closed) => return Err(ClientError::ServerClosed),
@@ -261,6 +275,29 @@ impl FilterClient {
             name: name.to_string(),
         })?;
         Self::expect_ok(resp)
+    }
+
+    /// TRACES: drain the server's completed-trace store as structured
+    /// spans ([`crate::cluster::ClusterClient::trace_route`] merges
+    /// these across nodes into one cross-process trace).
+    pub fn traces(&mut self) -> Result<Vec<Trace>, ClientError> {
+        let resp = self.call(&Request::Traces { json: false })?;
+        match resp {
+            Response::Traces(t) => Ok(t),
+            Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+            _ => Err(ClientError::Unexpected("wanted Traces")),
+        }
+    }
+
+    /// TRACES as Chrome `trace_event` JSON, loadable in
+    /// `about:tracing` or Perfetto.
+    pub fn traces_json(&mut self) -> Result<String, ClientError> {
+        let resp = self.call(&Request::Traces { json: true })?;
+        match resp {
+            Response::Text(t) => Ok(t),
+            Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+            _ => Err(ClientError::Unexpected("wanted Text")),
+        }
     }
 
     /// The underlying stream (tests use this to simulate abrupt

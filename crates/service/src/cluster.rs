@@ -30,9 +30,10 @@
 
 use crate::client::{ClientError, FilterClient};
 use crate::metrics::StatsReport;
-use crate::proto::Backend;
+use crate::proto::{Backend, Request, Response};
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
+use telemetry::trace::{SpanRecord, Trace};
 
 /// Virtual points each node contributes to the ring. More points →
 /// smoother load split and finer-grained remapping at membership
@@ -158,6 +159,21 @@ pub struct MigrationReport {
     pub moved: Vec<Migration>,
     /// Filters whose owner arc was untouched and stayed put.
     pub retained: usize,
+}
+
+/// A trace whose client-side spans are already closed but whose
+/// server-side spans have not been harvested yet (the in-between
+/// state of [`ClusterClient::trace_route_begin`] /
+/// [`ClusterClient::trace_collect`]).
+#[derive(Debug)]
+pub struct PendingTrace {
+    /// The forced root's trace id — the join key for server spans.
+    pub trace_id: u64,
+    /// Client-side spans: the root plus one `rpc:{addr}` per call.
+    pub spans: Vec<SpanRecord>,
+    /// Traced RPCs issued — collection retries until this many
+    /// `server:request` spans have been harvested (or a deadline).
+    pub expected_rpcs: usize,
 }
 
 struct Node {
@@ -298,6 +314,120 @@ impl ClusterClient {
             m.dedup();
         }
         Ok(merged)
+    }
+
+    /// Trace one routed request across the whole cluster: probe
+    /// `keys` on every node (a cluster-wide MULTI_CONTAINS, each RPC
+    /// carrying the trace context on the wire), then fetch each
+    /// node's completed traces and merge the spans that belong to
+    /// this trace into one cross-process [`Trace`]. Convenience
+    /// wrapper over [`ClusterClient::trace_route_begin`] +
+    /// [`ClusterClient::trace_collect`].
+    pub fn trace_route(&mut self, key: u64) -> Result<Trace, ClusterError> {
+        let pending = self.trace_route_begin(key, None)?;
+        self.trace_collect(pending)
+    }
+
+    /// First half of [`ClusterClient::trace_route`]: run the traced
+    /// RPCs and return the client-side spans, without collecting the
+    /// server-side halves yet. The split exists so callers can wait
+    /// for asynchronous server work linked to the trace (background
+    /// compaction after a traced INSERT seals a tier) before
+    /// harvesting. `insert_into`, when set, first sends a traced
+    /// INSERT of `key` into that filter on its owner.
+    pub fn trace_route_begin(
+        &mut self,
+        key: u64,
+        insert_into: Option<&str>,
+    ) -> Result<PendingTrace, ClusterError> {
+        let guard = telemetry::trace::begin_forced("cluster:trace_route");
+        let result = self.trace_route_rpcs(key, insert_into);
+        // Close the root even on error so the thread-local slot is
+        // never left dangling.
+        let (trace_id, spans) = guard.finish_collect();
+        result?;
+        Ok(PendingTrace {
+            trace_id,
+            spans,
+            expected_rpcs: usize::from(insert_into.is_some()) + self.nodes.len(),
+        })
+    }
+
+    /// The traced RPC fan-out inside the root span: optional INSERT
+    /// to the key's filter owner, then MULTI_CONTAINS to every node.
+    fn trace_route_rpcs(
+        &mut self,
+        key: u64,
+        insert_into: Option<&str>,
+    ) -> Result<(), ClusterError> {
+        if let Some(name) = insert_into {
+            let idx = self.ring.owner(name);
+            let addr = self.nodes[idx].addr;
+            let sp = telemetry::trace::span(format!("rpc:{addr}"));
+            sp.annotate(1, 0);
+            let ctx = telemetry::trace::current_context(true);
+            let resp = self.conn(idx)?.call_traced(
+                &Request::Insert {
+                    name: name.to_string(),
+                    keys: vec![key],
+                },
+                ctx,
+            )?;
+            if let Response::Error { code, message } = resp {
+                return Err(ClusterError::Client(ClientError::Remote { code, message }));
+            }
+        }
+        for idx in 0..self.nodes.len() {
+            let addr = self.nodes[idx].addr;
+            let sp = telemetry::trace::span(format!("rpc:{addr}"));
+            sp.annotate(1, 0);
+            let ctx = telemetry::trace::current_context(true);
+            let resp = self
+                .conn(idx)?
+                .call_traced(&Request::MultiContains { keys: vec![key] }, ctx)?;
+            if let Response::Error { code, message } = resp {
+                return Err(ClusterError::Client(ClientError::Remote { code, message }));
+            }
+        }
+        Ok(())
+    }
+
+    /// Second half of [`ClusterClient::trace_route`]: drain every
+    /// node's trace store, keep the spans whose `trace_id` matches,
+    /// and merge them with the client-side spans into one trace
+    /// ordered by start time. Servers promote a request's trace just
+    /// after writing its response, so the last RPC's spans can lag
+    /// the client by a scheduling beat — collection retries (briefly)
+    /// until every traced RPC has contributed its `server:request`
+    /// span.
+    pub fn trace_collect(&mut self, pending: PendingTrace) -> Result<Trace, ClusterError> {
+        let PendingTrace {
+            trace_id,
+            mut spans,
+            expected_rpcs,
+        } = pending;
+        if trace_id == 0 {
+            // Tracing is compiled out or switched off: nothing was
+            // recorded anywhere; skip the collection round-trips.
+            return Ok(Trace { trace_id, spans });
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        loop {
+            for idx in 0..self.nodes.len() {
+                for trace in self.conn(idx)?.traces()? {
+                    if trace.trace_id == trace_id {
+                        spans.extend(trace.spans);
+                    }
+                }
+            }
+            let served = spans.iter().filter(|s| s.name == "server:request").count();
+            if served >= expected_rpcs || std::time::Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        spans.sort_by_key(|s: &SpanRecord| s.start_us);
+        Ok(Trace { trace_id, spans })
     }
 
     /// Ship `name`'s snapshot to its next `copies` ring successors as

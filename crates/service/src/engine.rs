@@ -27,12 +27,13 @@ use cuckoo::CuckooFilter;
 use filter_core::{BatchedFilter, ByteReader, ByteWriter, Filter, FilterError, SerialError};
 use quotient::CountingQuotientFilter;
 use std::collections::btree_map::Entry;
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, RwLock};
-use std::time::Duration;
+use std::collections::{BTreeMap, VecDeque};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, SystemTime};
 use telemetry::expo::{FamilyKind, TextRenderer};
-use telemetry::{EventKind, EventRing, StaticCounter, StaticGauge};
+use telemetry::{StaticCounter, StaticGauge};
 
 /// Requests fully served (response written), across every server in
 /// the process.
@@ -103,6 +104,7 @@ pub(crate) fn register_all_layers() {
     concurrent::register_metrics();
     compacting::register_metrics();
     bloofi::register_metrics();
+    telemetry::trace::register_metrics();
     register_metrics();
 }
 
@@ -309,8 +311,10 @@ fn decode_shard_envelope(bytes: &[u8]) -> Option<Result<Vec<Vec<u8>>, SerialErro
 }
 
 /// Per-request context carried from dispatch to the slow-request log.
+/// Opaque outside the crate; benches that drive [`dispatch`] directly
+/// simply discard it.
 #[derive(Clone, Copy)]
-pub(crate) struct ReqInfo {
+pub struct ReqInfo {
     /// Wire opcode (1..=9), or 0 when the payload failed decoding.
     op: u8,
     /// Backend the request resolved to, when it named a filter.
@@ -371,8 +375,90 @@ impl ReqInfo {
             8 => "SNAPSHOT",
             9 => "FORGET",
             10 => "MULTI_CONTAINS",
+            11 => "TRACES",
             _ => "BAD",
         }
+    }
+}
+
+/// One entry of the slow-request log.
+pub(crate) struct SlowEntry {
+    /// Monotone sequence number (total slow requests ever logged).
+    pub seq: u64,
+    /// Wall-clock microseconds since the UNIX epoch.
+    pub t_us: u64,
+    /// Service time in nanoseconds.
+    pub latency_ns: u64,
+    /// Packed opcode/backend/batch context ([`ReqInfo::packed`]).
+    pub packed: u64,
+    /// The requesting peer, when the transport knows it.
+    pub peer: Option<SocketAddr>,
+    /// Trace the request belonged to (0 when untraced).
+    pub trace_id: u64,
+}
+
+/// Bounded newest-first slow-request log. Unlike the telemetry
+/// [`telemetry::EventRing`] it previously rode on, entries carry the
+/// peer address and trace id, and overwrites on wrap are counted
+/// (`dropped`) instead of silent.
+pub(crate) struct SlowLog {
+    cap: usize,
+    emitted: AtomicU64,
+    entries: Mutex<VecDeque<SlowEntry>>,
+}
+
+impl SlowLog {
+    fn new(cap: usize) -> SlowLog {
+        SlowLog {
+            cap: cap.max(1),
+            emitted: AtomicU64::new(0),
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn emit(&self, latency_ns: u64, packed: u64, peer: Option<SocketAddr>, trace_id: u64) {
+        let seq = self.emitted.fetch_add(1, Ordering::Relaxed);
+        let t_us = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_micros().min(u64::MAX as u128) as u64)
+            .unwrap_or(0);
+        let mut g = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        if g.len() == self.cap {
+            g.pop_front();
+        }
+        g.push_back(SlowEntry {
+            seq,
+            t_us,
+            latency_ns,
+            packed,
+            peer,
+            trace_id,
+        });
+    }
+
+    /// Oldest-to-newest copy of the retained entries.
+    pub(crate) fn snapshot(&self) -> Vec<SlowEntry> {
+        let g = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        g.iter()
+            .map(|e| SlowEntry {
+                seq: e.seq,
+                t_us: e.t_us,
+                latency_ns: e.latency_ns,
+                packed: e.packed,
+                peer: e.peer,
+                trace_id: e.trace_id,
+            })
+            .collect()
+    }
+
+    /// Entries ever logged.
+    pub(crate) fn emitted(&self) -> u64 {
+        self.emitted.load(Ordering::Relaxed)
+    }
+
+    /// Entries overwritten by wrap (0 until the log fills).
+    pub(crate) fn dropped(&self) -> u64 {
+        self.emitted().saturating_sub(self.cap as u64)
     }
 }
 
@@ -484,8 +570,9 @@ pub struct Engine {
     pub(crate) index: RwLock<BloofiIndex>,
     pub(crate) metrics: ServerMetrics,
     /// Slow-request log: newest 256 requests over the threshold, with
-    /// packed opcode/backend/batch context (see [`ReqInfo::packed`]).
-    pub(crate) slowlog: EventRing,
+    /// packed opcode/backend/batch context (see [`ReqInfo::packed`]),
+    /// the peer address, and the trace id when the request was traced.
+    pub(crate) slowlog: SlowLog,
     pub(crate) stop: AtomicBool,
     pub(crate) config: ServerConfig,
 }
@@ -497,7 +584,7 @@ impl Engine {
             registry: RwLock::new(BTreeMap::new()),
             index: RwLock::new(BloofiIndex::new(BloofiConfig::default())),
             metrics: ServerMetrics::new(),
-            slowlog: EventRing::new(256),
+            slowlog: SlowLog::new(256),
             stop: AtomicBool::new(false),
             config,
         }
@@ -592,8 +679,10 @@ impl Engine {
         // Lock order: registry before index, matching every
         // structural site, so CREATE/FORGET can never deadlock
         // against a concurrent MULTI_CONTAINS.
-        let reg = read_lock(&self.registry);
-        let idx = read_lock(&self.index);
+        let (reg, idx) = {
+            let _lock_sp = telemetry::trace::span("engine:lock");
+            (read_lock(&self.registry), read_lock(&self.index))
+        };
         let mut out = Vec::with_capacity(keys.len());
         let mut candidates = Vec::new();
         for chunk in keys.chunks(filter_core::PROBE_CHUNK) {
@@ -631,17 +720,29 @@ impl Engine {
     /// Account one fully-served request: latency histogram, process
     /// counters, and the slow-request log. Both transports call this
     /// with the same ordering (after the response is written or
-    /// queued), which is what keeps their STATS deltas identical.
-    pub(crate) fn record_request(&self, dt: Duration, info: ReqInfo) {
+    /// queued, passing the request guard's trace id — minted on
+    /// demand for slow requests — so the slow-log line and the
+    /// tail-captured trace share an id), which is what keeps their
+    /// STATS deltas identical. Public for the same reason as
+    /// [`dispatch`]: the E27 bench harness drives the exact per-frame
+    /// accounting path in-process, without sockets.
+    pub fn record_request(
+        &self,
+        dt: Duration,
+        info: ReqInfo,
+        peer: Option<SocketAddr>,
+        trace_id: u64,
+    ) {
         self.metrics.request_latency.record(dt);
         SERVICE_REQUESTS.inc();
         if dt >= self.config.slow_request_threshold {
             self.metrics.slow_requests.inc();
             SERVICE_SLOW_REQUESTS.inc();
             self.slowlog.emit(
-                EventKind::SlowRequest,
                 dt.as_nanos().min(u64::MAX as u128) as u64,
                 info.packed(),
+                peer,
+                trace_id,
             );
         }
     }
@@ -668,8 +769,9 @@ fn filter_err(e: FilterError) -> Response {
 
 /// Decode one frame payload and execute it against the registry.
 /// Returns the response plus the request context the slow-request log
-/// records.
-pub(crate) fn dispatch(engine: &Engine, payload: &[u8]) -> (Response, ReqInfo) {
+/// records. Public so the bench harness (E27) can drive the exact
+/// server dispatch path in-process, without sockets.
+pub fn dispatch(engine: &Engine, payload: &[u8]) -> (Response, ReqInfo) {
     let m = &engine.metrics;
     let req = match Request::decode(payload) {
         Ok(Ok(req)) => req,
@@ -789,6 +891,15 @@ pub(crate) fn dispatch(engine: &Engine, payload: &[u8]) -> (Response, ReqInfo) {
                 },
             )
         }
+        Request::Traces { json } => {
+            let traces = telemetry::trace::store().take();
+            let resp = if json {
+                Response::Text(telemetry::trace::chrome_trace_json(&traces))
+            } else {
+                Response::Traces(traces)
+            };
+            (resp, ReqInfo::bare(11))
+        }
     }
 }
 
@@ -797,6 +908,9 @@ pub(crate) fn dispatch(engine: &Engine, payload: &[u8]) -> (Response, ReqInfo) {
 // so boxing would only add an allocation to the hot error path.
 #[allow(clippy::result_large_err)]
 fn lookup(engine: &Engine, name: &str) -> Result<Arc<ServedFilter>, Response> {
+    // The span covers registry lock acquisition + the name lookup;
+    // the filter call itself runs after the lock is released.
+    let _sp = telemetry::trace::span("engine:lock");
     read_lock(&engine.registry)
         .get(name)
         .cloned()
@@ -974,6 +1088,8 @@ fn handle_insert(engine: &Engine, name: &str, keys: &[u64]) -> (Response, Option
     // — never a false negative. (A failed filter insert below leaves
     // harmless extra index bits.)
     read_lock(&engine.index).insert_keys(name, keys);
+    let sp = telemetry::trace::span("engine:insert");
+    sp.annotate(keys.len() as u64, 0);
     let resp = match &*f {
         ServedFilter::Bloom(b) => {
             b.insert_batch(keys);
@@ -1015,6 +1131,8 @@ fn handle_contains(engine: &Engine, name: &str, keys: &[u64]) -> (Response, Opti
     if keys.len() > 1 {
         engine.metrics.batched_ops.add(keys.len() as u64);
     }
+    let sp = telemetry::trace::span("engine:probe");
+    sp.annotate(keys.len() as u64, 0);
     let resp = Response::Bools(match &*f {
         ServedFilter::Bloom(b) => b.contains_batch(keys),
         ServedFilter::Cuckoo(c) => c.contains_batch(keys),
@@ -1111,6 +1229,8 @@ fn handle_multi_contains(engine: &Engine, keys: &[u64]) -> Response {
     if keys.len() > 1 {
         engine.metrics.batched_ops.add(keys.len() as u64);
     }
+    let sp = telemetry::trace::span("engine:multi_contains");
+    sp.annotate(keys.len() as u64, 0);
     Response::NameLists(engine.multi_contains(keys))
 }
 
@@ -1220,6 +1340,43 @@ pub(crate) fn render_metrics(engine: &Engine) -> String {
         &m.request_latency.snapshot(),
     );
 
+    // In live builds the Bloofi shape gauges render from the
+    // telemetry registry (the bloofi crate registers them eagerly).
+    // With telemetry compiled out the index still serves
+    // MULTI_CONTAINS, so render its shape straight from the engine's
+    // tree — the exposition keeps the same families in both modes.
+    if telemetry::compiled_out() {
+        let idx = read_lock(&engine.index);
+        r.gauge(
+            "bb_bloofi_depth",
+            "Height of the Bloofi index tree (interior levels above leaves).",
+            i64::from(idx.depth()),
+        );
+        r.gauge(
+            "bb_bloofi_nodes",
+            "Live nodes (leaves + interiors) in the Bloofi index tree.",
+            idx.node_count() as i64,
+        );
+        r.gauge(
+            "bb_simd_level",
+            "Active SIMD dispatch tier (1=swar, 2=sse2, 3=avx2, 4=avx512, 5=neon).",
+            i64::from(filter_core::simd::active_level().code()),
+        );
+        // No trace store exists in this build, so its drop counters
+        // are structurally zero — rendered anyway so scrape
+        // dashboards see the same families in both modes.
+        r.counter(
+            "bb_traces_dropped_total",
+            "Promoted traces evicted from the bounded trace store before being fetched.",
+            0,
+        );
+        r.counter(
+            "bb_trace_spans_dropped_total",
+            "Spans dropped by per-request buffer or orphan-pool bounds.",
+            0,
+        );
+    }
+
     // Inventory: one labelled series per registered filter, plus
     // per-shard op counts for the sharded backends.
     r.header(
@@ -1276,19 +1433,38 @@ pub(crate) fn render_metrics(engine: &Engine) -> String {
     }
     drop(reg);
 
+    // Overwrite accounting for the bounded in-memory logs: how many
+    // entries each has silently discarded since start (0 until wrap).
+    r.counter(
+        "bb_events_dropped",
+        "Events overwritten by wrap in the global telemetry event ring.",
+        telemetry::events().dropped(),
+    );
+    r.counter(
+        "bb_slow_log_dropped",
+        "Slow-request log entries overwritten by wrap.",
+        engine.slowlog.dropped(),
+    );
+
     // Slow-request log, newest last. Comment lines parse as legal
     // exposition text; scrapers that only want families skip them.
     for ev in engine.slowlog.snapshot() {
-        let (op, backend, batch) = ReqInfo::unpack(ev.b);
-        r.comment(&format!(
-            "slow seq={} t_us={} op={} backend={} batch={} latency_ns={}",
+        let (op, backend, batch) = ReqInfo::unpack(ev.packed);
+        let peer = ev.peer.map_or_else(|| "-".to_string(), |p| p.to_string());
+        let mut line = format!(
+            "slow seq={} t_us={} op={} backend={} batch={} latency_ns={} peer={}",
             ev.seq,
             ev.t_us,
             ReqInfo::op_name(op),
             backend,
             batch,
-            ev.a,
-        ));
+            ev.latency_ns,
+            peer,
+        );
+        if ev.trace_id != 0 {
+            line.push_str(&format!(" trace_id={:016x}", ev.trace_id));
+        }
+        r.comment(&line);
     }
     out.push_str(&r.finish());
     out

@@ -46,7 +46,7 @@
 //! runs the full e2e suite unchanged.
 
 use crate::engine::{dispatch, render_metrics, Engine, ServerConfig};
-use crate::proto::{ErrorCode, Response};
+use crate::proto::{ErrorCode, Response, FLAG_TRACE};
 use eventloop::{net, os_fd, BackendKind, Event, Interest, Poller, Token};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -55,6 +55,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+use telemetry::trace::TraceContext;
 
 /// Token 0 is the listener; connection n lives at token n + 1.
 const LISTENER: Token = Token(0);
@@ -62,6 +63,8 @@ const LISTENER: Token = Token(0);
 /// Per-connection state: the socket plus rolling I/O buffers.
 struct Conn {
     stream: TcpStream,
+    /// Peer address, cached at accept for the slow-request log.
+    peer: Option<SocketAddr>,
     /// Inbound bytes not yet parsed into frames. `start` is the parse
     /// cursor; `ibuf[start..]` is unconsumed.
     ibuf: Vec<u8>,
@@ -275,8 +278,10 @@ fn accept_ready(
                 }
                 engine.metrics.connections_opened.inc();
                 engine.metrics.open_connections.add(1);
+                let peer = stream.peer_addr().ok();
                 conns[idx] = Some(Conn {
                     stream,
+                    peer,
                     ibuf: Vec::new(),
                     start: 0,
                     obuf: Vec::new(),
@@ -323,11 +328,17 @@ fn conn_readable(engine: &Engine, conn: &mut Conn) -> bool {
         if avail < 4 {
             break;
         }
-        let len = u32::from_le_bytes(
+        let word = u32::from_le_bytes(
             conn.ibuf[conn.start..conn.start + 4]
                 .try_into()
                 .expect("4-byte slice"),
         );
+        // The trace flag is masked off before the size check, exactly
+        // as `FrameReader` does: a traced frame must not look
+        // oversized, and an untraced oversized frame must not look
+        // traced.
+        let traced = word & FLAG_TRACE != 0;
+        let len = word & !FLAG_TRACE;
         if len > engine.config.max_frame {
             // Same contract as the threaded path: answer with the
             // reason, then close — the unread body defeats resync.
@@ -346,18 +357,52 @@ fn conn_readable(engine: &Engine, conn: &mut Conn) -> bool {
             conn.close_after_flush = true;
             break;
         }
+        if traced && (len as usize) < TraceContext::WIRE_LEN {
+            m.protocol_errors.inc();
+            queue_response(
+                engine,
+                conn,
+                &Response::Error {
+                    code: ErrorCode::BadFrame,
+                    message: "traced frame shorter than its trace context".into(),
+                },
+            );
+            conn.close_after_flush = true;
+            break;
+        }
         if avail < 4 + len as usize {
             break; // partial frame: wait for more bytes
         }
         let frame_end = conn.start + 4 + len as usize;
+        // Strip the trace context off the front of the counted body;
+        // bytes_in counts the post-strip payload, keeping the
+        // deterministic counters identical to the threaded transport.
+        let ctx = if traced {
+            TraceContext::decode(&conn.ibuf[conn.start + 4..frame_end])
+        } else {
+            None
+        };
+        let payload_start = conn.start + 4 + if traced { TraceContext::WIRE_LEN } else { 0 };
         m.frames_received.inc();
-        m.bytes_in.add(len as u64);
+        m.bytes_in.add((frame_end - payload_start) as u64);
         let t0 = Instant::now();
+        let req_trace = telemetry::trace::begin("server:request", ctx);
         // In-place dispatch: the payload slice borrows the inbound
         // buffer directly.
-        let (resp, info) = dispatch(engine, &conn.ibuf[conn.start + 4..frame_end]);
+        let (resp, info) = dispatch(engine, &conn.ibuf[payload_start..frame_end]);
+        let error = matches!(resp, Response::Error { .. });
         queue_response(engine, conn, &resp);
-        engine.record_request(t0.elapsed(), info);
+        let dt = t0.elapsed();
+        let slow = dt >= engine.config.slow_request_threshold;
+        // Only a slow request reads (and, for an unsampled one,
+        // mints) its trace id — the fast path stays free of id work.
+        engine.record_request(
+            dt,
+            info,
+            conn.peer,
+            if slow { req_trace.trace_id() } else { 0 },
+        );
+        req_trace.finish_timed(dt, slow, error);
         conn.start = frame_end;
         conn.last_frame = Instant::now();
         depth += 1;
@@ -525,14 +570,14 @@ mod tests {
                 FrameReader::new(stream.try_clone().unwrap(), crate::proto::DEFAULT_MAX_FRAME);
             for _ in 0..n {
                 match frames.read_frame().unwrap() {
-                    FrameEvent::Frame(p) => {
+                    FrameEvent::Frame(p, _) => {
                         assert_eq!(Response::decode(&p).unwrap(), Response::Ok)
                     }
                     FrameEvent::Closed => panic!("closed early"),
                 }
             }
             match frames.read_frame().unwrap() {
-                FrameEvent::Frame(p) => match Response::decode(&p).unwrap() {
+                FrameEvent::Frame(p, _) => match Response::decode(&p).unwrap() {
                     Response::Counts(c) => assert!(c.iter().all(|&v| v >= 1)),
                     other => panic!("wanted Counts, got {other:?}"),
                 },
@@ -552,7 +597,7 @@ mod tests {
         let mut frames =
             FrameReader::new(stream.try_clone().unwrap(), crate::proto::DEFAULT_MAX_FRAME);
         match frames.read_frame().unwrap() {
-            FrameEvent::Frame(p) => match Response::decode(&p).unwrap() {
+            FrameEvent::Frame(p, _) => match Response::decode(&p).unwrap() {
                 Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadFrame),
                 other => panic!("wanted Error, got {other:?}"),
             },

@@ -29,7 +29,9 @@
 //! prefix cannot balloon memory.
 
 use filter_core::{ByteReader, ByteWriter, SerialError};
+use std::borrow::Cow;
 use std::io::{self, Read, Write};
+use telemetry::trace::{SpanRecord, Trace, TraceContext};
 
 /// Frame-payload magic: "BB" + F117 ("filter") + version-independent
 /// tag byte.
@@ -40,6 +42,13 @@ pub const PROTO_VERSION: u32 = 1;
 /// Default upper bound on a frame payload (8 MiB ≈ one million keys
 /// per batch); both sides refuse larger length prefixes outright.
 pub const DEFAULT_MAX_FRAME: u32 = 8 * 1024 * 1024;
+/// Frame-length-word flag bit: when set, the counted body begins with
+/// a 17-byte [`TraceContext`] before the payload proper. Untraced
+/// frames never set it, so they stay byte-identical to the pre-trace
+/// wire format; the bit sits far above any sane `max_frame`, so an
+/// old peer that doesn't mask it simply rejects the frame as
+/// oversized instead of misparsing it.
+pub const FLAG_TRACE: u32 = 1 << 31;
 /// Longest accepted filter name in bytes.
 pub const MAX_NAME_LEN: usize = 255;
 
@@ -171,6 +180,7 @@ const OP_METRICS: u32 = 7;
 const OP_SNAPSHOT: u32 = 8;
 const OP_FORGET: u32 = 9;
 const OP_MULTI_CONTAINS: u32 = 10;
+const OP_TRACES: u32 = 11;
 
 // Response opcodes (high range).
 const OP_OK: u32 = 128;
@@ -181,6 +191,7 @@ const OP_ERROR: u32 = 132;
 const OP_TEXT: u32 = 133;
 const OP_BLOB: u32 = 134;
 const OP_NAME_LISTS: u32 = 135;
+const OP_TRACES_REPORT: u32 = 136;
 
 /// A client request frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -266,6 +277,13 @@ pub enum Request {
         /// Keys to look up across every registered filter.
         keys: Vec<u64>,
     },
+    /// Drain the server's completed-trace store; answered by
+    /// [`Response::Traces`] (or [`Response::Text`] with Chrome
+    /// `trace_event` JSON when `json` is set).
+    Traces {
+        /// Answer as Chrome trace JSON text instead of binary spans.
+        json: bool,
+    },
 }
 
 /// A server response frame.
@@ -301,6 +319,9 @@ pub enum Response {
     /// request's keys (the MULTI_CONTAINS answer); each list is
     /// sorted and duplicate-free.
     NameLists(Vec<Vec<String>>),
+    /// Completed traces drained from the server's store (the TRACES
+    /// answer).
+    Traces(Vec<Trace>),
 }
 
 fn put_header(w: &mut ByteWriter, opcode: u32) {
@@ -436,6 +457,10 @@ impl Request {
                 put_header(&mut w, OP_MULTI_CONTAINS);
                 w.put_u64_slice(keys);
             }
+            Request::Traces { json } => {
+                put_header(&mut w, OP_TRACES);
+                w.put_u32(u32::from(*json));
+            }
         }
         w.into_bytes()
     }
@@ -484,6 +509,9 @@ impl Request {
                 },
                 OP_MULTI_CONTAINS => Request::MultiContains {
                     keys: r.take_u64_vec()?,
+                },
+                OP_TRACES => Request::Traces {
+                    json: r.take_u32()? != 0,
                 },
                 other => return Ok(Err(other)),
             }))
@@ -542,6 +570,17 @@ impl Response {
                     }
                 }
             }
+            Response::Traces(traces) => {
+                put_header(&mut w, OP_TRACES_REPORT);
+                w.put_u64(traces.len() as u64);
+                for t in traces {
+                    w.put_u64(t.trace_id);
+                    w.put_u32(t.spans.len() as u32);
+                    for s in &t.spans {
+                        put_span(&mut w, s);
+                    }
+                }
+            }
         }
         w.into_bytes()
     }
@@ -594,9 +633,71 @@ impl Response {
                 }
                 Response::NameLists(lists)
             }
+            OP_TRACES_REPORT => {
+                let n = r.take_u64()? as usize;
+                // Each trace costs at least its u64 id + u32 count.
+                if n > r.remaining() / 12 {
+                    return Err(SerialError::Truncated);
+                }
+                let mut traces = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let trace_id = r.take_u64()?;
+                    let m = r.take_u32()? as usize;
+                    // Each span costs at least its fixed fields.
+                    if m > r.remaining() / SPAN_WIRE_MIN {
+                        return Err(SerialError::Truncated);
+                    }
+                    let mut spans = Vec::with_capacity(m);
+                    for _ in 0..m {
+                        spans.push(take_span(&mut r)?);
+                    }
+                    traces.push(Trace { trace_id, spans });
+                }
+                Response::Traces(traces)
+            }
             _ => return Err(SerialError::Corrupt("unknown response opcode")),
         })
     }
+}
+
+/// Minimum wire cost of one span: nine u64 fields, one u32 pid, and
+/// the name's u32 length prefix.
+const SPAN_WIRE_MIN: usize = 9 * 8 + 4 + 4;
+
+fn put_span(w: &mut ByteWriter, s: &SpanRecord) {
+    w.put_u64(s.trace_id);
+    w.put_u64(s.span_id);
+    w.put_u64(s.parent_id);
+    w.put_u64(s.link_id);
+    w.put_bytes(s.name.as_bytes());
+    w.put_u64(s.start_us);
+    w.put_u64(s.dur_us);
+    w.put_u32(s.pid);
+    w.put_u64(s.tid);
+    w.put_u64(s.a);
+    w.put_u64(s.b);
+}
+
+fn take_span(r: &mut ByteReader<'_>) -> Result<SpanRecord, SerialError> {
+    let trace_id = r.take_u64()?;
+    let span_id = r.take_u64()?;
+    let parent_id = r.take_u64()?;
+    let link_id = r.take_u64()?;
+    let name = String::from_utf8(r.take_bytes()?)
+        .map_err(|_| SerialError::Corrupt("span name not utf-8"))?;
+    Ok(SpanRecord {
+        trace_id,
+        span_id,
+        parent_id,
+        link_id,
+        name: Cow::Owned(name),
+        start_us: r.take_u64()?,
+        dur_us: r.take_u64()?,
+        pid: r.take_u32()?,
+        tid: r.take_u64()?,
+        a: r.take_u64()?,
+        b: r.take_u64()?,
+    })
 }
 
 /// Write one frame: `u32` LE payload length, then the payload.
@@ -606,11 +707,34 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
+/// Write one frame, optionally carrying a trace context. With
+/// `ctx: None` the bytes produced are identical to [`write_frame`] —
+/// an untraced request adds zero wire bytes. With `Some`, the length
+/// word gets [`FLAG_TRACE`] and the counted body is the 17-byte
+/// context followed by the payload.
+pub fn write_frame_traced(
+    w: &mut impl Write,
+    payload: &[u8],
+    ctx: Option<&TraceContext>,
+) -> io::Result<()> {
+    match ctx {
+        None => write_frame(w, payload),
+        Some(c) => {
+            let len = (TraceContext::WIRE_LEN + payload.len()) as u32 | FLAG_TRACE;
+            w.write_all(&len.to_le_bytes())?;
+            w.write_all(&c.encode())?;
+            w.write_all(payload)?;
+            w.flush()
+        }
+    }
+}
+
 /// A frame arrived, or the peer closed cleanly between frames.
 #[derive(Debug)]
 pub enum FrameEvent {
-    /// A complete payload.
-    Frame(Vec<u8>),
+    /// A complete payload, plus the trace context the frame carried
+    /// (already stripped from the payload), if any.
+    Frame(Vec<u8>, Option<TraceContext>),
     /// EOF on a frame boundary: an orderly close.
     Closed,
 }
@@ -662,6 +786,7 @@ pub struct FrameReader<R> {
     head: [u8; 4],
     got: usize,
     body: Vec<u8>,
+    traced: bool,
 }
 
 impl<R: Read> FrameReader<R> {
@@ -675,6 +800,7 @@ impl<R: Read> FrameReader<R> {
             head: [0; 4],
             got: 0,
             body: Vec::new(),
+            traced: false,
         }
     }
 
@@ -696,13 +822,22 @@ impl<R: Read> FrameReader<R> {
                             Err(e) => return Err(classify(e)),
                         }
                     }
-                    let len = u32::from_le_bytes(self.head);
+                    let word = u32::from_le_bytes(self.head);
+                    self.traced = word & FLAG_TRACE != 0;
+                    let len = word & !FLAG_TRACE;
                     if len > self.max_frame {
                         // Reset so the caller could in principle keep
                         // going, though the server closes here: the
                         // unread body makes resync impossible.
                         self.got = 0;
                         return Err(FrameError::Oversized(len));
+                    }
+                    if self.traced && (len as usize) < TraceContext::WIRE_LEN {
+                        self.got = 0;
+                        return Err(FrameError::Io(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "traced frame shorter than its trace context",
+                        )));
                     }
                     self.body = vec![0; len as usize];
                     self.got = 0;
@@ -718,7 +853,15 @@ impl<R: Read> FrameReader<R> {
                     }
                     self.state = ReadState::Head;
                     self.got = 0;
-                    return Ok(FrameEvent::Frame(std::mem::take(&mut self.body)));
+                    let mut body = std::mem::take(&mut self.body);
+                    let ctx = if self.traced {
+                        let c = TraceContext::decode(&body);
+                        body.drain(..TraceContext::WIRE_LEN);
+                        c
+                    } else {
+                        None
+                    };
+                    return Ok(FrameEvent::Frame(body, ctx));
                 }
             }
         }
@@ -778,6 +921,8 @@ mod tests {
             keys: vec![0, 42, u64::MAX],
         });
         roundtrip_request(Request::MultiContains { keys: vec![] });
+        roundtrip_request(Request::Traces { json: false });
+        roundtrip_request(Request::Traces { json: true });
     }
 
     #[test]
@@ -908,7 +1053,10 @@ mod tests {
         let mut fr = FrameReader::new(OneByte(wire, 0), DEFAULT_MAX_FRAME);
         for _ in 0..2 {
             match fr.read_frame().unwrap() {
-                FrameEvent::Frame(p) => assert_eq!(p, payload),
+                FrameEvent::Frame(p, ctx) => {
+                    assert_eq!(p, payload);
+                    assert_eq!(ctx, None);
+                }
                 FrameEvent::Closed => panic!("premature close"),
             }
         }
@@ -916,15 +1064,127 @@ mod tests {
     }
 
     #[test]
+    fn untraced_frames_add_zero_wire_bytes() {
+        // write_frame_traced(.., None) must be byte-identical to the
+        // pre-trace wire format: tracing costs nothing unless a
+        // context is attached.
+        let payload = Request::Contains {
+            name: "f".into(),
+            keys: vec![1, 2, 3],
+        }
+        .encode();
+        let mut plain = Vec::new();
+        write_frame(&mut plain, &payload).unwrap();
+        let mut traced_none = Vec::new();
+        write_frame_traced(&mut traced_none, &payload, None).unwrap();
+        assert_eq!(plain, traced_none);
+    }
+
+    #[test]
+    fn trace_context_rides_the_frame_and_is_stripped() {
+        let payload = Request::Stats.encode();
+        let ctx = TraceContext {
+            trace_id: 0xdead_beef_0bad_cafe,
+            span_id: 0x1234_5678_9abc_def0,
+            flags: telemetry::trace::FLAG_FORCED,
+        };
+        let mut wire = Vec::new();
+        write_frame_traced(&mut wire, &payload, Some(&ctx)).unwrap();
+        // The traced frame is exactly 17 bytes longer than the plain
+        // one and has the flag bit set in its length word.
+        let mut plain = Vec::new();
+        write_frame(&mut plain, &payload).unwrap();
+        assert_eq!(wire.len(), plain.len() + TraceContext::WIRE_LEN);
+        let word = u32::from_le_bytes(wire[..4].try_into().unwrap());
+        assert_ne!(word & FLAG_TRACE, 0);
+        // An interleaved untraced frame on the same stream still
+        // parses: the flag is per-frame.
+        write_frame(&mut wire, &payload).unwrap();
+        let mut fr = FrameReader::new(&wire[..], DEFAULT_MAX_FRAME);
+        match fr.read_frame().unwrap() {
+            FrameEvent::Frame(p, got) => {
+                assert_eq!(p, payload);
+                assert_eq!(got, Some(ctx));
+            }
+            FrameEvent::Closed => panic!("premature close"),
+        }
+        match fr.read_frame().unwrap() {
+            FrameEvent::Frame(p, got) => {
+                assert_eq!(p, payload);
+                assert_eq!(got, None);
+            }
+            FrameEvent::Closed => panic!("premature close"),
+        }
+        assert!(matches!(fr.read_frame().unwrap(), FrameEvent::Closed));
+    }
+
+    #[test]
+    fn traced_frame_shorter_than_context_is_rejected() {
+        // Flag bit set but only 5 body bytes: structurally invalid.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(5u32 | FLAG_TRACE).to_le_bytes());
+        wire.extend_from_slice(&[0u8; 5]);
+        let mut fr = FrameReader::new(&wire[..], DEFAULT_MAX_FRAME);
+        assert!(matches!(fr.read_frame(), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn traces_response_roundtrips_and_rejects_truncation() {
+        let span = |i: u64| SpanRecord {
+            trace_id: 7,
+            span_id: i,
+            parent_id: i.saturating_sub(1),
+            link_id: if i == 3 { 99 } else { 0 },
+            name: format!("span-{i}").into(),
+            start_us: 1_000_000 + i,
+            dur_us: 10 * i,
+            pid: 4242,
+            tid: i,
+            a: i * 2,
+            b: i * 3,
+        };
+        let resp = Response::Traces(vec![
+            Trace {
+                trace_id: 7,
+                spans: vec![span(1), span(2), span(3)],
+            },
+            Trace {
+                trace_id: 8,
+                spans: vec![],
+            },
+        ]);
+        let bytes = resp.encode();
+        assert_eq!(Response::decode(&bytes).unwrap(), resp);
+        let empty = Response::Traces(vec![]);
+        assert_eq!(Response::decode(&empty.encode()).unwrap(), empty);
+        // Truncations are rejected, never panicking.
+        for cut in 12..bytes.len() {
+            assert!(Response::decode(&bytes[..cut]).is_err());
+        }
+        // A lying span count (u32 after the 12-byte header, the u64
+        // trace count, and the first trace id) trips the bounds check.
+        let mut bad = bytes.clone();
+        bad[28] = 0xff;
+        assert!(Response::decode(&bad).is_err());
+    }
+
+    #[test]
     fn frame_reader_rejects_oversized_prefix_without_allocating() {
+        // An all-ones length word reads as trace flag + 2^31-1 body
+        // bytes; the reported length is the masked size.
         let mut wire = Vec::new();
         wire.extend_from_slice(&u32::MAX.to_le_bytes());
         wire.extend_from_slice(&[0u8; 16]);
         let mut fr = FrameReader::new(&wire[..], 1024);
         assert!(matches!(
             fr.read_frame(),
-            Err(FrameError::Oversized(u32::MAX))
+            Err(FrameError::Oversized(n)) if n == !FLAG_TRACE
         ));
+        // An untraced oversized prefix reports its length verbatim.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&2048u32.to_le_bytes());
+        let mut fr = FrameReader::new(&wire[..], 1024);
+        assert!(matches!(fr.read_frame(), Err(FrameError::Oversized(2048))));
     }
 
     #[test]

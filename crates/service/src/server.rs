@@ -202,6 +202,7 @@ fn serve_connection(engine: &Engine, mut stream: TcpStream) {
     let m = &engine.metrics;
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(engine.config.read_timeout));
+    let peer = stream.peer_addr().ok();
     let read_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -213,19 +214,28 @@ fn serve_connection(engine: &Engine, mut stream: TcpStream) {
     let mut last_frame = Instant::now();
     loop {
         match frames.read_frame() {
-            Ok(FrameEvent::Frame(payload)) => {
+            Ok(FrameEvent::Frame(payload, ctx)) => {
                 last_frame = Instant::now();
                 m.frames_received.inc();
                 m.bytes_in.add(payload.len() as u64);
                 let t0 = Instant::now();
+                let req_trace = telemetry::trace::begin("server:request", ctx);
                 let (resp, info) = dispatch(engine, &payload);
+                let error = matches!(resp, Response::Error { .. });
                 if !write_response(engine, &mut stream, &resp) {
+                    req_trace.finish(false, true);
                     break;
                 }
                 // One frame per blocking read loop: the threaded
                 // server's pipelining depth is 1 by construction.
                 m.raise_pipelined_depth(1);
-                engine.record_request(t0.elapsed(), info);
+                let dt = t0.elapsed();
+                let slow = dt >= engine.config.slow_request_threshold;
+                // Only a slow request reads (and, for an unsampled
+                // one, mints) its trace id — the fast path stays free
+                // of id work.
+                engine.record_request(dt, info, peer, if slow { req_trace.trace_id() } else { 0 });
+                req_trace.finish_timed(dt, slow, error);
                 if engine.stopping() {
                     break; // in-flight request drained; refuse further
                 }
@@ -256,7 +266,20 @@ fn serve_connection(engine: &Engine, mut stream: TcpStream) {
                 m.disconnects_mid_frame.inc();
                 break;
             }
-            Err(FrameError::Io(_)) => break,
+            Err(FrameError::Io(e)) => {
+                // InvalidData is the reader refusing a traced frame
+                // shorter than its context: answer with the reason,
+                // then close (same contract as the evented path).
+                if e.kind() == io::ErrorKind::InvalidData {
+                    m.protocol_errors.inc();
+                    let resp = Response::Error {
+                        code: ErrorCode::BadFrame,
+                        message: "traced frame shorter than its trace context".into(),
+                    };
+                    write_response(engine, &mut stream, &resp);
+                }
+                break;
+            }
         }
     }
 }

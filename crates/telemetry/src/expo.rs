@@ -151,6 +151,15 @@ pub struct Sample {
     pub value: f64,
 }
 
+impl Sample {
+    /// The unescaped value of label `key` (escape-aware scan, so
+    /// values containing backslashes, quotes, or newlines round-trip
+    /// through render → parse).
+    pub fn label(&self, key: &str) -> Option<String> {
+        label_value(&self.labels, key)
+    }
+}
+
 /// A declared metric family and its samples.
 #[derive(Debug, Clone)]
 pub struct Family {
@@ -248,13 +257,51 @@ impl Exposition {
     }
 }
 
-/// Extract a label's value from a raw label string.
-fn label_value(labels: &str, key: &str) -> Option<String> {
-    let pat = format!("{key}=\"");
-    let start = labels.find(&pat)? + pat.len();
-    let rest = &labels[start..];
-    let end = rest.find('"')?;
-    Some(rest[..end].to_string())
+/// Extract and unescape a label's value from a raw label string.
+/// The scan is escape-aware: a `\"` inside a value does not terminate
+/// it, and `\\`/`\"`/`\n` sequences are decoded per the text-format
+/// spec (a simple substring search would truncate at the first
+/// escaped quote and return still-escaped text).
+pub fn label_value(labels: &str, key: &str) -> Option<String> {
+    let mut rest = labels;
+    loop {
+        rest = rest.trim_start().trim_start_matches(',').trim_start();
+        if rest.is_empty() {
+            return None;
+        }
+        let eq = rest.find('=')?;
+        let k = rest[..eq].trim();
+        let quoted = rest[eq + 1..].trim_start().strip_prefix('"')?;
+        let mut val = String::new();
+        let mut close = None;
+        let mut chars = quoted.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => val.push('\n'),
+                    Some((_, '\\')) => val.push('\\'),
+                    Some((_, '"')) => val.push('"'),
+                    // Unknown escape: keep it verbatim (lenient, like
+                    // the reference parsers).
+                    Some((_, other)) => {
+                        val.push('\\');
+                        val.push(other);
+                    }
+                    None => return None,
+                },
+                '"' => {
+                    close = Some(i);
+                    break;
+                }
+                c => val.push(c),
+            }
+        }
+        let close = close?;
+        if k == key {
+            return Some(val);
+        }
+        rest = &quoted[close + 1..];
+    }
 }
 
 /// Strip the histogram-series suffix, returning the base family name.
@@ -438,6 +485,38 @@ mod tests {
         let text = r.finish();
         assert!(text.contains(r#"name="a\"b\\c""#), "{text}");
         parse(&text).unwrap();
+    }
+
+    #[test]
+    fn adversarial_label_values_round_trip() {
+        // Filter names a hostile (or merely creative) client could
+        // register: every one must survive render → parse → label()
+        // byte for byte.
+        let evil = [
+            "back\\slash",
+            "qu\"ote",
+            "line\nbreak",
+            "mix\\\"\nall",
+            "br{ace}s",
+            "trailing\\",
+            "comma,eq=inside",
+            "\"\"",
+        ];
+        for name in evil {
+            let mut r = TextRenderer::new();
+            r.header("bb_x", "x", FamilyKind::Gauge);
+            r.sample("bb_x", &[("name", name), ("backend", "cqf")], 1.0);
+            let text = r.finish();
+            let expo = parse(&text).unwrap();
+            let s = &expo.family("bb_x").unwrap().samples[0];
+            assert_eq!(s.label("name").as_deref(), Some(name), "value {name:?}");
+            assert_eq!(
+                s.label("backend").as_deref(),
+                Some("cqf"),
+                "label after adversarial value {name:?}"
+            );
+            assert_eq!(s.label("absent"), None);
+        }
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   layer is enabled.
 //! - [`expo`]: the text renderer plus a strict parser/validator used
 //!   by tests and the dashboard example.
+//! - [`trace`]: dependency-free distributed tracing — spans with
+//!   `(trace_id, span_id, parent_id)`, a 17-byte wire context,
+//!   tail-based promotion into a bounded store, span-link handoffs to
+//!   background work, and a Chrome `trace_event` JSON renderer.
 //!
 //! # Turning it off
 //!
@@ -42,6 +46,7 @@ mod events;
 mod value;
 
 pub mod expo;
+pub mod trace;
 
 pub use events::{Event, EventKind};
 pub use value::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};

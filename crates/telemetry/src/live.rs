@@ -308,6 +308,12 @@ impl EventRing {
         self.head.load(Ordering::Relaxed)
     }
 
+    /// Events silently overwritten by ring wrap-around: everything
+    /// emitted beyond the newest `capacity()` events is gone.
+    pub fn dropped(&self) -> u64 {
+        self.emitted().saturating_sub(self.capacity() as u64)
+    }
+
     /// Copy out the currently held events, oldest first. Torn slots
     /// (overwritten while being read) are skipped.
     pub fn snapshot(&self) -> Vec<Event> {
@@ -350,6 +356,13 @@ pub fn emit(kind: EventKind, a: u64, b: u64) {
     }
 }
 
+/// The kill switch (and the global trace store) are process-global;
+/// tests across this crate that read or write them serialize here so
+/// the parallel test harness cannot interleave a disabled window (or
+/// a store drain) into another test's updates.
+#[cfg(test)]
+pub(crate) static TEST_SWITCH_LOCK: Mutex<()> = Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,10 +373,7 @@ mod tests {
         StaticHistogram::new("bb_test_live_hist", "Test histogram.");
     static TEST_GAUGE: StaticGauge = StaticGauge::new("bb_test_live_gauge", "Test gauge.");
 
-    /// The kill switch is process-global; tests that read or write it
-    /// serialize here so the parallel test harness cannot interleave
-    /// a disabled window into another test's updates.
-    static SWITCH_LOCK: Mutex<()> = Mutex::new(());
+    use super::TEST_SWITCH_LOCK as SWITCH_LOCK;
 
     #[test]
     fn handles_register_on_first_touch_and_render() {
@@ -414,7 +424,19 @@ mod tests {
         let a: Vec<u64> = events.iter().map(|e| e.a).collect();
         assert_eq!(a, vec![6, 7, 8, 9]);
         assert_eq!(ring.emitted(), 10);
+        assert_eq!(ring.dropped(), 6, "wrap drops are counted");
         assert!(events.iter().all(|e| e.kind == EventKind::Expansion));
+    }
+
+    #[test]
+    fn dropped_is_zero_until_the_ring_wraps() {
+        let ring = EventRing::new(8);
+        for i in 0..8u64 {
+            ring.emit(EventKind::Other, i, 0);
+            assert_eq!(ring.dropped(), 0);
+        }
+        ring.emit(EventKind::Other, 8, 0);
+        assert_eq!(ring.dropped(), 1);
     }
 
     #[test]

@@ -158,6 +158,11 @@ impl EventRing {
         0
     }
 
+    /// Always zero.
+    pub fn dropped(&self) -> u64 {
+        0
+    }
+
     /// Always empty.
     pub fn snapshot(&self) -> Vec<Event> {
         Vec::new()

@@ -466,7 +466,7 @@ fn oversized_length_prefix_is_refused_and_counted() {
         beyond_bloom::service::DEFAULT_MAX_FRAME,
     );
     match reader.read_frame() {
-        Ok(beyond_bloom::service::proto::FrameEvent::Frame(payload)) => {
+        Ok(beyond_bloom::service::proto::FrameEvent::Frame(payload, _)) => {
             match beyond_bloom::service::Response::decode(&payload).unwrap() {
                 beyond_bloom::service::Response::Error { code, .. } => {
                     assert_eq!(code, ErrorCode::BadFrame)
@@ -649,17 +649,55 @@ fn metrics_exposition_is_valid_and_spans_layers() {
     // collisions merging distinct keys.
     assert!(expo.labeled_sum("bb_filter_keys", "mx-cqf") >= 4_950.0);
     // Zero threshold: every request is slow, so the slow counter
-    // moved (instance counters work in every build mode) and — when
-    // the event ring is compiled in — the log rendered entries.
+    // moved and the log rendered entries (the slow log is engine
+    // state, not telemetry, so it works in every build mode).
     let stats = c.stats().unwrap();
     assert!(stats.counters.slow_requests > 0);
+    assert!(
+        text.lines().any(|l| l.starts_with("# slow ")),
+        "no slow-request log lines:\n{text}"
+    );
+    // Slow entries carry decoded opcode context and the client's
+    // peer address (every entry here came over a real TCP socket).
+    assert!(text.contains("op=INSERT") || text.contains("op=CREATE"));
+    assert!(
+        text.lines()
+            .filter(|l| l.starts_with("# slow "))
+            .all(|l| l.contains(" peer=127.0.0.1:")),
+        "slow lines must carry the TCP peer:\n{text}"
+    );
+
+    // Ring-overwrite accounting: the bounded logs export how much
+    // they have silently discarded. Drive the 256-entry slow log
+    // past capacity (every request is slow at threshold zero) and
+    // wrap the global event ring in-process, then check the drop
+    // counters moved.
+    for fam in [
+        "bb_events_dropped",
+        "bb_slow_log_dropped",
+        "bb_traces_dropped_total",
+    ] {
+        assert!(expo.has_family(fam), "missing drop counter {fam}");
+    }
+    assert_eq!(expo.value("bb_slow_log_dropped").unwrap(), 0.0);
+    let probe = [1u64];
+    for _ in 0..300 {
+        let _ = c.contains("mx-bloom", &probe).unwrap();
+    }
+    for i in 0..1_100 {
+        beyond_bloom::telemetry::emit(beyond_bloom::telemetry::EventKind::Other, i, 0);
+    }
+    let text = c.metrics_text().unwrap();
+    let expo = beyond_bloom::telemetry::expo::parse(&text).expect("post-wrap exposition");
+    assert!(
+        expo.value("bb_slow_log_dropped").unwrap() > 0.0,
+        "slow log wrapped >300 entries past its 256 cap:\n{text}"
+    );
     if !compiled_out {
         assert!(
-            text.lines().any(|l| l.starts_with("# slow ")),
-            "no slow-request log lines:\n{text}"
+            expo.value("bb_events_dropped").unwrap() > 0.0,
+            "event ring wrapped after 1100 emits into 1024 slots"
         );
-        // Slow entries carry decoded opcode context.
-        assert!(text.contains("op=INSERT") || text.contains("op=CREATE"));
     }
     drop(c);
     server.shutdown();
@@ -747,7 +785,7 @@ impl RawConn {
 
     fn recv(&mut self) -> Vec<u8> {
         match self.reader.read_frame().expect("read frame") {
-            FrameEvent::Frame(payload) => payload,
+            FrameEvent::Frame(payload, _) => payload,
             FrameEvent::Closed => panic!("server closed mid-script"),
         }
     }
@@ -1201,4 +1239,244 @@ fn cluster_routes_migrates_and_replicates_across_live_servers() {
     node_a.shutdown();
     node_b.shutdown();
     node_c.shutdown();
+}
+
+// ===============================================================
+// Distributed tracing: one traced probe at the cluster client must
+// assemble into a single cross-process trace spanning client
+// routing, both transports' servers, engine dispatch, the Bloofi
+// descent — and, when the traced insert seals a memtable, a span
+// linked to the background compaction that drains it.
+// ===============================================================
+
+/// Validate Chrome `trace_event` JSON: an object with a
+/// `traceEvents` array of well-formed events, every complete event
+/// tagged with our trace id, and (when a linked span exists) a
+/// flow-arrow `s`/`f` pair.
+fn check_chrome_json(json_text: &str, trace_id: u64, expect_flow: bool) {
+    use beyond_bloom::telemetry::trace::json::{self, Json};
+    let doc = json::parse(json_text)
+        .unwrap_or_else(|e| panic!("chrome JSON failed to parse: {e}\n---\n{json_text}"));
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::items)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "no trace events rendered");
+    let (mut complete, mut starts, mut finishes) = (0, 0, 0);
+    for ev in events {
+        let ph = match ev.get("ph") {
+            Some(Json::Str(s)) => s.as_str(),
+            other => panic!("event missing ph: {other:?}"),
+        };
+        for field in ["name", "ts", "pid", "tid"] {
+            assert!(ev.get(field).is_some(), "event missing {field}");
+        }
+        match ph {
+            "X" => {
+                complete += 1;
+                assert!(ev.get("dur").is_some(), "complete event missing dur");
+                let args = ev.get("args").expect("complete event args");
+                match args.get("trace_id") {
+                    Some(Json::Str(s)) => {
+                        assert_eq!(s, &format!("{trace_id:016x}"), "foreign trace id")
+                    }
+                    other => panic!("args.trace_id missing: {other:?}"),
+                }
+            }
+            "s" => starts += 1,
+            "f" => finishes += 1,
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(complete >= 6, "only {complete} complete events");
+    if expect_flow {
+        assert!(
+            starts >= 1 && finishes >= 1,
+            "linked span must render a flow pair (s={starts}, f={finishes})"
+        );
+    }
+}
+
+#[test]
+fn trace_route_assembles_one_cross_process_trace() {
+    if beyond_bloom::telemetry::compiled_out() {
+        return; // tracing compiles out with telemetry-off
+    }
+    let config = || ServerConfig {
+        workers: 2,
+        read_timeout: Duration::from_millis(10),
+        ..ServerConfig::default()
+    };
+    // Mixed transports on purpose: the assembled trace must not care
+    // whether a server span came from a thread or an event loop.
+    let node_a = FilterServer::bind("127.0.0.1:0", config()).expect("bind threaded");
+    let node_b = EventedFilterServer::bind("127.0.0.1:0", config()).expect("bind evented");
+    let (addr_a, addr_b) = (node_a.local_addr(), node_b.local_addr());
+    let mut cluster = ClusterClient::new(vec![addr_a, addr_b]).expect("cluster");
+
+    // A few plain filters so the Bloofi descent has a tree to walk,
+    // plus a compacting filter primed one key short of a seal: its
+    // memtable holds 1/16 of capacity floored at 1024 keys, so 1023
+    // inserts leave the traced insert to tip it over.
+    for i in 0..6u64 {
+        let name = format!("tr-{i}");
+        cluster
+            .create(&name, Backend::AtomicBloom, 5_000, 0.01, 0, 40 + i)
+            .unwrap();
+        cluster.insert(&name, &unique_keys(7_700 + i, 200)).unwrap();
+    }
+    cluster
+        .create("tr-lsm", Backend::Compacting, 2_000, 0.01, 0, 99)
+        .unwrap();
+    cluster
+        .insert("tr-lsm", &unique_keys(7_790, 1_023))
+        .unwrap();
+
+    // ---- Phase 1: a plain traced probe assembles end to end. ----
+    let trace = cluster.trace_route(0xfee1_600d).expect("trace_route");
+    assert_ne!(trace.trace_id, 0);
+    assert!(
+        trace.spans.len() >= 6,
+        "expected >= 6 spans, got {}: {:?}",
+        trace.spans.len(),
+        trace
+            .spans
+            .iter()
+            .map(|s| s.name.clone())
+            .collect::<Vec<_>>()
+    );
+    assert!(trace.spans.iter().all(|s| s.trace_id == trace.trace_id));
+    // Exactly one root (the forced cluster-client span).
+    let roots: Vec<_> = trace
+        .spans
+        .iter()
+        .filter(|s| s.parent_id == 0 && s.link_id == 0)
+        .collect();
+    assert_eq!(roots.len(), 1, "one root span, got {roots:?}");
+    assert_eq!(roots[0].name, "cluster:trace_route");
+    // Every edge resolves inside the trace: parents for the in-band
+    // tree, links for background handoffs.
+    let ids: std::collections::HashSet<u64> = trace.spans.iter().map(|s| s.span_id).collect();
+    for s in &trace.spans {
+        if s.parent_id != 0 {
+            assert!(ids.contains(&s.parent_id), "dangling parent on {s:?}");
+        }
+        if s.link_id != 0 {
+            assert!(ids.contains(&s.link_id), "dangling link on {s:?}");
+        }
+    }
+    let count = |name: &str| trace.spans.iter().filter(|s| s.name == name).count();
+    // One server-side request span per node, each parented onto its
+    // own client-side rpc span (the cross-process edge the wire
+    // context exists for).
+    assert_eq!(count("server:request"), 2);
+    let rpc_ids: std::collections::HashSet<u64> = trace
+        .spans
+        .iter()
+        .filter(|s| s.name.starts_with("rpc:"))
+        .map(|s| s.span_id)
+        .collect();
+    assert_eq!(rpc_ids.len(), 2, "one rpc span per node");
+    for s in trace.spans.iter().filter(|s| s.name == "server:request") {
+        assert!(
+            rpc_ids.contains(&s.parent_id),
+            "server span must parent onto a client rpc span: {s:?}"
+        );
+        assert_eq!(roots[0].span_id, {
+            let rpc = trace
+                .spans
+                .iter()
+                .find(|r| r.span_id == s.parent_id)
+                .unwrap();
+            rpc.parent_id
+        });
+    }
+    // Engine and index layers reported under each server request.
+    assert_eq!(count("engine:multi_contains"), 2);
+    assert!(count("bloofi:descent") >= 2, "descent span per node");
+    let descent = trace
+        .spans
+        .iter()
+        .find(|s| s.name == "bloofi:descent" && s.b > 0)
+        .expect("a non-trivial descent (probes counted)");
+    assert!(descent.a >= 1, "descent records tree depth");
+
+    // ---- Phase 2: a traced insert that seals links the background
+    // compaction into the same trace. ----
+    let pending = cluster
+        .trace_route_begin(0x5ea1_ab1e, Some("tr-lsm"))
+        .expect("traced insert + probe");
+    assert_ne!(pending.trace_id, 0);
+    // All servers run in-process, so the shared trace store lets the
+    // test wait (non-destructively) for the compactor's linked span
+    // before the destructive collection drain.
+    let store = beyond_bloom::telemetry::trace::store();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !store
+        .peek_spans(pending.trace_id)
+        .iter()
+        .any(|s| s.name == "compacting:compact")
+    {
+        assert!(
+            Instant::now() < deadline,
+            "compaction span never linked; spans so far: {:?}",
+            store.peek_spans(pending.trace_id)
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let trace2 = cluster.trace_collect(pending).expect("collect");
+    assert_ne!(
+        trace2.trace_id, trace.trace_id,
+        "fresh trace id per request"
+    );
+    let ids2: std::collections::HashSet<u64> = trace2.spans.iter().map(|s| s.span_id).collect();
+    let compact = trace2
+        .spans
+        .iter()
+        .find(|s| s.name == "compacting:compact")
+        .expect("linked compaction span");
+    assert_eq!(compact.parent_id, 0, "background span links, not parents");
+    assert!(
+        ids2.contains(&compact.link_id),
+        "compaction must link back to the sealing request's span"
+    );
+    assert!(compact.b >= 1, "compaction annotates resulting tier count");
+    assert!(
+        trace2.spans.iter().any(|s| s.name == "engine:insert"),
+        "the traced INSERT recorded its engine span"
+    );
+
+    // ---- Phase 3: the merged trace renders as Chrome trace_event
+    // JSON (loadable in about:tracing / Perfetto). ----
+    let json_text =
+        beyond_bloom::telemetry::trace::chrome_trace_json(std::slice::from_ref(&trace2));
+    check_chrome_json(&json_text, trace2.trace_id, true);
+
+    // And the wire surface serves the same format: a forced traced
+    // call against one node, then OP_TRACES with json=true.
+    let mut direct = FilterClient::connect(addr_a).unwrap();
+    let ctx = beyond_bloom::telemetry::trace::TraceContext {
+        trace_id: 0x00c0_ffee_0a11_d00d,
+        span_id: 0x1,
+        flags: beyond_bloom::telemetry::trace::FLAG_FORCED,
+    };
+    direct
+        .call_traced(&Request::MultiContains { keys: vec![5] }, Some(ctx))
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while store.peek_spans(ctx.trace_id).is_empty() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let wire_json = direct.traces_json().unwrap();
+    let doc = beyond_bloom::telemetry::trace::json::parse(&wire_json).expect("wire JSON parses");
+    assert!(
+        doc.get("traceEvents")
+            .and_then(beyond_bloom::telemetry::trace::json::Json::items)
+            .is_some_and(|evs| !evs.is_empty()),
+        "OP_TRACES json dump must carry the forced trace:\n{wire_json}"
+    );
+
+    drop((cluster, direct));
+    node_a.shutdown();
+    node_b.shutdown();
 }
